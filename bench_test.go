@@ -1,0 +1,284 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation, plus micro-benchmarks of the substrates. Each experiment
+// benchmark reports its headline numbers as custom metrics so that
+// `go test -bench` output doubles as the reproduction record:
+//
+//	BenchmarkTable1 — P-III/Myrinet validation  (avg/max |error| %)
+//	BenchmarkTable2 — Opteron/GigE validation
+//	BenchmarkTable3 — Altix validation
+//	BenchmarkFigure8 — 20M-cell speculation      (seconds at 1 and 8000 procs)
+//	BenchmarkFigure9 — 1G-cell speculation
+//	BenchmarkAblationOpcode — Section 4 opcode-vs-coarse comparison
+//	BenchmarkBaselineComparison — LogGP/Hoisie agreement (Section 6)
+//	BenchmarkBlockingAblation — mk blocking-factor design sweep
+package pacesweep_test
+
+import (
+	"math"
+	"testing"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/capp"
+	"pacesweep/internal/clc"
+	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/psl"
+	"pacesweep/internal/sweep"
+)
+
+func reportValidation(b *testing.B, v *experiments.Validation) {
+	b.ReportMetric(v.AvgAbsErr, "avg_abs_err_%")
+	b.ReportMetric(v.MaxAbsErr, "max_abs_err_%")
+	b.ReportMetric(v.VarErr, "err_variance")
+	b.ReportMetric(float64(len(v.Rows)), "rows")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportValidation(b, v)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportValidation(b, v)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportValidation(b, v)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.Actual[0], "s_at_1proc")
+		b.ReportMetric(s.Actual[len(s.Actual)-1], "s_at_8000procs")
+		b.ReportMetric(s.Plus50[len(s.Plus50)-1], "s_at_8000_+50%")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.Actual[0], "s_at_1proc")
+		b.ReportMetric(s.Actual[len(s.Actual)-1], "s_at_8000procs")
+		b.ReportMetric(s.Plus50[len(s.Plus50)-1], "s_at_8000_+50%")
+	}
+}
+
+func BenchmarkAblationOpcode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationOpcode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.MaxNewAbsErr, "new_max_err_%")
+		b.ReportMetric(a.MaxOldAbsErr, "old_max_err_%")
+	}
+}
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxLG, maxHO float64
+		for j := range s.Procs {
+			maxLG = math.Max(maxLG, math.Abs(s.LogGPTimes[j]-s.Actual[j])/s.Actual[j]*100)
+			maxHO = math.Max(maxHO, math.Abs(s.HoisieTimes[j]-s.Actual[j])/s.Actual[j]*100)
+		}
+		b.ReportMetric(maxLG, "max_loggp_dev_%")
+		b.ReportMetric(maxHO, "max_hoisie_dev_%")
+	}
+}
+
+// BenchmarkBlockingAblation sweeps the k-plane blocking factor at 8x8
+// processors, the design-choice study DESIGN.md calls out: fine blocking
+// shortens the pipeline fill, coarse blocking cuts message count.
+func BenchmarkBlockingAblation(b *testing.B) {
+	pl := platform.PentiumIIIMyrinet()
+	ev, _, err := experiments.BuildEvaluator(pl, grid.Global{NX: 50, NY: 50, NZ: 50}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, mk := range []int{1, 2, 5, 10, 25, 50} {
+			cfg := pace.Config{
+				Grid:   grid.Global{NX: 400, NY: 400, NZ: 50},
+				Decomp: grid.Decomp{PX: 8, PY: 8},
+				MK:     mk, MMI: 3, Angles: 6, Iterations: 12,
+			}
+			pred, err := ev.Predict(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pred.Total, "s_mk"+itoa(mk))
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return string(rune('0' + v))
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSweepKernel measures the functional solver's cell-angle update
+// rate (the real transport arithmetic).
+func BenchmarkSweepKernel(b *testing.B) {
+	p := sweep.New(grid.Global{NX: 32, NY: 32, NZ: 32})
+	p.Iterations = 1
+	b.ResetTimer()
+	var updates int64
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.SolveSerial(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += res.Counters.CellAngleUpdates
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds()/1e6, "Mupdates/s")
+}
+
+// BenchmarkParallelSolve16 exercises the full message-passing solve.
+func BenchmarkParallelSolve16(b *testing.B) {
+	p := sweep.New(grid.Global{NX: 40, NY: 40, NZ: 20})
+	p.Iterations = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.SolveParallel(p, grid.Decomp{PX: 4, PY: 4}, mp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkeleton112 times the cluster simulator at the largest
+// validation configuration (112 ranks).
+func BenchmarkSkeleton112(b *testing.B) {
+	pl := platform.PentiumIIIMyrinet()
+	p := sweep.New(grid.Global{NX: 400, NY: 700, NZ: 50})
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Measure(pl, p, grid.Decomp{PX: 8, PY: 14}, bench.MeasureOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemplateEval times one PACE template evaluation at 10x10.
+func BenchmarkTemplateEval(b *testing.B) {
+	ev, _, err := experiments.BuildEvaluator(platform.PentiumIIIMyrinet(), grid.Global{NX: 50, NY: 50, NZ: 50}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pace.Config{
+		Grid:   grid.Global{NX: 500, NY: 500, NZ: 50},
+		Decomp: grid.Decomp{PX: 10, PY: 10},
+		MK:     10, MMI: 3, Angles: 6, Iterations: 12,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Predict(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedForm times the analytic fast path at 8000 processors.
+func BenchmarkClosedForm(b *testing.B) {
+	ev, _, err := experiments.BuildEvaluator(platform.OpteronMyrinet(), grid.Global{NX: 25, NY: 25, NZ: 200}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pace.Config{
+		Grid:   grid.Global{NX: 2000, NY: 2500, NZ: 200},
+		Decomp: grid.Decomp{PX: 80, PY: 100},
+		MK:     10, MMI: 3, Angles: 6, Iterations: 12,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.PredictClosedForm(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPPingPong measures the message-passing runtime's throughput.
+func BenchmarkMPPingPong(b *testing.B) {
+	w, err := mp.NewWorld(2, mp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = w.Run(func(c *mp.Comm) error {
+		buf := make([]float64, 128)
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, buf)
+				c.Recv(1, 1)
+			} else {
+				c.Recv(0, 0)
+				c.Send(0, 1, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCappAnalysis times the static analysis of the kernel source.
+func BenchmarkCappAnalysis(b *testing.B) {
+	src := capp.SweepKernelSource()
+	for i := 0; i < b.N; i++ {
+		a, err := capp.Analyze(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Eval("sweep_block", clc.Params{"na": 3, "nk": 10, "ny": 50, "nx": 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSLEvaluation times a full PSL model evaluation at 4x4.
+func BenchmarkPSLEvaluation(b *testing.B) {
+	lib, err := psl.LoadSweep3D()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.Evaluate("sweep3d", psl.EvalOptions{
+			Overrides: map[string]float64{"it": 200, "jt": 200, "npe_i": 4, "npe_j": 4},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command capp is the static source-code analyser front-end: it parses a
+// C-subset file, extracts per-function clc operation flows, and evaluates
+// them against supplied parameters (the reproduction of PACE's capp tool).
+//
+// Examples:
+//
+//	capp -in kernel.c                          # list functions and warnings
+//	capp -in kernel.c -fn sweep_block -params na=3,nk=10,ny=50,nx=50
+//	capp -embedded -fn sweep_block -params na=1,nk=1,ny=1,nx=1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pacesweep/internal/capp"
+	"pacesweep/internal/clc"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "C-subset source file")
+		embedded = flag.Bool("embedded", false, "analyse the embedded SWEEP3D kernel transcription")
+		fn       = flag.String("fn", "", "function to evaluate (default: list all)")
+		params   = flag.String("params", "", "comma-separated name=value parameters")
+	)
+	flag.Parse()
+
+	var analysis *capp.Analysis
+	var err error
+	switch {
+	case *embedded:
+		analysis, err = capp.SweepKernelAnalysis()
+	case *in != "":
+		analysis, err = capp.AnalyzeFile(*in)
+	default:
+		fmt.Fprintln(os.Stderr, "capp: need -in FILE or -embedded")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	p := clc.Params{}
+	if *params != "" {
+		for _, field := range strings.Split(*params, ",") {
+			kv := strings.SplitN(field, "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("bad parameter %q", field))
+			}
+			x, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad parameter %q: %v", field, err))
+			}
+			p[strings.TrimSpace(kv[0])] = x
+		}
+	}
+
+	names := analysis.FunctionNames()
+	if *fn != "" {
+		names = []string{*fn}
+	}
+	for _, name := range names {
+		v, err := analysis.Eval(name, p)
+		if err != nil {
+			fmt.Printf("%-16s %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-16s %s  (%.6g flops)\n", name, v, v.Flops())
+	}
+	for _, w := range analysis.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command mpibench runs the MPI micro-benchmark of Section 4.4 against a
+// simulated platform — timed sends, receives and ping-pongs for increasing
+// message sizes — and fits the Eq. 3 piecewise parameter sets (A-E) for
+// each curve, printing an HMCL-style mpi section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/report"
+)
+
+func main() {
+	var (
+		plat = flag.String("platform", "PentiumIII-Myrinet",
+			"simulated platform: "+strings.Join(platform.Names(), ", "))
+		reps = flag.Int("reps", 5, "repetitions per size (median taken)")
+		seed = flag.Int64("seed", 7, "benchmark seed")
+		csv  = flag.Bool("csv", false, "emit raw points as CSV")
+	)
+	flag.Parse()
+
+	pl, err := platform.ByName(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	points, err := bench.MPIBench(pl, bench.DefaultMessageSizes(), *reps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title:   "MPI benchmark — " + pl.Name,
+		Caption: pl.Net.Name + ": timed MPI sends, receives and ping-pongs (microseconds, median of " + fmt.Sprint(*reps) + ")",
+		Headers: []string{"Bytes", "Send(us)", "Recv(us)", "PingPong(us)"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Bytes),
+			fmt.Sprintf("%.2f", pt.SendMicros),
+			fmt.Sprintf("%.2f", pt.RecvMicros),
+			fmt.Sprintf("%.2f", pt.PingPongMicros),
+		)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		_ = t.Write(os.Stdout)
+	}
+
+	fmt.Println()
+	fmt.Println("Fitted Eq. 3 parameters (HMCL mpi section):")
+	fmt.Println("config mpi {")
+	for _, c := range []struct {
+		name string
+		pick func(bench.CommPoint) float64
+	}{
+		{"send", func(p bench.CommPoint) float64 { return p.SendMicros }},
+		{"recv", func(p bench.CommPoint) float64 { return p.RecvMicros }},
+		{"pingpong", func(p bench.CommPoint) float64 { return p.PingPongMicros }},
+	} {
+		fit, err := bench.FitEq3(points, c.pick)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s = (%d, %.4g, %.4g, %.4g, %.4g);\n", c.name, fit.A, fit.B, fit.C, fit.D, fit.E)
+	}
+	fmt.Println("}")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command paceval evaluates the PACE performance model of SWEEP3D: either
+// the Go-native model (hardware parameters fitted by simulated benchmarking
+// of a named platform) or a PSL-scripted model file against an HMCL
+// hardware object — the reproduction of the PACE evaluation engine's
+// "predictions of execution time within seconds".
+//
+// Examples:
+//
+//	paceval -it 100 -jt 100 -px 2 -py 2 -platform PentiumIII-Myrinet
+//	paceval -psl model.psl -hardware PentiumIII_Myrinet -px 2 -py 2
+//	paceval -psl-embedded -px 4 -py 4           # the shipped Figure 4-7 model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/psl"
+	"pacesweep/internal/sweep"
+)
+
+func main() {
+	var (
+		it    = flag.Int("it", 100, "global cells in x")
+		jt    = flag.Int("jt", 100, "global cells in y")
+		kt    = flag.Int("kt", 50, "global cells in z")
+		px    = flag.Int("px", 2, "processors in x")
+		py    = flag.Int("py", 2, "processors in y")
+		mk    = flag.Int("mk", 10, "k-plane blocking factor")
+		mmi   = flag.Int("mmi", 3, "angle blocking factor")
+		mm    = flag.Int("mm", 6, "angles per octant")
+		iters = flag.Int("iters", sweep.DefaultIterations, "source iterations")
+		plat  = flag.String("platform", "PentiumIII-Myrinet",
+			"platform whose simulated benchmarks calibrate the model: "+strings.Join(platform.Names(), ", "))
+		pslFile  = flag.String("psl", "", "evaluate a PSL model file instead of the Go-native model")
+		pslEmb   = flag.String("app", "sweep3d", "application object name for PSL evaluation")
+		pslBuilt = flag.Bool("psl-embedded", false, "evaluate the embedded PSL model (Figures 4-7)")
+		hmcl     = flag.String("hardware", "", "HMCL hardware object name for PSL evaluation")
+		closed   = flag.Bool("closed-form", false, "use the closed-form fast path")
+		seed     = flag.Int64("seed", 42, "benchmarking seed")
+	)
+	flag.Parse()
+
+	if *pslFile != "" || *pslBuilt {
+		evaluatePSL(*pslFile, *pslBuilt, *pslEmb, *hmcl, *plat, *seed, map[string]float64{
+			"it": float64(*it), "jt": float64(*jt), "kt": float64(*kt),
+			"mk": float64(*mk), "mmi": float64(*mmi), "mm": float64(*mm),
+			"npe_i": float64(*px), "npe_j": float64(*py),
+			"epsi": -float64(*iters),
+		})
+		return
+	}
+
+	pl, err := platform.ByName(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	perProc := grid.Global{NX: *it / *px, NY: *jt / *py, NZ: *kt}
+	ev, model, err := experiments.BuildEvaluator(pl, perProc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pace.Config{
+		Grid:   grid.Global{NX: *it, NY: *jt, NZ: *kt},
+		Decomp: grid.Decomp{PX: *px, PY: *py},
+		MK:     *mk, MMI: *mmi, Angles: *mm, Iterations: *iters,
+	}
+	var pred *pace.Prediction
+	if *closed {
+		pred, err = ev.PredictClosedForm(cfg)
+	} else {
+		pred, err = ev.PredictAuto(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PACE model of sweep3d[%v on %v, mk=%d mmi=%d S-angles=%d iters=%d]\n",
+		cfg.Grid, cfg.Decomp, cfg.MK, cfg.MMI, cfg.Angles, cfg.Iterations)
+	fmt.Printf("hardware: %s (achieved rate %.1f MFLOPS; send %s / recv %s / pingpong %s us)\n",
+		model.Name, model.MFLOPS,
+		eq3(model.Send), eq3(model.Recv), eq3(model.PingPong))
+	fmt.Printf("prediction: %s\n", pred)
+}
+
+func eq3(p platform.Piecewise) string {
+	return fmt.Sprintf("(A=%d B=%.3g C=%.3g D=%.3g E=%.3g)", p.A, p.B, p.C, p.D, p.E)
+}
+
+func evaluatePSL(file string, embedded bool, app, hmcl, plat string, seed int64, overrides map[string]float64) {
+	var lib *psl.Library
+	var err error
+	if embedded {
+		lib, err = psl.LoadSweep3D()
+	} else {
+		data, rerr := os.ReadFile(file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		lib, err = psl.Parse(string(data))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	opt := psl.EvalOptions{HardwareName: hmcl, Overrides: overrides}
+	if hmcl == "" && len(lib.Hardwares) == 0 {
+		// No HMCL object anywhere: calibrate a model from the named
+		// simulated platform instead.
+		pl, perr := platform.ByName(plat)
+		if perr != nil {
+			fatal(perr)
+		}
+		perProc := grid.Global{
+			NX: int(overrides["it"] / overrides["npe_i"]),
+			NY: int(overrides["jt"] / overrides["npe_j"]),
+			NZ: int(overrides["kt"]),
+		}
+		_, model, berr := experiments.BuildEvaluator(pl, perProc, seed)
+		if berr != nil {
+			fatal(berr)
+		}
+		opt.HW = model
+	}
+	res, err := lib.Evaluate(app, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PSL evaluation of %s on hardware %s: %.4f s\n", app, res.Hardware, res.Seconds)
+	for name, t := range res.Subtasks {
+		fmt.Printf("  subtask %-10s %.4f s\n", name, t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paceval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command speculate reproduces the paper's Section 6 speculative studies
+// (Figures 8 and 9): predicted SWEEP3D execution time on a hypothetical
+// Opteron SMP / Myrinet 2000 cluster of up to 8000 processors, for the
+// twenty-million-cell and one-billion-cell ASCI problems, at the achieved
+// floating-point rate and with +25% and +50% improvements — plus the
+// related-model comparison (LogGP, Hoisie et al.).
+//
+// Usage:
+//
+//	speculate -figure 8|9|both [-compare] [-data]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacesweep/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "both", "which figure to reproduce: 8, 9 or both")
+		compare = flag.Bool("compare", false, "print the related-model comparison table")
+		data    = flag.Bool("data", false, "print the raw series data as CSV rows")
+		width   = flag.Int("width", 72, "plot width in characters")
+		height  = flag.Int("height", 18, "plot height in characters")
+	)
+	flag.Parse()
+
+	runners := []struct {
+		key string
+		run func() (*experiments.ScalingStudy, error)
+	}{
+		{"8", experiments.Figure8},
+		{"9", experiments.Figure9},
+	}
+	for _, r := range runners {
+		if *figure != "both" && *figure != r.key {
+			continue
+		}
+		s, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speculate: figure %s: %v\n", r.key, err)
+			os.Exit(1)
+		}
+		fig := s.Figure()
+		fmt.Print(fig.Render(*width, *height))
+		fmt.Println()
+		if *data {
+			fmt.Print(fig.DataRows())
+			fmt.Println()
+		}
+		if *compare {
+			_ = s.ComparisonTable().Write(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command sweep3d runs the SWEEP3D benchmark reproduction: a functional
+// message-passing solve (default) or a structure-only timed skeleton on a
+// simulated cluster platform.
+//
+// Examples:
+//
+//	sweep3d -it 50 -jt 50 -kt 50 -px 2 -py 2            # functional solve
+//	sweep3d -it 100 -jt 100 -kt 50 -px 2 -py 2 \
+//	        -mode skeleton -platform PentiumIII-Myrinet  # simulated timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/sn"
+	"pacesweep/internal/sweep"
+)
+
+func main() {
+	var (
+		it    = flag.Int("it", 50, "global cells in x")
+		jt    = flag.Int("jt", 50, "global cells in y")
+		kt    = flag.Int("kt", 50, "global cells in z")
+		px    = flag.Int("px", 1, "processors in x")
+		py    = flag.Int("py", 1, "processors in y")
+		mk    = flag.Int("mk", 10, "k-plane blocking factor")
+		mmi   = flag.Int("mmi", 3, "angle blocking factor")
+		snOrd = flag.Int("sn", 6, "Sn quadrature order (2,4,...,16)")
+		iters = flag.Int("iters", sweep.DefaultIterations, "fixed source iterations")
+		epsi  = flag.Float64("epsi", 0, "convergence threshold (>0 overrides -iters)")
+		mode  = flag.String("mode", "solve", "solve (functional) or skeleton (simulated timing)")
+		plat  = flag.String("platform", "PentiumIII-Myrinet",
+			"simulated platform for -mode skeleton: "+strings.Join(platform.Names(), ", "))
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	quad, err := sn.LevelSymmetric(*snOrd)
+	if err != nil {
+		fatal(err)
+	}
+	p := sweep.New(grid.Global{NX: *it, NY: *jt, NZ: *kt})
+	p.Quad = quad
+	p.MK = *mk
+	p.MMI = *mmi
+	if *epsi > 0 {
+		p.Iterations = 0
+		p.Epsi = *epsi
+		p.MaxIterations = 500
+	} else {
+		p.Iterations = *iters
+	}
+	d := grid.Decomp{PX: *px, PY: *py}
+
+	switch *mode {
+	case "solve":
+		start := time.Now()
+		res, err := sweep.SolveParallel(p, d, mp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		fmt.Printf("%s on %s: %d iterations, final flux change %.3e\n",
+			p, d, res.Iterations, res.FluxErr)
+		fmt.Printf("balance: source %.6g = absorption %.6g + leakage %.6g (residual %.2e)\n",
+			res.Balance.Source, res.Balance.Absorption, res.Balance.Leakage,
+			res.Balance.Residual())
+		fmt.Printf("work: %d cell-angle updates, %d fixups, %d messages, %.1f MB sent\n",
+			res.Counters.CellAngleUpdates, res.Counters.Fixups,
+			res.Counters.MessagesSent, float64(res.Counters.BytesSent)/1e6)
+		fmt.Printf("wall time %.3fs (%.1f Mupdates/s)\n", wall.Seconds(),
+			float64(res.Counters.CellAngleUpdates)/wall.Seconds()/1e6)
+	case "skeleton":
+		pl, err := platform.ByName(*plat)
+		if err != nil {
+			fatal(err)
+		}
+		if p.Iterations <= 0 {
+			fatal(fmt.Errorf("skeleton mode needs fixed iterations"))
+		}
+		t, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s (%s): simulated execution time %.3f s\n", p, d, pl.Name, t)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep3d:", err)
+	os.Exit(1)
+}

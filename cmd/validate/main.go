@@ -1,0 +1,88 @@
+// Command validate reproduces the paper's Section 5 validation tables
+// (Tables 1-3) and the Section 4 opcode-benchmarking ablation: simulated
+// cluster measurements against PACE model predictions, with the published
+// numbers alongside.
+//
+// Usage:
+//
+//	validate -table 1|2|3|all [-csv] [-ablation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacesweep/internal/experiments"
+	"pacesweep/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which validation table to reproduce: 1, 2, 3 or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	ablation := flag.Bool("ablation", false, "also run the Section 4 opcode-benchmark ablation")
+	overlap := flag.Bool("overlap", false, "also run the communication-overlap study (Section 4.4 claim)")
+	health := flag.Bool("healthcheck", false, "also run the run-time verification scenario (Section 1)")
+	flag.Parse()
+
+	runners := map[string]func() (*experiments.Validation, error){
+		"1": experiments.Table1,
+		"2": experiments.Table2,
+		"3": experiments.Table3,
+	}
+	order := []string{"1", "2", "3"}
+	if *table != "all" {
+		if _, ok := runners[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "validate: unknown table %q (want 1, 2, 3 or all)\n", *table)
+			os.Exit(2)
+		}
+		order = []string{*table}
+	}
+	for _, key := range order {
+		v, err := runners[key]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: table %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		t := v.Table()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			_ = t.Write(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if *ablation {
+		a, err := experiments.AblationOpcode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: ablation: %v\n", err)
+			os.Exit(1)
+		}
+		emit(a.Table(), *csv)
+	}
+	if *overlap {
+		o, err := experiments.OverlapStudy()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: overlap: %v\n", err)
+			os.Exit(1)
+		}
+		emit(o.Table(), *csv)
+	}
+	if *health {
+		hc, err := experiments.RunHealthCheck(6, 10, 6006)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: healthcheck: %v\n", err)
+			os.Exit(1)
+		}
+		emit(hc.Table(), *csv)
+	}
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		_ = t.Write(os.Stdout)
+	}
+	fmt.Println()
+}

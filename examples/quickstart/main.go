@@ -1,0 +1,90 @@
+// Quickstart: solve a small SWEEP3D problem functionally, then walk the
+// whole PACE methodology end to end on a simulated Pentium III / Myrinet
+// cluster — profile the kernel, fit the communication curves, predict a
+// parallel run, "measure" it on the cluster simulator, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/capp"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/stats"
+	"pacesweep/internal/sweep"
+)
+
+func main() {
+	// --- 1. The application itself: a real Sn transport solve. ---
+	fmt.Println("== 1. Functional SWEEP3D solve (16x16x8 grid, S4, 2x2 processors) ==")
+	p := sweep.New(grid.Global{NX: 16, NY: 16, NZ: 8})
+	p.MK = 4
+	p.MMI = 2
+	p.Iterations = 8
+	res, err := sweep.SolveParallel(p, grid.Decomp{PX: 2, PY: 2}, mp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged to flux change %.2e after %d iterations\n", res.FluxErr, res.Iterations)
+	fmt.Printf("particle balance: source %.4g = absorption %.4g + leakage %.4g (residual %.1e)\n",
+		res.Balance.Source, res.Balance.Absorption, res.Balance.Leakage, res.Balance.Residual())
+
+	// A Figure 1-style look at the wavefront: flux along the sweep
+	// diagonal decreases toward the vacuum boundaries.
+	fmt.Println("scalar flux along the grid diagonal:")
+	g := p.Grid
+	for i := 0; i < g.NZ; i++ {
+		fmt.Printf("  cell (%2d,%2d,%2d): %.4f\n", i*2, i*2, i, res.FluxAt(g, i*2, i*2, i))
+	}
+
+	// --- 2. The PACE methodology on a simulated cluster. ---
+	fmt.Println("\n== 2. PACE modelling of the paper's 2x2 validation row ==")
+	pl := platform.PentiumIIIMyrinet()
+	perProc := grid.Global{NX: 50, NY: 50, NZ: 50}
+
+	prof, err := bench.ProfileKernel(pl, perProc, sweep.New(perProc), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated PAPI profiling: %.1f MFLOPS at 50^3 cells/processor (1x2 check: %.1f)\n",
+		prof.MFLOPS, prof.MFLOPS1x2)
+
+	model, err := bench.BuildModel(pl, perProc, sweep.New(perProc), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted Eq.3 send curve: A=%dB, %.1f+%.4gx us below, %.1f+%.4gx us above\n",
+		model.Send.A, model.Send.B, model.Send.C, model.Send.D, model.Send.E)
+
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := pace.NewEvaluator(model, analysis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pace.Config{
+		Grid:   grid.Global{NX: 100, NY: 100, NZ: 50},
+		Decomp: grid.Decomp{PX: 2, PY: 2},
+		MK:     10, MMI: 3, Angles: 6, Iterations: 12,
+	}
+	pred, err := ev.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PACE prediction: %s\n", pred)
+
+	target := sweep.New(cfg.Grid)
+	measured, err := bench.Measure(pl, target, cfg.Decomp, bench.MeasureOptions{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated measurement: %.2f s\n", measured)
+	fmt.Printf("prediction error: %.2f%%  (paper's Table 1 row: meas 26.54, pred 28.59, err -7.72%%)\n",
+		stats.RelErrPercent(measured, pred.Total))
+}

@@ -1,0 +1,114 @@
+// Upgrade study: the paper's Section 6 scenario — use the model to
+// quantify "the possible benefits that can be gained by upgrading" before
+// touching the machine. Starting from the Opteron/GigE cluster, the
+// example asks two questions about the one-billion-cell ASCI problem:
+//
+//  1. What does a faster processor buy (achieved rate +25%, +50%)?
+//  2. What does swapping Gigabit Ethernet for Myrinet 2000 buy?
+//
+// The answers reproduce the paper's observation that the workload stays
+// compute-bound at moderate scale but the interconnect matters increasingly
+// at thousands of processors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacesweep/internal/capp"
+	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/report"
+)
+
+func main() {
+	perProc := grid.Global{NX: 25, NY: 25, NZ: 200} // the 1G-cell study's subgrid
+	procCounts := []int{64, 512, 2000, 8000}
+
+	// Base system: Opteron + GigE, model fitted from simulated benchmarks.
+	base := platform.OpteronGigE()
+	evBase, modelBase, err := experiments.BuildEvaluator(base, perProc, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Interconnect upgrade: same processors, Myrinet 2000 curves. Model
+	// re-use is "a typical advantage of performance modelling" (Section 6):
+	// swap only the mpi section of the hardware object.
+	myrinetDonor := platform.OpteronMyrinet()
+	netBench := myrinetDonor
+	netBench.Proc = base.Proc // keep the real processor truth
+	_, modelMyri, err := experiments.BuildEvaluator(netBench, perProc, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	upgraded := *modelBase
+	upgraded.Send, upgraded.Recv, upgraded.PingPong = modelMyri.Send, modelMyri.Recv, modelMyri.PingPong
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	evNet, err := pace.NewEvaluator(&upgraded, analysis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title: "Upgrade speculation — one-billion-cell problem (25x25x200 cells/processor)",
+		Caption: fmt.Sprintf("base system %s at %.0f MFLOPS; all times per 12-iteration step",
+			base.Name, modelBase.MFLOPS),
+		Headers: []string{"Procs", "Base(s)", "+25% CPU", "+50% CPU", "Myrinet net", "best upgrade"},
+	}
+	for _, p := range procCounts {
+		d, err := grid.FactorNearSquare(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := pace.Config{
+			Grid: grid.Global{
+				NX: perProc.NX * d.PX, NY: perProc.NY * d.PY, NZ: perProc.NZ,
+			},
+			Decomp: d, MK: 10, MMI: 3, Angles: 6, Iterations: 12,
+		}
+		baseT := predict(evBase, cfg)
+
+		cpu25 := *modelBase
+		cpu25.MFLOPS *= 1.25
+		ev25, err := pace.NewEvaluator(&cpu25, analysis)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu50 := *modelBase
+		cpu50.MFLOPS *= 1.5
+		ev50, err := pace.NewEvaluator(&cpu50, analysis)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t25, t50, tNet := predict(ev25, cfg), predict(ev50, cfg), predict(evNet, cfg)
+		best := "+50% CPU"
+		if tNet < t50 {
+			best = "Myrinet"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.2f", baseT),
+			fmt.Sprintf("%.2f (-%.0f%%)", t25, 100*(baseT-t25)/baseT),
+			fmt.Sprintf("%.2f (-%.0f%%)", t50, 100*(baseT-t50)/baseT),
+			fmt.Sprintf("%.2f (-%.0f%%)", tNet, 100*(baseT-tNet)/baseT),
+			best,
+		)
+	}
+	t.AddFooter("Compute upgrades dominate at every scale tested; the interconnect upgrade grows")
+	t.AddFooter("with the processor count as fills and per-block messaging multiply (Section 6).")
+	fmt.Print(t.String())
+}
+
+func predict(ev *pace.Evaluator, cfg pace.Config) float64 {
+	pred, err := ev.PredictAuto(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pred.Total
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"pacesweep/internal/clc"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/sweep"
+)
+
+var paperSubgrid = grid.Global{NX: 50, NY: 50, NZ: 50}
+
+func paperProblem() sweep.Problem {
+	return sweep.New(grid.Global{NX: 50, NY: 50, NZ: 50})
+}
+
+func TestProfileRecoversPlatformRate(t *testing.T) {
+	// Simulated PAPI profiling must recover each platform's quoted
+	// achieved rate at 50^3 cells per processor to within the noise level.
+	cases := []struct {
+		pl   platform.Platform
+		want float64
+	}{
+		{platform.PentiumIIIMyrinet(), 110},
+		{platform.OpteronGigE(), 350},
+		{platform.AltixNUMAlink(), 225},
+		{platform.OpteronMyrinet(), 340},
+	}
+	for _, c := range cases {
+		prof, err := ProfileKernel(c.pl, paperSubgrid, paperProblem(), 42)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pl.Name, err)
+		}
+		if rel := math.Abs(prof.MFLOPS-c.want) / c.want; rel > 0.02 {
+			t.Errorf("%s: profiled %0.1f MFLOPS, want ~%v", c.pl.Name, prof.MFLOPS, c.want)
+		}
+		if prof.MFLOPS1x2 <= 0 {
+			t.Errorf("%s: missing 1x2 check rate", c.pl.Name)
+		}
+		if prof.Flops <= 0 || prof.Seconds <= 0 {
+			t.Errorf("%s: degenerate profile %+v", c.pl.Name, prof)
+		}
+	}
+}
+
+func TestProfileSpeculativeWorkingSets(t *testing.T) {
+	// The Section 6 system quotes 340 MFLOPS for both the 5x5x100 and
+	// 25x25x200 per-processor problems.
+	pl := platform.OpteronMyrinet()
+	for _, g := range []grid.Global{{NX: 5, NY: 5, NZ: 100}, {NX: 25, NY: 25, NZ: 200}} {
+		p := paperProblem()
+		prof, err := ProfileKernel(pl, g, p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(prof.MFLOPS-340)/340 > 0.02 {
+			t.Errorf("%v: profiled %0.1f, want ~340", g, prof.MFLOPS)
+		}
+	}
+}
+
+func TestMPIBenchPointsSane(t *testing.T) {
+	pl := platform.PentiumIIIMyrinet()
+	points, err := MPIBench(pl, []int{64, 1024, 16384, 262144}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		if pt.SendMicros <= 0 || pt.RecvMicros <= 0 || pt.PingPongMicros <= 0 {
+			t.Errorf("point %d non-positive: %+v", i, pt)
+		}
+		// A round trip strictly exceeds a single send.
+		if pt.PingPongMicros <= pt.SendMicros {
+			t.Errorf("point %d: pingpong %v <= send %v", i, pt.PingPongMicros, pt.SendMicros)
+		}
+	}
+	// Costs grow with message size.
+	for i := 1; i < len(points); i++ {
+		if points[i].PingPongMicros <= points[i-1].PingPongMicros {
+			t.Errorf("pingpong not increasing: %+v -> %+v", points[i-1], points[i])
+		}
+	}
+}
+
+func TestFittedCurvesTrackTruth(t *testing.T) {
+	// The Eq. 3 fits must reproduce the underlying interconnect curves to
+	// within jitter for every platform.
+	for _, pl := range platform.All() {
+		points, err := MPIBench(pl, DefaultMessageSizes(), 5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendFit, err := FitEq3(points, func(p CommPoint) float64 { return p.SendMicros })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bytes := range []int{64, 1500, 12000, 100000, 1 << 20} {
+			truth := pl.Net.Send.Micros(bytes)
+			got := sendFit.Micros(bytes)
+			if rel := math.Abs(got-truth) / truth; rel > 0.12 {
+				t.Errorf("%s send fit at %d bytes: %v vs truth %v (rel %v)",
+					pl.Name, bytes, got, truth, rel)
+			}
+		}
+	}
+}
+
+func TestBuildModelComplete(t *testing.T) {
+	pl := platform.OpteronGigE()
+	m, err := BuildModel(pl, paperSubgrid, paperProblem(), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MFLOPS-350)/350 > 0.02 {
+		t.Errorf("model rate = %v", m.MFLOPS)
+	}
+	if len(m.OpcodeCosts) == 0 {
+		t.Error("missing opcode cost table")
+	}
+	// Opteron: the old per-opcode summation over the kernel's operation
+	// mix must be ~1.5x the achieved-rate cost — the Section 4 discrepancy
+	// behind the "up to 50%" prediction error.
+	kernel := clc.Vector{clc.MFDG: 20, clc.AFDG: 16, clc.DFDG: 1, clc.IFBR: 1, clc.LFOR: 1}
+	ratio := m.OpcodeCostOf(kernel) / m.CostOf(kernel)
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("old/new kernel cost ratio = %v, want ~1.5", ratio)
+	}
+}
+
+func TestMeasureIsDeterministicPerSeed(t *testing.T) {
+	pl := platform.PentiumIIIMyrinet()
+	p := sweep.New(grid.Global{NX: 100, NY: 100, NZ: 50})
+	d := grid.Decomp{PX: 2, PY: 2}
+	a, err := Measure(pl, p, d, MeasureOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(pl, p, d, MeasureOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different measurements: %v vs %v", a, b)
+	}
+	c, err := Measure(pl, p, d, MeasureOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds should perturb the measurement")
+	}
+	if math.Abs(a-c)/a > 0.05 {
+		t.Errorf("seed variation implausibly large: %v vs %v", a, c)
+	}
+}
+
+func TestMeasurePaperMagnitude(t *testing.T) {
+	// The 2x2 Pentium III row of Table 1 measured 26.54 s; our simulated
+	// measurement must land in the same regime (structural offsets
+	// documented in EXPERIMENTS.md).
+	pl := platform.PentiumIIIMyrinet()
+	p := sweep.New(grid.Global{NX: 100, NY: 100, NZ: 50})
+	got, err := Measure(pl, p, grid.Decomp{PX: 2, PY: 2}, MeasureOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 18 || got > 35 {
+		t.Errorf("2x2 P-III measurement = %v s, expected 18-35 s", got)
+	}
+}

@@ -1,0 +1,622 @@
+package capp
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pacesweep/internal/clc"
+)
+
+// Analysis is the result of static analysis of a translation unit: one clc
+// flow per function, plus warnings for constructs the analyser estimated
+// (unknown externals, unannotated branches).
+type Analysis struct {
+	Warnings []string
+
+	file     *file
+	flows    map[string]*clc.Flow
+	building map[string]bool
+	globals  map[string]bool // name -> isFloat
+	retFloat map[string]bool
+}
+
+// builtin calls known to the analyser: their operation cost and whether they
+// return a floating value.
+var builtins = map[string]struct {
+	ops     clc.Vector
+	isFloat bool
+}{
+	"fabs":  {clc.Vector{}, true},
+	"sqrt":  {clc.Vector{clc.DFDG: 1}, true},
+	"exp":   {clc.Vector{clc.MFDG: 8, clc.AFDG: 8}, true},
+	"log":   {clc.Vector{clc.MFDG: 8, clc.AFDG: 8}, true},
+	"pow":   {clc.Vector{clc.MFDG: 16, clc.AFDG: 16}, true},
+	"abs":   {clc.Vector{}, false},
+	"floor": {clc.Vector{}, true},
+	"ceil":  {clc.Vector{}, true},
+}
+
+// Analyze parses and characterises a C-subset source text.
+func Analyze(src string) (*Analysis, error) {
+	f, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		file:     f,
+		flows:    map[string]*clc.Flow{},
+		building: map[string]bool{},
+		globals:  map[string]bool{},
+		retFloat: map[string]bool{},
+	}
+	for _, g := range f.globals {
+		a.globals[g.name] = g.isFloat
+	}
+	for _, fn := range f.funcs {
+		a.retFloat[fn.name] = fn.retFloat
+	}
+	for _, fn := range f.funcs {
+		if _, err := a.Flow(fn.name); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// AnalyzeFile is Analyze over a file path.
+func AnalyzeFile(path string) (*Analysis, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(string(data))
+}
+
+// FunctionNames lists the analysed functions in declaration order.
+func (a *Analysis) FunctionNames() []string {
+	out := make([]string, len(a.file.funcs))
+	for i, fn := range a.file.funcs {
+		out[i] = fn.name
+	}
+	return out
+}
+
+// Flow returns the clc flow of a function, building (and memoising) it on
+// first use. Calls to other functions in the same unit are inlined.
+func (a *Analysis) Flow(name string) (*clc.Flow, error) {
+	if f, ok := a.flows[name]; ok {
+		return f, nil
+	}
+	var decl *funcDecl
+	for _, fn := range a.file.funcs {
+		if fn.name == name {
+			decl = fn
+			break
+		}
+	}
+	if decl == nil {
+		return nil, fmt.Errorf("capp: no function %q", name)
+	}
+	if a.building[name] {
+		return nil, fmt.Errorf("capp: recursive call cycle through %q", name)
+	}
+	a.building[name] = true
+	defer delete(a.building, name)
+
+	env := map[string]bool{}
+	for k, v := range a.globals {
+		env[k] = v
+	}
+	for _, p := range decl.params {
+		env[p.name] = p.isFloat
+	}
+	fb := &funcBuilder{a: a, env: env}
+	flow, err := fb.stmtFlow(decl.body)
+	if err != nil {
+		return nil, fmt.Errorf("capp: function %q: %w", name, err)
+	}
+	flow = flow.Named(name)
+	a.flows[name] = flow
+	return flow, nil
+}
+
+// Eval expands a function's flow into expected operation counts for the
+// given parameter values.
+func (a *Analysis) Eval(name string, params clc.Params) (clc.Vector, error) {
+	f, err := a.Flow(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Eval(params)
+}
+
+func (a *Analysis) warnf(format string, args ...any) {
+	a.Warnings = append(a.Warnings, fmt.Sprintf(format, args...))
+}
+
+// funcBuilder holds per-function analysis state.
+type funcBuilder struct {
+	a   *Analysis
+	env map[string]bool // variable -> isFloat
+}
+
+// stmtFlow converts a statement into a clc flow.
+func (fb *funcBuilder) stmtFlow(s stmt) (*clc.Flow, error) {
+	switch n := s.(type) {
+	case *blockStmt:
+		var kids []*clc.Flow
+		for _, c := range n.stmts {
+			f, err := fb.stmtFlow(c)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, f)
+		}
+		return clc.Seq(kids...), nil
+	case *declStmt:
+		var kids []*clc.Flow
+		for _, d := range n.decls {
+			fb.env[d.name] = d.isFloat
+			if d.init != nil {
+				v, calls, _, err := fb.exprOps(d.init)
+				if err != nil {
+					return nil, err
+				}
+				kids = append(kids, clc.Compute(v))
+				kids = append(kids, calls...)
+			}
+		}
+		return clc.Seq(kids...), nil
+	case *exprStmt:
+		v, calls, _, err := fb.exprOps(n.e)
+		if err != nil {
+			return nil, err
+		}
+		return clc.Seq(append([]*clc.Flow{clc.Compute(v)}, calls...)...), nil
+	case *forStmt:
+		return fb.forFlow(n)
+	case *whileStmt:
+		count, ok, err := annotCount(n.annots, fb)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("while loop needs a /*@ count: ... */ annotation")
+		}
+		body, err := fb.loopBodyFlow(n.cond, nil, n.body)
+		if err != nil {
+			return nil, err
+		}
+		return clc.Loop(count, body), nil
+	case *ifStmt:
+		prob := annotProb(n.annots, 0.5)
+		then, err := fb.stmtFlow(n.then)
+		if err != nil {
+			return nil, err
+		}
+		condOps, condCalls, _, err := fb.exprOps(n.cond)
+		if err != nil {
+			return nil, err
+		}
+		var els *clc.Flow
+		if n.els != nil {
+			if els, err = fb.stmtFlow(n.els); err != nil {
+				return nil, err
+			}
+		}
+		branch := clc.IfElse(prob, then, els)
+		return clc.Seq(append([]*clc.Flow{clc.Compute(condOps)}, append(condCalls, branch)...)...), nil
+	case *returnStmt:
+		if n.e == nil {
+			return clc.Seq(), nil
+		}
+		v, calls, _, err := fb.exprOps(n.e)
+		if err != nil {
+			return nil, err
+		}
+		return clc.Seq(append([]*clc.Flow{clc.Compute(v)}, calls...)...), nil
+	case *emptyStmt:
+		return clc.Seq(), nil
+	case *annotatedStmt:
+		return fb.annotatedFlow(n)
+	}
+	return nil, fmt.Errorf("capp: unhandled statement %T", s)
+}
+
+func (fb *funcBuilder) annotatedFlow(n *annotatedStmt) (*clc.Flow, error) {
+	var kids []*clc.Flow
+	skip := false
+	for _, an := range n.annots {
+		switch an.kind {
+		case "skip":
+			skip = true
+		case "ops":
+			v, err := parseOpsAnnotation(an.text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", an.line, err)
+			}
+			kids = append(kids, clc.Compute(v))
+		case "count", "prob":
+			return nil, fmt.Errorf("line %d: %q annotation must precede a loop or if", an.line, an.kind)
+		default:
+			return nil, fmt.Errorf("line %d: unknown annotation %q", an.line, an.kind)
+		}
+	}
+	if !skip && n.inner != nil {
+		inner, err := fb.stmtFlow(n.inner)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, inner)
+	}
+	return clc.Seq(kids...), nil
+}
+
+// parseOpsAnnotation parses "MFDG=3 AFDG=2.5".
+func parseOpsAnnotation(text string) (clc.Vector, error) {
+	v := clc.Vector{}
+	for _, field := range strings.Fields(text) {
+		parts := strings.SplitN(field, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad ops annotation field %q", field)
+		}
+		x, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ops count %q: %v", field, err)
+		}
+		v[clc.Op(parts[0])] += x
+	}
+	return v, nil
+}
+
+func annotProb(annots []annotation, def float64) float64 {
+	for _, an := range annots {
+		if an.kind == "prob" {
+			if p, err := strconv.ParseFloat(an.text, 64); err == nil {
+				return p
+			}
+		}
+	}
+	return def
+}
+
+func annotCount(annots []annotation, fb *funcBuilder) (clc.Expr, bool, error) {
+	for _, an := range annots {
+		if an.kind == "count" {
+			e, err := parseCountExpr(an.text)
+			if err != nil {
+				return nil, false, fmt.Errorf("line %d: bad count annotation: %w", an.line, err)
+			}
+			return e, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// parseCountExpr parses an annotation expression ("it*jt/2") into a clc
+// expression by reusing the C expression parser.
+func parseCountExpr(text string) (clc.Expr, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("trailing tokens after expression")
+	}
+	return exprToClc(e)
+}
+
+// exprToClc converts an arithmetic AST into a symbolic clc expression.
+func exprToClc(e expr) (clc.Expr, error) {
+	switch n := e.(type) {
+	case *numLit:
+		x, err := strconv.ParseFloat(n.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return clc.Const(x), nil
+	case *identExpr:
+		return clc.Var(n.name), nil
+	case *unaryExpr:
+		if n.op == "-" {
+			x, err := exprToClc(n.x)
+			if err != nil {
+				return nil, err
+			}
+			return clc.BinOp('-', clc.Const(0), x), nil
+		}
+	case *binaryExpr:
+		if strings.ContainsAny(n.op, "+-*/") && len(n.op) == 1 {
+			l, err := exprToClc(n.l)
+			if err != nil {
+				return nil, err
+			}
+			r, err := exprToClc(n.r)
+			if err != nil {
+				return nil, err
+			}
+			return clc.BinOp(n.op[0], l, r), nil
+		}
+	}
+	return nil, fmt.Errorf("expression is not symbolic arithmetic")
+}
+
+// forFlow derives a loop flow from a canonical for statement, preferring an
+// explicit /*@ count */ annotation.
+func (fb *funcBuilder) forFlow(n *forStmt) (*clc.Flow, error) {
+	count, ok, err := annotCount(n.annots, fb)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		count, err = deriveTripCount(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Ops in the init part run once; condition and post parts run per trip.
+	var once []*clc.Flow
+	if n.init != nil {
+		f, err := fb.stmtFlow(n.init)
+		if err != nil {
+			return nil, err
+		}
+		once = append(once, f)
+	}
+	body, err := fb.loopBodyFlow(n.cond, n.post, n.body)
+	if err != nil {
+		return nil, err
+	}
+	return clc.Seq(append(once, clc.Loop(count, body))...), nil
+}
+
+// loopBodyFlow assembles per-trip work: condition ops + body + post ops.
+func (fb *funcBuilder) loopBodyFlow(cond expr, post stmt, body stmt) (*clc.Flow, error) {
+	var kids []*clc.Flow
+	if cond != nil {
+		v, calls, _, err := fb.exprOps(cond)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, clc.Compute(v))
+		kids = append(kids, calls...)
+	}
+	bf, err := fb.stmtFlow(body)
+	if err != nil {
+		return nil, err
+	}
+	kids = append(kids, bf)
+	if post != nil {
+		pf, err := fb.stmtFlow(post)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, pf)
+	}
+	return clc.Seq(kids...), nil
+}
+
+// deriveTripCount recognises the canonical patterns
+// for (i = lo; i < hi; i++ / i += s) and the <=, >, >= and decrement
+// variants, returning the symbolic trip count.
+func deriveTripCount(n *forStmt) (clc.Expr, error) {
+	fail := func(why string) (clc.Expr, error) {
+		return nil, fmt.Errorf("cannot derive loop trip count (%s); add /*@ count: ... */", why)
+	}
+	initES, ok := n.init.(*exprStmt)
+	if !ok {
+		return fail("no init")
+	}
+	initAsg, ok := initES.e.(*assignExpr)
+	if !ok || initAsg.op != "=" {
+		return fail("init is not an assignment")
+	}
+	iv, ok := initAsg.l.(*identExpr)
+	if !ok {
+		return fail("induction variable is not simple")
+	}
+	lo, err := exprToClc(initAsg.r)
+	if err != nil {
+		return fail("init bound not symbolic")
+	}
+	cond, ok := n.cond.(*binaryExpr)
+	if !ok {
+		return fail("no comparison condition")
+	}
+	cl, isVarLeft := cond.l.(*identExpr)
+	if !isVarLeft || cl.name != iv.name {
+		return fail("condition does not test the induction variable")
+	}
+	hi, err := exprToClc(cond.r)
+	if err != nil {
+		return fail("condition bound not symbolic")
+	}
+	postES, ok := n.post.(*exprStmt)
+	if !ok {
+		return fail("no post statement")
+	}
+	postAsg, ok := postES.e.(*assignExpr)
+	if !ok {
+		return fail("post is not an update")
+	}
+	pv, ok := postAsg.l.(*identExpr)
+	if !ok || pv.name != iv.name {
+		return fail("post does not update the induction variable")
+	}
+	step := clc.Expr(clc.Const(1))
+	down := false
+	switch postAsg.op {
+	case "++":
+	case "--":
+		down = true
+	case "+=":
+		if step, err = exprToClc(postAsg.r); err != nil {
+			return fail("post step not symbolic")
+		}
+	case "-=":
+		down = true
+		if step, err = exprToClc(postAsg.r); err != nil {
+			return fail("post step not symbolic")
+		}
+	default:
+		return fail("unsupported post update")
+	}
+	var span clc.Expr
+	switch {
+	case (cond.op == "<" && !down) || (cond.op == ">" && down):
+		if down {
+			span = clc.BinOp('-', lo, hi)
+		} else {
+			span = clc.BinOp('-', hi, lo)
+		}
+	case (cond.op == "<=" && !down) || (cond.op == ">=" && down):
+		if down {
+			span = clc.BinOp('+', clc.BinOp('-', lo, hi), clc.Const(1))
+		} else {
+			span = clc.BinOp('+', clc.BinOp('-', hi, lo), clc.Const(1))
+		}
+	default:
+		return fail("unsupported comparison direction")
+	}
+	if c, isConst := step.(clc.Const); isConst && float64(c) == 1 {
+		return span, nil
+	}
+	return clc.BinOp('/', span, step), nil
+}
+
+// exprOps walks an expression, returning its fixed operation vector, any
+// inlined call flows, and whether the expression is floating point.
+func (fb *funcBuilder) exprOps(e expr) (clc.Vector, []*clc.Flow, bool, error) {
+	switch n := e.(type) {
+	case *numLit:
+		return clc.Vector{}, nil, n.isFloat, nil
+	case *identExpr:
+		isF, ok := fb.env[n.name]
+		if !ok {
+			// Unknown identifiers are treated as integer model parameters.
+			isF = false
+		}
+		return clc.Vector{}, nil, isF, nil
+	case *indexExpr:
+		bv, bc, bf, err := fb.exprOps(n.base)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		iv, ic, _, err := fb.exprOps(n.idx)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return bv.Add(iv), append(bc, ic...), bf, nil
+	case *callExpr:
+		v := clc.Vector{}
+		var calls []*clc.Flow
+		for _, arg := range n.args {
+			av, ac, _, err := fb.exprOps(arg)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			v = v.Add(av)
+			calls = append(calls, ac...)
+		}
+		if b, ok := builtins[n.name]; ok {
+			return v.Add(b.ops), calls, b.isFloat, nil
+		}
+		if _, isUser := fb.a.retFloat[n.name]; isUser {
+			callee, err := fb.a.Flow(n.name)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return v, append(calls, callee), fb.a.retFloat[n.name], nil
+		}
+		fb.a.warnf("call to unknown function %q counted as zero cost", n.name)
+		return v, calls, false, nil
+	case *unaryExpr:
+		return fb.exprOps(n.x)
+	case *binaryExpr:
+		lv, lc, lf, err := fb.exprOps(n.l)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		rv, rc, rf, err := fb.exprOps(n.r)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		v := lv.Add(rv)
+		calls := append(lc, rc...)
+		isF := lf || rf
+		if isF {
+			switch n.op {
+			case "+", "-":
+				v[clc.AFDG]++
+			case "*":
+				v[clc.MFDG]++
+			case "/":
+				v[clc.DFDG]++
+			}
+		}
+		isArith := n.op == "+" || n.op == "-" || n.op == "*" || n.op == "/" || n.op == "%"
+		return v, calls, isF && isArith, nil
+	case *assignExpr:
+		var v clc.Vector
+		var calls []*clc.Flow
+		lf := false
+		// Index expressions on the left-hand side still cost their ops.
+		lv, lc, lIsF, err := fb.exprOps(n.l)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		v, calls, lf = lv, lc, lIsF
+		if n.r != nil {
+			rv, rc, rf, err := fb.exprOps(n.r)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			v = v.Add(rv)
+			calls = append(calls, rc...)
+			lf = lf || rf
+		}
+		switch n.op {
+		case "+=", "-=":
+			if lf {
+				v[clc.AFDG]++
+			}
+		case "*=":
+			if lf {
+				v[clc.MFDG]++
+			}
+		case "/=":
+			if lf {
+				v[clc.DFDG]++
+			}
+		case "++", "--":
+			if lIsF {
+				v[clc.AFDG]++
+			}
+		}
+		return v, calls, lf, nil
+	case *condExpr:
+		cv, cc, _, err := fb.exprOps(n.cond)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		tv, tc, tf, err := fb.exprOps(n.then)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		ev, ec, ef, err := fb.exprOps(n.els)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		v := cv.Add(tv.Scale(0.5)).Add(ev.Scale(0.5))
+		v[clc.IFBR]++
+		return v, append(cc, append(tc, ec...)...), tf || ef, nil
+	}
+	return nil, nil, false, fmt.Errorf("capp: unhandled expression %T", e)
+}

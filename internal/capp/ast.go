@@ -1,0 +1,136 @@
+package capp
+
+// AST node definitions for the C subset.
+
+// file is a parsed translation unit.
+type file struct {
+	funcs   []*funcDecl
+	globals []*varDecl
+}
+
+// funcDecl is a function definition.
+type funcDecl struct {
+	name     string
+	retFloat bool // true for double/float return type
+	params   []*varDecl
+	body     *blockStmt
+	line     int
+}
+
+// varDecl declares one variable (possibly an array).
+type varDecl struct {
+	name    string
+	isFloat bool
+	dims    []expr // array dimensions, possibly empty exprs for []
+	init    expr   // optional initialiser
+}
+
+// annotation is a parsed /*@ ... */ directive.
+type annotation struct {
+	kind string // "count", "prob", "ops", "skip"
+	text string // payload after the colon
+	line int
+}
+
+// --- statements ---
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct{ stmts []stmt }
+
+type declStmt struct{ decls []*varDecl }
+
+type exprStmt struct{ e expr }
+
+type forStmt struct {
+	init, post stmt // may be nil
+	cond       expr // may be nil
+	body       stmt
+	annots     []annotation
+}
+
+type whileStmt struct {
+	cond   expr
+	body   stmt
+	annots []annotation
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt // els may be nil
+	annots    []annotation
+}
+
+type returnStmt struct{ e expr }
+
+type emptyStmt struct{}
+
+// annotatedStmt wraps a statement with directives that the parser attached.
+type annotatedStmt struct {
+	annots []annotation
+	inner  stmt // nil for a bare annotation (e.g. trailing /*@ ops */)
+}
+
+func (*blockStmt) stmtNode()     {}
+func (*declStmt) stmtNode()      {}
+func (*exprStmt) stmtNode()      {}
+func (*forStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()     {}
+func (*ifStmt) stmtNode()        {}
+func (*returnStmt) stmtNode()    {}
+func (*emptyStmt) stmtNode()     {}
+func (*annotatedStmt) stmtNode() {}
+
+// --- expressions ---
+
+type expr interface{ exprNode() }
+
+// numLit is a numeric literal; isFloat is true when written with a decimal
+// point or exponent.
+type numLit struct {
+	text    string
+	isFloat bool
+}
+
+type identExpr struct{ name string }
+
+type indexExpr struct {
+	base expr
+	idx  expr
+}
+
+type callExpr struct {
+	name string
+	args []expr
+}
+
+type unaryExpr struct {
+	op string // "-", "!"
+	x  expr
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+}
+
+// assignExpr covers =, +=, -=, *=, /= and ++/-- (as op "++"/"--", r nil).
+type assignExpr struct {
+	op string
+	l  expr
+	r  expr
+}
+
+// condExpr is the ternary ?: operator.
+type condExpr struct {
+	cond, then, els expr
+}
+
+func (*numLit) exprNode()     {}
+func (*identExpr) exprNode()  {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}
+func (*assignExpr) exprNode() {}
+func (*condExpr) exprNode()   {}

@@ -1,0 +1,391 @@
+package capp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pacesweep/internal/clc"
+	"pacesweep/internal/sweep"
+)
+
+func mustAnalyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	a, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustEval(t *testing.T, a *Analysis, fn string, p clc.Params) clc.Vector {
+	t.Helper()
+	v, err := a.Eval(fn, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSimpleFunctionCounts(t *testing.T) {
+	a := mustAnalyze(t, `
+double axpy(double a, double x, double y) {
+    return a * x + y;
+}`)
+	v := mustEval(t, a, "axpy", nil)
+	if v[clc.MFDG] != 1 || v[clc.AFDG] != 1 || v[clc.DFDG] != 0 {
+		t.Errorf("axpy ops = %v", v)
+	}
+}
+
+func TestIntegerArithmeticNotCounted(t *testing.T) {
+	a := mustAnalyze(t, `
+int index(int i, int j, int n) {
+    return (j * n + i) * 2;
+}`)
+	v := mustEval(t, a, "index", nil)
+	if v.Flops() != 0 {
+		t.Errorf("integer function counted flops: %v", v)
+	}
+}
+
+func TestMixedTypePromotion(t *testing.T) {
+	// int * double is a floating multiply.
+	a := mustAnalyze(t, `
+double scale(int n, double x) {
+    return n * x;
+}`)
+	v := mustEval(t, a, "scale", nil)
+	if v[clc.MFDG] != 1 {
+		t.Errorf("mixed multiply not counted: %v", v)
+	}
+}
+
+func TestLoopTripCountDerivation(t *testing.T) {
+	cases := []struct {
+		src  string
+		n    float64
+		want float64
+	}{
+		{`void f(int n, double x[]) { int i; for (i = 0; i < n; i++) { x[i] = x[i] * 2.0; } }`, 10, 10},
+		{`void f(int n, double x[]) { int i; for (i = 1; i <= n; i++) { x[i] = x[i] * 2.0; } }`, 10, 10},
+		{`void f(int n, double x[]) { int i; for (i = n; i > 0; i--) { x[i] = x[i] * 2.0; } }`, 10, 10},
+		{`void f(int n, double x[]) { int i; for (i = n; i >= 1; i -= 1) { x[i] = x[i] * 2.0; } }`, 10, 10},
+		{`void f(int n, double x[]) { int i; for (i = 0; i < 2*n; i += 2) { x[i] = x[i] * 2.0; } }`, 10, 10},
+		{`void f(int n, double x[]) { int i; for (i = 3; i < n; i++) { x[i] = x[i] * 2.0; } }`, 10, 7},
+	}
+	for i, c := range cases {
+		a := mustAnalyze(t, c.src)
+		v := mustEval(t, a, "f", clc.Params{"n": c.n})
+		if v[clc.MFDG] != c.want {
+			t.Errorf("case %d: MFDG = %v, want %v", i, v[clc.MFDG], c.want)
+		}
+	}
+}
+
+func TestNestedLoopsSymbolic(t *testing.T) {
+	a := mustAnalyze(t, `
+void mm(int n, int m, double x[]) {
+    int i;
+    int j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < m; j++) {
+            x[i] = x[i] + 2.5 * x[j];
+        }
+    }
+}`)
+	v := mustEval(t, a, "mm", clc.Params{"n": 7, "m": 11})
+	if v[clc.MFDG] != 77 || v[clc.AFDG] != 77 {
+		t.Errorf("nested loops = %v", v)
+	}
+	// LFOR: outer n+1, inner n*(m+1).
+	if v[clc.LFOR] != 8+7*12 {
+		t.Errorf("LFOR = %v", v[clc.LFOR])
+	}
+}
+
+func TestCountAnnotationOverrides(t *testing.T) {
+	a := mustAnalyze(t, `
+void f(int it, int jt) {
+    int d;
+    double acc;
+    acc = 0.0;
+    /*@ count: it + jt - 1 */
+    for (d = 0; d < ndiag(it, jt); d++) {
+        acc = acc + 1.0;
+    }
+}`)
+	v := mustEval(t, a, "f", clc.Params{"it": 5, "jt": 8})
+	if v[clc.AFDG] != 12 {
+		t.Errorf("annotated count AFDG = %v, want 12", v[clc.AFDG])
+	}
+	if len(a.Warnings) == 0 || !strings.Contains(a.Warnings[0], "ndiag") {
+		t.Errorf("expected unknown-function warning, got %v", a.Warnings)
+	}
+}
+
+func TestWhileRequiresAnnotation(t *testing.T) {
+	_, err := Analyze(`void f(double x) { while (x > 0.0) { x = x - 1.0; } }`)
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Errorf("expected annotation error, got %v", err)
+	}
+	a := mustAnalyze(t, `
+void f(double x, int n) {
+    /*@ count: n */
+    while (x > 0.0) {
+        x = x - 1.0;
+    }
+}`)
+	v := mustEval(t, a, "f", clc.Params{"n": 4})
+	if v[clc.AFDG] != 4 {
+		t.Errorf("while AFDG = %v", v[clc.AFDG])
+	}
+}
+
+func TestBranchProbabilities(t *testing.T) {
+	a := mustAnalyze(t, `
+void f(double x, double y) {
+    /*@ prob: 0.25 */
+    if (x > y) {
+        x = x * 2.0;
+        x = x * 3.0;
+    } else {
+        y = y * 5.0;
+    }
+}`)
+	v := mustEval(t, a, "f", nil)
+	// then: 2 mults at p=0.25, else: 1 mult at 0.75.
+	want := 0.25*2 + 0.75*1
+	if math.Abs(v[clc.MFDG]-want) > 1e-12 {
+		t.Errorf("MFDG = %v, want %v", v[clc.MFDG], want)
+	}
+	if v[clc.IFBR] != 1 {
+		t.Errorf("IFBR = %v, want 1", v[clc.IFBR])
+	}
+}
+
+func TestDefaultBranchProbability(t *testing.T) {
+	a := mustAnalyze(t, `
+void f(double x) {
+    if (x > 0.0) {
+        x = x * 2.0;
+    }
+}`)
+	v := mustEval(t, a, "f", nil)
+	if v[clc.MFDG] != 0.5 {
+		t.Errorf("default prob MFDG = %v, want 0.5", v[clc.MFDG])
+	}
+}
+
+func TestOpsAndSkipAnnotations(t *testing.T) {
+	a := mustAnalyze(t, `
+void f(double x) {
+    /*@ ops: MFDG=4 AFDG=3 */
+    x = x + 1.0;
+    /*@ skip */
+    x = x * 2.0;
+}`)
+	v := mustEval(t, a, "f", nil)
+	// ops annotation (4M 3A) + the annotated add itself (1A); skipped mult
+	// not counted.
+	if v[clc.MFDG] != 4 || v[clc.AFDG] != 4 {
+		t.Errorf("annotated ops = %v", v)
+	}
+}
+
+func TestCompoundAssignments(t *testing.T) {
+	a := mustAnalyze(t, `
+void f(double x, double y, int i) {
+    x += y;
+    x -= 2.0;
+    x *= y;
+    x /= y;
+    i++;
+}`)
+	v := mustEval(t, a, "f", nil)
+	if v[clc.AFDG] != 2 || v[clc.MFDG] != 1 || v[clc.DFDG] != 1 {
+		t.Errorf("compound ops = %v", v)
+	}
+}
+
+func TestUserFunctionInlining(t *testing.T) {
+	a := mustAnalyze(t, `
+double sq(double x) { return x * x; }
+void f(int n, double x[]) {
+    int i;
+    for (i = 0; i < n; i++) {
+        x[i] = sq(x[i]) + 1.0;
+    }
+}`)
+	v := mustEval(t, a, "f", clc.Params{"n": 6})
+	if v[clc.MFDG] != 6 || v[clc.AFDG] != 6 {
+		t.Errorf("inlined ops = %v", v)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	_, err := Analyze(`double f(double x) { return f(x - 1.0); }`)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("expected recursion error, got %v", err)
+	}
+}
+
+func TestBuiltinCalls(t *testing.T) {
+	a := mustAnalyze(t, `
+double f(double x) {
+    return sqrt(x) + fabs(x);
+}`)
+	v := mustEval(t, a, "f", nil)
+	if v[clc.DFDG] != 1 || v[clc.AFDG] != 1 {
+		t.Errorf("builtin ops = %v", v)
+	}
+}
+
+func TestTernaryExpression(t *testing.T) {
+	a := mustAnalyze(t, `
+double f(double x, double y) {
+    return x > y ? x * 2.0 : y * 3.0;
+}`)
+	v := mustEval(t, a, "f", nil)
+	if v[clc.MFDG] != 1 {
+		t.Errorf("ternary MFDG = %v, want 1 (0.5+0.5)", v[clc.MFDG])
+	}
+	if v[clc.IFBR] != 1 {
+		t.Errorf("ternary IFBR = %v", v[clc.IFBR])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`void f( {`,
+		`double f(double x) { return x + ; }`,
+		`void f() { for (;;) { } }`, // underivable, unannotated
+		`bogus f() {}`,
+		`void f() { x = $; }`,
+	} {
+		if _, err := Analyze(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestPreprocessorAndCommentsIgnored(t *testing.T) {
+	a := mustAnalyze(t, `
+#include <math.h>
+#define N 100
+// a line comment
+/* a block comment */
+double f(double x) { return x * 2.0; }`)
+	v := mustEval(t, a, "f", nil)
+	if v[clc.MFDG] != 1 {
+		t.Errorf("ops = %v", v)
+	}
+}
+
+func TestFunctionNames(t *testing.T) {
+	a := mustAnalyze(t, `
+void a1(void) { }
+double b2(double x) { return x; }`)
+	names := a.FunctionNames()
+	if len(names) != 2 || names[0] != "a1" || names[1] != "b2" {
+		t.Errorf("names = %v", names)
+	}
+	if _, err := a.Flow("missing"); err == nil {
+		t.Error("expected error for unknown function")
+	}
+}
+
+// --- The headline test: the sweep kernel transcription ---
+
+func analyzeSweepKernel(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := SweepKernelAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeFileReadsFromDisk(t *testing.T) {
+	a, err := AnalyzeFile("assets/sweep_kernel.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.FunctionNames()) != 4 {
+		t.Errorf("functions = %v", a.FunctionNames())
+	}
+	if _, err := AnalyzeFile("assets/missing.c"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestSweepKernelPerCellFlops(t *testing.T) {
+	a := analyzeSweepKernel(t)
+	// One cell-angle update: na=nk=ny=nx=1.
+	v := mustEval(t, a, "sweep_block", clc.Params{"na": 1, "nk": 1, "ny": 1, "nx": 1})
+	if got := v.Flops(); got != sweep.FlopsPerCellAngle {
+		t.Errorf("capp flop count per cell-angle = %v, want %v (sweep.FlopsPerCellAngle)",
+			got, sweep.FlopsPerCellAngle)
+	}
+	if v[clc.MFDG] != 20 || v[clc.AFDG] != 16 || v[clc.DFDG] != 1 {
+		t.Errorf("op mix = %v, want MFDG=20 AFDG=16 DFDG=1", v)
+	}
+}
+
+func TestSweepKernelScalesWithBlock(t *testing.T) {
+	a := analyzeSweepKernel(t)
+	// The paper's block: mmi=3 angles, mk=10 planes, 50x50 cells.
+	p := clc.Params{"na": 3, "nk": 10, "ny": 50, "nx": 50}
+	v := mustEval(t, a, "sweep_block", p)
+	want := float64(sweep.FlopsPerCellAngle) * 3 * 10 * 50 * 50
+	if got := v.Flops(); got != want {
+		t.Errorf("block flops = %v, want %v", got, want)
+	}
+}
+
+func TestSourceAndFluxErrSubtasks(t *testing.T) {
+	a := analyzeSweepKernel(t)
+	v := mustEval(t, a, "source", clc.Params{"ncells": 1000})
+	if got := v.Flops(); got != 1000*sweep.FlopsPerSourceCell {
+		t.Errorf("source flops = %v, want %v", got, 1000*sweep.FlopsPerSourceCell)
+	}
+	v = mustEval(t, a, "flux_err", clc.Params{"ncells": 1000})
+	if got := v.Flops(); got != 1000*sweep.FlopsPerFluxErrCell {
+		t.Errorf("flux_err flops = %v, want %v", got, 1000*sweep.FlopsPerFluxErrCell)
+	}
+}
+
+func TestSweepKernelControlOpsPresent(t *testing.T) {
+	a := analyzeSweepKernel(t)
+	v := mustEval(t, a, "sweep_block", clc.Params{"na": 2, "nk": 3, "ny": 4, "nx": 5})
+	if v[clc.LFOR] == 0 {
+		t.Error("no loop overhead counted")
+	}
+	if v[clc.IFBR] != 2*3*4*5 {
+		t.Errorf("IFBR = %v, want one fixup check per cell-angle", v[clc.IFBR])
+	}
+}
+
+func TestPropertyFlopsLinearInBlockDims(t *testing.T) {
+	a := analyzeSweepKernel(t)
+	flow, err := a.Flow("sweep_block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(na, nk, ny, nx uint8) bool {
+		p := clc.Params{
+			"na": float64(na%5) + 1, "nk": float64(nk%8) + 1,
+			"ny": float64(ny%16) + 1, "nx": float64(nx%16) + 1,
+		}
+		v, err := flow.Eval(p)
+		if err != nil {
+			return false
+		}
+		cells := p["na"] * p["nk"] * p["ny"] * p["nx"]
+		return math.Abs(v.Flops()-cells*sweep.FlopsPerCellAngle) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

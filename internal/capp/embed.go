@@ -1,0 +1,33 @@
+package capp
+
+import (
+	_ "embed"
+	"sync"
+)
+
+// sweepKernelC is the canonical C transcription of the SWEEP3D serial
+// kernel shipped with the analyser (also mirrored in testdata for the
+// golden tests).
+//
+//go:embed assets/sweep_kernel.c
+var sweepKernelC string
+
+// SweepKernelSource returns the embedded C transcription of the SWEEP3D
+// kernel.
+func SweepKernelSource() string { return sweepKernelC }
+
+var (
+	kernelOnce     sync.Once
+	kernelAnalysis *Analysis
+	kernelErr      error
+)
+
+// SweepKernelAnalysis analyses the embedded kernel transcription once and
+// caches the result. The returned Analysis provides the "sweep_block",
+// "source" and "flux_err" flows the PACE subtask layer consumes.
+func SweepKernelAnalysis() (*Analysis, error) {
+	kernelOnce.Do(func() {
+		kernelAnalysis, kernelErr = Analyze(sweepKernelC)
+	})
+	return kernelAnalysis, kernelErr
+}

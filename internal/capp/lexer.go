@@ -1,0 +1,172 @@
+// Package capp reproduces PACE's static source-code analyser of the same
+// name: it parses a C subset and extracts per-function control-flow
+// characterisations (clc flows) with symbolic loop bounds, classifying
+// floating-point operations into the PACE opcode mnemonics (MFDG, AFDG,
+// DFDG) and charging LFOR/IFBR for loop and branch overheads.
+//
+// Where the original capp needed manual help (the paper notes that
+// "non-structural goto statements" in the sweep kernel required manually
+// coded average work), this implementation accepts annotation comments:
+//
+//	/*@ count: it*jt */   — trip count for a loop the analyser cannot derive
+//	/*@ prob: 0.25 */     — branch probability (default 0.5)
+//	/*@ ops: MFDG=3 AFDG=1 */ — manually coded work
+//	/*@ skip */           — exclude the next statement from analysis
+package capp
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters
+	tokAnnot // /*@ ... */ annotation payload
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex tokenises the source, dropping ordinary comments and preprocessor
+// lines, and capturing /*@ ... */ annotations.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			// Preprocessor line: skip to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			if err := l.blockComment(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peek(1)))):
+			start := l.pos
+			l.number()
+			l.emit(tokNumber, l.src[start:l.pos])
+		default:
+			if op := l.operator(); op != "" {
+				l.emit(tokPunct, op)
+			} else {
+				return nil, fmt.Errorf("capp: line %d: unexpected character %q", l.line, string(c))
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.tokens, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, line: l.line})
+}
+
+func (l *lexer) blockComment() error {
+	startLine := l.line
+	l.pos += 2 // consume /*
+	isAnnot := l.pos < len(l.src) && l.src[l.pos] == '@'
+	if isAnnot {
+		l.pos++
+	}
+	start := l.pos
+	for {
+		if l.pos+1 >= len(l.src) {
+			return fmt.Errorf("capp: line %d: unterminated comment", startLine)
+		}
+		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+			break
+		}
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	body := l.src[start:l.pos]
+	l.pos += 2 // consume */
+	if isAnnot {
+		l.tokens = append(l.tokens, token{kind: tokAnnot, text: strings.TrimSpace(body), line: startLine})
+	}
+	return nil
+}
+
+func (l *lexer) number() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) || c == '.' {
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+// multi-character operators first, longest match.
+var operators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=",
+	"<<", ">>",
+	"(", ")", "[", "]", "{", "}", ";", ",",
+	"=", "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "?", ":",
+}
+
+func (l *lexer) operator() string {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			return op
+		}
+	}
+	return ""
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

@@ -1,0 +1,566 @@
+package capp
+
+import (
+	"fmt"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// parse builds the AST of a translation unit.
+func parse(src string) (*file, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &file{}
+	for !p.at(tokEOF) {
+		// Skip stray top-level annotations.
+		for p.at(tokAnnot) {
+			p.next()
+		}
+		if p.at(tokEOF) {
+			break
+		}
+		isFloat, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("(") {
+			fn, err := p.funcRest(name, isFloat)
+			if err != nil {
+				return nil, err
+			}
+			f.funcs = append(f.funcs, fn)
+		} else {
+			decls, err := p.declRest(name, isFloat)
+			if err != nil {
+				return nil, err
+			}
+			f.globals = append(f.globals, decls...)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+func (p *parser) next() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.atPunct(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("capp: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+// typeName consumes a type and reports whether it is floating point.
+// Supported: void, int, long, short, char, double, float with
+// const/unsigned/static qualifiers and pointer stars (classification
+// ignores pointers).
+func (p *parser) typeName() (bool, error) {
+	if !p.at(tokIdent) || !isTypeWord(p.cur().text) {
+		return false, p.errf("expected type name, got %q", p.cur().text)
+	}
+	isFloat, base := false, false
+	for p.at(tokIdent) && isTypeWord(p.cur().text) {
+		switch p.cur().text {
+		case "double", "float":
+			isFloat = true
+			base = true
+		case "void", "int", "long", "short", "char":
+			base = true
+		}
+		p.next()
+	}
+	for p.accept("*") {
+	}
+	if !base {
+		return false, p.errf("incomplete type (qualifiers only)")
+	}
+	return isFloat, nil
+}
+
+func isTypeWord(s string) bool {
+	switch s {
+	case "void", "int", "long", "short", "char", "double", "float", "const",
+		"unsigned", "signed", "static", "register":
+		return true
+	}
+	return false
+}
+
+// funcRest parses the remainder of a function definition after "name(".
+func (p *parser) funcRest(name string, retFloat bool) (*funcDecl, error) {
+	fn := &funcDecl{name: name, retFloat: retFloat, line: p.cur().line}
+	if !p.atPunct(")") {
+		for {
+			if p.at(tokIdent) && p.cur().text == "void" && p.toks[p.pos+1].text == ")" {
+				p.next()
+				break
+			}
+			isFloat, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d := &varDecl{name: pname, isFloat: isFloat}
+			for p.accept("[") {
+				if !p.atPunct("]") {
+					dim, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					d.dims = append(d.dims, dim)
+				} else {
+					d.dims = append(d.dims, nil)
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+			}
+			fn.params = append(fn.params, d)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+// declRest parses the rest of a variable declaration list whose first name
+// was already consumed.
+func (p *parser) declRest(first string, isFloat bool) ([]*varDecl, error) {
+	var out []*varDecl
+	name := first
+	for {
+		d := &varDecl{name: name, isFloat: isFloat}
+		for p.accept("[") {
+			if !p.atPunct("]") {
+				dim, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.dims = append(d.dims, dim)
+			} else {
+				d.dims = append(d.dims, nil)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = init
+		}
+		out = append(out, d)
+		if !p.accept(",") {
+			break
+		}
+		var err error
+		name, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.atPunct("}") && !p.at(tokEOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// parseAnnotation splits "count: it*jt" into its kind and payload.
+func parseAnnotation(t token) annotation {
+	body := t.text
+	kind, rest := body, ""
+	if i := strings.IndexByte(body, ':'); i >= 0 {
+		kind, rest = strings.TrimSpace(body[:i]), strings.TrimSpace(body[i+1:])
+	}
+	return annotation{kind: strings.TrimSpace(kind), text: rest, line: t.line}
+}
+
+func (p *parser) stmt() (stmt, error) {
+	// Collect leading annotations.
+	var annots []annotation
+	for p.at(tokAnnot) {
+		annots = append(annots, parseAnnotation(p.next()))
+	}
+	s, err := p.bareStmt(annots)
+	if err != nil {
+		return nil, err
+	}
+	if len(annots) > 0 {
+		switch s.(type) {
+		case *forStmt, *whileStmt, *ifStmt:
+			// Loop/branch annotations were delivered directly.
+			return s, nil
+		}
+		return &annotatedStmt{annots: annots, inner: s}, nil
+	}
+	return s, nil
+}
+
+func (p *parser) bareStmt(annots []annotation) (stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.atPunct(";"):
+		p.next()
+		return &emptyStmt{}, nil
+	case p.at(tokIdent) && p.cur().text == "for":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f := &forStmt{annots: annots}
+		if !p.atPunct(";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.init = init
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.cond = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.body = body
+		return f, nil
+	case p.at(tokIdent) && p.cur().text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, annots: annots}, nil
+	case p.at(tokIdent) && p.cur().text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, annots: annots}
+		if p.at(tokIdent) && p.cur().text == "else" {
+			p.next()
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case p.at(tokIdent) && p.cur().text == "return":
+		p.next()
+		r := &returnStmt{}
+		if !p.atPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.e = e
+		}
+		return r, p.expect(";")
+	case p.at(tokIdent) && (p.cur().text == "break" || p.cur().text == "continue"):
+		p.next()
+		return &emptyStmt{}, p.expect(";")
+	case p.at(tokIdent) && isTypeWord(p.cur().text):
+		isFloat, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		decls, err := p.declRest(name, isFloat)
+		if err != nil {
+			return nil, err
+		}
+		return &declStmt{decls: decls}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// simpleStmt parses an assignment or expression (no trailing semicolon).
+func (p *parser) simpleStmt() (stmt, error) {
+	e, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	return &exprStmt{e: e}, nil
+}
+
+// assignment := ternary (('='|'+='|...) assignment)? | ternary '++' | ternary '--'
+func (p *parser) assignment() (expr, error) {
+	l, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%="} {
+		if p.atPunct(op) {
+			p.next()
+			r, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			return &assignExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	if p.atPunct("++") || p.atPunct("--") {
+		op := p.next().text
+		return &assignExpr{op: op, l: l}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) expr() (expr, error) { return p.ternary() }
+
+func (p *parser) ternary() (expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		then, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		return &condExpr{cond: c, then: then, els: els}, nil
+	}
+	return c, nil
+}
+
+// precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (expr, error) {
+	if level == len(precLevels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.atPunct(op) {
+				p.next()
+				r, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &binaryExpr{op: op, l: l, r: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	if p.atPunct("-") || p.atPunct("!") {
+		op := p.next().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: op, x: x}, nil
+	}
+	if p.accept("+") {
+		return p.unary()
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("["):
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &indexExpr{base: e, idx: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.next()
+		isFloat := strings.ContainsAny(t.text, ".eE")
+		return &numLit{text: t.text, isFloat: isFloat}, nil
+	case p.at(tokIdent):
+		name := p.next().text
+		if p.accept("(") {
+			c := &callExpr{name: name}
+			if !p.atPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					c.args = append(c.args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			return c, p.expect(")")
+		}
+		return &identExpr{name: name}, nil
+	case p.accept("("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errf("unexpected token %q", p.cur().text)
+}

@@ -1,0 +1,56 @@
+package capp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics mangles valid source in random ways; the analyser
+// must always return (possibly an error), never panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := SweepKernelSource()
+	fragments := []string{
+		"{", "}", "(", ")", ";", "for", "if", "double", "int", "return",
+		"/*@ count: */", "/*@ ops: MFDG= */", "+", "*", "[", "]", "=", "x",
+	}
+	f := func(seed int64, cut uint16, nIns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := base
+		// Truncate somewhere and splice in random fragments.
+		pos := int(cut) % len(src)
+		var sb strings.Builder
+		sb.WriteString(src[:pos])
+		for i := 0; i < int(nIns%6); i++ {
+			sb.WriteString(" " + fragments[rng.Intn(len(fragments))] + " ")
+		}
+		sb.WriteString(src[pos:])
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("analyser panicked on mangled input: %v", r)
+			}
+		}()
+		_, _ = Analyze(sb.String()) // error is fine, panic is not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerNeverPanics feeds random byte strings to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("lexer panicked on %q: %v", data, r)
+			}
+		}()
+		_, _ = lex(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pacesweep/internal/stats"
+)
+
+func TestTable2ReproducesPaperBands(t *testing.T) {
+	// Table 2 is the smallest validation table (9 rows, <= 30 PEs); it
+	// runs quickly and carries the full acceptance criteria: every error
+	// within 10%, negative on average (the model over-predicts), and the
+	// runtime growing with the array.
+	v, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != len(PaperTable2) {
+		t.Fatalf("rows = %d", len(v.Rows))
+	}
+	if v.MaxAbsErr >= 10 {
+		t.Errorf("max |error| = %.2f%%, paper bound is 10%%", v.MaxAbsErr)
+	}
+	var sum float64
+	for _, r := range v.Rows {
+		sum += r.ErrorPct
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	if sum >= 0 {
+		t.Errorf("mean signed error %.2f should be negative on the Opteron (model over-predicts)", sum/float64(len(v.Rows)))
+	}
+	// Weak-scaling growth: last row (30 PEs) above first row (4 PEs).
+	if v.Rows[len(v.Rows)-1].Measured <= v.Rows[0].Measured {
+		t.Error("measured time not growing with the array")
+	}
+	if v.ModelMFLOPS < 340 || v.ModelMFLOPS > 360 {
+		t.Errorf("model rate = %v, want ~350", v.ModelMFLOPS)
+	}
+	// Magnitude: same regime as the paper's 8.98-12.07 s.
+	if v.Rows[0].Measured < 6 || v.Rows[0].Measured > 13 {
+		t.Errorf("4-PE measurement %v out of the paper's regime", v.Rows[0].Measured)
+	}
+	table := v.Table()
+	s := table.String()
+	if !strings.Contains(s, "Opteron") || !strings.Contains(s, "average |error|") {
+		t.Errorf("table rendering incomplete:\n%s", s)
+	}
+}
+
+func TestTable1LinearTrend(t *testing.T) {
+	// Section 5: "the linear increase in runtime ... is due to the
+	// increase in the number of pipeline stages". Fit measured time
+	// against (3(PX-1)+2(PY-1)) and require a strong linear fit.
+	if testing.Short() {
+		t.Skip("table 1 is the large validation table")
+	}
+	v, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MaxAbsErr >= 10 {
+		t.Errorf("max |error| = %.2f%%, paper bound is 10%%", v.MaxAbsErr)
+	}
+	var xs, ys []float64
+	for _, r := range v.Rows {
+		xs = append(xs, float64(3*(r.Decomp.PX-1)+2*(r.Decomp.PY-1)))
+		ys = append(ys, r.Measured)
+	}
+	b, c := stats.LinearFit(xs, ys)
+	if c <= 0 {
+		t.Fatalf("no growth with pipeline stages: slope %v", c)
+	}
+	// R^2 of the fit.
+	var ssRes, ssTot float64
+	mean := stats.Mean(ys)
+	for i := range xs {
+		r := ys[i] - (b + c*xs[i])
+		ssRes += r * r
+		d := ys[i] - mean
+		ssTot += d * d
+	}
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0.97 {
+		t.Errorf("linear trend R^2 = %.3f, want >= 0.97", r2)
+	}
+}
+
+func TestTable3PositiveErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long validation table")
+	}
+	v, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	positive := 0
+	for _, r := range v.Rows {
+		if r.ErrorPct > 0 {
+			positive++
+		}
+	}
+	// The paper's Altix table under-predicts on every row; allow a small
+	// number of noise-flipped rows.
+	if positive < len(v.Rows)-2 {
+		t.Errorf("only %d/%d positive errors; Altix must under-predict", positive, len(v.Rows))
+	}
+	if v.MaxAbsErr >= 10 {
+		t.Errorf("max |error| = %.2f%%", v.MaxAbsErr)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	s, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCells != 20_000_000 {
+		t.Errorf("total cells = %d, want 20M", s.TotalCells)
+	}
+	n := len(s.Procs)
+	if len(s.Actual) != n || len(s.Plus25) != n || len(s.Plus50) != n {
+		t.Fatal("ragged series")
+	}
+	// Monotone growth with processors (weak scaling adds pipeline fill).
+	for i := 1; i < n; i++ {
+		if s.Actual[i] <= s.Actual[i-1] {
+			t.Errorf("actual not growing at %d procs: %v <= %v",
+				s.Procs[i], s.Actual[i], s.Actual[i-1])
+		}
+	}
+	// Faster processors are uniformly faster, and ordering holds.
+	for i := 0; i < n; i++ {
+		if !(s.Plus50[i] < s.Plus25[i] && s.Plus25[i] < s.Actual[i]) {
+			t.Errorf("rate ordering violated at %d procs", s.Procs[i])
+		}
+	}
+	// Figure 8 regime: the paper's curve stays under ~1.5 s at 8000
+	// processors and starts near 0.15-0.3 s at 1.
+	if s.Actual[0] < 0.05 || s.Actual[0] > 0.5 {
+		t.Errorf("1-proc time %v outside the paper regime", s.Actual[0])
+	}
+	if s.Actual[n-1] > 2.0 {
+		t.Errorf("8000-proc time %v above the paper regime", s.Actual[n-1])
+	}
+	// Compute-bound limit: +50% rate at 1 proc is 1/1.5 of actual.
+	if rel := math.Abs(s.Plus50[0]-s.Actual[0]/1.5) / s.Actual[0]; rel > 0.02 {
+		t.Errorf("+50%% serial point off: %v vs %v", s.Plus50[0], s.Actual[0]/1.5)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	s, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCells != 1_000_000_000 {
+		t.Errorf("total cells = %d, want 1e9", s.TotalCells)
+	}
+	n := len(s.Procs)
+	// Paper regime: ~7-8 s at 1 processor, 20-30 s at 8000.
+	if s.Actual[0] < 5 || s.Actual[0] > 11 {
+		t.Errorf("1-proc time %v outside the paper regime", s.Actual[0])
+	}
+	if s.Actual[n-1] < 12 || s.Actual[n-1] > 32 {
+		t.Errorf("8000-proc time %v outside the paper regime", s.Actual[n-1])
+	}
+	// Good scaling: 8000 processors cost less than 4x one processor's
+	// time for 8000x the work (the paper's "good scaling behaviour").
+	if s.Actual[n-1] > 4*s.Actual[0] {
+		t.Errorf("scaling poorer than the paper's: %v vs %v", s.Actual[n-1], s.Actual[0])
+	}
+}
+
+func TestBaselinesConcur(t *testing.T) {
+	// Section 6: "These results concur with those gained through other
+	// related analytical models". Require LogGP and Hoisie within 25% of
+	// PACE across the Figure 8 axis.
+	s, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range s.Procs {
+		lg := math.Abs(s.LogGPTimes[i]-s.Actual[i]) / s.Actual[i]
+		ho := math.Abs(s.HoisieTimes[i]-s.Actual[i]) / s.Actual[i]
+		if lg > 0.25 {
+			t.Errorf("%d procs: LogGP deviates %.0f%%", p, lg*100)
+		}
+		if ho > 0.25 {
+			t.Errorf("%d procs: Hoisie deviates %.0f%%", p, ho*100)
+		}
+	}
+	table := s.ComparisonTable()
+	if !strings.Contains(table.String(), "LogGP") {
+		t.Error("comparison table incomplete")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	s, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Figure()
+	out := f.Render(70, 16)
+	for _, want := range []string{"Figure 8", "actual", "+25%", "+50%", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+}
+
+func TestAblationReproducesSection4(t *testing.T) {
+	a, err := AblationOpcode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxNewAbsErr >= 10 {
+		t.Errorf("new method max |error| = %.2f%%, want < 10%%", a.MaxNewAbsErr)
+	}
+	if a.MaxOldAbsErr < 35 || a.MaxOldAbsErr > 65 {
+		t.Errorf("old method max |error| = %.2f%%, paper reports errors as large as ~50%%", a.MaxOldAbsErr)
+	}
+	for _, r := range a.Rows {
+		if r.OldPred <= r.NewPred {
+			t.Errorf("%v: opcode prediction %v not above achieved-rate prediction %v",
+				r.Decomp, r.OldPred, r.NewPred)
+		}
+	}
+	if !strings.Contains(a.Table().String(), "ablation") {
+		t.Error("ablation table incomplete")
+	}
+}
+
+func TestOverlapStudyConfirmsBlockingSufficiency(t *testing.T) {
+	o, err := OverlapStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The wavefront dependency structure leaves nothing to overlap: the
+	// two schedules must agree essentially exactly (Section 4.4's claim).
+	if o.MaxDelta > 0.01 {
+		t.Errorf("overlap changed the schedule by %.4f%%; expected none", o.MaxDelta)
+	}
+	for _, r := range o.Rows {
+		if r.Blocking <= 0 || r.Overlapped <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	if !strings.Contains(o.Table().String(), "overlap") {
+		t.Error("table rendering incomplete")
+	}
+}
+
+func TestHealthCheckFlagsFaults(t *testing.T) {
+	hc, err := RunHealthCheck(6, 10, 6006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.HealthyFlags != 0 {
+		t.Errorf("healthy system raised %d false alarms", hc.HealthyFlags)
+	}
+	if hc.DegradedFlags != len(hc.Degraded) {
+		t.Errorf("degraded system flagged on only %d/%d rows", hc.DegradedFlags, len(hc.Degraded))
+	}
+	for i := range hc.Healthy {
+		if hc.Degraded[i].Measured <= hc.Healthy[i].Measured {
+			t.Errorf("row %d: fault did not slow the system", i)
+		}
+	}
+	if !strings.Contains(hc.Table().String(), "FAULT FLAGGED") {
+		t.Error("table missing verdicts")
+	}
+	if _, err := RunHealthCheck(0.5, 10, 1); err == nil {
+		t.Error("expected fault-factor validation error")
+	}
+}

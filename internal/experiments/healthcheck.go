@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/report"
+	"pacesweep/internal/stats"
+)
+
+// HealthRow is one configuration checked against the model.
+type HealthRow struct {
+	Decomp   grid.Decomp
+	Measured float64
+	Expected float64
+	ErrorPct float64
+	Flagged  bool
+}
+
+// HealthCheck implements the paper's Section 1 life-cycle use of a
+// performance model: "After installation, predicted results can then be
+// used to validate whether the installation was successful... during
+// maintenance such approaches can indicate any faults that affect the
+// system performance." A healthy system's measurements track the model
+// within the validated tolerance; a degraded system (here: an interconnect
+// fault inflating message costs) is flagged.
+type HealthCheck struct {
+	Platform      platform.Platform
+	Tolerance     float64 // |error %| above which a row is flagged
+	Healthy       []HealthRow
+	Degraded      []HealthRow
+	HealthyFlags  int
+	DegradedFlags int
+	FaultFactor   float64
+}
+
+// RunHealthCheck verifies the Opteron cluster against its model, then
+// injects an interconnect fault (all Eq. 3 communication costs multiplied
+// by faultFactor, e.g. a misconfigured link running at a fraction of its
+// bandwidth) and verifies that the check flags the degradation.
+func RunHealthCheck(faultFactor, tolerancePct float64, seed int64) (*HealthCheck, error) {
+	if faultFactor < 1 {
+		return nil, fmt.Errorf("experiments: fault factor must be >= 1, got %v", faultFactor)
+	}
+	pl := platform.OpteronGigE()
+	ev, _, err := BuildEvaluator(pl, perProc, seed)
+	if err != nil {
+		return nil, err
+	}
+	hc := &HealthCheck{Platform: pl, Tolerance: tolerancePct, FaultFactor: faultFactor}
+
+	degradedNet := pl.Net
+	for _, c := range []*platform.Piecewise{&degradedNet.Send, &degradedNet.Recv, &degradedNet.PingPong} {
+		c.B *= faultFactor
+		c.C *= faultFactor
+		c.D *= faultFactor
+		c.E *= faultFactor
+	}
+	degraded := pl
+	degraded.Net = degradedNet
+
+	for i, dd := range [][2]int{{2, 2}, {3, 4}, {4, 5}, {5, 6}} {
+		d := grid.Decomp{PX: dd[0], PY: dd[1]}
+		g := grid.Global{NX: 50 * d.PX, NY: 50 * d.PY, NZ: 50}
+		p := problemFor(g)
+		cfg := pace.Config{
+			Grid: g, Decomp: d, MK: p.MK, MMI: p.MMI,
+			Angles: p.Quad.M(), Iterations: p.Iterations,
+		}
+		pred, err := ev.Predict(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range []struct {
+			pl   platform.Platform
+			rows *[]HealthRow
+		}{{pl, &hc.Healthy}, {degraded, &hc.Degraded}} {
+			m, err := bench.Measure(sys.pl, p, d, bench.MeasureOptions{Seed: seed + int64(50+i*3)})
+			if err != nil {
+				return nil, err
+			}
+			e := stats.RelErrPercent(m, pred.Total)
+			*sys.rows = append(*sys.rows, HealthRow{
+				Decomp: d, Measured: m, Expected: pred.Total,
+				ErrorPct: e, Flagged: math.Abs(e) > tolerancePct,
+			})
+		}
+	}
+	for _, r := range hc.Healthy {
+		if r.Flagged {
+			hc.HealthyFlags++
+		}
+	}
+	for _, r := range hc.Degraded {
+		if r.Flagged {
+			hc.DegradedFlags++
+		}
+	}
+	return hc, nil
+}
+
+// Table renders the check.
+func (hc *HealthCheck) Table() *report.Table {
+	t := &report.Table{
+		Title: "Run-time verification / health check (Section 1 life-cycle scenario)",
+		Caption: fmt.Sprintf("%s verified against its PACE model (tolerance %.0f%%); "+
+			"then re-checked with an injected interconnect fault (%gx message costs).",
+			hc.Platform.Name, hc.Tolerance, hc.FaultFactor),
+		Headers: []string{"Array", "Expected(s)", "Healthy Meas(s)", "Err(%)", "Degraded Meas(s)", "Err(%)", "Verdict"},
+	}
+	for i := range hc.Healthy {
+		h, d := hc.Healthy[i], hc.Degraded[i]
+		verdict := "OK"
+		if d.Flagged {
+			verdict = "FAULT FLAGGED"
+		}
+		t.AddRow(
+			h.Decomp.String(),
+			fmt.Sprintf("%.2f", h.Expected),
+			fmt.Sprintf("%.2f", h.Measured),
+			fmt.Sprintf("%.2f", h.ErrorPct),
+			fmt.Sprintf("%.2f", d.Measured),
+			fmt.Sprintf("%.2f", d.ErrorPct),
+			verdict,
+		)
+	}
+	t.AddFooter("healthy system: %d/%d rows flagged; degraded system: %d/%d rows flagged",
+		hc.HealthyFlags, len(hc.Healthy), hc.DegradedFlags, len(hc.Degraded))
+	return t
+}

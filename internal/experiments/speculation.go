@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/hoisie"
+	"pacesweep/internal/loggp"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/report"
+	"pacesweep/internal/sweep"
+)
+
+// ScalingStudy reproduces a Section 6 speculative figure: predicted
+// execution time versus processor count on the hypothetical Opteron SMP /
+// Myrinet 2000 system, at the profiled achieved rate and with +25% and
+// +50% rate improvements, plus the LogGP and Hoisie baseline predictions
+// at the base rate for the related-model comparison.
+type ScalingStudy struct {
+	Name        string
+	PerProc     grid.Global
+	TotalCells  int64
+	Procs       []int
+	Actual      []float64
+	Plus25      []float64
+	Plus50      []float64
+	LogGPTimes  []float64
+	HoisieTimes []float64
+	ModelMFLOPS float64
+}
+
+// DefaultProcCounts is the log-spaced processor axis of Figures 8 and 9
+// (1 to 8000 processors).
+func DefaultProcCounts() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000, 2000, 4000, 8000}
+}
+
+// scalingConfig builds the model configuration for p processors under weak
+// scaling with the study's per-processor subgrid.
+func scalingConfig(perProc grid.Global, p int) (pace.Config, error) {
+	d, err := grid.FactorNearSquare(p)
+	if err != nil {
+		return pace.Config{}, err
+	}
+	return pace.Config{
+		Grid: grid.Global{
+			NX: perProc.NX * d.PX,
+			NY: perProc.NY * d.PY,
+			NZ: perProc.NZ,
+		},
+		Decomp:     d,
+		MK:         10,
+		MMI:        3,
+		Angles:     6,
+		Iterations: sweep.DefaultIterations,
+	}, nil
+}
+
+// runScaling produces one figure's curves.
+func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*ScalingStudy, error) {
+	pl := platform.OpteronMyrinet()
+	ev, model, err := BuildEvaluator(pl, perProc, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &ScalingStudy{
+		Name:        name,
+		PerProc:     perProc,
+		Procs:       procs,
+		ModelMFLOPS: model.MFLOPS,
+	}
+	lg := loggp.FromModel(model)
+	for _, p := range procs {
+		cfg, err := scalingConfig(perProc, p)
+		if err != nil {
+			return nil, err
+		}
+		s.TotalCells = cfg.Grid.Cells()
+
+		pred, err := ev.PredictAuto(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Actual = append(s.Actual, pred.Total)
+
+		for _, boost := range []struct {
+			factor float64
+			out    *[]float64
+		}{{1.25, &s.Plus25}, {1.50, &s.Plus50}} {
+			boosted := *model
+			boosted.MFLOPS = model.MFLOPS * boost.factor
+			evBoost := *ev
+			evBoost.HW = &boosted
+			bp, err := evBoost.PredictAuto(cfg)
+			if err != nil {
+				return nil, err
+			}
+			*boost.out = append(*boost.out, bp.Total)
+		}
+
+		// Related analytic models at the base rate.
+		ew, ns := 8*perProc.NY*cfg.MK*cfg.MMI, 8*perProc.NX*cfg.MK*cfg.MMI
+		blockFlops := float64(perProc.NX*perProc.NY*minInt(cfg.MK, cfg.Grid.NZ)*cfg.MMI) * sweep.FlopsPerCellAngle
+		steps := 8 * cfg.AngleBlocks() * cfg.KBlocks()
+		serialFlops := float64(cfg.CellsPerProc()) * (sweep.FlopsPerSourceCell + sweep.FlopsPerFluxErrCell)
+
+		lgTime, err := lg.Predict(loggp.Sweep3D{
+			PX: cfg.Decomp.PX, PY: cfg.Decomp.PY,
+			StepsPerIter:  steps,
+			BlockSeconds:  blockFlops / (model.MFLOPS * 1e6),
+			EWBytes:       ew,
+			NSBytes:       ns,
+			SerialPerIter: serialFlops / (model.MFLOPS * 1e6),
+			Iterations:    cfg.Iterations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.LogGPTimes = append(s.LogGPTimes, lgTime)
+
+		machine := hoisie.Machine{
+			TMsg:     model.Send.Seconds(64) + model.Recv.Seconds(64),
+			TByte:    (model.Send.E + model.Recv.E) * 1e-6,
+			MFLOPS:   model.MFLOPS,
+			TLatency: model.PingPong.Seconds(64) / 2,
+		}
+		hb, err := machine.Predict(hoisie.App{
+			PX: cfg.Decomp.PX, PY: cfg.Decomp.PY,
+			StepsPerIter: steps,
+			FlopsPerStep: blockFlops,
+			EWBytes:      ew,
+			NSBytes:      ns,
+			SerialFlops:  serialFlops,
+			Iterations:   cfg.Iterations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.HoisieTimes = append(s.HoisieTimes, hb.Total)
+	}
+	return s, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Figure8 reproduces the twenty-million-cell study (5x5x100 cells per
+// processor, mk=10, mmi=3).
+func Figure8() (*ScalingStudy, error) {
+	return runScaling("Figure 8 — Twenty Million Cell Problem",
+		grid.Global{NX: 5, NY: 5, NZ: 100}, DefaultProcCounts(), 8008)
+}
+
+// Figure9 reproduces the one-billion-cell study (25x25x200 cells per
+// processor, mk=10, mmi=3).
+func Figure9() (*ScalingStudy, error) {
+	return runScaling("Figure 9 — One Billion Cell Problem",
+		grid.Global{NX: 25, NY: 25, NZ: 200}, DefaultProcCounts(), 9009)
+}
+
+// Figure renders the study as the paper draws it: predicted time versus
+// processor count (log x) for the actual, +25% and +50% rates.
+func (s *ScalingStudy) Figure() *report.Figure {
+	xs := make([]float64, len(s.Procs))
+	for i, p := range s.Procs {
+		xs[i] = float64(p)
+	}
+	f := &report.Figure{
+		Title: fmt.Sprintf("%s (mk=10, mmi=3, %dx%dx%d cells per processor, %0.0f MFLOPS)",
+			s.Name, s.PerProc.NX, s.PerProc.NY, s.PerProc.NZ, s.ModelMFLOPS),
+		XLabel: "Number of Processors",
+		YLabel: "Time (seconds)",
+		LogX:   true,
+	}
+	f.Add("actual", xs, s.Actual)
+	f.Add("+25%", xs, s.Plus25)
+	f.Add("+50%", xs, s.Plus50)
+	return f
+}
+
+// ComparisonTable renders the related-model agreement (PACE versus LogGP
+// versus Hoisie) for the study.
+func (s *ScalingStudy) ComparisonTable() *report.Table {
+	t := &report.Table{
+		Title: s.Name + " — related-model comparison",
+		Caption: "PACE prediction against the LogGP (Sundaram-Stukel & Vernon) and " +
+			"Los Alamos (Hoisie et al.) analytic baselines at the base achieved rate.",
+		Headers: []string{"Procs", "PACE(s)", "LogGP(s)", "Hoisie(s)", "LogGP dev(%)", "Hoisie dev(%)"},
+	}
+	for i, p := range s.Procs {
+		lgDev := (s.LogGPTimes[i] - s.Actual[i]) / s.Actual[i] * 100
+		hoDev := (s.HoisieTimes[i] - s.Actual[i]) / s.Actual[i] * 100
+		t.AddRow(
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.3f", s.Actual[i]),
+			fmt.Sprintf("%.3f", s.LogGPTimes[i]),
+			fmt.Sprintf("%.3f", s.HoisieTimes[i]),
+			fmt.Sprintf("%+.1f", lgDev),
+			fmt.Sprintf("%+.1f", hoDev),
+		)
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the three validation tables (Section 5), the two speculative
+// scaling figures (Section 6), the Section 4 opcode-benchmark ablation, and
+// the related-model comparison. Each experiment returns structured results
+// plus a report renderer; cmd/validate and cmd/speculate are thin wrappers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/capp"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/hwmodel"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/report"
+	"pacesweep/internal/stats"
+	"pacesweep/internal/sweep"
+)
+
+// perProc is the validation tables' per-processor subgrid (weak scaling,
+// 50^3 cells per processor).
+var perProc = grid.Global{NX: 50, NY: 50, NZ: 50}
+
+// problemFor builds the benchmark problem for a validation row.
+func problemFor(g grid.Global) sweep.Problem {
+	p := sweep.New(g)
+	p.MK = 10
+	p.MMI = 3
+	p.Iterations = sweep.DefaultIterations
+	return p
+}
+
+// BuildEvaluator runs the benchmarking pipeline on a platform and wires the
+// fitted hardware model to the capp-derived SWEEP3D subtask flows.
+func BuildEvaluator(pl platform.Platform, profileGrid grid.Global, seed int64) (*pace.Evaluator, *hwmodel.Model, error) {
+	model, err := bench.BuildModel(pl, profileGrid, problemFor(profileGrid), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := pace.NewEvaluator(model, analysis)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, model, nil
+}
+
+// ValidationRow is one reproduced validation measurement/prediction pair.
+type ValidationRow struct {
+	Grid      grid.Global
+	Decomp    grid.Decomp
+	Measured  float64
+	Predicted float64
+	ErrorPct  float64
+	Paper     PaperRow
+}
+
+// Validation is a reproduced Section 5 table.
+type Validation struct {
+	Name        string
+	Platform    platform.Platform
+	ModelMFLOPS float64
+	Rows        []ValidationRow
+
+	AvgAbsErr float64 // mean |error %|, the paper's "average error"
+	MaxAbsErr float64
+	VarErr    float64 // variance of error %
+
+	PaperAvgErr float64
+	PaperVarErr float64
+}
+
+// runValidation reproduces one validation table.
+func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg, paperVar float64, seed int64) (*Validation, error) {
+	ev, model, err := BuildEvaluator(pl, perProc, seed)
+	if err != nil {
+		return nil, err
+	}
+	v := &Validation{
+		Name:        name,
+		Platform:    pl,
+		ModelMFLOPS: model.MFLOPS,
+		PaperAvgErr: paperAvg,
+		PaperVarErr: paperVar,
+	}
+	var errs []float64
+	for i, row := range rows {
+		g := grid.Global{NX: row.NX, NY: row.NY, NZ: row.NZ}
+		d := grid.Decomp{PX: row.PX, PY: row.PY}
+		p := problemFor(g)
+		measured, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: seed + int64(100+i*7)})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: row %v/%v: %w", g, d, err)
+		}
+		cfg := pace.Config{
+			Grid: g, Decomp: d, MK: p.MK, MMI: p.MMI,
+			Angles: p.Quad.M(), Iterations: p.Iterations,
+		}
+		pred, err := ev.Predict(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e := stats.RelErrPercent(measured, pred.Total)
+		errs = append(errs, e)
+		v.Rows = append(v.Rows, ValidationRow{
+			Grid: g, Decomp: d,
+			Measured: measured, Predicted: pred.Total, ErrorPct: e,
+			Paper: row,
+		})
+	}
+	abs := make([]float64, len(errs))
+	for i, e := range errs {
+		abs[i] = math.Abs(e)
+	}
+	v.AvgAbsErr = stats.Mean(abs)
+	v.MaxAbsErr = math.Abs(stats.MaxAbs(errs))
+	v.VarErr = stats.Variance(errs)
+	return v, nil
+}
+
+// Table1 reproduces the Pentium III / Myrinet validation.
+func Table1() (*Validation, error) {
+	return runValidation("Table 1", platform.PentiumIIIMyrinet(), PaperTable1,
+		PaperTable1AvgErr, PaperTable1VarErr, 1001)
+}
+
+// Table2 reproduces the Opteron / Gigabit Ethernet validation.
+func Table2() (*Validation, error) {
+	return runValidation("Table 2", platform.OpteronGigE(), PaperTable2,
+		PaperTable2AvgErr, PaperTable2VarErr, 2002)
+}
+
+// Table3 reproduces the SGI Altix validation.
+func Table3() (*Validation, error) {
+	return runValidation("Table 3", platform.AltixNUMAlink(), PaperTable3,
+		PaperTable3AvgErr, PaperTable3VarErr, 3003)
+}
+
+// Table renders the validation in the paper's layout, with the published
+// numbers alongside.
+func (v *Validation) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("%s — SWEEP3D validation on %s", v.Name, v.Platform.Name),
+		Caption: fmt.Sprintf("%s. Model achieved rate %.0f MFLOPS per processor.",
+			v.Platform.Description, v.ModelMFLOPS),
+		Headers: []string{
+			"Data Size", "PEs", "Array",
+			"Meas(s)", "Pred(s)", "Err(%)",
+			"paper:Meas", "paper:Pred", "paper:Err",
+		},
+	}
+	for _, r := range v.Rows {
+		t.AddRow(
+			fmt.Sprintf("%dx%dx%d", r.Grid.NX, r.Grid.NY, r.Grid.NZ),
+			fmt.Sprintf("%d", r.Decomp.Size()),
+			r.Decomp.String(),
+			fmt.Sprintf("%.2f", r.Measured),
+			fmt.Sprintf("%.2f", r.Predicted),
+			fmt.Sprintf("%.2f", r.ErrorPct),
+			fmt.Sprintf("%.2f", r.Paper.Measured),
+			fmt.Sprintf("%.2f", r.Paper.Predicted),
+			fmt.Sprintf("%.2f", r.Paper.ErrorPct),
+		)
+	}
+	t.AddFooter("average |error| %.2f%% (paper %.2f%%), max |error| %.2f%%, variance %.2f (paper %.2f)",
+		v.AvgAbsErr, v.PaperAvgErr, v.MaxAbsErr, v.VarErr, v.PaperVarErr)
+	return t
+}

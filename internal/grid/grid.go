@@ -1,0 +1,190 @@
+// Package grid describes the SWEEP3D spatial grid and its two-dimensional
+// processor decomposition. The global it x jt x kt cell grid is split over a
+// Px x Py logical processor array in the i (x) and j (y) directions; the k
+// (z) direction is never decomposed, exactly as in the original benchmark.
+package grid
+
+import "fmt"
+
+// Global is the global cell grid (the paper's "data size", e.g. 100x100x50).
+type Global struct {
+	NX, NY, NZ int
+}
+
+// Cells returns the total number of cells in the global grid.
+func (g Global) Cells() int64 { return int64(g.NX) * int64(g.NY) * int64(g.NZ) }
+
+// Validate reports whether all extents are positive.
+func (g Global) Validate() error {
+	if g.NX <= 0 || g.NY <= 0 || g.NZ <= 0 {
+		return fmt.Errorf("grid: non-positive global extents %dx%dx%d", g.NX, g.NY, g.NZ)
+	}
+	return nil
+}
+
+func (g Global) String() string { return fmt.Sprintf("%dx%dx%d", g.NX, g.NY, g.NZ) }
+
+// Decomp is the logical 2-D processor array: PX processors along i, PY
+// along j (the paper's "2D Proc. Array", e.g. 4x4).
+type Decomp struct {
+	PX, PY int
+}
+
+// Size returns the total number of processors PX*PY.
+func (d Decomp) Size() int { return d.PX * d.PY }
+
+// Validate reports whether the array dimensions are positive.
+func (d Decomp) Validate() error {
+	if d.PX <= 0 || d.PY <= 0 {
+		return fmt.Errorf("grid: non-positive processor array %dx%d", d.PX, d.PY)
+	}
+	return nil
+}
+
+func (d Decomp) String() string { return fmt.Sprintf("%dx%d", d.PX, d.PY) }
+
+// Rank maps processor-array coordinates to a linear rank (row major: rank =
+// iy*PX + ix), matching the rank layout the message-passing runtime uses.
+func (d Decomp) Rank(ix, iy int) int { return iy*d.PX + ix }
+
+// Coords is the inverse of Rank.
+func (d Decomp) Coords(rank int) (ix, iy int) { return rank % d.PX, rank / d.PX }
+
+// Sub is one processor's portion of the global grid.
+type Sub struct {
+	Rank   int
+	IX, IY int // processor coordinates in the array
+	X0, Y0 int // global index of the first local cell in x and y
+	NX, NY int // local extents in x and y
+	NZ     int // local extent in z (always the global kt)
+}
+
+// Cells returns the number of local cells.
+func (s Sub) Cells() int { return s.NX * s.NY * s.NZ }
+
+// split distributes n cells over p parts as evenly as possible, giving the
+// first n%p parts one extra cell (the same convention as SWEEP3D's
+// decomposition routine). It returns the start offset and length of part i.
+func split(n, p, i int) (start, length int) {
+	base := n / p
+	rem := n % p
+	if i < rem {
+		return i * (base + 1), base + 1
+	}
+	return rem*(base+1) + (i-rem)*base, base
+}
+
+// Partition splits the global grid over the processor array. Every processor
+// receives a non-empty subgrid; an error is returned if the array is larger
+// than the grid in either decomposed direction.
+func Partition(g Global, d Decomp) ([]Sub, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.PX > g.NX {
+		return nil, fmt.Errorf("grid: %d processors along x for only %d cells", d.PX, g.NX)
+	}
+	if d.PY > g.NY {
+		return nil, fmt.Errorf("grid: %d processors along y for only %d cells", d.PY, g.NY)
+	}
+	subs := make([]Sub, d.Size())
+	for iy := 0; iy < d.PY; iy++ {
+		y0, ny := split(g.NY, d.PY, iy)
+		for ix := 0; ix < d.PX; ix++ {
+			x0, nx := split(g.NX, d.PX, ix)
+			r := d.Rank(ix, iy)
+			subs[r] = Sub{Rank: r, IX: ix, IY: iy, X0: x0, Y0: y0, NX: nx, NY: ny, NZ: g.NZ}
+		}
+	}
+	return subs, nil
+}
+
+// Neighbor direction constants for the 2-D array.
+const (
+	West  = iota // -x
+	East         // +x
+	North        // -y (lower j side)
+	South        // +y (higher j side)
+)
+
+// Neighbor returns the rank of the neighbour of (ix,iy) in the given
+// direction, or -1 at the array edge.
+func (d Decomp) Neighbor(ix, iy, dir int) int {
+	switch dir {
+	case West:
+		if ix == 0 {
+			return -1
+		}
+		return d.Rank(ix-1, iy)
+	case East:
+		if ix == d.PX-1 {
+			return -1
+		}
+		return d.Rank(ix+1, iy)
+	case North:
+		if iy == 0 {
+			return -1
+		}
+		return d.Rank(ix, iy-1)
+	case South:
+		if iy == d.PY-1 {
+			return -1
+		}
+		return d.Rank(ix, iy+1)
+	}
+	return -1
+}
+
+// UpstreamDownstream returns, for a sweep travelling with x-sign sx and
+// y-sign sy (+1 or -1), the ranks messages are received from (upstream) and
+// sent to (downstream) in the i and j directions; -1 where the processor is
+// on the sweep's inflow or outflow boundary.
+func (d Decomp) UpstreamDownstream(ix, iy, sx, sy int) (upX, downX, upY, downY int) {
+	if sx > 0 {
+		upX, downX = d.Neighbor(ix, iy, West), d.Neighbor(ix, iy, East)
+	} else {
+		upX, downX = d.Neighbor(ix, iy, East), d.Neighbor(ix, iy, West)
+	}
+	if sy > 0 {
+		upY, downY = d.Neighbor(ix, iy, North), d.Neighbor(ix, iy, South)
+	} else {
+		upY, downY = d.Neighbor(ix, iy, South), d.Neighbor(ix, iy, North)
+	}
+	return
+}
+
+// PipelineDepth returns the number of wavefront stages between the sweep
+// origin corner and processor (ix,iy) for a sweep with signs (sx,sy): the
+// Manhattan distance from the origin corner. The far corner has depth
+// (PX-1)+(PY-1), the classic pipeline-fill length.
+func (d Decomp) PipelineDepth(ix, iy, sx, sy int) int {
+	dx := ix
+	if sx < 0 {
+		dx = d.PX - 1 - ix
+	}
+	dy := iy
+	if sy < 0 {
+		dy = d.PY - 1 - iy
+	}
+	return dx + dy
+}
+
+// FactorNearSquare returns the Px x Py factorisation of p whose aspect ratio
+// is closest to square, preferring Px <= Py (the convention of the paper's
+// tables, e.g. 4x5, 8x14). It is used when experiments are given only a
+// processor count.
+func FactorNearSquare(p int) (Decomp, error) {
+	if p <= 0 {
+		return Decomp{}, fmt.Errorf("grid: non-positive processor count %d", p)
+	}
+	best := Decomp{1, p}
+	for px := 1; px*px <= p; px++ {
+		if p%px == 0 {
+			best = Decomp{PX: px, PY: p / px}
+		}
+	}
+	return best, nil
+}

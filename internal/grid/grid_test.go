@@ -1,0 +1,248 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversGrid(t *testing.T) {
+	g := Global{NX: 100, NY: 150, NZ: 50}
+	d := Decomp{PX: 2, PY: 3}
+	subs, err := Partition(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 6 {
+		t.Fatalf("got %d subs, want 6", len(subs))
+	}
+	var total int64
+	for _, s := range subs {
+		total += int64(s.Cells())
+		if s.NZ != g.NZ {
+			t.Errorf("rank %d: NZ = %d, want %d (z never decomposed)", s.Rank, s.NZ, g.NZ)
+		}
+	}
+	if total != g.Cells() {
+		t.Errorf("cells covered = %d, want %d", total, g.Cells())
+	}
+}
+
+func TestPartitionPaperRows(t *testing.T) {
+	// Every validation row of the paper uses 50x50x50 cells per processor;
+	// check a few representative rows split exactly.
+	cases := []struct {
+		g Global
+		d Decomp
+	}{
+		{Global{100, 100, 50}, Decomp{2, 2}},
+		{Global{200, 250, 50}, Decomp{4, 5}},
+		{Global{400, 700, 50}, Decomp{8, 14}},
+		{Global{500, 550, 50}, Decomp{10, 11}},
+	}
+	for _, c := range cases {
+		subs, err := Partition(c.g, c.d)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.g, c.d, err)
+		}
+		for _, s := range subs {
+			if s.NX != 50 || s.NY != 50 || s.NZ != 50 {
+				t.Errorf("%v/%v rank %d: local %dx%dx%d, want 50x50x50",
+					c.g, c.d, s.Rank, s.NX, s.NY, s.NZ)
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(Global{0, 10, 10}, Decomp{1, 1}); err == nil {
+		t.Error("expected error for zero extent")
+	}
+	if _, err := Partition(Global{10, 10, 10}, Decomp{0, 1}); err == nil {
+		t.Error("expected error for zero processor dim")
+	}
+	if _, err := Partition(Global{3, 10, 10}, Decomp{4, 1}); err == nil {
+		t.Error("expected error for more processors than cells")
+	}
+}
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	d := Decomp{PX: 7, PY: 5}
+	for r := 0; r < d.Size(); r++ {
+		ix, iy := d.Coords(r)
+		if d.Rank(ix, iy) != r {
+			t.Errorf("rank %d -> (%d,%d) -> %d", r, ix, iy, d.Rank(ix, iy))
+		}
+		if ix < 0 || ix >= d.PX || iy < 0 || iy >= d.PY {
+			t.Errorf("rank %d: coords (%d,%d) out of range", r, ix, iy)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	d := Decomp{PX: 3, PY: 2}
+	// Middle of the bottom row: (1,0).
+	if got := d.Neighbor(1, 0, West); got != d.Rank(0, 0) {
+		t.Errorf("west = %d", got)
+	}
+	if got := d.Neighbor(1, 0, East); got != d.Rank(2, 0) {
+		t.Errorf("east = %d", got)
+	}
+	if got := d.Neighbor(1, 0, North); got != -1 {
+		t.Errorf("north = %d, want -1", got)
+	}
+	if got := d.Neighbor(1, 0, South); got != d.Rank(1, 1) {
+		t.Errorf("south = %d", got)
+	}
+	if got := d.Neighbor(0, 0, West); got != -1 {
+		t.Errorf("edge west = %d, want -1", got)
+	}
+	if got := d.Neighbor(1, 0, 99); got != -1 {
+		t.Errorf("bogus dir = %d, want -1", got)
+	}
+}
+
+func TestUpstreamDownstream(t *testing.T) {
+	d := Decomp{PX: 3, PY: 3}
+	// Sweep +x +y from corner (0,0): that corner has no upstream.
+	upX, downX, upY, downY := d.UpstreamDownstream(0, 0, +1, +1)
+	if upX != -1 || upY != -1 {
+		t.Errorf("origin corner has upstream: %d %d", upX, upY)
+	}
+	if downX != d.Rank(1, 0) || downY != d.Rank(0, 1) {
+		t.Errorf("origin corner downstream: %d %d", downX, downY)
+	}
+	// Same sweep at the far corner: no downstream.
+	_, downX, _, downY = d.UpstreamDownstream(2, 2, +1, +1)
+	if downX != -1 || downY != -1 {
+		t.Errorf("far corner has downstream: %d %d", downX, downY)
+	}
+	// Reversed sweep swaps roles.
+	upX, downX, _, _ = d.UpstreamDownstream(1, 1, -1, -1)
+	if upX != d.Rank(2, 1) || downX != d.Rank(0, 1) {
+		t.Errorf("reversed sweep upstream/downstream: %d %d", upX, downX)
+	}
+}
+
+func TestPipelineDepth(t *testing.T) {
+	d := Decomp{PX: 4, PY: 3}
+	if got := d.PipelineDepth(0, 0, +1, +1); got != 0 {
+		t.Errorf("origin depth = %d", got)
+	}
+	if got := d.PipelineDepth(3, 2, +1, +1); got != 5 {
+		t.Errorf("far corner depth = %d, want 5", got)
+	}
+	if got := d.PipelineDepth(3, 2, -1, -1); got != 0 {
+		t.Errorf("reversed far corner depth = %d, want 0", got)
+	}
+	if got := d.PipelineDepth(0, 0, -1, -1); got != 5 {
+		t.Errorf("reversed origin depth = %d, want 5", got)
+	}
+}
+
+func TestFactorNearSquare(t *testing.T) {
+	cases := []struct {
+		p      int
+		px, py int
+	}{
+		{1, 1, 1}, {4, 2, 2}, {6, 2, 3}, {12, 3, 4}, {20, 4, 5},
+		{56, 7, 8}, {112, 8, 14}, {8000, 80, 100}, {13, 1, 13},
+	}
+	for _, c := range cases {
+		d, err := FactorNearSquare(c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PX != c.px || d.PY != c.py {
+			t.Errorf("FactorNearSquare(%d) = %v, want %dx%d", c.p, d, c.px, c.py)
+		}
+	}
+	if _, err := FactorNearSquare(0); err == nil {
+		t.Error("expected error for p=0")
+	}
+}
+
+func TestPartitionPropertyInvariants(t *testing.T) {
+	// For arbitrary small grids and decompositions, the partition either
+	// errors (too many processors) or exactly tiles the grid with
+	// contiguous, ordered, non-overlapping x/y ranges.
+	f := func(nx, ny, nz, px, py uint8) bool {
+		g := Global{int(nx%60) + 1, int(ny%60) + 1, int(nz%20) + 1}
+		d := Decomp{int(px%8) + 1, int(py%8) + 1}
+		subs, err := Partition(g, d)
+		if err != nil {
+			return d.PX > g.NX || d.PY > g.NY
+		}
+		var cells int64
+		for _, s := range subs {
+			if s.NX <= 0 || s.NY <= 0 {
+				return false
+			}
+			cells += int64(s.Cells())
+			// Local extents differ by at most one cell across the array.
+		}
+		if cells != g.Cells() {
+			return false
+		}
+		// Rows tile x, columns tile y.
+		for iy := 0; iy < d.PY; iy++ {
+			x := 0
+			for ix := 0; ix < d.PX; ix++ {
+				s := subs[d.Rank(ix, iy)]
+				if s.X0 != x {
+					return false
+				}
+				x += s.NX
+			}
+			if x != g.NX {
+				return false
+			}
+		}
+		for ix := 0; ix < d.PX; ix++ {
+			y := 0
+			for iy := 0; iy < d.PY; iy++ {
+				s := subs[d.Rank(ix, iy)]
+				if s.Y0 != y {
+					return false
+				}
+				y += s.NY
+			}
+			if y != g.NY {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// Property: max and min local extent differ by at most 1 in each axis.
+	f := func(nx, px uint8) bool {
+		n := int(nx%100) + 1
+		p := int(px%10) + 1
+		if p > n {
+			return true
+		}
+		minw, maxw := n, 0
+		covered := 0
+		for i := 0; i < p; i++ {
+			start, length := split(n, p, i)
+			if start != covered {
+				return false
+			}
+			covered += length
+			if length < minw {
+				minw = length
+			}
+			if length > maxw {
+				maxw = length
+			}
+		}
+		return covered == n && maxw-minw <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

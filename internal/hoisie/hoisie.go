@@ -1,0 +1,92 @@
+// Package hoisie implements the Los Alamos wavefront model of Hoisie,
+// Lubeck & Wasserman (IJHPCA 2000; the paper's references [2,3]): execution
+// time decomposed as
+//
+//	Ttotal = Tcomputation + Tcommunication - Toverlap
+//
+// with each term modelled independently (Section 3 of the paper contrasts
+// this with LogGP's interleaved formulation). Computation is total flops at
+// the achieved rate; communication charges every message at its full
+// send-plus-receive cost with no overlap credit (blocking MPI), and the
+// pipeline penalty multiplies the per-stage cost by the fill depth of this
+// reproduction's four-corner-group schedule.
+package hoisie
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine parameters: per-message and per-byte communication costs plus the
+// achieved computation rate.
+type Machine struct {
+	TMsg     float64 // fixed cost of one message (send + receive), seconds
+	TByte    float64 // incremental cost per byte, seconds
+	MFLOPS   float64 // achieved computation rate
+	TLatency float64 // exposed one-way latency on pipeline fill hops
+}
+
+// App is the wavefront application description.
+type App struct {
+	PX, PY       int
+	StepsPerIter int     // block steps per processor per iteration
+	FlopsPerStep float64 // floating-point operations of one block
+	EWBytes      int
+	NSBytes      int
+	SerialFlops  float64 // non-sweep per-iteration flops per processor
+	Iterations   int
+}
+
+// Breakdown reports the model's three terms alongside the total.
+type Breakdown struct {
+	Total         float64
+	Computation   float64
+	Communication float64
+	Overlap       float64
+	Pipeline      float64 // fill contribution included in Total
+}
+
+// Predict evaluates the model.
+func (m Machine) Predict(a App) (Breakdown, error) {
+	if a.PX <= 0 || a.PY <= 0 || a.StepsPerIter <= 0 || a.Iterations <= 0 {
+		return Breakdown{}, fmt.Errorf("hoisie: incomplete application %+v", a)
+	}
+	if m.MFLOPS <= 0 {
+		return Breakdown{}, fmt.Errorf("hoisie: non-positive rate")
+	}
+	perFlop := 1 / (m.MFLOPS * 1e6)
+	wBlock := a.FlopsPerStep * perFlop
+
+	var commPerStep float64
+	if a.PX > 1 {
+		commPerStep += m.TMsg + m.TByte*float64(a.EWBytes)
+	}
+	if a.PY > 1 {
+		commPerStep += m.TMsg + m.TByte*float64(a.NSBytes)
+	}
+
+	fill := float64(3*(a.PX-1) + 2*(a.PY-1))
+	steps := float64(a.StepsPerIter)
+
+	computation := float64(a.Iterations) * (steps*wBlock + a.SerialFlops*perFlop)
+	communication := float64(a.Iterations) * (steps*commPerStep + reduceCost(m, a))
+	pipeline := float64(a.Iterations) * fill * (wBlock + commPerStep + m.TLatency)
+	overlap := 0.0 // blocking sends and receives: no overlap credit
+
+	total := computation + communication + pipeline - overlap
+	return Breakdown{
+		Total:         total,
+		Computation:   computation,
+		Communication: communication,
+		Overlap:       overlap,
+		Pipeline:      pipeline,
+	}, nil
+}
+
+func reduceCost(m Machine, a App) float64 {
+	p := a.PX * a.PY
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p))) * (m.TMsg + m.TLatency)
+}

@@ -1,0 +1,78 @@
+package hoisie
+
+import (
+	"math"
+	"testing"
+)
+
+func testMachine() Machine {
+	return Machine{TMsg: 20e-6, TByte: 0.0044e-6, MFLOPS: 340, TLatency: 13e-6}
+}
+
+func testApp(px, py int) App {
+	return App{
+		PX: px, PY: py,
+		StepsPerIter: 80,
+		FlopsPerStep: 75000 * 37,
+		EWBytes:      12000,
+		NSBytes:      12000,
+		SerialFlops:  125000 * 7,
+		Iterations:   12,
+	}
+}
+
+func TestSerialBreakdown(t *testing.T) {
+	b, err := testMachine().Predict(testApp(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Communication != 0 || b.Pipeline != 0 || b.Overlap != 0 {
+		t.Errorf("serial terms non-zero: %+v", b)
+	}
+	want := 12 * (80*75000*37 + 125000*7) / 340e6
+	if math.Abs(b.Computation-want)/want > 1e-12 {
+		t.Errorf("computation = %v, want %v", b.Computation, want)
+	}
+	if b.Total != b.Computation {
+		t.Errorf("total %v != computation %v", b.Total, b.Computation)
+	}
+}
+
+func TestDecompositionIdentity(t *testing.T) {
+	// Ttotal = Tcomp + Tcomm + Tpipe - Toverlap by construction.
+	b, err := testMachine().Predict(testApp(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.Computation + b.Communication + b.Pipeline - b.Overlap
+	if math.Abs(b.Total-sum) > 1e-12 {
+		t.Errorf("decomposition violated: %v vs %v", b.Total, sum)
+	}
+	if b.Communication <= 0 || b.Pipeline <= 0 {
+		t.Errorf("parallel terms must be positive: %+v", b)
+	}
+}
+
+func TestGrowthWithArray(t *testing.T) {
+	m := testMachine()
+	prev := 0.0
+	for _, d := range [][2]int{{1, 1}, {2, 2}, {4, 5}, {8, 8}, {20, 20}} {
+		b, err := m.Predict(testApp(d[0], d[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total <= prev {
+			t.Fatalf("%v: total %v not above %v", d, b.Total, prev)
+		}
+		prev = b.Total
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := testMachine().Predict(App{}); err == nil {
+		t.Error("expected app validation error")
+	}
+	if _, err := (Machine{}).Predict(testApp(2, 2)); err == nil {
+		t.Error("expected machine validation error")
+	}
+}

@@ -1,0 +1,106 @@
+// Package hwmodel holds the FITTED hardware model of the PACE method — the
+// contents of an HMCL hardware object (paper Figure 7): the achieved
+// floating-point operation cost of the serial kernel, the per-opcode cost
+// table of the older PACE benchmark (kept for the ablation study), and the
+// three Eq. 3 communication curves (send, receive, ping-pong).
+//
+// Everything in this package comes from observations — the simulated
+// benchmarks in internal/bench — never from ground-truth platform
+// parameters; this is the model side of the epistemic firewall described
+// in DESIGN.md.
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pacesweep/internal/clc"
+	"pacesweep/internal/platform"
+)
+
+// Model is a complete fitted hardware characterisation.
+type Model struct {
+	Name string
+
+	// MFLOPS is the achieved floating-point rate of the serial kernel from
+	// profiling a dedicated 1x1 run (the paper's PAPI measurement). The
+	// hardware layer's cost of one flop is 1/(MFLOPS*1e6) seconds.
+	MFLOPS float64
+
+	// OpcodeCosts is the old fine-grained PACE benchmark: seconds per clc
+	// opcode from isolated micro-benchmarks. The paper shows this
+	// mispredicts on superscalar processors (Section 4); it is retained to
+	// reproduce that ablation.
+	OpcodeCosts clc.CostTable
+
+	// Send, Recv and PingPong are the fitted Eq. 3 curves in microseconds
+	// (the mpi section of Figure 7).
+	Send, Recv, PingPong platform.Piecewise
+}
+
+// Validate reports an incomplete model.
+func (m *Model) Validate() error {
+	if m.MFLOPS <= 0 {
+		return fmt.Errorf("hwmodel: non-positive achieved rate %v", m.MFLOPS)
+	}
+	if m.PingPong == (platform.Piecewise{}) {
+		return fmt.Errorf("hwmodel: missing ping-pong curve")
+	}
+	return nil
+}
+
+// SecondsPerFlop returns the hardware layer's cost of one floating-point
+// operation under the new coarse benchmarking approach.
+func (m *Model) SecondsPerFlop() float64 { return 1 / (m.MFLOPS * 1e6) }
+
+// CostOf prices an operation vector under the coarse achieved-rate
+// approach: all floating-point operations at the achieved rate, control
+// opcodes (LFOR, IFBR) free — the paper's stated assumption that the
+// achieved rate is "an overall estimate of the processor hardware" that
+// already folds in branch and loop costs.
+func (m *Model) CostOf(v clc.Vector) float64 {
+	return v.Flops() * m.SecondsPerFlop()
+}
+
+// OpcodeCostOf prices an operation vector under the old per-opcode
+// summation, including control opcodes. This is the method the paper
+// retired for commodity processors.
+func (m *Model) OpcodeCostOf(v clc.Vector) float64 {
+	return v.Cost(m.OpcodeCosts)
+}
+
+// Net adapts the fitted communication curves to mp.NetworkModel. The model
+// is deterministic (no jitter): PACE evaluation is analytic.
+func (m *Model) Net() *FittedNet { return &FittedNet{m: m} }
+
+// FittedNet prices messages from the fitted Eq. 3 curves. One-way transit
+// is half the fitted ping-pong round trip, as in the paper's communication
+// resource model.
+type FittedNet struct{ m *Model }
+
+// SendOverhead implements mp.NetworkModel.
+func (n *FittedNet) SendOverhead(bytes int, _ *rand.Rand) float64 {
+	return n.m.Send.Seconds(bytes)
+}
+
+// RecvOverhead implements mp.NetworkModel.
+func (n *FittedNet) RecvOverhead(bytes int, _ *rand.Rand) float64 {
+	return n.m.Recv.Seconds(bytes)
+}
+
+// Transit implements mp.NetworkModel.
+func (n *FittedNet) Transit(bytes int, _ *rand.Rand) float64 {
+	return n.m.PingPong.Seconds(bytes) / 2
+}
+
+// ReduceCost implements mp.NetworkModel: a binomial-tree estimate from the
+// fitted small-message latency, the same functional form the simulator's
+// truth uses (both sides model MPI_Allreduce as a log-tree).
+func (n *FittedNet) ReduceCost(p, bytes int, _ *rand.Rand) float64 {
+	if p <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(p)))
+	return hops * n.m.PingPong.Seconds(bytes+16) / 2
+}

@@ -1,0 +1,84 @@
+package hwmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pacesweep/internal/clc"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/platform"
+)
+
+func testModel() *Model {
+	return &Model{
+		Name:   "t",
+		MFLOPS: 200,
+		OpcodeCosts: clc.CostTable{
+			clc.MFDG: 10e-9, clc.AFDG: 8e-9, clc.DFDG: 30e-9,
+			clc.IFBR: 2e-9, clc.LFOR: 3e-9,
+		},
+		Send:     platform.Piecewise{A: 512, B: 10, C: 0.01, D: 12, E: 0.005},
+		Recv:     platform.Piecewise{A: 512, B: 11, C: 0.01, D: 13, E: 0.005},
+		PingPong: platform.Piecewise{A: 512, B: 40, C: 0.03, D: 48, E: 0.011},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := testModel()
+	m.MFLOPS = 0
+	if err := m.Validate(); err == nil {
+		t.Error("expected rate error")
+	}
+	m = testModel()
+	m.PingPong = platform.Piecewise{}
+	if err := m.Validate(); err == nil {
+		t.Error("expected curve error")
+	}
+}
+
+func TestCostSemantics(t *testing.T) {
+	m := testModel()
+	if got := m.SecondsPerFlop(); math.Abs(got-5e-9) > 1e-18 {
+		t.Errorf("seconds per flop = %v", got)
+	}
+	v := clc.Vector{clc.MFDG: 10, clc.AFDG: 5, clc.DFDG: 1, clc.IFBR: 100, clc.LFOR: 50}
+	// Coarse achieved-rate costing: flops only, control ops free.
+	if got, want := m.CostOf(v), 16*5e-9; math.Abs(got-want) > 1e-18 {
+		t.Errorf("CostOf = %v, want %v", got, want)
+	}
+	// Old opcode costing: everything priced from the table.
+	want := 10*10e-9 + 5*8e-9 + 1*30e-9 + 100*2e-9 + 50*3e-9
+	if got := m.OpcodeCostOf(v); math.Abs(got-want) > 1e-18 {
+		t.Errorf("OpcodeCostOf = %v, want %v", got, want)
+	}
+}
+
+func TestFittedNet(t *testing.T) {
+	m := testModel()
+	var n mp.NetworkModel = m.Net()
+	rng := rand.New(rand.NewSource(1))
+	if got, want := n.SendOverhead(1000, rng), m.Send.Seconds(1000); got != want {
+		t.Errorf("send = %v, want %v", got, want)
+	}
+	if got, want := n.RecvOverhead(1000, rng), m.Recv.Seconds(1000); got != want {
+		t.Errorf("recv = %v, want %v", got, want)
+	}
+	if got, want := n.Transit(1000, rng), m.PingPong.Seconds(1000)/2; got != want {
+		t.Errorf("transit = %v, want %v", got, want)
+	}
+	// Deterministic: identical across calls.
+	if n.SendOverhead(1000, rng) != n.SendOverhead(1000, rng) {
+		t.Error("fitted net must be deterministic")
+	}
+	if got := n.ReduceCost(1, 8, rng); got != 0 {
+		t.Errorf("reduce p=1 = %v", got)
+	}
+	r4, r16 := n.ReduceCost(4, 8, rng), n.ReduceCost(16, 8, rng)
+	if math.Abs(r16/r4-2) > 1e-12 {
+		t.Errorf("log-tree scaling: %v vs %v", r4, r16)
+	}
+}

@@ -1,0 +1,86 @@
+package loggp
+
+import (
+	"math"
+	"testing"
+
+	"pacesweep/internal/hwmodel"
+	"pacesweep/internal/platform"
+)
+
+func testHW() *hwmodel.Model {
+	return &hwmodel.Model{
+		Name:     "test",
+		MFLOPS:   340,
+		Send:     platform.Piecewise{A: 512, B: 6, C: 0.008, D: 8, E: 0.0042},
+		Recv:     platform.Piecewise{A: 512, B: 7, C: 0.008, D: 9, E: 0.0042},
+		PingPong: platform.Piecewise{A: 512, B: 26, C: 0.02, D: 32, E: 0.0088},
+	}
+}
+
+func testApp(px, py int) Sweep3D {
+	return Sweep3D{
+		PX: px, PY: py,
+		StepsPerIter:  80,
+		BlockSeconds:  75000 * 37 / 340e6,
+		EWBytes:       12000,
+		NSBytes:       12000,
+		SerialPerIter: 125000 * 7 / 340e6,
+		Iterations:    12,
+	}
+}
+
+func TestFromModelDerivation(t *testing.T) {
+	p := FromModel(testHW())
+	if p.O <= 0 || p.L <= 0 || p.G <= 0 || p.G0 <= 0 {
+		t.Fatalf("degenerate params %+v", p)
+	}
+	// o is the small-message send intercept (6 us).
+	if math.Abs(p.O-6e-6) > 1e-9 {
+		t.Errorf("o = %v", p.O)
+	}
+	// G is half the large-message ping-pong slope per byte.
+	if math.Abs(p.G-0.0044e-6) > 1e-12 {
+		t.Errorf("G = %v", p.G)
+	}
+	// L + o equals the one-way small-message time.
+	oneWay := testHW().PingPong.Seconds(64) / 2
+	if math.Abs(p.L+p.O-oneWay) > 1e-12 {
+		t.Errorf("L+o = %v, want %v", p.L+p.O, oneWay)
+	}
+}
+
+func TestPredictSerialIsComputeOnly(t *testing.T) {
+	p := FromModel(testHW())
+	app := testApp(1, 1)
+	got, err := p.Predict(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12 * (80*app.BlockSeconds + app.SerialPerIter)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("serial = %v, want %v", got, want)
+	}
+}
+
+func TestPredictGrowsWithArray(t *testing.T) {
+	p := FromModel(testHW())
+	prev := 0.0
+	for _, d := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16}} {
+		got, err := p.Predict(testApp(d[0], d[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Fatalf("%v: not growing (%v after %v)", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	p := FromModel(testHW())
+	if _, err := p.Predict(Sweep3D{}); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,479 @@
+// Package mp is an MPI-like message-passing runtime for in-process parallel
+// programs. Ranks run as goroutines and exchange typed messages through
+// blocking point-to-point sends/receives and collectives.
+//
+// The runtime doubles as a virtual-time cluster simulator: when a World is
+// created with a NetworkModel, every rank carries a virtual clock (seconds)
+// that advances through explicit compute charges and through the network
+// model's send/receive/transit costs. Receive completion respects causality:
+// a message cannot be consumed before its availability time, which is the
+// sender's clock at the start of the send plus the one-way transit time.
+// This is the substrate both for "measured" cluster-simulation runs (driven
+// by ground-truth platform models, internal/platform) and for PACE model
+// evaluation (driven by fitted hardware models, internal/hwmodel).
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetworkModel prices message-passing operations in seconds. Implementations
+// may use the supplied per-rank RNG to add deterministic jitter; rng is never
+// nil. A nil NetworkModel on the World means all costs are zero (purely
+// functional execution).
+type NetworkModel interface {
+	// SendOverhead is the time the sending processor is busy in a blocking
+	// standard-mode send of the given wire size.
+	SendOverhead(bytes int, rng *rand.Rand) float64
+	// RecvOverhead is the time the receiving processor is busy completing a
+	// receive once the message is available.
+	RecvOverhead(bytes int, rng *rand.Rand) float64
+	// Transit is the one-way end-to-end delay from send start until the
+	// message is available at the receiver.
+	Transit(bytes int, rng *rand.Rand) float64
+	// ReduceCost is the time a p-rank reduction/barrier of the given payload
+	// adds beyond synchronising at the latest participant's clock.
+	ReduceCost(p, bytes int, rng *rand.Rand) float64
+}
+
+// ComputeNoise perturbs compute charges, modelling OS interference and other
+// run-to-run variation. Implementations must be pure functions of their
+// arguments and the RNG stream so that simulations are reproducible.
+type ComputeNoise interface {
+	Perturb(seconds float64, rng *rand.Rand) float64
+}
+
+// Options configure a World.
+type Options struct {
+	Net     NetworkModel  // nil: zero-cost (functional) transport
+	Noise   ComputeNoise  // nil: charges applied exactly
+	Seed    int64         // base seed for per-rank RNG streams
+	Timeout time.Duration // 0: no watchdog; otherwise abort stalled runs
+}
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src   int
+	tag   int
+	bytes int
+	data  []float64
+	avail float64 // virtual time at which the receiver may consume it
+}
+
+// inbox is a rank's incoming message queue. Senders append under the lock;
+// receivers wait on the condition variable for a matching (src, tag).
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+// World is a fixed-size group of ranks.
+type World struct {
+	n      int
+	opts   Options
+	boxes  []inbox
+	clocks []float64
+	coll   collective
+	abort  atomic.Bool
+	ops    atomic.Int64 // progress counter for the watchdog
+}
+
+// NewWorld creates a world of n ranks. n must be positive.
+func NewWorld(n int, opts Options) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mp: world size must be positive, got %d", n)
+	}
+	w := &World{n: n, opts: opts, boxes: make([]inbox, n), clocks: make([]float64, n)}
+	for i := range w.boxes {
+		w.boxes[i].cond = sync.NewCond(&w.boxes[i].mu)
+	}
+	w.coll.init(n, opts.Seed)
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.n }
+
+// Makespan returns the maximum final virtual clock across ranks after Run
+// has returned. With no network model and no charges it is zero.
+func (w *World) Makespan() float64 {
+	m := 0.0
+	for _, c := range w.clocks {
+		m = math.Max(m, c)
+	}
+	return m
+}
+
+// Clock returns the final virtual clock of a rank after Run has returned.
+func (w *World) Clock(rank int) float64 { return w.clocks[rank] }
+
+// errAborted is the panic value used to unwind blocked ranks when the
+// watchdog fires; Run converts it into an error.
+var errAborted = errors.New("mp: run aborted by watchdog (possible deadlock)")
+
+// Run executes f once per rank, each on its own goroutine, and waits for all
+// of them. The first non-nil error (or recovered panic) is returned. Final
+// virtual clocks remain available via Clock/Makespan.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for r := 0; r < w.n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, errAborted) {
+						errs[rank] = err
+						return
+					}
+					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, p)
+				}
+			}()
+			c := &Comm{
+				w:    w,
+				rank: rank,
+				rng:  rand.New(rand.NewSource(w.opts.Seed + int64(rank)*0x9E3779B9)),
+			}
+			errs[rank] = f(c)
+			w.clocks[rank] = c.clock
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if w.opts.Timeout > 0 {
+		ticker := time.NewTicker(w.opts.Timeout)
+		defer ticker.Stop()
+		last := w.ops.Load()
+	watch:
+		for {
+			select {
+			case <-done:
+				break watch
+			case <-ticker.C:
+				now := w.ops.Load()
+				if now == last {
+					w.abort.Store(true)
+					for i := range w.boxes {
+						w.boxes[i].cond.Broadcast()
+					}
+					w.coll.broadcastAbort()
+					<-done
+					break watch
+				}
+				last = now
+			}
+		}
+	} else {
+		<-done
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is a rank's handle on the world. It is valid only inside the function
+// passed to Run and must not be shared across goroutines.
+type Comm struct {
+	w         *World
+	rank      int
+	clock     float64
+	rng       *rand.Rand
+	bcastRoot bool // set while this rank is the root of a Bcast
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Now returns the rank's current virtual clock in seconds.
+func (c *Comm) Now() float64 { return c.clock }
+
+// Rand returns the rank's deterministic RNG stream.
+func (c *Comm) Rand() *rand.Rand { return c.rng }
+
+// Charge advances the rank's virtual clock by the given compute time,
+// applying the world's noise model if any. Negative charges are ignored.
+func (c *Comm) Charge(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	if n := c.w.opts.Noise; n != nil {
+		seconds = n.Perturb(seconds, c.rng)
+	}
+	c.clock += seconds
+}
+
+// ChargeExact advances the clock without noise; used by model evaluation,
+// which is deterministic by definition.
+func (c *Comm) ChargeExact(seconds float64) {
+	if seconds > 0 {
+		c.clock += seconds
+	}
+}
+
+// Send delivers data to dst under tag. It blocks only for the (virtual) send
+// overhead, like an MPI standard-mode send of a buffered message. The wire
+// size is 8*len(data) bytes.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.SendN(dst, tag, 8*len(data), data)
+}
+
+// SendN is Send with an explicit wire size, allowing skeleton executions to
+// charge realistic message costs without materialising payloads. data may be
+// nil; if not nil it is copied so the caller may reuse the buffer.
+func (c *Comm) SendN(dst, tag, bytes int, data []float64) {
+	if dst < 0 || dst >= c.w.n {
+		panic(fmt.Errorf("mp: rank %d sending to invalid rank %d", c.rank, dst))
+	}
+	if dst == c.rank {
+		panic(fmt.Errorf("mp: rank %d sending to itself", c.rank))
+	}
+	start := c.clock
+	avail := start
+	if net := c.w.opts.Net; net != nil {
+		c.clock = start + net.SendOverhead(bytes, c.rng)
+		avail = start + net.Transit(bytes, c.rng)
+	}
+	var cp []float64
+	if data != nil {
+		cp = make([]float64, len(data))
+		copy(cp, data)
+	}
+	m := message{src: c.rank, tag: tag, bytes: bytes, data: cp, avail: avail}
+	b := &c.w.boxes[dst]
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	c.w.ops.Add(1)
+}
+
+// Recv blocks until a message from src with the given tag is available and
+// returns its payload (nil for payload-free sends). Messages between a given
+// pair of ranks with the same tag are non-overtaking.
+func (c *Comm) Recv(src, tag int) []float64 {
+	data, _ := c.RecvN(src, tag)
+	return data
+}
+
+// RecvN is Recv that also reports the wire size of the received message.
+func (c *Comm) RecvN(src, tag int) ([]float64, int) {
+	if src < 0 || src >= c.w.n {
+		panic(fmt.Errorf("mp: rank %d receiving from invalid rank %d", c.rank, src))
+	}
+	b := &c.w.boxes[c.rank]
+	b.mu.Lock()
+	var m message
+	for {
+		if c.w.abort.Load() {
+			b.mu.Unlock()
+			panic(errAborted)
+		}
+		found := -1
+		for i := range b.queue {
+			if b.queue[i].src == src && b.queue[i].tag == tag {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			m = b.queue[found]
+			b.queue = append(b.queue[:found], b.queue[found+1:]...)
+			break
+		}
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	// Causality holds regardless of the cost model: the receive cannot
+	// complete before the message is available.
+	c.clock = math.Max(c.clock, m.avail)
+	if net := c.w.opts.Net; net != nil {
+		c.clock += net.RecvOverhead(m.bytes, c.rng)
+	}
+	c.w.ops.Add(1)
+	return m.data, m.bytes
+}
+
+// Barrier blocks until all ranks have entered it. Under a network model all
+// clocks synchronise to the latest participant plus the reduction cost.
+func (c *Comm) Barrier() {
+	c.reduce(nil, 0)
+}
+
+// AllreduceMax returns the maximum of x across all ranks; all clocks
+// synchronise as for Barrier.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	out := c.reduce([]float64{x}, reduceMax)
+	return out[0]
+}
+
+// AllreduceSum returns the sum of x across all ranks.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	out := c.reduce([]float64{x}, reduceSum)
+	return out[0]
+}
+
+// AllreduceSumSlice element-wise sums xs across ranks; all ranks must pass
+// slices of the same length. The result is a fresh slice.
+func (c *Comm) AllreduceSumSlice(xs []float64) []float64 {
+	return c.reduce(xs, reduceSum)
+}
+
+// Bcast distributes the root rank's values to every rank. All ranks must
+// pass slices of the same length (as in MPI, receivers know the message
+// shape); the result is a fresh slice holding the root's data. Clocks
+// synchronise as for the other collectives.
+func (c *Comm) Bcast(root int, xs []float64) []float64 {
+	if root < 0 || root >= c.w.n {
+		panic(fmt.Errorf("mp: rank %d broadcasting from invalid root %d", c.rank, root))
+	}
+	c.bcastRoot = c.rank == root
+	defer func() { c.bcastRoot = false }()
+	return c.reduce(xs, reduceRoot)
+}
+
+const (
+	reduceSum = iota + 1
+	reduceMax
+	reduceRoot
+)
+
+// collective implements generation-counted full-world reductions.
+type collective struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     int
+	acc     []float64
+	op      int
+	maxTime float64
+	result  []float64
+	done    float64 // completion clock of the current generation
+	aborted bool
+	// rng prices collective costs. A dedicated stream (rather than the
+	// closing rank's) keeps simulations deterministic: which rank arrives
+	// last depends on goroutine scheduling.
+	rng *rand.Rand
+}
+
+func (cl *collective) init(n int, seed int64) {
+	cl.n = n
+	cl.cond = sync.NewCond(&cl.mu)
+	cl.rng = rand.New(rand.NewSource(seed ^ 0x1F3D5B79))
+}
+
+func (cl *collective) broadcastAbort() {
+	cl.mu.Lock()
+	cl.aborted = true
+	cl.mu.Unlock()
+	cl.cond.Broadcast()
+}
+
+// reduce performs a blocking all-reduce. op 0 means barrier (data ignored).
+func (c *Comm) reduce(data []float64, op int) []float64 {
+	cl := &c.w.coll
+	cl.mu.Lock()
+	if cl.aborted {
+		cl.mu.Unlock()
+		panic(errAborted)
+	}
+	myGen := cl.gen
+	if cl.arrived == 0 {
+		cl.op = op
+		cl.maxTime = c.clock
+		if data != nil {
+			cl.acc = append(cl.acc[:0], data...)
+		} else {
+			cl.acc = cl.acc[:0]
+		}
+	} else {
+		if op != cl.op {
+			cl.mu.Unlock()
+			panic(fmt.Errorf("mp: rank %d joined collective with mismatched op", c.rank))
+		}
+		if data != nil {
+			if len(data) != len(cl.acc) {
+				cl.mu.Unlock()
+				panic(fmt.Errorf("mp: rank %d collective length mismatch: %d vs %d", c.rank, len(data), len(cl.acc)))
+			}
+			for i, v := range data {
+				switch op {
+				case reduceSum:
+					cl.acc[i] += v
+				case reduceMax:
+					cl.acc[i] = math.Max(cl.acc[i], v)
+				case reduceRoot:
+					if c.bcastRoot {
+						cl.acc[i] = v
+					}
+				}
+			}
+		}
+		cl.maxTime = math.Max(cl.maxTime, c.clock)
+	}
+	cl.arrived++
+	if cl.arrived == cl.n {
+		// Last participant closes the generation and prices the collective.
+		cl.result = append([]float64(nil), cl.acc...)
+		cl.done = cl.maxTime
+		if net := c.w.opts.Net; net != nil {
+			bytes := 8 * len(cl.acc)
+			cl.done += net.ReduceCost(cl.n, bytes, cl.rng)
+		}
+		cl.arrived = 0
+		cl.gen++
+		cl.cond.Broadcast()
+	} else {
+		for cl.gen == myGen && !cl.aborted {
+			cl.cond.Wait()
+		}
+		if cl.aborted {
+			cl.mu.Unlock()
+			panic(errAborted)
+		}
+	}
+	res := cl.result
+	// A collective is a synchronisation point under any cost model.
+	c.clock = cl.done
+	cl.mu.Unlock()
+	c.w.ops.Add(1)
+	return res
+}
+
+// RunWorld is a convenience wrapper: create a world, run f, and return the
+// world for clock inspection along with any error.
+func RunWorld(n int, opts Options, f func(c *Comm) error) (*World, error) {
+	w, err := NewWorld(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(f); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// SortedClocks returns the final per-rank clocks in ascending order; useful
+// for load-imbalance diagnostics in tests and reports.
+func (w *World) SortedClocks() []float64 {
+	out := append([]float64(nil), w.clocks...)
+	sort.Float64s(out)
+	return out
+}

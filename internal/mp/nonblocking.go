@@ -1,0 +1,66 @@
+package mp
+
+import "fmt"
+
+// Request is a handle on a nonblocking operation, in the spirit of
+// MPI_Request. The paper lists "overlapped computation and communication"
+// as future work for the modelling framework; these primitives let both
+// the application skeleton and model templates express that overlap: the
+// virtual-time benefit comes from where Wait is placed relative to compute
+// charges (a receive waited on after useful work no longer exposes the
+// message transit).
+type Request struct {
+	c        *Comm
+	kind     rune // 's' send, 'r' receive
+	src, tag int
+	done     bool
+	data     []float64
+	bytes    int
+}
+
+// Isend starts a nonblocking standard-mode send. Like Send, the processor
+// pays its send overhead immediately (the CPU work of injecting the message
+// does not disappear by being nonblocking); the returned request completes
+// trivially. data may be nil with an explicit wire size, as in SendN.
+func (c *Comm) Isend(dst, tag, bytes int, data []float64) *Request {
+	c.SendN(dst, tag, bytes, data)
+	return &Request{c: c, kind: 's', done: true}
+}
+
+// Irecv posts a nonblocking receive. No time passes at the post; Wait
+// performs the actual (virtual-time) completion. Posting order carries no
+// matching priority — matching follows the (source, tag) streams exactly
+// as for Recv, so a program that posts receives early and waits late gets
+// the overlap benefit without changing matching semantics.
+func (c *Comm) Irecv(src, tag int) *Request {
+	if src < 0 || src >= c.w.n {
+		panic(fmt.Errorf("mp: rank %d posting receive from invalid rank %d", c.rank, src))
+	}
+	return &Request{c: c, kind: 'r', src: src, tag: tag}
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload and wire size (nil/0 for sends). Waiting twice is an error.
+func (r *Request) Wait() ([]float64, int) {
+	if r.done {
+		if r.kind == 'r' && r.data == nil && r.bytes == 0 {
+			return r.data, r.bytes
+		}
+		return r.data, r.bytes
+	}
+	r.data, r.bytes = r.c.RecvN(r.src, r.tag)
+	r.done = true
+	return r.data, r.bytes
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// WaitAll completes a set of requests in order.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

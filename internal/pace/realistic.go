@@ -1,0 +1,44 @@
+package pace
+
+import "fmt"
+
+// RealisticWorkload scales a one-group, one-step SWEEP3D prediction to a
+// production SN particle-transport configuration, following the paper's
+// Section 6: "Realistic applications of SN particle transport multi-group
+// problems would expect to include around 30 groups (as opposed to the one
+// group that SWEEP3D implements) and a number of dependent time steps
+// (around 1000 for the ASCI target)."
+type RealisticWorkload struct {
+	Groups    int // energy groups (ASCI target ~30)
+	TimeSteps int // dependent time steps (ASCI target ~1000)
+}
+
+// ASCITarget is the paper's reference production configuration.
+func ASCITarget() RealisticWorkload { return RealisticWorkload{Groups: 30, TimeSteps: 1000} }
+
+// Scale returns the projected wall time in seconds for the full workload.
+// Groups and time steps are dependent (each group sweep and each step must
+// complete before the next), so the scaling is multiplicative.
+func (r RealisticWorkload) Scale(oneStep *Prediction) (float64, error) {
+	if r.Groups <= 0 || r.TimeSteps <= 0 {
+		return 0, fmt.Errorf("pace: realistic workload needs positive groups and steps, got %+v", r)
+	}
+	return oneStep.Total * float64(r.Groups) * float64(r.TimeSteps), nil
+}
+
+// Hours is Scale expressed in hours.
+func (r RealisticWorkload) Hours(oneStep *Prediction) (float64, error) {
+	s, err := r.Scale(oneStep)
+	return s / 3600, err
+}
+
+// OverrunsGoal reports whether the projected time exceeds a wall-clock
+// goal in hours — the paper's Section 6 observation that the speculated
+// configuration "will grossly overrun ASCI execution time goals".
+func (r RealisticWorkload) OverrunsGoal(oneStep *Prediction, goalHours float64) (bool, float64, error) {
+	h, err := r.Hours(oneStep)
+	if err != nil {
+		return false, 0, err
+	}
+	return h > goalHours, h, nil
+}

@@ -1,0 +1,153 @@
+package pace
+
+import (
+	"fmt"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/sn"
+)
+
+// Predict evaluates the model with the template evaluation engine: every
+// processor of the template is simulated with a virtual clock on the mp
+// runtime, communication priced by the fitted Eq. 3 curves, computation by
+// the subtask flows under the hardware layer. This is the reproduction of
+// PACE's evaluation engine ("predictions of execution time within seconds",
+// Section 4).
+func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srcCost, ferrCost, err := e.serialCosts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fullBlock, err := e.blockCost(cfg, cfg.MMI, minInt(cfg.MK, cfg.Grid.NZ))
+	if err != nil {
+		return nil, err
+	}
+	// Pre-compute the cost of each (angle block, k block) shape, including
+	// ragged tails.
+	nab, nkb := cfg.AngleBlocks(), cfg.KBlocks()
+	blockCosts := make([][]float64, nab)
+	for ab := 0; ab < nab; ab++ {
+		na := blockLen(ab, cfg.MMI, cfg.Angles)
+		blockCosts[ab] = make([]float64, nkb)
+		for kb := 0; kb < nkb; kb++ {
+			nk := blockLen(kb, cfg.MK, cfg.Grid.NZ)
+			c, err := e.blockCost(cfg, na, nk)
+			if err != nil {
+				return nil, err
+			}
+			blockCosts[ab][kb] = c
+		}
+	}
+	d := cfg.Decomp
+	w, err := mp.NewWorld(d.Size(), mp.Options{Net: e.HW.Net()})
+	if err != nil {
+		return nil, err
+	}
+	var sweepOnly float64
+	err = w.Run(func(c *mp.Comm) error {
+		ix, iy := d.Coords(c.Rank())
+		for it := 0; it < cfg.Iterations; it++ {
+			c.ChargeExact(srcCost)
+			t0 := c.Now()
+			for _, o := range sn.Octants() {
+				upX, downX, upY, downY := d.UpstreamDownstream(ix, iy, o.SX, o.SY)
+				for ab := 0; ab < nab; ab++ {
+					na := blockLen(ab, cfg.MMI, cfg.Angles)
+					for step := 0; step < nkb; step++ {
+						kb := step
+						if o.SZ < 0 {
+							kb = nkb - 1 - step
+						}
+						nk := blockLen(kb, cfg.MK, cfg.Grid.NZ)
+						ew := 8 * cfg.localNY() * nk * na
+						ns := 8 * cfg.localNX() * nk * na
+						if upX >= 0 {
+							c.RecvN(upX, 1)
+						}
+						if upY >= 0 {
+							c.RecvN(upY, 2)
+						}
+						c.ChargeExact(blockCosts[ab][kb])
+						if downX >= 0 {
+							c.SendN(downX, 1, ew, nil)
+						}
+						if downY >= 0 {
+							c.SendN(downY, 2, ns, nil)
+						}
+					}
+				}
+			}
+			if c.Rank() == 0 && it == 0 {
+				sweepOnly = c.Now() - t0
+			}
+			c.ChargeExact(ferrCost)
+			c.AllreduceMax(0)
+		}
+		c.AllreduceSum(0) // the closing "last" subtask reduction
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reduce := e.HW.Net().ReduceCost(d.Size(), 8+16, nil)
+	return &Prediction{
+		Total:          w.Makespan(),
+		SweepPerIter:   sweepOnly,
+		SourcePerIter:  srcCost,
+		FluxErrPerIter: ferrCost,
+		ReducePerIter:  reduce,
+		Last:           reduce,
+		BlockSeconds:   fullBlock,
+		FillStages:     fillStages(d),
+		Method:         "template",
+	}, nil
+}
+
+// blockLen returns the length of block i under blocking factor f over total
+// n (the last block may be ragged).
+func blockLen(i, f, n int) int {
+	lo := i * f
+	hi := lo + f
+	if hi > n {
+		hi = n
+	}
+	return hi - lo
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fillStages is the pipeline fill length of the 4-corner-group octant
+// schedule: the x direction reverses three times across the groups and the
+// y direction twice, giving 3(PX-1) + 2(PY-1) stages of fill per iteration
+// (see the closed-form derivation in closedform.go).
+func fillStages(d grid.Decomp) int {
+	return 3*(d.PX-1) + 2*(d.PY-1)
+}
+
+// PredictAuto picks the evaluation path by array size: template evaluation
+// up to a few hundred processors, the closed form beyond (the speculative
+// 8000-processor studies).
+func (e *Evaluator) PredictAuto(cfg Config) (*Prediction, error) {
+	if cfg.Decomp.Size() <= 512 {
+		return e.Predict(cfg)
+	}
+	return e.PredictClosedForm(cfg)
+}
+
+// String renders a prediction breakdown.
+func (p *Prediction) String() string {
+	return fmt.Sprintf(
+		"total %.4gs [%s: sweep/iter %.4gs, source/iter %.4gs, flux_err/iter %.4gs, reduce/iter %.4gs, block %.4gs, fill %d]",
+		p.Total, p.Method, p.SweepPerIter, p.SourcePerIter, p.FluxErrPerIter,
+		p.ReducePerIter, p.BlockSeconds, p.FillStages)
+}

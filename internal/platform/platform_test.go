@@ -1,0 +1,216 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pacesweep/internal/mp"
+)
+
+func TestPiecewiseEvaluation(t *testing.T) {
+	p := Piecewise{A: 512, B: 10, C: 0.02, D: 14, E: 0.01}
+	cases := []struct {
+		bytes int
+		want  float64
+	}{
+		{0, 10},
+		{100, 12},
+		{512, 20.24},
+		{1000, 24},
+		{100000, 1014},
+	}
+	for _, c := range cases {
+		if got := p.Micros(c.bytes); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Micros(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+	if got := p.Seconds(1000); math.Abs(got-24e-6) > 1e-15 {
+		t.Errorf("Seconds(1000) = %v", got)
+	}
+}
+
+func TestPiecewiseMonotoneProperty(t *testing.T) {
+	// All predefined platform curves must be monotone non-decreasing in
+	// message size (a sanity requirement on curve parameters).
+	for _, pl := range All() {
+		for name, c := range map[string]Piecewise{
+			"send": pl.Net.Send, "recv": pl.Net.Recv, "pingpong": pl.Net.PingPong,
+		} {
+			f := func(a, b uint32) bool {
+				x, y := int(a%1_000_000), int(b%1_000_000)
+				if x > y {
+					x, y = y, x
+				}
+				return c.Micros(x) <= c.Micros(y)+1e-9
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Errorf("%s %s curve not monotone: %v", pl.Name, name, err)
+			}
+		}
+	}
+}
+
+func TestMFLOPSInterpolation(t *testing.T) {
+	p := Processor{Rates: []RatePoint{{1000, 200}, {100000, 100}}}
+	if got := p.MFLOPSAt(500); got != 200 {
+		t.Errorf("below range: %v", got)
+	}
+	if got := p.MFLOPSAt(1000000); got != 100 {
+		t.Errorf("above range: %v", got)
+	}
+	// log-midpoint of 1e3..1e5 is 1e4: rate midway = 150.
+	if got := p.MFLOPSAt(10000); math.Abs(got-150) > 1e-9 {
+		t.Errorf("midpoint: %v, want 150", got)
+	}
+	if got := (Processor{}).MFLOPSAt(10); got != 0 {
+		t.Errorf("empty processor: %v", got)
+	}
+}
+
+func TestPaperRates(t *testing.T) {
+	// The paper's quoted achieved rates at 50^3 cells per processor.
+	cases := []struct {
+		pl   Platform
+		want float64
+	}{
+		{PentiumIIIMyrinet(), 110},
+		{OpteronGigE(), 350},
+		{AltixNUMAlink(), 225},
+		{OpteronMyrinet(), 340},
+	}
+	for _, c := range cases {
+		if got := c.pl.Proc.MFLOPSAt(125000); math.Abs(got-c.want) > 0.5 {
+			t.Errorf("%s rate at 50^3 = %v, want %v", c.pl.Name, got, c.want)
+		}
+	}
+	// The speculative system quotes 340 MFLOPS for both 5x5x100 and
+	// 25x25x200 cells per processor.
+	om := OpteronMyrinet()
+	for _, cells := range []int{2500, 125000} {
+		if got := om.Proc.MFLOPSAt(cells); math.Abs(got-340) > 0.5 {
+			t.Errorf("OpteronMyrinet rate at %d = %v, want 340", cells, got)
+		}
+	}
+}
+
+func TestSecondsPerCellAngle(t *testing.T) {
+	pl := PentiumIIIMyrinet()
+	serial := pl.SecondsPerCellAngle(36, 125000, false)
+	want := 36.0 / 110e6
+	if math.Abs(serial-want)/want > 1e-12 {
+		t.Errorf("serial cost = %v, want %v", serial, want)
+	}
+	par := pl.SecondsPerCellAngle(36, 125000, true)
+	if par >= serial {
+		t.Errorf("positive bias must make parallel runs faster: %v vs %v", par, serial)
+	}
+	alt := AltixNUMAlink()
+	if alt.SecondsPerCellAngle(36, 125000, true) <= alt.SecondsPerCellAngle(36, 125000, false) {
+		t.Error("Altix negative bias must make parallel runs slower")
+	}
+}
+
+func TestNetModelImplementsInterface(t *testing.T) {
+	var _ mp.NetworkModel = PentiumIIIMyrinet().NetModel(false)
+	var _ mp.ComputeNoise = PentiumIIIMyrinet().Noise()
+}
+
+func TestNetModelCosts(t *testing.T) {
+	pl := PentiumIIIMyrinet()
+	n := pl.NetModel(false)
+	rng := rand.New(rand.NewSource(1))
+	if got, want := n.SendOverhead(12000, rng), pl.Net.Send.Seconds(12000); got != want {
+		t.Errorf("send overhead = %v, want %v", got, want)
+	}
+	if got, want := n.Transit(12000, rng), pl.Net.PingPong.Seconds(12000)/2; got != want {
+		t.Errorf("transit = %v, want %v", got, want)
+	}
+	if got := n.ReduceCost(1, 8, rng); got != 0 {
+		t.Errorf("reduce cost for p=1 = %v, want 0", got)
+	}
+	r8 := n.ReduceCost(8, 8, rng)
+	r64 := n.ReduceCost(64, 8, rng)
+	if !(r64 > r8 && r8 > 0) {
+		t.Errorf("reduce cost not growing with p: %v %v", r8, r64)
+	}
+	// log2: 64 ranks is exactly twice the hops of 8 ranks.
+	if math.Abs(r64/r8-2) > 1e-9 {
+		t.Errorf("reduce hop scaling = %v, want 2", r64/r8)
+	}
+}
+
+func TestNetModelJitterBounded(t *testing.T) {
+	pl := OpteronGigE() // 10% jitter
+	n := pl.NetModel(true)
+	rng := rand.New(rand.NewSource(7))
+	base := pl.Net.Send.Seconds(5000)
+	for i := 0; i < 1000; i++ {
+		got := n.SendOverhead(5000, rng)
+		if got < base*0.89 || got > base*1.11 {
+			t.Fatalf("jitter out of bounds: %v vs base %v", got, base)
+		}
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	pl := OpteronGigE()
+	ns := pl.Noise()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		got := ns.Perturb(1.0, rng)
+		if got < 1-pl.Truth.NoiseFrac-1e-12 || got > 1+pl.Truth.NoiseFrac+1e-12 {
+			t.Fatalf("noise out of bounds: %v", got)
+		}
+	}
+	if OpteronMyrinet().Noise() != nil {
+		t.Error("hypothetical platform must be noiseless")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		pl, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if pl.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, pl.Name)
+		}
+	}
+	if _, err := ByName("Cray-T3E"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	if len(All()) != 4 {
+		t.Errorf("expected 4 predefined platforms, got %d", len(All()))
+	}
+}
+
+func TestTruthBiasSigns(t *testing.T) {
+	// The calibrated signs that reproduce the paper's error bands:
+	// P-III and Opteron tables have negative errors (model over-predicts,
+	// parallel runs beat the profiled rate), Altix positive.
+	if PentiumIIIMyrinet().Truth.ParallelRateBias <= 0 {
+		t.Error("P-III bias must be positive")
+	}
+	if OpteronGigE().Truth.ParallelRateBias <= 0 {
+		t.Error("Opteron bias must be positive")
+	}
+	if AltixNUMAlink().Truth.ParallelRateBias >= 0 {
+		t.Error("Altix bias must be negative")
+	}
+	if OpteronMyrinet().Truth.ParallelRateBias != 0 {
+		t.Error("hypothetical platform must be bias-free")
+	}
+}
+
+func TestOpcodeCyclesPresent(t *testing.T) {
+	for _, pl := range All() {
+		for _, op := range []string{"MFDG", "AFDG", "DFDG", "IFBR", "LFOR"} {
+			if pl.Proc.OpcodeCycles[op] <= 0 {
+				t.Errorf("%s: missing opcode cycles for %s", pl.Name, op)
+			}
+		}
+	}
+}

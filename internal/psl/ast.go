@@ -1,0 +1,153 @@
+package psl
+
+import "pacesweep/internal/platform"
+
+// Library is a set of parsed PSL objects, indexed by kind and name.
+type Library struct {
+	Applications map[string]*Object
+	Subtasks     map[string]*Object
+	Partmps      map[string]*Object
+	Hardwares    map[string]*Hardware
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{
+		Applications: map[string]*Object{},
+		Subtasks:     map[string]*Object{},
+		Partmps:      map[string]*Object{},
+		Hardwares:    map[string]*Hardware{},
+	}
+}
+
+// Object is an application, subtask or partmp object.
+type Object struct {
+	Kind     string // "application", "subtask", "partmp"
+	Name     string
+	Includes []string
+	Vars     []varDecl          // declared model variables with defaults
+	Links    map[string][]link  // target object -> bindings
+	Options  map[string]string  // option { key = "value"; }
+	Execs    map[string]*proc   // proc exec bodies by name
+	Cflows   map[string]*cfNode // proc cflow bodies by name
+	Line     int
+}
+
+type varDecl struct {
+	name string
+	init expr // may be nil (defaults to 0)
+}
+
+type link struct {
+	name  string
+	value expr   // numeric binding, or
+	cflow string // cflow proc reference (when value is a bare cflow name)
+}
+
+// proc is an executable procedure body.
+type proc struct {
+	name string
+	body []stmt
+}
+
+// --- exec statements ---
+
+type stmt interface{ pslStmt() }
+
+type declStmt struct{ decls []varDecl }
+
+type assignStmt struct {
+	name  string
+	value expr
+}
+
+type forStmt struct {
+	init *assignStmt
+	cond expr
+	post *assignStmt
+	body []stmt
+}
+
+type ifStmt struct {
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+type callStmt struct{ name string } // call <subtask>
+
+// opStmt is a device-usage statement in a partmp: mpisend(dst, bytes),
+// mpirecv(src, bytes), mpiallreduce(bytes), cpu(cflow-ref | expr).
+type opStmt struct {
+	op   string
+	args []expr
+	line int
+}
+
+func (*declStmt) pslStmt()   {}
+func (*assignStmt) pslStmt() {}
+func (*forStmt) pslStmt()    {}
+func (*ifStmt) pslStmt()     {}
+func (*callStmt) pslStmt()   {}
+func (*opStmt) pslStmt()     {}
+
+// --- cflow statements ---
+
+// cfNode is a node of a cflow characterisation: compute leaves, loops and
+// probabilistic cases, mirroring Figure 5.
+type cfNode struct {
+	kind    string // "seq", "compute", "loop", "case"
+	ops     []cfOp // compute: opcode/count pairs
+	count   expr   // loop trip count
+	prob    expr   // case probability
+	body    []*cfNode
+	elsBody []*cfNode
+}
+
+type cfOp struct {
+	opcode string
+	count  expr
+}
+
+// --- expressions ---
+
+type expr interface{ pslExpr() }
+
+type numExpr float64
+
+type strExpr string
+
+type varExpr string
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (numExpr) pslExpr()    {}
+func (strExpr) pslExpr()    {}
+func (varExpr) pslExpr()    {}
+func (*callExpr) pslExpr()  {}
+func (*unaryExpr) pslExpr() {}
+func (*binExpr) pslExpr()   {}
+
+// Hardware is an HMCL hardware object (Figure 7): per-opcode costs in
+// microseconds and the three Eq. 3 communication curves.
+type Hardware struct {
+	Name string
+	// CLC maps opcode mnemonics to microseconds per operation.
+	CLC map[string]float64
+	// MPI maps curve names (send, recv, pingpong) to Eq. 3 parameters.
+	MPI map[string]platform.Piecewise
+}

@@ -1,0 +1,44 @@
+package psl
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+)
+
+// models holds the shipped PSL/HMCL scripts: the SWEEP3D model of
+// Figures 4-6 and the Figure 7 hardware object.
+//
+//go:embed models/*.psl models/*.hmcl
+var models embed.FS
+
+// SweepModelSource returns the embedded SWEEP3D PSL model source.
+func SweepModelSource() string {
+	data, err := models.ReadFile("models/sweep3d.psl")
+	if err != nil {
+		panic(err) // embedded file: unreachable
+	}
+	return string(data)
+}
+
+// LoadSweep3D parses the embedded SWEEP3D model and every embedded
+// hardware object into one library.
+func LoadSweep3D() (*Library, error) {
+	lib := NewLibrary()
+	entries, err := fs.ReadDir(models, "models")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		data, err := models.ReadFile("models/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		part, err := Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("psl: embedded %s: %w", e.Name(), err)
+		}
+		lib.Merge(part)
+	}
+	return lib, nil
+}

@@ -1,0 +1,149 @@
+// Package psl implements a performance specification language in the style
+// of PACE's CHIP3S (Characterisation Instrumentation for Performance
+// Prediction of Parallel Systems), the language of the paper's Figures 4-7:
+// layered performance models built from application, subtask, parallel
+// template (partmp) and hardware objects, evaluated against a hardware
+// model to predict execution times.
+//
+// Supported object structure (Section 4.1-4.4 of the paper):
+//
+//	application <name> { include ...; var numeric: ...; link {...}
+//	                     option {...} proc exec init { ... } }
+//	subtask <name>    { include <partmp>; var numeric: ...; link {...}
+//	                     proc cflow <name> { compute/loop/case ... } }
+//	partmp <name>     { var numeric: ...; proc exec init { ...
+//	                     mpisend/mpirecv/mpiallreduce/cpu ... } }
+//	hardware <name>   { config clc { OP = microseconds, ... }
+//	                     config mpi { send = (A,B,C,D,E); ... } }
+//
+// Application control flow executes directly (the paper: "procedures
+// directly implement the control flow of the application"); cflow
+// statements are accumulated, not executed; partmp exec procs run SPMD on
+// the mp virtual-time engine, one virtual processor per rank.
+package psl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// pslOperators are matched longest-first.
+var pslOperators = []string{
+	"==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "<", ">", ";", ",", ":", "=",
+	"+", "-", "*", "/", "%", "!",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			start := line
+			i += 2
+			for {
+				if i+1 >= len(src) {
+					return nil, fmt.Errorf("psl: line %d: unterminated comment", start)
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= len(src) || src[j] != '"' {
+				return nil, fmt.Errorf("psl: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tString, src[i+1 : j], line})
+			i = j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			for j < len(src) {
+				d := src[j]
+				if unicode.IsDigit(rune(d)) || d == '.' {
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && j+1 < len(src) {
+					k := j + 1
+					if src[k] == '+' || src[k] == '-' {
+						k++
+					}
+					if k < len(src) && unicode.IsDigit(rune(src[k])) {
+						j = k
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		default:
+			matched := false
+			for _, op := range pslOperators {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("psl: line %d: unexpected character %q", line, string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}

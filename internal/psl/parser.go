@@ -1,0 +1,770 @@
+package psl
+
+import (
+	"fmt"
+	"strconv"
+
+	"pacesweep/internal/platform"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses PSL source containing any number of objects into a library.
+func Parse(src string) (*Library, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	lib := NewLibrary()
+	for !p.at(tEOF) {
+		kw, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "application", "subtask", "partmp":
+			obj, err := p.object(kw)
+			if err != nil {
+				return nil, err
+			}
+			switch kw {
+			case "application":
+				lib.Applications[obj.Name] = obj
+			case "subtask":
+				lib.Subtasks[obj.Name] = obj
+			case "partmp":
+				lib.Partmps[obj.Name] = obj
+			}
+		case "hardware":
+			hw, err := p.hardware()
+			if err != nil {
+				return nil, err
+			}
+			lib.Hardwares[hw.Name] = hw
+		default:
+			return nil, p.errf("expected object keyword, got %q", kw)
+		}
+	}
+	return lib, nil
+}
+
+// Merge adds all objects from other into lib (other wins on collisions).
+func (lib *Library) Merge(other *Library) {
+	for k, v := range other.Applications {
+		lib.Applications[k] = v
+	}
+	for k, v := range other.Subtasks {
+		lib.Subtasks[k] = v
+	}
+	for k, v := range other.Partmps {
+		lib.Partmps[k] = v
+	}
+	for k, v := range other.Hardwares {
+		lib.Hardwares[k] = v
+	}
+}
+
+func (p *parser) cur() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+func (p *parser) next() token {
+	t := p.cur()
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) atP(s string) bool { return p.cur().kind == tPunct && p.cur().text == s }
+func (p *parser) atKw(s string) bool {
+	return p.cur().kind == tIdent && p.cur().text == s
+}
+func (p *parser) accept(s string) bool {
+	if p.atP(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	return nil
+}
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("psl: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+func (p *parser) ident() (string, error) {
+	if !p.at(tIdent) {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+// object parses the body of an application/subtask/partmp after the kind
+// keyword.
+func (p *parser) object(kind string) (*Object, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	obj := &Object{
+		Kind: kind, Name: name, Line: p.cur().line,
+		Links:   map[string][]link{},
+		Options: map[string]string{},
+		Execs:   map[string]*proc{},
+		Cflows:  map[string]*cfNode{},
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.atP("}") {
+		kw, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "include":
+			for {
+				inc, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				obj.Includes = append(obj.Includes, inc)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "var":
+			decls, err := p.varDecls()
+			if err != nil {
+				return nil, err
+			}
+			obj.Vars = append(obj.Vars, decls...)
+		case "link":
+			if err := p.linkBlock(obj); err != nil {
+				return nil, err
+			}
+		case "option":
+			if err := p.optionBlock(obj); err != nil {
+				return nil, err
+			}
+		case "proc":
+			if err := p.procDecl(obj); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected keyword %q in %s %s", kw, kind, name)
+		}
+	}
+	return obj, p.expect("}")
+}
+
+// varDecls parses `numeric: a = 1, b;` after the "var" keyword.
+func (p *parser) varDecls() ([]varDecl, error) {
+	typ, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if typ != "numeric" && typ != "cflow" {
+		return nil, p.errf("unsupported var type %q", typ)
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	var out []varDecl
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := varDecl{name: name}
+		if p.accept("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		out = append(out, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, p.expect(";")
+}
+
+// linkBlock parses `{ target: a = expr, b = expr; ... }`.
+func (p *parser) linkBlock(obj *Object) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.atP("}") {
+		target, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expect("="); err != nil {
+				return err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return err
+			}
+			// Whether a bare identifier names a cflow proc (a Tx_work
+			// binding) or a numeric variable is resolved at evaluation
+			// time, since cflow procs may be declared after the link
+			// block.
+			obj.Links[target] = append(obj.Links[target], link{name: name, value: e})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	return p.expect("}")
+}
+
+func (p *parser) optionBlock(obj *Object) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.atP("}") {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		if !p.at(tString) {
+			return p.errf("option %s needs a string value", name)
+		}
+		obj.Options[name] = p.next().text
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	return p.expect("}")
+}
+
+// procDecl parses `exec <name> { ... }` or `cflow <name> { ... }`.
+func (p *parser) procDecl(obj *Object) error {
+	kind, err := p.ident()
+	if err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "exec":
+		body, err := p.stmtBlock()
+		if err != nil {
+			return err
+		}
+		obj.Execs[name] = &proc{name: name, body: body}
+	case "cflow":
+		body, err := p.cflowBlock()
+		if err != nil {
+			return err
+		}
+		obj.Cflows[name] = &cfNode{kind: "seq", body: body}
+	default:
+		return p.errf("unsupported proc kind %q", kind)
+	}
+	return nil
+}
+
+// --- exec statement parsing ---
+
+func (p *parser) stmtBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.atP("}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, p.expect("}")
+}
+
+func (p *parser) stmt() (stmt, error) {
+	switch {
+	case p.atKw("var"):
+		p.next()
+		decls, err := p.varDecls()
+		if err != nil {
+			return nil, err
+		}
+		return &declStmt{decls: decls}, nil
+	case p.atKw("for"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f := &forStmt{}
+		if !p.atP(";") {
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			f.init = a
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.atP(";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.cond = c
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.atP(")") {
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			f.post = a
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtBlock()
+		if err != nil {
+			return nil, err
+		}
+		f.body = body
+		return f, nil
+	case p.atKw("if"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then}
+		if p.atKw("else") {
+			p.next()
+			els, err := p.stmtBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case p.atKw("call"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &callStmt{name: name}, p.expect(";")
+	case p.atKw("mpisend") || p.atKw("mpirecv") || p.atKw("mpiallreduce") || p.atKw("cpu"):
+		line := p.cur().line
+		op, _ := p.ident()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var args []expr
+		if !p.atP(")") {
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &opStmt{op: op, args: args, line: line}, p.expect(";")
+	default:
+		a, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		return a, p.expect(";")
+	}
+}
+
+func (p *parser) assign() (*assignStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &assignStmt{name: name, value: e}, nil
+}
+
+// --- cflow parsing (Figure 5 syntax) ---
+
+func (p *parser) cflowBlock() ([]*cfNode, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []*cfNode
+	for !p.atP("}") {
+		n, err := p.cflowStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, p.expect("}")
+}
+
+func (p *parser) cflowStmt() (*cfNode, error) {
+	kw, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "compute":
+		ops, err := p.clcAngle(false)
+		if err != nil {
+			return nil, err
+		}
+		return &cfNode{kind: "compute", ops: ops}, p.expect(";")
+	case "loop":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if _, err := p.clcAngle(true); err != nil { // <is clc, LFOR>
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		count, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.cflowBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &cfNode{kind: "loop", count: count, body: body}, nil
+	case "case":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if _, err := p.clcAngle(true); err != nil { // <is clc, IFBR>
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		prob, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.cflowBlock()
+		if err != nil {
+			return nil, err
+		}
+		n := &cfNode{kind: "case", prob: prob, body: body}
+		if p.atKw("else") {
+			p.next()
+			els, err := p.cflowBlock()
+			if err != nil {
+				return nil, err
+			}
+			n.elsBody = els
+		}
+		return n, nil
+	}
+	return nil, p.errf("unexpected cflow statement %q", kw)
+}
+
+// clcAngle parses `<is clc, OP[, count][, OP, count...]>`. With bare=true
+// only the opcode list form `<is clc, LFOR>` is accepted and counts are
+// implicit.
+func (p *parser) clcAngle(bare bool) ([]cfOp, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	if kw, err := p.ident(); err != nil || kw != "is" {
+		return nil, p.errf("expected 'is' in clc angle")
+	}
+	if kw, err := p.ident(); err != nil || kw != "clc" {
+		return nil, p.errf("expected 'clc' in clc angle")
+	}
+	var ops []cfOp
+	for p.accept(",") {
+		op, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		entry := cfOp{opcode: op, count: numExpr(1)}
+		if !bare {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			// Parse below comparison precedence: the closing '>' of the
+			// clc angle must not be consumed as an operator.
+			cnt, err := p.binExprLevel(4)
+			if err != nil {
+				return nil, err
+			}
+			entry.count = cnt
+		}
+		ops = append(ops, entry)
+	}
+	return ops, p.expect(">")
+}
+
+// --- hardware (HMCL) parsing ---
+
+func (p *parser) hardware() (*Hardware, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	hw := &Hardware{Name: name, CLC: map[string]float64{}, MPI: map[string]platform.Piecewise{}}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.atP("}") {
+		kw, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if kw != "config" {
+			return nil, p.errf("expected config section, got %q", kw)
+		}
+		section, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		switch section {
+		case "clc":
+			for !p.atP("}") {
+				op, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				v, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				hw.CLC[op] = v
+				if !p.accept(",") {
+					if err := p.expect(";"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+		case "mpi":
+			for !p.atP("}") {
+				curve, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				var vals [5]float64
+				for i := 0; i < 5; i++ {
+					v, err := p.number()
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = v
+					if i < 4 {
+						if err := p.expect(","); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				hw.MPI[curve] = platform.Piecewise{
+					A: int(vals[0]), B: vals[1], C: vals[2], D: vals[3], E: vals[4],
+				}
+			}
+		default:
+			return nil, p.errf("unknown hardware section %q", section)
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+	}
+	return hw, p.expect("}")
+}
+
+// number parses a possibly signed numeric literal.
+func (p *parser) number() (float64, error) {
+	neg := p.accept("-")
+	if !p.at(tNumber) {
+		return 0, p.errf("expected number, got %s", p.cur())
+	}
+	v, err := strconv.ParseFloat(p.next().text, 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// --- expression parsing ---
+
+var pslPrec = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (expr, error) { return p.binExprLevel(0) }
+
+func (p *parser) binExprLevel(level int) (expr, error) {
+	if level == len(pslPrec) {
+		return p.unaryExprP()
+	}
+	l, err := p.binExprLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range pslPrec[level] {
+			if p.atP(op) {
+				// Angle brackets conflict with clc angles only inside
+				// cflow, where expr() is called after the angle is
+				// consumed, so plain comparison is safe here.
+				p.next()
+				r, err := p.binExprLevel(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &binExpr{op: op, l: l, r: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExprP() (expr, error) {
+	if p.atP("-") || p.atP("!") {
+		op := p.next().text
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: op, x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	switch {
+	case p.at(tNumber):
+		v, err := strconv.ParseFloat(p.next().text, 64)
+		if err != nil {
+			return nil, p.errf("bad number: %v", err)
+		}
+		return numExpr(v), nil
+	case p.at(tString):
+		return strExpr(p.next().text), nil
+	case p.at(tIdent):
+		line := p.cur().line
+		name := p.next().text
+		if p.accept("(") {
+			c := &callExpr{name: name, line: line}
+			if !p.atP(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					c.args = append(c.args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			return c, p.expect(")")
+		}
+		return varExpr(name), nil
+	case p.accept("("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errf("unexpected token %s in expression", p.cur())
+}

@@ -1,0 +1,427 @@
+package psl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pacesweep/internal/capp"
+	"pacesweep/internal/clc"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/hwmodel"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+)
+
+func testHW() *hwmodel.Model {
+	return &hwmodel.Model{
+		Name:     "unit-test-hw",
+		MFLOPS:   110,
+		Send:     platform.Piecewise{A: 512, B: 6, C: 0.008, D: 8, E: 0.0042},
+		Recv:     platform.Piecewise{A: 512, B: 7, C: 0.008, D: 9, E: 0.0042},
+		PingPong: platform.Piecewise{A: 512, B: 26, C: 0.02, D: 32, E: 0.0088},
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex(`application a { var numeric: x = 1.5e2; // comment
+	/* block */ }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "1.5e2") || strings.Contains(joined, "comment") {
+		t.Errorf("tokens = %v", texts)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `/* unterminated`, "a $ b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("expected lex error for %q", src)
+		}
+	}
+}
+
+func TestParseSmallApplication(t *testing.T) {
+	lib, err := Parse(`
+application demo {
+  include work;
+  var numeric: n = 4;
+  option { hrduse = "hw"; }
+  link { work: n = n * 2; }
+  proc exec init {
+    call work;
+  }
+}
+subtask work {
+  include async;
+  var numeric: n = 1;
+  link { async: npe_i = 1, npe_j = 1, Tx = main; }
+  proc cflow main {
+    loop (<is clc, LFOR>, n) { compute <is clc, MFDG, 10>; }
+  }
+}
+partmp async {
+  var numeric: npe_i = 1, npe_j = 1;
+  var cflow: Tx;
+  proc exec init { cpu(Tx); }
+}
+hardware hw {
+  config clc { MFDG = 0.01, AFDG = 0.01, DFDG = 0.01, IFBR = 0.0, LFOR = 0.0; }
+  config mpi {
+    send = (512, 1.0, 0.001, 2.0, 0.001);
+    recv = (512, 1.0, 0.001, 2.0, 0.001);
+    pingpong = (512, 4.0, 0.002, 6.0, 0.002);
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lib.Evaluate("demo", EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 multiplies (n linked as 4*2) at 0.01 us each.
+	want := 8 * 10 * 0.01e-6
+	if math.Abs(res.Seconds-want)/want > 1e-12 {
+		t.Errorf("seconds = %v, want %v", res.Seconds, want)
+	}
+	if res.Hardware != "hw" {
+		t.Errorf("hardware = %q", res.Hardware)
+	}
+	if res.Subtasks["work"] != res.Seconds {
+		t.Errorf("subtask accounting = %v", res.Subtasks)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`bogus x {}`,
+		`application a { unknownkw; }`,
+		`application a { var weird: x; }`,
+		`application a { option { x = 5; } }`,
+		`subtask s { proc cflow w { loop (n) {} } }`,
+		`hardware h { config clc { MFDG 0.1; } }`,
+		`hardware h { config bogus { } }`,
+		`application a { proc exec init { for (;;) } }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	lib, err := Parse(`
+application a {
+  include missing;
+  proc exec init { call missing; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Evaluate("a", EvalOptions{HW: testHW()}); err == nil {
+		t.Error("expected unknown-subtask error")
+	}
+	if _, err := lib.Evaluate("nope", EvalOptions{HW: testHW()}); err == nil {
+		t.Error("expected unknown-application error")
+	}
+	if _, err := lib.Evaluate("a", EvalOptions{}); err == nil {
+		t.Error("expected missing-hardware error")
+	}
+}
+
+func TestHMCLToModel(t *testing.T) {
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, ok := lib.Hardwares["PentiumIII_Myrinet"]
+	if !ok {
+		t.Fatalf("hardwares = %v", lib.Hardwares)
+	}
+	m, table, err := hw.ToModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MFLOPS-110) > 0.1 {
+		t.Errorf("HMCL rate = %v, want ~110", m.MFLOPS)
+	}
+	// Control opcodes negligible per Figure 7.
+	if table[clc.IFBR] != 0 || table[clc.LFOR] != 0 {
+		t.Errorf("control opcodes must be free: %v", table)
+	}
+	if m.Send.A != 512 {
+		t.Errorf("send curve = %+v", m.Send)
+	}
+}
+
+func TestSweep3DModelSerial(t *testing.T) {
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lib.Evaluate("sweep3d", EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By hand at 110 MFLOPS: 12 iterations of (50^3 cells x 48
+	// angle-octants x 37 flops + 50^3 x 7 flops).
+	want := 12 * (125000*48*37 + 125000*7) / 110e6
+	if math.Abs(res.Seconds-want)/want > 1e-6 {
+		t.Errorf("serial PSL evaluation = %v, want %v", res.Seconds, want)
+	}
+	if res.Subtasks["sweep"] < 0.9*res.Seconds {
+		t.Errorf("sweep subtask share too small: %v of %v", res.Subtasks["sweep"], res.Seconds)
+	}
+}
+
+func TestSweep3DModelMatchesGoNativePACE(t *testing.T) {
+	// The PSL-scripted model and the Go-native pace evaluator must agree:
+	// same structure, same clc counts, same hardware model.
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := testHW()
+	ev, err := pace.NewEvaluator(hw, analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range [][2]int{{1, 1}, {2, 2}, {2, 3}, {4, 4}, {3, 6}, {4, 5}} {
+		px, py := d[0], d[1]
+		cfg := pace.Config{
+			Grid:       grid.Global{NX: 50 * px, NY: 50 * py, NZ: 50},
+			Decomp:     grid.Decomp{PX: px, PY: py},
+			MK:         10,
+			MMI:        3,
+			Angles:     6,
+			Iterations: 12,
+		}
+		native, err := ev.Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lib.Evaluate("sweep3d", EvalOptions{
+			HW: hw,
+			Overrides: map[string]float64{
+				"it": float64(cfg.Grid.NX), "jt": float64(cfg.Grid.NY), "kt": 50,
+				"npe_i": float64(px), "npe_j": float64(py),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.Seconds-native.Total) / native.Total
+		if rel > 1e-9 {
+			t.Errorf("%dx%d: PSL %v vs Go-native %v (rel %v)", px, py, res.Seconds, native.Total, rel)
+		}
+	}
+}
+
+func TestSweep3DModelRaggedBlocking(t *testing.T) {
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := testHW()
+	ev, err := pace.NewEvaluator(hw, analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pace.Config{
+		Grid:       grid.Global{NX: 100, NY: 100, NZ: 50},
+		Decomp:     grid.Decomp{PX: 2, PY: 2},
+		MK:         7, // ragged k blocks
+		MMI:        4, // ragged angle blocks
+		Angles:     6,
+		Iterations: 12,
+	}
+	native, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lib.Evaluate("sweep3d", EvalOptions{
+		HW: hw,
+		Overrides: map[string]float64{
+			"it": 100, "jt": 100, "kt": 50, "mk": 7, "mmi": 4,
+			"npe_i": 2, "npe_j": 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Seconds-native.Total) / native.Total; rel > 1e-9 {
+		t.Errorf("ragged: PSL %v vs native %v (rel %v)", res.Seconds, native.Total, rel)
+	}
+}
+
+func TestEpsiControlsIterations(t *testing.T) {
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := lib.Evaluate("sweep3d", EvalOptions{
+		HW: testHW(), Overrides: map[string]float64{"epsi": -6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twelve, err := lib.Evaluate("sweep3d", EvalOptions{
+		HW: testHW(), Overrides: map[string]float64{"epsi": -12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(twelve.Seconds-2*six.Seconds) / twelve.Seconds; rel > 1e-3 {
+		t.Errorf("12 iterations (%v) should be ~2x 6 iterations (%v)", twelve.Seconds, six.Seconds)
+	}
+}
+
+func TestMemoisationPaysOff(t *testing.T) {
+	// 12 identical sweep calls must evaluate the pipeline once; the test
+	// simply asserts the evaluation is fast enough to be memoised by
+	// checking subtotals add up.
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lib.Evaluate("sweep3d", EvalOptions{
+		HW: testHW(), Overrides: map[string]float64{"npe_i": 4, "npe_j": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.Subtasks {
+		sum += s
+	}
+	if math.Abs(sum-res.Seconds)/res.Seconds > 1e-12 {
+		t.Errorf("subtask totals %v do not add to %v", sum, res.Seconds)
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	lib, err := Parse(`
+application fn {
+  include noop;
+  var numeric: out = 0;
+  proc exec init {
+    out = max(min(ceil(2.2), floor(9.9)), abs(0 - 4)) + 11 % 3;
+    if (out != 6) {
+      call noop;
+    }
+  }
+}
+subtask noop {
+  include async;
+  link { async: Tx = main; }
+  proc cflow main { compute <is clc, MFDG, 1000000>; }
+}
+partmp async {
+  var numeric: npe_i = 1, npe_j = 1;
+  var cflow: Tx;
+  proc exec init { cpu(Tx); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lib.Evaluate("fn", EvalOptions{HW: testHW()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max(min(3,9),4)=4, 11%3=2 -> out=6 -> the expensive call is skipped.
+	if res.Seconds != 0 {
+		t.Errorf("builtin arithmetic wrong: call executed (%v s)", res.Seconds)
+	}
+}
+
+func TestLibraryMerge(t *testing.T) {
+	a, err := Parse(`application x { proc exec init { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`partmp y { proc exec init { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	if len(a.Applications) != 1 || len(a.Partmps) != 1 {
+		t.Errorf("merge failed: %+v", a)
+	}
+}
+
+func TestSweepModelSourceExposed(t *testing.T) {
+	src := SweepModelSource()
+	for _, want := range []string{"application sweep3d", "partmp pipeline", "proc cflow work"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("embedded model missing %q", want)
+		}
+	}
+}
+
+func TestAllHardwareObjectsLoad(t *testing.T) {
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{ // achieved MFLOPS per Figure 7 semantics
+		"PentiumIII_Myrinet":  110,
+		"Opteron_GigE":        350,
+		"Altix_NUMAlink":      225,
+		"Opteron_Myrinet2000": 340,
+	}
+	if len(lib.Hardwares) != len(want) {
+		t.Fatalf("hardware objects = %d, want %d", len(lib.Hardwares), len(want))
+	}
+	for name, rate := range want {
+		hw, ok := lib.Hardwares[name]
+		if !ok {
+			t.Fatalf("missing hardware %q", name)
+		}
+		m, _, err := hw.ToModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.MFLOPS-rate)/rate > 0.001 {
+			t.Errorf("%s: rate %v, want %v", name, m.MFLOPS, rate)
+		}
+	}
+}
+
+func TestEvaluateAgainstEachHardware(t *testing.T) {
+	// The same application model evaluated on each hardware object; the
+	// ordering must follow the achieved rates (compute dominates at 2x2).
+	lib, err := LoadSweep3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]float64{}
+	for _, name := range []string{"PentiumIII_Myrinet", "Opteron_GigE", "Altix_NUMAlink", "Opteron_Myrinet2000"} {
+		res, err := lib.Evaluate("sweep3d", EvalOptions{HardwareName: name,
+			Overrides: map[string]float64{"it": 100, "jt": 100, "npe_i": 2, "npe_j": 2}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		times[name] = res.Seconds
+	}
+	if !(times["Opteron_GigE"] < times["Opteron_Myrinet2000"] &&
+		times["Opteron_Myrinet2000"] < times["Altix_NUMAlink"] &&
+		times["Altix_NUMAlink"] < times["PentiumIII_Myrinet"]) {
+		t.Errorf("hardware ordering wrong: %v", times)
+	}
+}

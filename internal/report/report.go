@@ -1,0 +1,250 @@
+// Package report renders experiment results: aligned text tables in the
+// style of the paper's Tables 1-3, CSV output, and ASCII log-x line plots
+// for the Figure 8/9 scaling curves.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented text table.
+type Table struct {
+	Title   string
+	Caption string
+	Headers []string
+	Rows    [][]string
+	Footer  []string // free-form summary lines
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddFooter appends a summary line.
+func (t *Table) AddFooter(format string, args ...any) {
+	t.Footer = append(t.Footer, fmt.Sprintf(format, args...))
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, f := range t.Footer {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (headers + rows). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a collection of curves sharing axes, rendered as an ASCII plot
+// (log-scaled x to match the paper's Figures 8 and 9).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+// Add appends a curve.
+func (f *Figure) Add(name string, xs, ys []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: xs, Y: ys})
+}
+
+// markers cycle per series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the figure into a width x height character grid.
+func (f *Figure) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			x := s.X[i]
+			if f.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return f.Title + "\n(no data)\n"
+	}
+	if ymin > 0 && ymin < ymax/5 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	gridRows := make([][]byte, height)
+	for r := range gridRows {
+		gridRows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x := s.X[i]
+			if f.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				gridRows[row][col] = m
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", f.Title)
+	for r, row := range gridRows {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%10.3g |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", width))
+	lo, hi := xmin, xmax
+	if f.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&sb, "%10s  %-*.4g%*.4g  (%s%s)\n", "", width/2, lo, width/2, hi,
+		f.XLabel, logSuffix(f.LogX))
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "%10s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func logSuffix(logX bool) string {
+	if logX {
+		return ", log scale"
+	}
+	return ""
+}
+
+// DataRows renders a figure's underlying points as x,series1,series2...
+// lines for machine consumption; series must share X grids.
+func (f *Figure) DataRows() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	for _, s := range f.Series {
+		sb.WriteString("," + s.Name)
+	}
+	sb.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&sb, "%g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, ",%g", s.Y[i])
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Table 1",
+		Caption: "validation on the P-III cluster",
+		Headers: []string{"Data Size", "PEs", "Error(%)"},
+	}
+	tb.AddRow("100x100x50", "4", "-7.72")
+	tb.AddRow("500x500x50", "100", "-0.81")
+	tb.AddFooter("average error %.2f%%", -4.2)
+	s := tb.String()
+	for _, want := range []string{"Table 1", "validation", "100x100x50", "-0.81", "average error -4.20%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns aligned: header row and data rows have same length.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "x50") || strings.Contains(l, "Error") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) < 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	w := len(dataLines[0])
+	for _, l := range dataLines[1:] {
+		if len(l) != w {
+			t.Errorf("misaligned row %q (want width %d)", l, w)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "Figure 8", XLabel: "Processors", YLabel: "Time", LogX: true}
+	xs := []float64{1, 10, 100, 1000, 8000}
+	f.Add("actual", xs, []float64{0.2, 0.3, 0.5, 0.8, 1.1})
+	f.Add("+25%", xs, []float64{0.16, 0.25, 0.42, 0.7, 0.95})
+	s := f.Render(60, 12)
+	if !strings.Contains(s, "Figure 8") || !strings.Contains(s, "actual") {
+		t.Errorf("render missing labels:\n%s", s)
+	}
+	if !strings.Contains(s, "log scale") {
+		t.Error("log axis label missing")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "+") {
+		t.Error("series markers missing")
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	if s := f.Render(40, 10); !strings.Contains(s, "no data") {
+		t.Errorf("empty render = %q", s)
+	}
+}
+
+func TestFigureDataRows(t *testing.T) {
+	f := &Figure{}
+	f.Add("a", []float64{1, 2}, []float64{10, 20})
+	f.Add("b", []float64{1, 2}, []float64{30, 40})
+	got := f.DataRows()
+	want := "x,a,b\n1,10,30\n2,20,40\n"
+	if got != want {
+		t.Errorf("DataRows = %q, want %q", got, want)
+	}
+	if (&Figure{}).DataRows() != "x\n" {
+		t.Error("empty DataRows wrong")
+	}
+}
+
+func TestFigureRenderClampsSize(t *testing.T) {
+	f := &Figure{Title: "t"}
+	f.Add("s", []float64{1, 2, 3}, []float64{1, 2, 3})
+	s := f.Render(1, 1) // clamped to minimums, must not panic
+	if len(s) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,180 @@
+// Package sn provides the discrete-ordinates (Sn) angular machinery used by
+// the SWEEP3D reproduction: level-symmetric quadrature sets, octant geometry
+// in SWEEP3D's pipelined sweep order, and one-group material data.
+//
+// SWEEP3D solves a one-group time-independent Sn problem; the N in Sn is the
+// quadrature order and gives N(N+2)/8 discrete directions per octant. The
+// benchmark default is S6 (six angles per octant).
+package sn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quadrature is a per-octant discrete-ordinates set. Mu, Eta and Xi hold the
+// positive direction cosines along x, y and z, and W the point weights.
+// Weights are normalised so the sum over the whole unit sphere (all eight
+// octants) is one; scalar flux is then the weighted mean of angular flux.
+type Quadrature struct {
+	N   int // quadrature order (even, >= 2)
+	Mu  []float64
+	Eta []float64
+	Xi  []float64
+	W   []float64
+}
+
+// lqMu1 holds the smallest positive cosine of the standard LQn
+// level-symmetric sets (Lewis & Miller, Computational Methods of Neutron
+// Transport, Table 4-1). Remaining cosines follow Carlson's equal-spacing
+// rule mu_i^2 = mu_1^2 + (i-1) * 2(1-3 mu_1^2)/(N-2).
+var lqMu1 = map[int]float64{
+	2:  0.5773502691896258, // 1/sqrt(3)
+	4:  0.3500212,
+	6:  0.2666355,
+	8:  0.2182179,
+	10: 0.1893213,
+	12: 0.1672126,
+	14: 0.1519859,
+	16: 0.1389568,
+}
+
+// LevelSymmetric builds the LQn level-symmetric quadrature of order n with
+// equal point weights per octant. Equal weights are a documented
+// simplification (DESIGN.md): the direction set and count are the standard
+// ones, which is what the performance study depends on; higher-moment
+// exactness is not required.
+func LevelSymmetric(n int) (*Quadrature, error) {
+	mu1, ok := lqMu1[n]
+	if !ok {
+		return nil, fmt.Errorf("sn: no level-symmetric set of order %d (supported: 2,4,...,16)", n)
+	}
+	half := n / 2
+	mus := make([]float64, half)
+	mus[0] = mu1
+	if n > 2 {
+		delta := 2 * (1 - 3*mu1*mu1) / float64(n-2)
+		for i := 1; i < half; i++ {
+			mus[i] = math.Sqrt(mu1*mu1 + float64(i)*delta)
+		}
+	}
+	m := n * (n + 2) / 8
+	q := &Quadrature{
+		N:   n,
+		Mu:  make([]float64, 0, m),
+		Eta: make([]float64, 0, m),
+		Xi:  make([]float64, 0, m),
+		W:   make([]float64, 0, m),
+	}
+	w := 1.0 / float64(8*m)
+	// Points are index triples (i,j,k), 1-based, with i+j+k = half+2.
+	for i := 1; i <= half; i++ {
+		for j := 1; j <= half; j++ {
+			k := half + 2 - i - j
+			if k < 1 || k > half {
+				continue
+			}
+			q.Mu = append(q.Mu, mus[i-1])
+			q.Eta = append(q.Eta, mus[j-1])
+			q.Xi = append(q.Xi, mus[k-1])
+			q.W = append(q.W, w)
+		}
+	}
+	if len(q.Mu) != m {
+		return nil, fmt.Errorf("sn: internal error: built %d points, want %d", len(q.Mu), m)
+	}
+	return q, nil
+}
+
+// MustLevelSymmetric is LevelSymmetric for known-good orders; it panics on
+// error and is intended for tests and fixed configurations.
+func MustLevelSymmetric(n int) *Quadrature {
+	q, err := LevelSymmetric(n)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// M returns the number of discrete directions per octant.
+func (q *Quadrature) M() int { return len(q.Mu) }
+
+// TotalWeight returns the weight integrated over the whole sphere
+// (8 octants); it is 1 by construction.
+func (q *Quadrature) TotalWeight() float64 {
+	s := 0.0
+	for _, w := range q.W {
+		s += w
+	}
+	return 8 * s
+}
+
+// Octant identifies one of the eight sweep directions in 3-D. SX, SY and SZ
+// are +1 or -1 and give the direction of travel along each axis: a +1 x-sign
+// sweeps from low i to high i.
+type Octant struct {
+	ID int // 0..7, position in the pipelined sweep order
+	SX int
+	SY int
+	SZ int
+}
+
+// CornerGroup returns the 2-D corner-pair group (0..3) of the octant.
+// SWEEP3D's octant ordering pipelines an upper and a lower octant (opposite
+// z-signs, same x/y corner) together; the k axis is not decomposed, so the
+// two octants of a pair flow through the 2-D processor array back to back
+// with no extra pipeline fill. Each change of 2-D corner between groups
+// restarts the wavefront and pays a fill of (Px-1)+(Py-1) stages.
+func (o Octant) CornerGroup() int { return o.ID / 2 }
+
+// Octants returns the eight octants in SWEEP3D's pipelined sweep order:
+// four corner-pair groups, each a lower (SZ=-1) then an upper (SZ=+1)
+// octant, visiting the 2-D corners in boustrophedon order (+x+y, -x+y,
+// -x-y, +x-y) as the jb/ib loops of the original code do.
+func Octants() [8]Octant {
+	corners := [4][2]int{{+1, +1}, {-1, +1}, {-1, -1}, {+1, -1}}
+	var out [8]Octant
+	for g, c := range corners {
+		out[2*g] = Octant{ID: 2 * g, SX: c[0], SY: c[1], SZ: -1}
+		out[2*g+1] = Octant{ID: 2*g + 1, SX: c[0], SY: c[1], SZ: +1}
+	}
+	return out
+}
+
+// Material is a one-group homogeneous material with isotropic scattering.
+type Material struct {
+	SigT float64 // total macroscopic cross-section (1/cm)
+	SigS float64 // isotropic scattering cross-section (1/cm)
+	Q    float64 // fixed isotropic volumetric source (n/cm^3/s)
+}
+
+// DefaultMaterial is the material used throughout the experiments: a mildly
+// scattering medium (c = 0.5) with a unit source, which keeps source
+// iteration well behaved at the paper's fixed 12 iterations.
+func DefaultMaterial() Material { return Material{SigT: 1.0, SigS: 0.5, Q: 1.0} }
+
+// ScatteringRatio returns c = SigS/SigT, the spectral radius of unaccelerated
+// source iteration in an infinite medium.
+func (m Material) ScatteringRatio() float64 {
+	if m.SigT == 0 {
+		return 0
+	}
+	return m.SigS / m.SigT
+}
+
+// Validate reports whether the material is physically usable for source
+// iteration: positive total cross-section, non-negative source, and
+// scattering strictly dominated by the total cross-section.
+func (m Material) Validate() error {
+	switch {
+	case m.SigT <= 0:
+		return fmt.Errorf("sn: SigT must be positive, got %g", m.SigT)
+	case m.SigS < 0:
+		return fmt.Errorf("sn: SigS must be non-negative, got %g", m.SigS)
+	case m.SigS >= m.SigT:
+		return fmt.Errorf("sn: scattering ratio must be < 1, got SigS=%g SigT=%g", m.SigS, m.SigT)
+	case m.Q < 0:
+		return fmt.Errorf("sn: source must be non-negative, got %g", m.Q)
+	}
+	return nil
+}

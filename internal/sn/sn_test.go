@@ -1,0 +1,199 @@
+package sn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelSymmetricCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 12, 14, 16} {
+		q, err := LevelSymmetric(n)
+		if err != nil {
+			t.Fatalf("S%d: %v", n, err)
+		}
+		want := n * (n + 2) / 8
+		if q.M() != want {
+			t.Errorf("S%d: M() = %d, want %d", n, q.M(), want)
+		}
+		if len(q.Mu) != len(q.Eta) || len(q.Mu) != len(q.Xi) || len(q.Mu) != len(q.W) {
+			t.Errorf("S%d: ragged component slices", n)
+		}
+	}
+}
+
+func TestLevelSymmetricUnsupported(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 5, 7, 18, -4} {
+		if _, err := LevelSymmetric(n); err == nil {
+			t.Errorf("S%d: expected error", n)
+		}
+	}
+}
+
+func TestQuadratureUnitDirections(t *testing.T) {
+	// Every discrete direction must lie on the unit sphere:
+	// mu^2 + eta^2 + xi^2 = 1.
+	for _, n := range []int{2, 4, 6, 8, 12, 16} {
+		q := MustLevelSymmetric(n)
+		for a := 0; a < q.M(); a++ {
+			r := q.Mu[a]*q.Mu[a] + q.Eta[a]*q.Eta[a] + q.Xi[a]*q.Xi[a]
+			if math.Abs(r-1) > 1e-6 {
+				t.Errorf("S%d angle %d: |omega|^2 = %v, want 1", n, a, r)
+			}
+		}
+	}
+}
+
+func TestQuadratureWeightsNormalised(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 12, 14, 16} {
+		q := MustLevelSymmetric(n)
+		if got := q.TotalWeight(); math.Abs(got-1) > 1e-12 {
+			t.Errorf("S%d: total sphere weight = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestQuadratureAxisSymmetry(t *testing.T) {
+	// A level-symmetric set is invariant under permutation of the axes:
+	// the multiset of cosines along x, y and z must be identical.
+	q := MustLevelSymmetric(6)
+	sum := func(v []float64) (s float64) {
+		for _, x := range v {
+			s += x
+		}
+		return
+	}
+	sx, sy, sz := sum(q.Mu), sum(q.Eta), sum(q.Xi)
+	if math.Abs(sx-sy) > 1e-12 || math.Abs(sx-sz) > 1e-12 {
+		t.Errorf("axis sums differ: %v %v %v", sx, sy, sz)
+	}
+}
+
+func TestQuadratureCosinesPositiveAscendingClasses(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 16} {
+		q := MustLevelSymmetric(n)
+		for a := 0; a < q.M(); a++ {
+			for _, c := range []float64{q.Mu[a], q.Eta[a], q.Xi[a]} {
+				if c <= 0 || c >= 1 {
+					t.Errorf("S%d angle %d: cosine %v out of (0,1)", n, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestS6MatchesPublishedCosines(t *testing.T) {
+	// The three distinct S6 cosines from the LQ6 set.
+	q := MustLevelSymmetric(6)
+	want := []float64{0.2666355, 0.6815076, 0.9261808}
+	seen := map[float64]bool{}
+	for _, m := range q.Mu {
+		seen[m] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected 3 distinct mu values, got %d", len(seen))
+	}
+	for _, w := range want {
+		found := false
+		for m := range seen {
+			if math.Abs(m-w) < 1e-4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("published cosine %v not found in %v", w, q.Mu)
+		}
+	}
+}
+
+func TestOctantOrder(t *testing.T) {
+	oct := Octants()
+	for i, o := range oct {
+		if o.ID != i {
+			t.Errorf("octant %d: ID = %d", i, o.ID)
+		}
+		if o.SX*o.SX != 1 || o.SY*o.SY != 1 || o.SZ*o.SZ != 1 {
+			t.Errorf("octant %d: non-unit signs %+v", i, o)
+		}
+		if o.CornerGroup() != i/2 {
+			t.Errorf("octant %d: group = %d, want %d", i, o.CornerGroup(), i/2)
+		}
+	}
+	// Pairs share the 2-D corner and differ only in z-sign.
+	for g := 0; g < 4; g++ {
+		lo, hi := oct[2*g], oct[2*g+1]
+		if lo.SX != hi.SX || lo.SY != hi.SY {
+			t.Errorf("group %d: pair does not share 2-D corner: %+v %+v", g, lo, hi)
+		}
+		if lo.SZ != -1 || hi.SZ != +1 {
+			t.Errorf("group %d: pair z-order wrong: %+v %+v", g, lo, hi)
+		}
+	}
+	// All eight sign triples are distinct (cover all octants).
+	seen := map[[3]int]bool{}
+	for _, o := range oct {
+		seen[[3]int{o.SX, o.SY, o.SZ}] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("octants cover %d sign triples, want 8", len(seen))
+	}
+	// Consecutive groups change 2-D corner (this is what forces a pipeline
+	// refill between groups).
+	for g := 1; g < 4; g++ {
+		a, b := oct[2*(g-1)], oct[2*g]
+		if a.SX == b.SX && a.SY == b.SY {
+			t.Errorf("groups %d and %d share a 2-D corner", g-1, g)
+		}
+	}
+}
+
+func TestMaterialValidate(t *testing.T) {
+	cases := []struct {
+		m  Material
+		ok bool
+	}{
+		{Material{SigT: 1, SigS: 0.5, Q: 1}, true},
+		{Material{SigT: 1, SigS: 0, Q: 0}, true},
+		{Material{SigT: 0, SigS: 0, Q: 1}, false},
+		{Material{SigT: 1, SigS: 1, Q: 1}, false},
+		{Material{SigT: 1, SigS: -0.1, Q: 1}, false},
+		{Material{SigT: 1, SigS: 0.5, Q: -2}, false},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.m, err, c.ok)
+		}
+	}
+	if DefaultMaterial().Validate() != nil {
+		t.Error("DefaultMaterial must validate")
+	}
+	if got := DefaultMaterial().ScatteringRatio(); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("default scattering ratio = %v, want 0.5", got)
+	}
+	if got := (Material{}).ScatteringRatio(); got != 0 {
+		t.Errorf("zero material scattering ratio = %v, want 0", got)
+	}
+}
+
+func TestQuadraturePropertyFirstMomentZero(t *testing.T) {
+	// Property: for any supported order, summing w*mu with octant signs over
+	// all 8 octants gives a zero net current in every axis.
+	f := func(pick uint8) bool {
+		orders := []int{2, 4, 6, 8, 10, 12, 14, 16}
+		n := orders[int(pick)%len(orders)]
+		q := MustLevelSymmetric(n)
+		var jx, jy, jz float64
+		for _, o := range Octants() {
+			for a := 0; a < q.M(); a++ {
+				jx += float64(o.SX) * q.W[a] * q.Mu[a]
+				jy += float64(o.SY) * q.W[a] * q.Eta[a]
+				jz += float64(o.SZ) * q.W[a] * q.Xi[a]
+			}
+		}
+		return math.Abs(jx) < 1e-12 && math.Abs(jy) < 1e-12 && math.Abs(jz) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package stats provides the small statistical toolkit the reproduction
+// needs: summary statistics, ordinary least squares, and the segmented
+// (two-piece) linear fit used to extract the paper's Eq. 3 communication
+// parameters from benchmark data.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MaxAbs returns the element with the largest magnitude (0 for empty).
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if math.Abs(x) > math.Abs(m) {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// RelErrPercent returns the paper's error convention:
+// (measured - predicted) / measured * 100. Negative means the model
+// over-predicts.
+func RelErrPercent(measured, predicted float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return (measured - predicted) / measured * 100
+}
+
+// LinearFit returns the least-squares intercept and slope of y = b + c*x.
+// It needs at least two points; with fewer it returns a degenerate fit
+// (intercept = mean).
+func LinearFit(xs, ys []float64) (b, c float64) {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return Mean(ys), 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Mean(ys), 0
+	}
+	c = (n*sxy - sx*sy) / den
+	b = (sy - c*sx) / n
+	return b, c
+}
+
+// RelativeLinearFit is LinearFit with 1/y^2 weights, minimising the sum of
+// squared relative residuals. Timing data spanning several decades of
+// magnitude (message sizes from bytes to megabytes) needs relative fitting
+// or the intercept near the breakpoint is swamped by the largest samples.
+func RelativeLinearFit(xs, ys []float64) (b, c float64) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return Mean(ys), 0
+	}
+	var sw, swx, swxx, swy, swxy float64
+	for i := range xs {
+		y := ys[i]
+		if y == 0 {
+			continue
+		}
+		w := 1 / (y * y)
+		sw += w
+		swx += w * xs[i]
+		swxx += w * xs[i] * xs[i]
+		swy += w * y
+		swxy += w * xs[i] * y
+	}
+	den := sw*swxx - swx*swx
+	if den == 0 || sw == 0 {
+		return Mean(ys), 0
+	}
+	c = (sw*swxy - swx*swy) / den
+	b = (swy - c*swx) / sw
+	return b, c
+}
+
+// sse returns the relative residual sum of squares of a relative linear fit
+// over a subset.
+func sse(xs, ys []float64) float64 {
+	b, c := RelativeLinearFit(xs, ys)
+	s := 0.0
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		r := (ys[i] - (b + c*xs[i])) / ys[i]
+		s += r * r
+	}
+	return s
+}
+
+// Segmented is a two-piece linear fit y = B + C*x (x <= A), D + E*x
+// (x >= A): exactly the parameter set of the paper's Eq. 3.
+type Segmented struct {
+	A          float64 // breakpoint
+	B, C, D, E float64
+	SSE        float64
+}
+
+// Eval evaluates the fit at x.
+func (s Segmented) Eval(x float64) float64 {
+	if x <= s.A {
+		return s.B + s.C*x
+	}
+	return s.D + s.E*x
+}
+
+func (s Segmented) String() string {
+	return fmt.Sprintf("A=%g B=%g C=%g D=%g E=%g", s.A, s.B, s.C, s.D, s.E)
+}
+
+// SegmentedFit finds the breakpoint (among the interior sample points) that
+// minimises the total residual sum of squares of independent least-squares
+// fits on the two sides. Points need not be sorted. At least four points
+// are required (two per side); with fewer the single linear fit is
+// duplicated on both sides.
+func SegmentedFit(xs, ys []float64) (Segmented, error) {
+	if len(xs) != len(ys) {
+		return Segmented{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return Segmented{}, fmt.Errorf("stats: no data")
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	sx := make([]float64, len(xs))
+	sy := make([]float64, len(ys))
+	for i, j := range idx {
+		sx[i] = xs[j]
+		sy[i] = ys[j]
+	}
+	if len(sx) < 4 {
+		b, c := RelativeLinearFit(sx, sy)
+		return Segmented{A: sx[len(sx)-1], B: b, C: c, D: b, E: c, SSE: sse(sx, sy)}, nil
+	}
+	best := Segmented{SSE: math.Inf(1)}
+	for cut := 2; cut <= len(sx)-2; cut++ {
+		lo, hi := sx[:cut], sy[:cut]
+		ro, rhi := sx[cut:], sy[cut:]
+		b, c := RelativeLinearFit(lo, hi)
+		d, e := RelativeLinearFit(ro, rhi)
+		total := sse(lo, hi) + sse(ro, rhi)
+		if total < best.SSE {
+			best = Segmented{A: sx[cut-1], B: b, C: c, D: d, E: e, SSE: total}
+		}
+	}
+	return best, nil
+}

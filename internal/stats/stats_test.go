@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 1.25 {
+		t.Errorf("variance = %v", Variance(xs))
+	}
+	if math.Abs(StdDev(xs)-math.Sqrt(1.25)) > 1e-15 {
+		t.Errorf("stddev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input must give 0")
+	}
+	if MaxAbs([]float64{1, -5, 3}) != -5 {
+		t.Errorf("MaxAbs = %v", MaxAbs([]float64{1, -5, 3}))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Errorf("median odd = %v", Median([]float64{3, 1, 2}))
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Errorf("median even = %v", Median([]float64{4, 1, 2, 3}))
+	}
+	if Median(nil) != 0 {
+		t.Error("median empty must be 0")
+	}
+}
+
+func TestRelErrPercent(t *testing.T) {
+	// Table 1 row 1 of the paper: measured 26.54, predicted 28.59 -> -7.72%.
+	got := RelErrPercent(26.54, 28.59)
+	if math.Abs(got-(-7.72)) > 0.01 {
+		t.Errorf("error convention = %v, want -7.72", got)
+	}
+	if RelErrPercent(0, 5) != 0 {
+		t.Error("zero measurement must give 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 5 + 2x
+	b, c := LinearFit(xs, ys)
+	if math.Abs(b-5) > 1e-12 || math.Abs(c-2) > 1e-12 {
+		t.Errorf("fit = %v + %v x", b, c)
+	}
+	// Degenerate cases.
+	b, c = LinearFit([]float64{1}, []float64{3})
+	if b != 3 || c != 0 {
+		t.Errorf("single point fit = %v, %v", b, c)
+	}
+	b, c = LinearFit([]float64{2, 2}, []float64{1, 3})
+	if b != 2 || c != 0 {
+		t.Errorf("vertical fit = %v, %v", b, c)
+	}
+}
+
+func TestSegmentedFitRecoversEq3(t *testing.T) {
+	// Synthesise Eq. 3 data with a breakpoint at 512 bytes.
+	truth := Segmented{A: 512, B: 10, C: 0.02, D: 14, E: 0.009}
+	var xs, ys []float64
+	for _, x := range []float64{8, 32, 64, 128, 256, 384, 512, 1024, 4096, 16384, 65536, 262144} {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := SegmentedFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.B-truth.B) > 0.2 || math.Abs(got.C-truth.C) > 0.003 {
+		t.Errorf("small-message fit B=%v C=%v", got.B, got.C)
+	}
+	if math.Abs(got.D-truth.D) > 0.5 || math.Abs(got.E-truth.E)/truth.E > 0.02 {
+		t.Errorf("large-message fit D=%v E=%v", got.D, got.E)
+	}
+	// The fitted curve must track the truth closely everywhere sampled.
+	for _, x := range xs {
+		if rel := math.Abs(got.Eval(x)-truth.Eval(x)) / truth.Eval(x); rel > 0.05 {
+			t.Errorf("fit at %v: %v vs %v", x, got.Eval(x), truth.Eval(x))
+		}
+	}
+}
+
+func TestSegmentedFitNoisy(t *testing.T) {
+	truth := Segmented{A: 1024, B: 30, C: 0.012, D: 40, E: 0.0095}
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for x := 16.0; x <= 1<<20; x *= 2 {
+		for r := 0; r < 3; r++ {
+			xs = append(xs, x)
+			ys = append(ys, truth.Eval(x)*(1+0.03*(2*rng.Float64()-1)))
+		}
+	}
+	got, err := SegmentedFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 64.0; x <= 1<<20; x *= 4 {
+		rel := math.Abs(got.Eval(x)-truth.Eval(x)) / truth.Eval(x)
+		if rel > 0.10 {
+			t.Errorf("noisy fit at %v: rel err %v", x, rel)
+		}
+	}
+}
+
+func TestSegmentedFitErrors(t *testing.T) {
+	if _, err := SegmentedFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := SegmentedFit(nil, nil); err == nil {
+		t.Error("expected empty data error")
+	}
+	// Fewer than 4 points degenerates to a single line on both sides.
+	s, err := SegmentedFit([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Eval(1.5)-3) > 1e-9 || math.Abs(s.Eval(2.5)-5) > 1e-9 {
+		t.Errorf("degenerate fit wrong: %v", s)
+	}
+}
+
+func TestSegmentedFitPropertyPiecewiseData(t *testing.T) {
+	// Property: for any reasonable Eq. 3 parameters, the fit reproduces the
+	// generating curve at the sample points to within numerical noise.
+	f := func(bp uint8, b, c, d, e uint8) bool {
+		truth := Segmented{
+			A: float64(int(bp)%8+2) * 128,
+			B: 1 + float64(b%50),
+			C: 0.001 * (1 + float64(c%30)),
+			D: 2 + float64(d%80),
+			E: 0.0005 * (1 + float64(e%20)),
+		}
+		var xs, ys []float64
+		for x := 16.0; x <= 1<<19; x *= 2 {
+			xs = append(xs, x, x*1.5)
+			ys = append(ys, truth.Eval(x), truth.Eval(x*1.5))
+		}
+		got, err := SegmentedFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if math.Abs(got.Eval(x)-ys[i]) > 0.05*ys[i]+0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

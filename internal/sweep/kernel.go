@@ -1,0 +1,486 @@
+package sweep
+
+import (
+	"math"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/sn"
+)
+
+// local is one rank's solver state.
+type local struct {
+	p   Problem
+	sub grid.Sub
+
+	// Cell-centred fields, (k*ny+j)*nx+i indexing over the local grid.
+	flux, fluxOld []float64
+	jx, jy, jz    []float64 // P1 current moments
+	s0            []float64 // isotropic emission density
+	s1x, s1y, s1z []float64 // P1 source moments
+
+	// DSA face-current tallies (outflow-face accumulation).
+	fcx, fcy, fcz []float64
+
+	// phik carries the z-face angular flux across k-blocks for the angles
+	// of the current angle block: [MMI][nx*ny].
+	phik [][]float64
+	// phij carries the y-face flux along j for a fixed (angle, k): [nx].
+	phij []float64
+
+	// Reflective z-face buffers (allocated only when used). refLow holds
+	// the downward octant's z-low exit per angle, consumed by the paired
+	// upward octant in the same corner group; refHigh holds the upward
+	// exits per corner group, consumed lagged by the downward octant on
+	// the next iteration.
+	refLow  [][]float64    // [m][nx*ny]
+	refHigh [4][][]float64 // [group][m][nx*ny]
+
+	// Per-angle precomputed coefficients (rebuilt per octant).
+	cix, cjy, ckz     []float64 // 2|c| / ((1+alpha) * delta)
+	den               []float64 // sigT + cix + cjy + ckz
+	omx, omy, omz     float64   // 1 - alpha per axis
+	rpx, rpy, rpz     float64   // 1 / (1 + alpha) per axis
+	wmu, weta, wxi    []float64 // signed w*cosine (current moments)
+	wamu, waeta, waxi []float64 // |w*cosine| (face currents, leakage)
+
+	counters Counters
+	leak     float64 // boundary leakage accumulated on the final iteration
+	inflow   float64 // boundary inflow accumulated on the final iteration
+}
+
+func newLocal(p Problem, sub grid.Sub) *local {
+	n := sub.Cells()
+	m := p.Quad.M()
+	ls := &local{p: p, sub: sub}
+	for _, f := range []*[]float64{
+		&ls.flux, &ls.fluxOld, &ls.jx, &ls.jy, &ls.jz,
+		&ls.s0, &ls.s1x, &ls.s1y, &ls.s1z,
+	} {
+		*f = make([]float64, n)
+	}
+	ls.fcx = make([]float64, (sub.NX+1)*sub.NY*sub.NZ)
+	ls.fcy = make([]float64, sub.NX*(sub.NY+1)*sub.NZ)
+	ls.fcz = make([]float64, sub.NX*sub.NY*(sub.NZ+1))
+	ls.phik = make([][]float64, p.MMI)
+	for i := range ls.phik {
+		ls.phik[i] = make([]float64, sub.NX*sub.NY)
+	}
+	if p.BCLowZ == Reflective {
+		ls.refLow = make([][]float64, m)
+		for a := range ls.refLow {
+			ls.refLow[a] = make([]float64, sub.NX*sub.NY)
+		}
+	}
+	if p.BCHighZ == Reflective {
+		for g := range ls.refHigh {
+			ls.refHigh[g] = make([][]float64, m)
+			for a := range ls.refHigh[g] {
+				ls.refHigh[g][a] = make([]float64, sub.NX*sub.NY)
+			}
+		}
+	}
+	ls.phij = make([]float64, sub.NX)
+	ls.cix = make([]float64, m)
+	ls.cjy = make([]float64, m)
+	ls.ckz = make([]float64, m)
+	ls.den = make([]float64, m)
+	ls.wmu = make([]float64, m)
+	ls.weta = make([]float64, m)
+	ls.wxi = make([]float64, m)
+	ls.wamu = make([]float64, m)
+	ls.waeta = make([]float64, m)
+	ls.waxi = make([]float64, m)
+	ls.rpx = 1 / (1 + p.Alpha[0])
+	ls.rpy = 1 / (1 + p.Alpha[1])
+	ls.rpz = 1 / (1 + p.Alpha[2])
+	ls.omx = 1 - p.Alpha[0]
+	ls.omy = 1 - p.Alpha[1]
+	ls.omz = 1 - p.Alpha[2]
+	return ls
+}
+
+func (ls *local) idx(i, j, k int) int { return (k*ls.sub.NY+j)*ls.sub.NX + i }
+
+// setOctant prepares the per-angle coefficient tables for a sweep octant.
+func (ls *local) setOctant(o sn.Octant) {
+	q := ls.p.Quad
+	dx, dy, dz := ls.p.Delta[0], ls.p.Delta[1], ls.p.Delta[2]
+	for a := 0; a < q.M(); a++ {
+		ls.cix[a] = 2 * q.Mu[a] / ((1 + ls.p.Alpha[0]) * dx)
+		ls.cjy[a] = 2 * q.Eta[a] / ((1 + ls.p.Alpha[1]) * dy)
+		ls.ckz[a] = 2 * q.Xi[a] / ((1 + ls.p.Alpha[2]) * dz)
+		ls.den[a] = ls.p.Mat.SigT + ls.cix[a] + ls.cjy[a] + ls.ckz[a]
+		ls.wamu[a] = q.W[a] * q.Mu[a]
+		ls.waeta[a] = q.W[a] * q.Eta[a]
+		ls.waxi[a] = q.W[a] * q.Xi[a]
+		ls.wmu[a] = float64(o.SX) * ls.wamu[a]
+		ls.weta[a] = float64(o.SY) * ls.waeta[a]
+		ls.wxi[a] = float64(o.SZ) * ls.waxi[a]
+	}
+}
+
+// iterRange returns start, limit and step for traversing n cells in the
+// direction of sign s.
+func iterRange(n, s int) (start, stop, step int) {
+	if s > 0 {
+		return 0, n, 1
+	}
+	return n - 1, -1, -1
+}
+
+// faceIndex helpers for the DSA face tallies: the outflow face of cell i in
+// direction s is face i+1 when sweeping up, face i when sweeping down.
+func outFace(i, s int) int {
+	if s > 0 {
+		return i + 1
+	}
+	return i
+}
+
+// kbOrder returns the k-block visit order for an octant: ascending block
+// index for upward (SZ=+1) sweeps, descending for downward.
+func (p Problem) kbOrder(o sn.Octant) []int {
+	nkb := p.KBlocks()
+	out := make([]int, nkb)
+	for i := range out {
+		if o.SZ > 0 {
+			out[i] = i
+		} else {
+			out[i] = nkb - 1 - i
+		}
+	}
+	return out
+}
+
+// initPhiK seeds the carried z-face flux at the octant's k entry boundary
+// for the angles of block ab: vacuum or boundary source by default, or the
+// paired octant's reflected exit flux on reflective z faces. Called before
+// the first k-block of each (octant, angle block) pair. finalIter enables
+// inflow accounting (external inflow only; reflected flux is internal).
+func (ls *local) initPhiK(o sn.Octant, ab int, finalIter bool) {
+	lo, hi := ls.p.angleRange(ab)
+	bs := ls.p.BoundarySource
+	for s := 0; s < hi-lo; s++ {
+		a := lo + s
+		buf := ls.phik[s]
+		switch {
+		case o.SZ > 0 && ls.p.BCLowZ == Reflective:
+			// Upward octant enters at z-low: reflect the downward exit
+			// stored earlier in this corner group.
+			copy(buf, ls.refLow[a])
+		case o.SZ < 0 && ls.p.BCHighZ == Reflective:
+			// Downward octant enters at z-high: reflect the upward exit
+			// of this corner group from the previous iteration (zero on
+			// the first; the lag converges with source iteration).
+			copy(buf, ls.refHigh[o.CornerGroup()][a])
+		default:
+			for i := range buf {
+				buf[i] = bs
+			}
+			if finalIter && bs > 0 {
+				area := ls.p.Delta[0] * ls.p.Delta[1]
+				ls.inflow += ls.waxi[a] * area * bs * float64(len(buf))
+			}
+		}
+	}
+}
+
+// finishPhiK handles the octant's k exit boundary after its last k-block:
+// reflective faces store the exit flux for the paired octant, vacuum faces
+// leak (accounted on the final iteration).
+func (ls *local) finishPhiK(o sn.Octant, ab int, finalIter bool) {
+	lo, hi := ls.p.angleRange(ab)
+	reflects := (o.SZ < 0 && ls.p.BCLowZ == Reflective) ||
+		(o.SZ > 0 && ls.p.BCHighZ == Reflective)
+	if reflects {
+		for s := 0; s < hi-lo; s++ {
+			a := lo + s
+			if o.SZ < 0 {
+				copy(ls.refLow[a], ls.phik[s])
+			} else {
+				copy(ls.refHigh[o.CornerGroup()][a], ls.phik[s])
+			}
+		}
+		return
+	}
+	if finalIter {
+		ls.leakK(ab)
+	}
+}
+
+// sweepBlock performs the transport sweep over one (octant, angle block,
+// k block) work unit. ewIn/nsIn are the upstream x-face and y-face fluxes
+// laid out [angle][k][j] and [angle][k][i]; nil means a global boundary
+// (vacuum or BoundarySource). It returns the downstream faces in the same
+// layout. finalIter enables boundary inflow accounting for the balance
+// report.
+func (ls *local) sweepBlock(o sn.Octant, ab, kb int, ewIn, nsIn []float64, finalIter bool) (ewOut, nsOut []float64) {
+	p, sub := ls.p, ls.sub
+	nx, ny := sub.NX, sub.NY
+	alo, ahi := p.angleRange(ab)
+	klo, khi := p.kRange(kb, sub.NZ)
+	na, nk := ahi-alo, khi-klo
+	ewOut = make([]float64, na*nk*ny)
+	nsOut = make([]float64, na*nk*nx)
+	bs := p.BoundarySource
+	sigT := p.Mat.SigT
+	mu0 := p.Delta[1] * p.Delta[2] // x-face area
+	eta0 := p.Delta[0] * p.Delta[2]
+
+	for s := 0; s < na; s++ {
+		a := alo + s
+		cix, cjy, ckz, den := ls.cix[a], ls.cjy[a], ls.ckz[a], ls.den[a]
+		w := p.Quad.W[a]
+		wmu, weta, wxi := ls.wmu[a], ls.weta[a], ls.wxi[a]
+		wamu, waeta, waxi := ls.wamu[a], ls.waeta[a], ls.waxi[a]
+		smu := float64(o.SX) * p.Quad.Mu[a]
+		seta := float64(o.SY) * p.Quad.Eta[a]
+		sxi := float64(o.SZ) * p.Quad.Xi[a]
+		phik := ls.phik[s]
+		k0, k1, dk := klo, khi, 1
+		if o.SZ < 0 {
+			k0, k1, dk = khi-1, klo-1, -1
+		}
+		for k := k0; k != k1; k += dk {
+			// Seed the y-carried face for this k-plane.
+			j0, j1, dj := iterRange(ny, o.SY)
+			for i := 0; i < nx; i++ {
+				if nsIn != nil {
+					ls.phij[i] = nsIn[(s*nk+(k-klo))*nx+i]
+				} else {
+					ls.phij[i] = bs
+					if finalIter && bs > 0 {
+						ls.inflow += waeta * eta0 * bs
+					}
+				}
+			}
+			for j := j0; j != j1; j += dj {
+				var phii float64
+				if ewIn != nil {
+					phii = ewIn[(s*nk+(k-klo))*ny+j]
+				} else {
+					phii = bs
+					if finalIter && bs > 0 {
+						ls.inflow += wamu * mu0 * bs
+					}
+				}
+				i0, i1, di := iterRange(nx, o.SX)
+				rowBase := (k*ny + j) * nx
+				for i := i0; i != i1; i += di {
+					c := rowBase + i
+					ij := j*nx + i
+					phiJ := ls.phij[i]
+					phiK := phik[ij]
+					srcv := ls.s0[c] + smu*ls.s1x[c] + seta*ls.s1y[c] + sxi*ls.s1z[c]
+					num := srcv + cix*phii + cjy*phiJ + ckz*phiK
+					psi := num / den
+					psi2 := 2 * psi
+					outI := (psi2 - ls.omx*phii) * ls.rpx
+					outJ := (psi2 - ls.omy*phiJ) * ls.rpy
+					outK := (psi2 - ls.omz*phiK) * ls.rpz
+					if p.FixupEnabled && (outI < 0 || outJ < 0 || outK < 0) {
+						psi, outI, outJ, outK = ls.fixup(
+							srcv, sigT, cix, cjy, ckz, phii, phiJ, phiK)
+					}
+					ls.flux[c] += w * psi
+					ls.jx[c] += wmu * psi
+					ls.jy[c] += weta * psi
+					ls.jz[c] += wxi * psi
+					ls.fcx[(k*ny+j)*(nx+1)+outFace(i, o.SX)] += wamu * outI
+					ls.fcy[(k*(ny+1)+outFace(j, o.SY))*nx+i] += waeta * outJ
+					ls.fcz[(outFace(k, o.SZ)*ny+j)*nx+i] += waxi * outK
+					phii = outI
+					ls.phij[i] = outJ
+					phik[ij] = outK
+					ls.counters.CellAngleUpdates++
+				}
+				ewOut[(s*nk+(k-klo))*ny+j] = phii
+			}
+			copy(nsOut[(s*nk+(k-klo))*nx:(s*nk+(k-klo))*nx+nx], ls.phij)
+		}
+	}
+	return ewOut, nsOut
+}
+
+// fixup performs the balance-preserving negative-flux fixup: any face whose
+// diamond-extrapolated outflow is negative is switched to step differencing
+// (outflow = cell flux), and the cell flux is recomputed. Up to three passes
+// are needed (one per axis). It mirrors the original benchmark's "flux
+// fixup" path and preserves the per-cell particle balance.
+func (ls *local) fixup(srcv, sigT, cix, cjy, ckz, inI, inJ, inK float64) (psi, outI, outJ, outK float64) {
+	// Step coefficients are half the diamond ones at alpha=0; in general
+	// the step relation is c_step = |cos|/delta = cix*(1+alpha)/2.
+	stx, sty, stz := false, false, false
+	sx := cix * (1 + ls.p.Alpha[0]) / 2
+	sy := cjy * (1 + ls.p.Alpha[1]) / 2
+	sz := ckz * (1 + ls.p.Alpha[2]) / 2
+	for pass := 0; pass < 3; pass++ {
+		num, den := srcv, sigT
+		if stx {
+			num += sx * inI
+			den += sx
+		} else {
+			num += cix * inI
+			den += cix
+		}
+		if sty {
+			num += sy * inJ
+			den += sy
+		} else {
+			num += cjy * inJ
+			den += cjy
+		}
+		if stz {
+			num += sz * inK
+			den += sz
+		} else {
+			num += ckz * inK
+			den += ckz
+		}
+		psi = num / den
+		psi2 := 2 * psi
+		outI = (psi2 - ls.omx*inI) * ls.rpx
+		outJ = (psi2 - ls.omy*inJ) * ls.rpy
+		outK = (psi2 - ls.omz*inK) * ls.rpz
+		if stx {
+			outI = psi
+		}
+		if sty {
+			outJ = psi
+		}
+		if stz {
+			outK = psi
+		}
+		ls.counters.Fixups++
+		again := false
+		if outI < 0 && !stx {
+			stx, again = true, true
+		}
+		if outJ < 0 && !sty {
+			sty, again = true, true
+		}
+		if outK < 0 && !stz {
+			stz, again = true, true
+		}
+		if !again {
+			break
+		}
+	}
+	// Anything still negative (pathological cross-sections) is clamped.
+	outI = math.Max(outI, 0)
+	outJ = math.Max(outJ, 0)
+	outK = math.Max(outK, 0)
+	return psi, outI, outJ, outK
+}
+
+// source performs the per-iteration source subtask: save the old flux,
+// rebuild the emission densities from the previous iteration's moments, and
+// clear the accumulators.
+func (ls *local) source() {
+	m := ls.p.Mat
+	for c := range ls.flux {
+		ls.fluxOld[c] = ls.flux[c]
+		ls.s0[c] = m.SigS*ls.flux[c] + m.Q
+		ls.s1x[c] = ls.p.SigS1 * ls.jx[c]
+		ls.s1y[c] = ls.p.SigS1 * ls.jy[c]
+		ls.s1z[c] = ls.p.SigS1 * ls.jz[c]
+		ls.flux[c] = 0
+		ls.jx[c] = 0
+		ls.jy[c] = 0
+		ls.jz[c] = 0
+	}
+	for _, f := range [][]float64{ls.fcx, ls.fcy, ls.fcz} {
+		for i := range f {
+			f[i] = 0
+		}
+	}
+	ls.counters.SourceCells += int64(len(ls.flux))
+}
+
+// fluxErr performs the flux_err subtask: the maximum relative pointwise
+// flux change of the iteration.
+func (ls *local) fluxErr() float64 {
+	df := 0.0
+	for c := range ls.flux {
+		denom := math.Abs(ls.flux[c])
+		if denom < 1e-300 {
+			denom = 1e-300
+		}
+		if d := math.Abs(ls.flux[c]-ls.fluxOld[c]) / denom; d > df {
+			df = d
+		}
+	}
+	ls.counters.FluxErrCells += int64(len(ls.flux))
+	return df
+}
+
+// leakEW accumulates boundary leakage from an outgoing x-face block that has
+// no downstream processor (the global boundary).
+func (ls *local) leakEW(ab, kb int, ewOut []float64) {
+	alo, ahi := ls.p.angleRange(ab)
+	klo, khi := ls.p.kRange(kb, ls.sub.NZ)
+	area := ls.p.Delta[1] * ls.p.Delta[2]
+	na, nk, ny := ahi-alo, khi-klo, ls.sub.NY
+	for s := 0; s < na; s++ {
+		w := ls.wamu[alo+s]
+		for kk := 0; kk < nk; kk++ {
+			row := (s*nk + kk) * ny
+			sum := 0.0
+			for j := 0; j < ny; j++ {
+				sum += ewOut[row+j]
+			}
+			ls.leak += w * area * sum
+		}
+	}
+}
+
+// leakNS is leakEW for y-faces.
+func (ls *local) leakNS(ab, kb int, nsOut []float64) {
+	alo, ahi := ls.p.angleRange(ab)
+	klo, khi := ls.p.kRange(kb, ls.sub.NZ)
+	area := ls.p.Delta[0] * ls.p.Delta[2]
+	na, nk, nx := ahi-alo, khi-klo, ls.sub.NX
+	for s := 0; s < na; s++ {
+		w := ls.waeta[alo+s]
+		for kk := 0; kk < nk; kk++ {
+			row := (s*nk + kk) * nx
+			sum := 0.0
+			for i := 0; i < nx; i++ {
+				sum += nsOut[row+i]
+			}
+			ls.leak += w * area * sum
+		}
+	}
+}
+
+// leakK accumulates leakage through the octant's k exit boundary from the
+// carried z-faces; called after the last k-block of an (octant, angle
+// block) pair on the final iteration.
+func (ls *local) leakK(ab int) {
+	alo, ahi := ls.p.angleRange(ab)
+	area := ls.p.Delta[0] * ls.p.Delta[1]
+	for s := 0; s < ahi-alo; s++ {
+		w := ls.waxi[alo+s]
+		sum := 0.0
+		for _, v := range ls.phik[s] {
+			sum += v
+		}
+		ls.leak += w * area * sum
+	}
+}
+
+// localBalance returns this rank's contributions to the global balance
+// using the final flux: external volumetric source + boundary inflow on one
+// side, absorption + leakage on the other.
+func (ls *local) localBalance() (source, absorption, leakage float64) {
+	vol := ls.p.Delta[0] * ls.p.Delta[1] * ls.p.Delta[2]
+	siga := ls.p.Mat.SigT - ls.p.Mat.SigS
+	var phiSum float64
+	for _, f := range ls.flux {
+		phiSum += f
+	}
+	source = ls.p.Mat.Q*vol*float64(len(ls.flux)) + ls.inflow
+	absorption = siga * phiSum * vol
+	leakage = ls.leak
+	return
+}

@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/sn"
+)
+
+// RunSkeletonOverlapped is RunSkeleton restructured with nonblocking
+// communication: receives are pre-posted one k-block ahead and completed
+// only when the block's work needs them, the transformation a programmer
+// would apply to overlap communication with computation.
+//
+// Its purpose is to *quantify the paper's Section 4.4 claim* that the
+// simple communication model suffices because "one way blocking sends and
+// receives dominate the application": every cell of block n+1 depends on
+// the incoming faces of block n+1, so the wait cannot move past any useful
+// work and the overlapped schedule completes in exactly the same virtual
+// time as the blocking one (experiments.OverlapStudy measures this; a test
+// asserts equality). Overlap would only appear if the kernel were split
+// into boundary-independent interior work — a different application
+// structure, which is why the paper defers overlapped communication to
+// future work on other codes.
+func RunSkeletonOverlapped(p Problem, d grid.Decomp, costs Costs, opts mp.Options) (*SkeletonResult, error) {
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Iterations <= 0 {
+		return nil, ErrSkeletonIterations
+	}
+	subs, err := grid.Partition(p.Grid, d)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mp.NewWorld(d.Size(), opts)
+	if err != nil {
+		return nil, err
+	}
+	counters := make([]Counters, d.Size())
+	err = w.Run(func(c *mp.Comm) error {
+		overlappedRank(c, p, d, subs[c.Rank()], costs, &counters[c.Rank()])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SkeletonResult{
+		Makespan:   w.Makespan(),
+		RankClocks: make([]float64, d.Size()),
+		Iterations: p.Iterations,
+	}
+	for r := range counters {
+		res.RankClocks[r] = w.Clock(r)
+		res.Counters.Add(counters[r])
+	}
+	return res, nil
+}
+
+func overlappedRank(c *mp.Comm, p Problem, d grid.Decomp, sub grid.Sub, costs Costs, ctr *Counters) {
+	nab := p.AngleBlocks()
+	nkb := p.KBlocks()
+	cells := sub.Cells()
+	for it := 1; it <= p.Iterations; it++ {
+		c.Charge(float64(cells) * costs.SourceCell)
+		ctr.SourceCells += int64(cells)
+		for _, o := range sn.Octants() {
+			upX, downX, upY, downY := d.UpstreamDownstream(sub.IX, sub.IY, o.SX, o.SY)
+			for ab := 0; ab < nab; ab++ {
+				alo, ahi := p.angleRange(ab)
+				na := ahi - alo
+				// Pre-post the first block's receives, then per block:
+				// post the next block's receives before computing, and
+				// wait for the current block only when its work begins.
+				var pendX, pendY *mp.Request
+				if upX >= 0 {
+					pendX = c.Irecv(upX, tagEW)
+				}
+				if upY >= 0 {
+					pendY = c.Irecv(upY, tagNS)
+				}
+				for step := 0; step < nkb; step++ {
+					kb := step
+					if o.SZ < 0 {
+						kb = nkb - 1 - step
+					}
+					klo, khi := p.kRange(kb, sub.NZ)
+					nk := khi - klo
+					curX, curY := pendX, pendY
+					pendX, pendY = nil, nil
+					if step+1 < nkb {
+						if upX >= 0 {
+							pendX = c.Irecv(upX, tagEW)
+						}
+						if upY >= 0 {
+							pendY = c.Irecv(upY, tagNS)
+						}
+					}
+					mp.WaitAll(curX, curY)
+					updates := int64(sub.NX) * int64(sub.NY) * int64(nk) * int64(na)
+					c.Charge(float64(updates) * costs.CellAngle)
+					ctr.CellAngleUpdates += updates
+					ewBytes := 8 * na * nk * sub.NY
+					nsBytes := 8 * na * nk * sub.NX
+					if downX >= 0 {
+						c.Isend(downX, tagEW, ewBytes, nil)
+						ctr.MessagesSent++
+						ctr.BytesSent += int64(ewBytes)
+					}
+					if downY >= 0 {
+						c.Isend(downY, tagNS, nsBytes, nil)
+						ctr.MessagesSent++
+						ctr.BytesSent += int64(nsBytes)
+					}
+				}
+			}
+		}
+		c.Charge(float64(cells) * costs.FluxErrCell)
+		ctr.FluxErrCells += int64(cells)
+		c.AllreduceMax(0)
+	}
+	c.AllreduceSum(0)
+}

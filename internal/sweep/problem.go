@@ -1,0 +1,304 @@
+// Package sweep implements the ASCI SWEEP3D benchmark from scratch: a
+// one-group time-independent discrete-ordinates (Sn) neutron transport
+// solver on a 3-D Cartesian grid, parallelised as a pipelined synchronous
+// wavefront over a 2-D processor array (the i and j axes decomposed, k
+// intact), with k-plane blocking (MK) and angle blocking (MMI) exactly as in
+// the original code.
+//
+// The same kernel serves three roles:
+//
+//   - SolveSerial: the reference solution on one processor;
+//   - SolveParallel: the full functional message-passing solve over
+//     internal/mp (used to validate correctness: it reproduces the serial
+//     flux bit for bit);
+//   - RunSkeleton: a structure-faithful execution that replaces per-cell
+//     arithmetic with virtual-time charges, used by the cluster simulator
+//     ("measurement") and scalable to thousands of ranks.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/sn"
+)
+
+// Per-update operation counts of the kernel. These are the ground truth the
+// capp static analysis of the C transcription must reproduce, and the basis
+// for achieved-flop-rate profiling (Section 4.3 of the paper).
+const (
+	// FlopsPerCellAngle counts one fixup-free cell update for one discrete
+	// direction: P1 source evaluation (6), diamond/WDD numerator (6),
+	// divide (1), shared 2*psi (1), three outflow extrapolations (9),
+	// scalar-flux accumulation (2), three current moments (6), three DSA
+	// face-current accumulations (6). The capp static analysis of the C
+	// transcription (internal/capp/testdata/sweep_kernel.c) must reproduce
+	// this number; a test enforces it.
+	FlopsPerCellAngle = 37
+	// FlopsPerFixup is the extra work of one balance-preserving
+	// negative-flux fixup pass.
+	FlopsPerFixup = 12
+	// FlopsPerSourceCell is the per-cell cost of the source subtask
+	// (isotropic re-emission + three P1 source moments).
+	FlopsPerSourceCell = 5
+	// FlopsPerFluxErrCell is the per-cell cost of the flux_err subtask.
+	FlopsPerFluxErrCell = 2
+)
+
+// DefaultIterations is the fixed iteration count of the benchmark setup the
+// paper uses throughout ("12 such iterations are performed").
+const DefaultIterations = 12
+
+// Problem specifies one SWEEP3D run. The zero value is not usable; call
+// Normalize (or use New) to fill in defaults.
+type Problem struct {
+	Grid grid.Global    // global cell grid (it x jt x kt)
+	Quad *sn.Quadrature // angular quadrature (benchmark default S6)
+	Mat  sn.Material    // one-group material
+	// SigS1 is the P1 (linearly anisotropic) scattering cross-section
+	// feeding the source moments; 0 gives isotropic scattering only.
+	SigS1 float64
+	// Delta is the cell size (dx, dy, dz) in cm.
+	Delta [3]float64
+	// MK is the k-plane blocking factor, MMI the angle blocking factor:
+	// the number of k-planes and angles solved before boundary data is
+	// forwarded to the downstream processor.
+	MK, MMI int
+	// Iterations > 0 runs a fixed number of source iterations (the paper's
+	// configuration, 12). If 0, iterate until the relative flux change
+	// drops below Epsi, up to MaxIterations.
+	Iterations    int
+	Epsi          float64
+	MaxIterations int
+	// Alpha are weighted-diamond-difference weights per axis; 0 is pure
+	// diamond differencing.
+	Alpha [3]float64
+	// BoundarySource is the incident angular flux applied on the global
+	// inflow faces of every sweep (0 = vacuum boundaries).
+	BoundarySource float64
+	// BCLowZ and BCHighZ select the z-face boundary conditions ("vacuum or
+	// reflective", Section 2). A reflective low face feeds the downward
+	// octant's exit flux back as the paired upward octant's inflow within
+	// the same corner group; a reflective high face feeds the upward exit
+	// back to the paired downward octant on the next iteration (lagged,
+	// converging with source iteration). The x and y faces stay vacuum:
+	// they are decomposed across processors, and the benchmark's standard
+	// configuration reflects only in z.
+	BCLowZ, BCHighZ BC
+	// FixupEnabled turns on the negative-flux fixup (set-to-zero with
+	// balance-preserving recompute), as in the original benchmark.
+	FixupEnabled bool
+}
+
+// BC is a boundary condition type.
+type BC int
+
+// Boundary condition kinds.
+const (
+	Vacuum BC = iota
+	Reflective
+)
+
+func (b BC) String() string {
+	if b == Reflective {
+		return "reflective"
+	}
+	return "vacuum"
+}
+
+// New returns a Problem with benchmark defaults for the given global grid:
+// S6 quadrature, the default material, mk=10, mmi=3, 12 iterations, unit
+// cells, fixup enabled.
+func New(g grid.Global) Problem {
+	return Problem{
+		Grid:         g,
+		Quad:         sn.MustLevelSymmetric(6),
+		Mat:          sn.DefaultMaterial(),
+		SigS1:        0.15,
+		Delta:        [3]float64{1, 1, 1},
+		MK:           10,
+		MMI:          3,
+		Iterations:   DefaultIterations,
+		FixupEnabled: true,
+	}
+}
+
+// Normalize fills unset fields with usable defaults and clamps blocking
+// factors to the problem extents.
+func (p Problem) Normalize() Problem {
+	if p.Quad == nil {
+		p.Quad = sn.MustLevelSymmetric(6)
+	}
+	if p.Mat == (sn.Material{}) {
+		p.Mat = sn.DefaultMaterial()
+	}
+	for i := range p.Delta {
+		if p.Delta[i] <= 0 {
+			p.Delta[i] = 1
+		}
+	}
+	if p.MK <= 0 {
+		p.MK = 10
+	}
+	if p.MK > p.Grid.NZ && p.Grid.NZ > 0 {
+		p.MK = p.Grid.NZ
+	}
+	if p.MMI <= 0 {
+		p.MMI = 3
+	}
+	if m := p.Quad.M(); p.MMI > m {
+		p.MMI = m
+	}
+	if p.Iterations <= 0 && p.Epsi <= 0 {
+		p.Iterations = DefaultIterations
+	}
+	if p.Iterations <= 0 && p.MaxIterations <= 0 {
+		p.MaxIterations = 200
+	}
+	return p
+}
+
+// Validate reports configuration errors after normalisation.
+func (p Problem) Validate() error {
+	if err := p.Grid.Validate(); err != nil {
+		return err
+	}
+	if p.Quad == nil || p.Quad.M() == 0 {
+		return fmt.Errorf("sweep: missing quadrature")
+	}
+	if err := p.Mat.Validate(); err != nil {
+		return err
+	}
+	if p.SigS1 < 0 || p.SigS1 >= p.Mat.SigT {
+		return fmt.Errorf("sweep: SigS1 %g out of range [0, SigT)", p.SigS1)
+	}
+	if p.MK <= 0 || p.MMI <= 0 {
+		return fmt.Errorf("sweep: blocking factors must be positive (mk=%d mmi=%d)", p.MK, p.MMI)
+	}
+	if p.BoundarySource < 0 {
+		return fmt.Errorf("sweep: negative boundary source %g", p.BoundarySource)
+	}
+	for _, bc := range []BC{p.BCLowZ, p.BCHighZ} {
+		if bc != Vacuum && bc != Reflective {
+			return fmt.Errorf("sweep: unknown boundary condition %d", bc)
+		}
+	}
+	if (p.BCLowZ == Reflective || p.BCHighZ == Reflective) && p.BoundarySource != 0 {
+		return fmt.Errorf("sweep: boundary source and reflective z faces are mutually exclusive")
+	}
+	for _, a := range p.Alpha {
+		if a < 0 || a >= 1 {
+			return fmt.Errorf("sweep: WDD weights must be in [0,1), got %v", p.Alpha)
+		}
+	}
+	return nil
+}
+
+// AngleBlocks returns the number of angle blocks per octant
+// (ceil(mm/MMI), the benchmark's "mo").
+func (p Problem) AngleBlocks() int {
+	m := p.Quad.M()
+	return (m + p.MMI - 1) / p.MMI
+}
+
+// KBlocks returns the number of k-plane blocks (ceil(kt/MK), the
+// benchmark's "kb").
+func (p Problem) KBlocks() int {
+	return (p.Grid.NZ + p.MK - 1) / p.MK
+}
+
+// BlockSteps returns the number of pipeline block steps one processor
+// executes per iteration: 8 octants x angle blocks x k blocks.
+func (p Problem) BlockSteps() int {
+	return 8 * p.AngleBlocks() * p.KBlocks()
+}
+
+// angleRange returns the [lo,hi) angle indices of angle block ab.
+func (p Problem) angleRange(ab int) (lo, hi int) {
+	lo = ab * p.MMI
+	hi = lo + p.MMI
+	if m := p.Quad.M(); hi > m {
+		hi = m
+	}
+	return
+}
+
+// kRange returns the [lo,hi) local k indices of k block kb in ascending
+// order (callers reverse traversal for downward octants).
+func (p Problem) kRange(kb, nz int) (lo, hi int) {
+	lo = kb * p.MK
+	hi = lo + p.MK
+	if hi > nz {
+		hi = nz
+	}
+	return
+}
+
+// CellAngleUpdatesPerIteration returns the number of (cell, angle) updates
+// one full iteration performs over the whole grid: cells x angles x 8
+// octants. Used for analytic flop accounting.
+func (p Problem) CellAngleUpdatesPerIteration() int64 {
+	return p.Grid.Cells() * int64(p.Quad.M()) * 8
+}
+
+// Counters aggregates the PAPI-like operation counts of a run.
+type Counters struct {
+	CellAngleUpdates int64
+	Fixups           int64
+	SourceCells      int64
+	FluxErrCells     int64
+	MessagesSent     int64
+	BytesSent        int64
+}
+
+// Flops converts the counters into a floating-point operation count using
+// the kernel's known per-update costs.
+func (c Counters) Flops() float64 {
+	return float64(c.CellAngleUpdates)*FlopsPerCellAngle +
+		float64(c.Fixups)*FlopsPerFixup +
+		float64(c.SourceCells)*FlopsPerSourceCell +
+		float64(c.FluxErrCells)*FlopsPerFluxErrCell
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.CellAngleUpdates += other.CellAngleUpdates
+	c.Fixups += other.Fixups
+	c.SourceCells += other.SourceCells
+	c.FluxErrCells += other.FluxErrCells
+	c.MessagesSent += other.MessagesSent
+	c.BytesSent += other.BytesSent
+}
+
+// Balance is the particle-conservation report of a converged solve:
+// at steady state, external source = absorption + net leakage.
+type Balance struct {
+	Source     float64 // total external emission (Q * volume + boundary inflow)
+	Absorption float64 // total absorption rate
+	Leakage    float64 // net outflow through the global boundary
+}
+
+// Residual returns the relative conservation defect
+// |source - absorption - leakage| / source.
+func (b Balance) Residual() float64 {
+	if b.Source == 0 {
+		return math.Abs(b.Absorption + b.Leakage)
+	}
+	return math.Abs(b.Source-b.Absorption-b.Leakage) / b.Source
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Flux       []float64 // global scalar flux, (k*NY + j)*NX + i indexing
+	Iterations int
+	FluxErr    float64 // last iteration's relative flux change
+	Balance    Balance
+	Counters   Counters
+	Makespan   float64 // virtual seconds when run under a timed transport
+}
+
+// FluxAt returns the scalar flux of global cell (i,j,k).
+func (r *Result) FluxAt(g grid.Global, i, j, k int) float64 {
+	return r.Flux[(k*g.NY+j)*g.NX+i]
+}

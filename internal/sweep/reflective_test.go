@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/sn"
+)
+
+// TestReflectiveLowZMethodOfImages checks the reflective boundary against
+// the method of images: a domain of height H with a reflective low-z face
+// is the upper half of a vacuum domain of height 2H (mirror symmetry about
+// the midplane), so the fluxes must match cell for cell once source
+// iteration has converged the reflected lag away.
+func TestReflectiveLowZMethodOfImages(t *testing.T) {
+	const h = 6
+	refl := New(grid.Global{NX: 8, NY: 8, NZ: h})
+	refl.Quad = sn.MustLevelSymmetric(4)
+	refl.MK = 3
+	refl.MMI = 2
+	refl.Iterations = 30
+	refl.BCLowZ = Reflective
+
+	full := refl
+	full.Grid = grid.Global{NX: 8, NY: 8, NZ: 2 * h}
+	full.BCLowZ = Vacuum
+
+	rRes, err := SolveSerial(refl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fRes, err := SolveSerial(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < h; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				got := rRes.FluxAt(refl.Grid, i, j, k)
+				want := fRes.FluxAt(full.Grid, i, j, h+k)
+				if math.Abs(got-want) > 1e-7*math.Max(want, 1) {
+					t.Fatalf("images mismatch at (%d,%d,%d): reflective %v vs full %v",
+						i, j, k, got, want)
+				}
+			}
+		}
+	}
+	// The mirror symmetry of the full problem itself (sanity check).
+	for k := 0; k < h; k++ {
+		a := fRes.FluxAt(full.Grid, 3, 4, h+k)
+		b := fRes.FluxAt(full.Grid, 3, 4, h-1-k)
+		if math.Abs(a-b) > 1e-9*math.Max(a, 1) {
+			t.Fatalf("full problem not mirror symmetric at k=%d: %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestReflectiveRaisesFluxNearFace(t *testing.T) {
+	// A reflective face returns particles that vacuum would lose: the flux
+	// adjacent to the face must rise, and total absorption must rise.
+	base := New(grid.Global{NX: 6, NY: 6, NZ: 6})
+	base.Quad = sn.MustLevelSymmetric(4)
+	base.MK = 2
+	base.MMI = 3
+	base.Iterations = 25
+
+	vac, err := SolveSerial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refl := base
+	refl.BCLowZ = Reflective
+	rRes, err := SolveSerial(refl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := base.Grid
+	if rRes.FluxAt(g, 3, 3, 0) <= vac.FluxAt(g, 3, 3, 0) {
+		t.Errorf("reflective face did not raise boundary flux: %v vs %v",
+			rRes.FluxAt(g, 3, 3, 0), vac.FluxAt(g, 3, 3, 0))
+	}
+	if rRes.Balance.Absorption <= vac.Balance.Absorption {
+		t.Errorf("absorption should rise with a reflective face: %v vs %v",
+			rRes.Balance.Absorption, vac.Balance.Absorption)
+	}
+	if rRes.Balance.Leakage >= vac.Balance.Leakage {
+		t.Errorf("leakage should drop with a reflective face: %v vs %v",
+			rRes.Balance.Leakage, vac.Balance.Leakage)
+	}
+}
+
+func TestReflectiveBothFacesBalance(t *testing.T) {
+	// With both z faces reflective the problem becomes 1-D-infinite in z;
+	// balance must still close at convergence, with leakage only through
+	// the four x/y faces.
+	p := New(grid.Global{NX: 6, NY: 6, NZ: 4})
+	p.Quad = sn.MustLevelSymmetric(2)
+	p.MK = 2
+	p.MMI = 1
+	p.Iterations = 40
+	p.BCLowZ = Reflective
+	p.BCHighZ = Reflective
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Balance.Residual(); r > 1e-6 {
+		t.Errorf("reflective balance residual = %v", r)
+	}
+	// Flux must be uniform along z (no z gradients survive with both
+	// faces reflective and a uniform source).
+	g := p.Grid
+	for k := 1; k < g.NZ; k++ {
+		a := res.FluxAt(g, 2, 3, 0)
+		b := res.FluxAt(g, 2, 3, k)
+		if math.Abs(a-b) > 1e-6*a {
+			t.Fatalf("z profile not flat at k=%d: %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestReflectiveParallelMatchesSerial(t *testing.T) {
+	// The reflective buffers are rank-local (z is never decomposed), so
+	// parallel solves must still reproduce the serial flux bit for bit.
+	p := New(grid.Global{NX: 12, NY: 10, NZ: 6})
+	p.Quad = sn.MustLevelSymmetric(4)
+	p.MK = 2
+	p.MMI = 2
+	p.Iterations = 9
+	p.BCLowZ = Reflective
+	p.BCHighZ = Reflective
+	serial, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveParallel(p, grid.Decomp{PX: 3, PY: 2}, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Flux {
+		if serial.Flux[i] != par.Flux[i] {
+			t.Fatalf("reflective parallel flux differs at %d", i)
+		}
+	}
+}
+
+func TestReflectiveValidation(t *testing.T) {
+	p := New(grid.Global{NX: 4, NY: 4, NZ: 4})
+	p.BCLowZ = Reflective
+	p.BoundarySource = 1
+	if err := p.Validate(); err == nil {
+		t.Error("boundary source with reflective faces must be rejected")
+	}
+	p.BoundarySource = 0
+	p.BCHighZ = BC(9)
+	if err := p.Validate(); err == nil {
+		t.Error("unknown BC must be rejected")
+	}
+	if Vacuum.String() != "vacuum" || Reflective.String() != "reflective" {
+		t.Error("BC string labels wrong")
+	}
+}

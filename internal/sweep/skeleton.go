@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"errors"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/sn"
+)
+
+// ErrSkeletonIterations is returned when a skeleton run is asked to use
+// epsi-based convergence: without arithmetic there is no flux to converge.
+var ErrSkeletonIterations = errors.New("sweep: skeleton runs need a fixed iteration count")
+
+// Costs prices the skeleton execution: seconds per unit of each work type.
+// The cluster simulator fills it from ground-truth platform parameters
+// (internal/platform); nothing in this package knows where the numbers come
+// from.
+type Costs struct {
+	CellAngle   float64 // one (cell, angle) sweep update
+	SourceCell  float64 // one cell of the source subtask
+	FluxErrCell float64 // one cell of the flux_err subtask
+}
+
+// CostsFromRate builds Costs from an achieved floating-point rate in MFLOPS
+// using the kernel's known per-update flop counts, mirroring the paper's
+// hardware-layer construction ("time for one floating point operation").
+func CostsFromRate(mflops float64) Costs {
+	perFlop := 1 / (mflops * 1e6)
+	return Costs{
+		CellAngle:   FlopsPerCellAngle * perFlop,
+		SourceCell:  FlopsPerSourceCell * perFlop,
+		FluxErrCell: FlopsPerFluxErrCell * perFlop,
+	}
+}
+
+// SkeletonResult reports a skeleton (structure-only, virtual-time) run.
+type SkeletonResult struct {
+	Makespan   float64   // max final virtual clock over ranks (seconds)
+	RankClocks []float64 // per-rank final clocks
+	Counters   Counters  // aggregated op counts (identical to a full run's)
+	Iterations int
+}
+
+// RunSkeleton executes the exact control and communication structure of the
+// parallel solver — same octant order, same blocking, same message sizes,
+// same collectives — but replaces per-cell arithmetic with virtual-time
+// charges. It scales to thousands of ranks and is the measurement substrate
+// for the validation tables and the execution engine behind model
+// evaluation.
+//
+// The run uses the fixed iteration count (Iterations; convergence cannot be
+// evaluated without arithmetic).
+func RunSkeleton(p Problem, d grid.Decomp, costs Costs, opts mp.Options) (*SkeletonResult, error) {
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Iterations <= 0 {
+		return nil, ErrSkeletonIterations
+	}
+	subs, err := grid.Partition(p.Grid, d)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mp.NewWorld(d.Size(), opts)
+	if err != nil {
+		return nil, err
+	}
+	counters := make([]Counters, d.Size())
+	err = w.Run(func(c *mp.Comm) error {
+		skeletonRank(c, p, d, subs[c.Rank()], costs, &counters[c.Rank()])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SkeletonResult{
+		Makespan:   w.Makespan(),
+		RankClocks: make([]float64, d.Size()),
+		Iterations: p.Iterations,
+	}
+	for r := range counters {
+		res.RankClocks[r] = w.Clock(r)
+		res.Counters.Add(counters[r])
+	}
+	return res, nil
+}
+
+func skeletonRank(c *mp.Comm, p Problem, d grid.Decomp, sub grid.Sub, costs Costs, ctr *Counters) {
+	nab := p.AngleBlocks()
+	cells := sub.Cells()
+	for it := 1; it <= p.Iterations; it++ {
+		// source subtask
+		c.Charge(float64(cells) * costs.SourceCell)
+		ctr.SourceCells += int64(cells)
+		// sweep subtask under the pipeline template
+		for _, o := range sn.Octants() {
+			upX, downX, upY, downY := d.UpstreamDownstream(sub.IX, sub.IY, o.SX, o.SY)
+			for ab := 0; ab < nab; ab++ {
+				alo, ahi := p.angleRange(ab)
+				for _, kb := range p.kbOrder(o) {
+					klo, khi := p.kRange(kb, sub.NZ)
+					na, nk := ahi-alo, khi-klo
+					ewBytes := 8 * na * nk * sub.NY
+					nsBytes := 8 * na * nk * sub.NX
+					if upX >= 0 {
+						c.RecvN(upX, tagEW)
+					}
+					if upY >= 0 {
+						c.RecvN(upY, tagNS)
+					}
+					updates := int64(sub.NX) * int64(sub.NY) * int64(nk) * int64(na)
+					c.Charge(float64(updates) * costs.CellAngle)
+					ctr.CellAngleUpdates += updates
+					if downX >= 0 {
+						c.SendN(downX, tagEW, ewBytes, nil)
+						ctr.MessagesSent++
+						ctr.BytesSent += int64(ewBytes)
+					}
+					if downY >= 0 {
+						c.SendN(downY, tagNS, nsBytes, nil)
+						ctr.MessagesSent++
+						ctr.BytesSent += int64(nsBytes)
+					}
+				}
+			}
+		}
+		// flux_err subtask + global reduction
+		c.Charge(float64(cells) * costs.FluxErrCell)
+		ctr.FluxErrCells += int64(cells)
+		c.AllreduceMax(0)
+	}
+	// last subtask: the closing global sums (balance, total flux)
+	c.AllreduceSum(0)
+}

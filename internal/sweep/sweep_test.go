@@ -1,0 +1,522 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+	"pacesweep/internal/sn"
+)
+
+// smallProblem returns a quick functional test configuration.
+func smallProblem() Problem {
+	p := New(grid.Global{NX: 12, NY: 10, NZ: 8})
+	p.Quad = sn.MustLevelSymmetric(4)
+	p.MK = 3
+	p.MMI = 2
+	p.Iterations = 6
+	return p
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Problem{Grid: grid.Global{NX: 4, NY: 4, NZ: 4}}.Normalize()
+	if p.Quad == nil || p.Quad.N != 6 {
+		t.Error("default quadrature must be S6")
+	}
+	if p.Iterations != DefaultIterations {
+		t.Errorf("default iterations = %d, want %d", p.Iterations, DefaultIterations)
+	}
+	if p.MK != 4 {
+		t.Errorf("MK must clamp to NZ: got %d", p.MK)
+	}
+	if p.Delta != [3]float64{1, 1, 1} {
+		t.Errorf("default delta = %v", p.Delta)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := smallProblem()
+	bad := []func(*Problem){
+		func(p *Problem) { p.Grid.NX = 0 },
+		func(p *Problem) { p.Mat.SigS = p.Mat.SigT },
+		func(p *Problem) { p.SigS1 = -1 },
+		func(p *Problem) { p.SigS1 = p.Mat.SigT },
+		func(p *Problem) { p.BoundarySource = -1 },
+		func(p *Problem) { p.Alpha = [3]float64{1.5, 0, 0} },
+	}
+	for i, mutate := range bad {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	p := smallProblem() // nz=8 mk=3 -> 3 blocks; S4 m=3, mmi=2 -> 2 blocks
+	if got := p.KBlocks(); got != 3 {
+		t.Errorf("KBlocks = %d, want 3", got)
+	}
+	if got := p.AngleBlocks(); got != 2 {
+		t.Errorf("AngleBlocks = %d, want 2", got)
+	}
+	if got := p.BlockSteps(); got != 8*2*3 {
+		t.Errorf("BlockSteps = %d, want 48", got)
+	}
+	// The paper's benchmark configuration: 50 planes, mk=10, S6, mmi=3.
+	paper := New(grid.Global{NX: 50, NY: 50, NZ: 50})
+	if paper.KBlocks() != 5 || paper.AngleBlocks() != 2 || paper.BlockSteps() != 80 {
+		t.Errorf("paper config blocks: kb=%d ab=%d steps=%d",
+			paper.KBlocks(), paper.AngleBlocks(), paper.BlockSteps())
+	}
+}
+
+func TestSerialSolveBasics(t *testing.T) {
+	res, err := SolveSerial(smallProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 6 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	for i, f := range res.Flux {
+		if f <= 0 || math.IsNaN(f) {
+			t.Fatalf("flux[%d] = %v: must be positive with a positive source", i, f)
+		}
+	}
+	// Centre flux must exceed corner flux (leakage at the boundary).
+	g := smallProblem().Grid
+	centre := res.FluxAt(g, g.NX/2, g.NY/2, g.NZ/2)
+	corner := res.FluxAt(g, 0, 0, 0)
+	if centre <= corner {
+		t.Errorf("centre flux %v not above corner flux %v", centre, corner)
+	}
+}
+
+func TestPureAbsorberBalanceExact(t *testing.T) {
+	// With no scattering the solve converges in one sweep and particle
+	// balance holds to round-off: source = absorption + leakage.
+	p := smallProblem()
+	p.Mat = sn.Material{SigT: 1.0, SigS: 0, Q: 1.0}
+	p.SigS1 = 0
+	p.Iterations = 1
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Balance.Residual(); r > 1e-12 {
+		t.Errorf("pure absorber balance residual = %v (balance %+v)", r, res.Balance)
+	}
+	if res.Balance.Leakage <= 0 {
+		t.Errorf("leakage = %v, want positive", res.Balance.Leakage)
+	}
+}
+
+func TestScatteringBalanceConverges(t *testing.T) {
+	// With c = 0.5 the residual decays like c^its.
+	p := smallProblem()
+	p.Iterations = 20
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Balance.Residual(); r > 1e-4 {
+		t.Errorf("converged balance residual = %v", r)
+	}
+}
+
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	// The decomposition only reorders message passing, not arithmetic:
+	// the parallel flux must equal the serial flux bit for bit.
+	p := smallProblem()
+	serial, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []grid.Decomp{{PX: 2, PY: 1}, {PX: 1, PY: 2}, {PX: 3, PY: 2}, {PX: 4, PY: 5}} {
+		par, err := SolveParallel(p, d, mp.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		for i := range serial.Flux {
+			if serial.Flux[i] != par.Flux[i] {
+				t.Fatalf("%v: flux[%d] differs: serial %v parallel %v",
+					d, i, serial.Flux[i], par.Flux[i])
+			}
+		}
+		if got, want := par.Counters.CellAngleUpdates, serial.Counters.CellAngleUpdates; got != want {
+			t.Errorf("%v: updates %d != serial %d", d, got, want)
+		}
+		if r := par.Balance.Residual(); math.Abs(r-serial.Balance.Residual()) > 1e-9 {
+			t.Errorf("%v: balance residual %v vs serial %v", d, r, serial.Balance.Residual())
+		}
+	}
+}
+
+func TestParallelRaggedBlocks(t *testing.T) {
+	// mk and mmi that do not divide nz and m exercise ragged blocks.
+	p := smallProblem()
+	p.MK = 5  // nz=8 -> blocks of 5 and 3
+	p.MMI = 2 // S4 m=3 -> blocks of 2 and 1
+	serial, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveParallel(p, grid.Decomp{PX: 2, PY: 2}, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Flux {
+		if serial.Flux[i] != par.Flux[i] {
+			t.Fatalf("ragged blocks: flux[%d] differs", i)
+		}
+	}
+}
+
+func TestUpdateCountMatchesFormula(t *testing.T) {
+	p := smallProblem()
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.CellAngleUpdatesPerIteration() * int64(p.Iterations)
+	if res.Counters.CellAngleUpdates != want {
+		t.Errorf("updates = %d, want %d", res.Counters.CellAngleUpdates, want)
+	}
+	if res.Counters.SourceCells != p.Grid.Cells()*int64(p.Iterations) {
+		t.Errorf("source cells = %d", res.Counters.SourceCells)
+	}
+}
+
+func TestSolutionLinearInSource(t *testing.T) {
+	// The transport operator is linear: doubling Q doubles the flux.
+	p := smallProblem()
+	p.FixupEnabled = false // fixup is the only non-linearity
+	r1, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.Mat.Q = 2 * p.Mat.Q
+	r2, err := SolveSerial(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Flux {
+		if math.Abs(r2.Flux[i]-2*r1.Flux[i]) > 1e-12*math.Abs(r2.Flux[i]) {
+			t.Fatalf("flux[%d] not linear: %v vs 2*%v", i, r2.Flux[i], r1.Flux[i])
+		}
+	}
+}
+
+func TestSymmetrySolution(t *testing.T) {
+	// A cubic grid with uniform source is symmetric under x<->y reflection.
+	p := New(grid.Global{NX: 8, NY: 8, NZ: 8})
+	p.Quad = sn.MustLevelSymmetric(4)
+	p.MK = 4
+	p.MMI = 3
+	p.Iterations = 5
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				a := res.FluxAt(g, i, j, k)
+				b := res.FluxAt(g, j, i, k)
+				if math.Abs(a-b) > 1e-11*math.Max(math.Abs(a), 1) {
+					t.Fatalf("flux not x/y symmetric at (%d,%d,%d): %v vs %v", i, j, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroSourceZeroFlux(t *testing.T) {
+	p := smallProblem()
+	p.Mat.Q = 0
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Flux {
+		if f != 0 {
+			t.Fatalf("flux[%d] = %v with no source", i, f)
+		}
+	}
+}
+
+func TestBoundarySourceDrivesFlux(t *testing.T) {
+	p := smallProblem()
+	p.Mat.Q = 0
+	p.BoundarySource = 1
+	p.Iterations = 8
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Flux {
+		if f <= 0 {
+			t.Fatalf("flux[%d] = %v: boundary source must illuminate all cells", i, f)
+		}
+	}
+	if res.Balance.Source <= 0 {
+		t.Errorf("boundary inflow not accounted: %+v", res.Balance)
+	}
+	if r := res.Balance.Residual(); r > 1e-3 {
+		t.Errorf("boundary-driven balance residual = %v", r)
+	}
+	// Attenuation: flux must decay towards the interior along x at fixed
+	// distance from other boundaries? The centre is deeper than a face
+	// midpoint, so it sees less of the boundary source.
+	g := p.Grid
+	face := res.FluxAt(g, 0, g.NY/2, g.NZ/2)
+	centre := res.FluxAt(g, g.NX/2, g.NY/2, g.NZ/2)
+	if centre >= face {
+		t.Errorf("no attenuation: centre %v >= face %v", centre, face)
+	}
+}
+
+func TestFixupTriggersAndPreservesBalance(t *testing.T) {
+	// Optically thick cells with boundary inflow produce negative diamond
+	// extrapolations; the fixup must fire and keep fluxes non-negative
+	// while preserving balance (pure absorber => exact).
+	p := smallProblem()
+	p.Mat = sn.Material{SigT: 6.0, SigS: 0, Q: 0.001}
+	p.SigS1 = 0
+	p.BoundarySource = 10
+	p.Iterations = 1
+	p.FixupEnabled = true
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Fixups == 0 {
+		t.Fatal("expected fixups to trigger in thick cells")
+	}
+	for i, f := range res.Flux {
+		if f < 0 {
+			t.Fatalf("flux[%d] = %v negative despite fixup", i, f)
+		}
+	}
+	if r := res.Balance.Residual(); r > 1e-10 {
+		t.Errorf("fixup broke balance: residual = %v", r)
+	}
+	// Without fixup the same problem goes negative somewhere in the
+	// angular flux, visible as smaller minimum scalar flux.
+	p.FixupEnabled = false
+	res2, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters.Fixups != 0 {
+		t.Error("fixups counted while disabled")
+	}
+}
+
+func TestWeightedDiamondStillBalances(t *testing.T) {
+	p := smallProblem()
+	p.Alpha = [3]float64{0.3, 0.2, 0.1}
+	p.Mat = sn.Material{SigT: 1, SigS: 0, Q: 1}
+	p.SigS1 = 0
+	p.Iterations = 1
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Balance.Residual(); r > 1e-12 {
+		t.Errorf("WDD balance residual = %v", r)
+	}
+}
+
+func TestEpsiConvergenceMode(t *testing.T) {
+	p := smallProblem()
+	p.Iterations = 0
+	p.Epsi = 1e-6
+	p.MaxIterations = 100
+	res, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FluxErr >= 1e-6 {
+		t.Errorf("did not converge: fluxErr = %v after %d iters", res.FluxErr, res.Iterations)
+	}
+	if res.Iterations >= 100 || res.Iterations < 5 {
+		t.Errorf("unexpected iteration count %d", res.Iterations)
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	p := New(grid.Global{NX: 100, NY: 100, NZ: 50})
+	ew, ns := p.MessageSizes(50, 50)
+	// jt*mk*mmi*8 = 50*10*3*8 = 12000 bytes, the paper configuration.
+	if ew != 12000 || ns != 12000 {
+		t.Errorf("message sizes = %d, %d, want 12000", ew, ns)
+	}
+}
+
+func TestSkeletonMatchesFunctionalCounters(t *testing.T) {
+	// The skeleton must perform exactly the structural work of the real
+	// solver: same updates, same messages, same bytes (full runs send
+	// ragged in-flight sizes identically since both derive them from the
+	// same ranges).
+	p := smallProblem()
+	d := grid.Decomp{PX: 3, PY: 2}
+	full, err := SolveParallel(p, d, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel, err := RunSkeleton(p, d, Costs{}, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.Counters.CellAngleUpdates != full.Counters.CellAngleUpdates {
+		t.Errorf("updates: skeleton %d, full %d",
+			skel.Counters.CellAngleUpdates, full.Counters.CellAngleUpdates)
+	}
+	if skel.Counters.MessagesSent != full.Counters.MessagesSent {
+		t.Errorf("messages: skeleton %d, full %d",
+			skel.Counters.MessagesSent, full.Counters.MessagesSent)
+	}
+	if skel.Counters.BytesSent != full.Counters.BytesSent {
+		t.Errorf("bytes: skeleton %d, full %d",
+			skel.Counters.BytesSent, full.Counters.BytesSent)
+	}
+}
+
+func TestSkeletonSerialTimeIsComputeOnly(t *testing.T) {
+	p := smallProblem()
+	costs := CostsFromRate(100) // 100 MFLOPS
+	skel, err := RunSkeleton(p, grid.Decomp{PX: 1, PY: 1}, costs, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := p.Grid.Cells()
+	want := float64(skel.Counters.CellAngleUpdates)*costs.CellAngle +
+		float64(p.Iterations)*float64(cells)*(costs.SourceCell+costs.FluxErrCell)
+	if math.Abs(skel.Makespan-want)/want > 1e-12 {
+		t.Errorf("serial skeleton makespan = %v, want %v", skel.Makespan, want)
+	}
+}
+
+func TestSkeletonPipelineFillGrowsWithArray(t *testing.T) {
+	// Weak scaling: same per-rank subgrid, growing array. Makespan must
+	// grow roughly linearly in (Px+Py) — the paper's Section 5 observation.
+	costs := CostsFromRate(100)
+	makespan := func(px, py int) float64 {
+		p := New(grid.Global{NX: 10 * px, NY: 10 * py, NZ: 10})
+		p.Quad = sn.MustLevelSymmetric(4)
+		p.MK = 5
+		p.MMI = 3
+		p.Iterations = 3
+		s, err := RunSkeleton(p, grid.Decomp{PX: px, PY: py}, costs, mp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Makespan
+	}
+	t22 := makespan(2, 2)
+	t44 := makespan(4, 4)
+	t88 := makespan(8, 8)
+	if !(t22 < t44 && t44 < t88) {
+		t.Fatalf("pipeline fill not growing: %v %v %v", t22, t44, t88)
+	}
+	// Linearity in (Px+Py): the increment 4->8 is twice the increment 2->4.
+	d1, d2 := t44-t22, t88-t44
+	if math.Abs(d2-2*d1)/d2 > 0.15 {
+		t.Errorf("fill growth not linear in Px+Py: d1=%v d2=%v", d1, d2)
+	}
+}
+
+func TestSkeletonRequiresFixedIterations(t *testing.T) {
+	p := smallProblem()
+	p.Iterations = 0
+	p.Epsi = 1e-4
+	if _, err := RunSkeleton(p, grid.Decomp{PX: 1, PY: 1}, Costs{}, mp.Options{}); err == nil {
+		t.Error("expected error for epsi-mode skeleton")
+	}
+}
+
+func TestCostsFromRate(t *testing.T) {
+	c := CostsFromRate(110)
+	want := float64(FlopsPerCellAngle) / 110e6
+	if math.Abs(c.CellAngle-want)/want > 1e-12 {
+		t.Errorf("CellAngle = %v, want %v", c.CellAngle, want)
+	}
+}
+
+func TestCountersFlops(t *testing.T) {
+	c := Counters{CellAngleUpdates: 10, Fixups: 2, SourceCells: 5, FluxErrCells: 4}
+	want := float64(10*FlopsPerCellAngle + 2*FlopsPerFixup + 5*FlopsPerSourceCell + 4*FlopsPerFluxErrCell)
+	if got := c.Flops(); got != want {
+		t.Errorf("Flops = %v, want %v", got, want)
+	}
+}
+
+func TestPropertyPositivityAndBalance(t *testing.T) {
+	// For random well-posed materials and grids, flux stays non-negative
+	// and one-iteration pure-absorber balance is exact.
+	f := func(st, q uint8, nx, ny, nz uint8) bool {
+		p := New(grid.Global{
+			NX: int(nx%6) + 2, NY: int(ny%6) + 2, NZ: int(nz%6) + 2,
+		})
+		p.Quad = sn.MustLevelSymmetric(2)
+		p.Mat = sn.Material{
+			SigT: 0.2 + float64(st%40)/10, // 0.2 .. 4.1
+			SigS: 0,
+			Q:    0.1 + float64(q%20)/10,
+		}
+		p.SigS1 = 0
+		p.MK = 2
+		p.MMI = 1
+		p.Iterations = 1
+		res, err := SolveSerial(p)
+		if err != nil {
+			return false
+		}
+		for _, fl := range res.Flux {
+			if fl < 0 || math.IsNaN(fl) {
+				return false
+			}
+		}
+		return res.Balance.Residual() < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlappedSkeletonEqualsBlocking(t *testing.T) {
+	// Counters identical, makespan identical (see RunSkeletonOverlapped's
+	// doc comment: no wait can move past useful work in this structure).
+	p := smallProblem()
+	d := grid.Decomp{PX: 3, PY: 2}
+	costs := CostsFromRate(200)
+	std, err := RunSkeleton(p, d, costs, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovl, err := RunSkeletonOverlapped(p, d, costs, mp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Counters != ovl.Counters {
+		t.Errorf("counters differ: %+v vs %+v", std.Counters, ovl.Counters)
+	}
+	if math.Abs(std.Makespan-ovl.Makespan) > 1e-12*std.Makespan {
+		t.Errorf("makespans differ: %v vs %v", std.Makespan, ovl.Makespan)
+	}
+	p.Iterations = 0
+	p.Epsi = 1e-3
+	if _, err := RunSkeletonOverlapped(p, d, costs, mp.Options{}); err == nil {
+		t.Error("expected fixed-iterations error")
+	}
+}
