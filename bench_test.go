@@ -17,6 +17,8 @@ import (
 	"math"
 	"testing"
 
+	"strconv"
+
 	"pacesweep/internal/bench"
 	"pacesweep/internal/capp"
 	"pacesweep/internal/clc"
@@ -147,6 +149,70 @@ func itoa(v int) string {
 		return string(rune('0'+v/10)) + string(rune('0'+v%10))
 	}
 	return string(rune('0' + v))
+}
+
+// --- scheduler backend comparison (PR 1 headline numbers) ---
+
+// schedulerPoints are the processor counts of the old-vs-new scheduler
+// comparison; 512 is the old PredictAuto template ceiling.
+var schedulerPoints = []int{64, 512, 4000}
+
+// BenchmarkWorldRun compares the mp backends on the raw virtual-time
+// skeleton workload (1 iteration of the Figure 8 per-processor problem).
+func BenchmarkWorldRun(b *testing.B) {
+	pl := platform.OpteronMyrinet()
+	costs := sweep.CostsFromRate(340)
+	for _, p := range schedulerPoints {
+		d, err := grid.FactorNearSquare(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prob := sweep.New(grid.Global{NX: 5 * d.PX, NY: 5 * d.PY, NZ: 100})
+		prob.Iterations = 1
+		for _, sched := range []string{mp.SchedulerGoroutine, mp.SchedulerEvent} {
+			b.Run("sched="+sched+"/P="+strconv.Itoa(p), func(b *testing.B) {
+				opts := mp.Options{Net: pl.NetModel(false), Scheduler: sched}
+				for i := 0; i < b.N; i++ {
+					if _, err := sweep.RunSkeleton(prob, d, costs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPredictTemplate compares the backends on a full PACE template
+// evaluation (12 iterations), the path that bounds every figure point.
+// The event scheduler's speedup over the goroutine backend at P=512 is
+// the PR's acceptance number (>= 10x).
+func BenchmarkPredictTemplate(b *testing.B) {
+	ev, _, err := experiments.BuildEvaluator(platform.OpteronMyrinet(), grid.Global{NX: 5, NY: 5, NZ: 100}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range schedulerPoints {
+		d, err := grid.FactorNearSquare(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := pace.Config{
+			Grid:   grid.Global{NX: 5 * d.PX, NY: 5 * d.PY, NZ: 100},
+			Decomp: d,
+			MK:     10, MMI: 3, Angles: 6, Iterations: 12,
+		}
+		for _, sched := range []string{mp.SchedulerGoroutine, mp.SchedulerEvent} {
+			b.Run("sched="+sched+"/P="+strconv.Itoa(p), func(b *testing.B) {
+				evS := *ev
+				evS.Scheduler = sched
+				for i := 0; i < b.N; i++ {
+					if _, err := evS.Predict(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ---

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_PR1.json scheduler-comparison record: one entry per benchmark
+// with ns/op, plus derived event-vs-goroutine speedups for benchmarks
+// that were run under both mp scheduler backends.
+//
+//	go test -run xxx -bench 'BenchmarkWorldRun|BenchmarkPredictTemplate' -benchtime 3x . \
+//	  | go run ./cmd/benchjson > BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_per_op"`
+}
+
+// Speedup pairs the two scheduler backends of one benchmark/point.
+type Speedup struct {
+	Benchmark   string  `json:"benchmark"`
+	GoroutineNs float64 `json:"goroutine_ns_per_op"`
+	EventNs     float64 `json:"event_ns_per_op"`
+	Speedup     float64 `json:"event_speedup"`
+}
+
+// Record is the emitted document.
+type Record struct {
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Note      string    `json:"note"`
+	Entries   []Entry   `json:"entries"`
+	Speedups  []Speedup `json:"scheduler_speedups"`
+}
+
+func main() {
+	rec := Record{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Note: "event_speedup = goroutine ns/op divided by event ns/op for the same " +
+			"benchmark point; the goroutine backend pays no contention on single-CPU hosts, " +
+			"so speedups there are a lower bound on contended multi-core machines.",
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkFoo/sub-8   3   123456 ns/op [...]"
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		ns := -1.0
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					ns = v
+				}
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		rec.Entries = append(rec.Entries, Entry{Name: name, NsOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// Pair sched=goroutine with sched=event entries of the same benchmark.
+	byName := map[string]float64{}
+	for _, e := range rec.Entries {
+		byName[e.Name] = e.NsOp
+	}
+	for _, e := range rec.Entries {
+		if !strings.Contains(e.Name, "sched=goroutine") {
+			continue
+		}
+		evName := strings.Replace(e.Name, "sched=goroutine", "sched=event", 1)
+		evNs, ok := byName[evName]
+		if !ok || evNs <= 0 {
+			continue
+		}
+		rec.Speedups = append(rec.Speedups, Speedup{
+			Benchmark:   strings.Replace(e.Name, "/sched=goroutine", "", 1),
+			GoroutineNs: e.NsOp,
+			EventNs:     evNs,
+			Speedup:     e.NsOp / evNs,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

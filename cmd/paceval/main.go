@@ -47,6 +47,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *px <= 0 || *py <= 0 {
+		fatal(fmt.Errorf("processor array must be positive, got %dx%d", *px, *py))
+	}
+
 	if *pslFile != "" || *pslBuilt {
 		evaluatePSL(*pslFile, *pslBuilt, *pslEmb, *hmcl, *plat, *seed, map[string]float64{
 			"it": float64(*it), "jt": float64(*jt), "kt": float64(*kt),

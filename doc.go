@@ -8,7 +8,12 @@
 //   - a from-scratch Go implementation of the ASCI SWEEP3D pipelined
 //     wavefront Sn transport benchmark (internal/sweep) running over an
 //     MPI-like message-passing runtime (internal/mp) that doubles as a
-//     virtual-time cluster simulator;
+//     virtual-time cluster simulator. The runtime offers two scheduler
+//     backends: the legacy goroutine-per-rank backend (watchdog, real
+//     parallel arithmetic) and an event-driven cooperative backend
+//     ordered by a virtual-clock heap — lock-free, deterministic, and
+//     bit-identical to the goroutine backend, used by the evaluation
+//     engine and the simulated benchmarks;
 //   - a reproduction of the PACE layered performance-modelling toolset:
 //     the capp C-subset static analyser (internal/capp), the CHIP3S-style
 //     performance specification language (internal/psl), the HMCL hardware
@@ -19,7 +24,14 @@
 //   - LogGP and Hoisie et al. baseline analytic models (internal/loggp,
 //     internal/hoisie);
 //   - experiment drivers regenerating every table and figure of the paper's
-//     evaluation (internal/experiments, cmd/validate, cmd/speculate).
+//     evaluation (internal/experiments, cmd/validate, cmd/speculate),
+//     fanned out across configurations on a bounded worker pool.
+//
+// Model evaluation picks its path by array size: pace.PredictAuto runs
+// full template evaluation (every virtual processor simulated on the
+// event scheduler) through pace.TemplateMaxRanks = 8000 processors — the
+// paper's largest speculative studies — and the analytic closed form
+// beyond.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

@@ -1,0 +1,3 @@
+module pacesweep
+
+go 1.21

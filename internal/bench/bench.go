@@ -58,7 +58,10 @@ func Measure(pl platform.Platform, p sweep.Problem, d grid.Decomp, opt MeasureOp
 	cellsPerProc := subs[0].Cells()
 	parallel := d.Size() > 1
 	costs := truthCosts(pl, cellsPerProc, parallel)
-	opts := mp.Options{Net: pl.NetModel(true), Seed: opt.Seed}
+	// Skeleton measurement is a pure virtual-time workload: the event
+	// scheduler runs it deterministically and far faster than
+	// goroutine-per-rank at the large validation arrays.
+	opts := mp.Options{Net: pl.NetModel(true), Seed: opt.Seed, Scheduler: mp.SchedulerEvent}
 	if n := pl.Noise(); n != nil {
 		opts.Noise = n
 	}
@@ -80,7 +83,7 @@ func ProfileKernel(pl platform.Platform, perProc grid.Global, base sweep.Problem
 	p = p.Normalize()
 	cells := int(perProc.Cells())
 	costs := truthCosts(pl, cells, false)
-	opts := mp.Options{Seed: seed}
+	opts := mp.Options{Seed: seed, Scheduler: mp.SchedulerEvent}
 	if n := pl.Noise(); n != nil {
 		opts.Noise = n
 	}
@@ -104,7 +107,7 @@ func ProfileKernel(pl platform.Platform, perProc grid.Global, base sweep.Problem
 	p2.Grid = g2
 	p2 = p2.Normalize()
 	costs2 := truthCosts(pl, cells, true)
-	opts2 := mp.Options{Net: pl.NetModel(true), Seed: seed + 1}
+	opts2 := mp.Options{Net: pl.NetModel(true), Seed: seed + 1, Scheduler: mp.SchedulerEvent}
 	if n := pl.Noise(); n != nil {
 		opts2.Noise = n
 	}
@@ -172,7 +175,7 @@ func MPIBench(pl platform.Platform, sizes []int, reps int, seed int64) ([]CommPo
 // calls with timers.
 func timeOnce(pl platform.Platform, bytes int, seed int64) (send, recv, pingpong float64, err error) {
 	var sendT, recvT, ppT float64
-	w, err := mp.NewWorld(2, mp.Options{Net: pl.NetModel(true), Seed: seed})
+	w, err := mp.NewWorld(2, mp.Options{Net: pl.NetModel(true), Seed: seed, Scheduler: mp.SchedulerEvent})
 	if err != nil {
 		return 0, 0, 0, err
 	}

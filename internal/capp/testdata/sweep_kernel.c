@@ -1,0 +1,147 @@
+/*
+ * sweep_kernel.c — C transcription of the SWEEP3D serial kernel for the
+ * PACE capp static analyser.
+ *
+ * This is the analyser-facing mirror of the Go solver in
+ * internal/sweep/kernel.go: the same per-cell-angle operation mix (20
+ * multiplies, 16 adds, 1 divide = 37 flops, sweep.FlopsPerCellAngle), the
+ * same per-cell source (5 flops) and flux_err (2 flops) subtasks. The
+ * negative-flux fixup branch is annotated with probability 0: the paper's
+ * benchmark configuration (diamond differencing, mildly scattering medium)
+ * triggers no fixups, and the model charges none.
+ */
+
+/* One balance-preserving fixup pass: switch every face to step
+ * differencing (outflow = cell flux) and recompute. Rare path; the
+ * sweep_block model weights it with probability 0. */
+double fixup(double srcv, double sigt, double cix, double cjy, double ckz,
+             double phii, double phijc, double phikc) {
+    double sx;
+    double sy;
+    double sz;
+    double numr;
+    double den;
+    double psi;
+    sx = 0.5 * cix;
+    sy = 0.5 * cjy;
+    sz = 0.5 * ckz;
+    numr = srcv + sx * phii + sy * phijc + sz * phikc;
+    den = sigt + sx + sy + sz;
+    psi = numr / den;
+    if (psi < 0.0) {
+        psi = 0.0;
+    }
+    return psi;
+}
+
+/* sweep_block is one (octant, angle block, k block) work unit of the
+ * pipelined wavefront: na angles by nk k-planes over the local ny x nx
+ * subgrid. phii carries the x-face flux, phij the y-face row, phik the
+ * carried z-face plane. Per cell-angle: P1 source evaluation (6), WDD
+ * numerator (6), divide (1), shared 2*psi (1), three outflow
+ * extrapolations (9), scalar-flux accumulation (2), three current
+ * moments (6), three DSA face-current accumulations (6). */
+void sweep_block(int na, int nk, int ny, int nx,
+                 double s0[], double s1x[], double s1y[], double s1z[],
+                 double flux[], double jx[], double jy[], double jz[],
+                 double fcx[], double fcy[], double fcz[],
+                 double ew[], double phij[], double phik[],
+                 double cix, double cjy, double ckz, double den,
+                 double smu, double seta, double sxi,
+                 double w, double wmu, double weta, double wxi,
+                 double wamu, double waeta, double waxi,
+                 double omx, double omy, double omz,
+                 double rpx, double rpy, double rpz, double sigt) {
+    int a;
+    int k;
+    int j;
+    int i;
+    int c;
+    double phii;
+    double phijc;
+    double phikc;
+    double srcv;
+    double numr;
+    double psi;
+    double psi2;
+    double outi;
+    double outj;
+    double outk;
+    for (a = 0; a < na; a++) {
+        for (k = 0; k < nk; k++) {
+            for (j = 0; j < ny; j++) {
+                phii = ew[(a * nk + k) * ny + j];
+                for (i = 0; i < nx; i++) {
+                    c = (k * ny + j) * nx + i;
+                    phijc = phij[i];
+                    phikc = phik[j * nx + i];
+                    srcv = s0[c] + smu * s1x[c] + seta * s1y[c] + sxi * s1z[c];
+                    numr = srcv + cix * phii + cjy * phijc + ckz * phikc;
+                    psi = numr / den;
+                    psi2 = 2.0 * psi;
+                    outi = (psi2 - omx * phii) * rpx;
+                    outj = (psi2 - omy * phijc) * rpy;
+                    outk = (psi2 - omz * phikc) * rpz;
+                    /*@ prob: 0 */
+                    if (outi < 0.0 || outj < 0.0 || outk < 0.0) {
+                        psi = fixup(srcv, sigt, cix, cjy, ckz, phii, phijc, phikc);
+                        outi = psi;
+                        outj = psi;
+                        outk = psi;
+                    }
+                    flux[c] += w * psi;
+                    jx[c] += wmu * psi;
+                    jy[c] += weta * psi;
+                    jz[c] += wxi * psi;
+                    fcx[c] += wamu * outi;
+                    fcy[c] += waeta * outj;
+                    fcz[c] += waxi * outk;
+                    phii = outi;
+                    phij[i] = outj;
+                    phik[j * nx + i] = outk;
+                }
+                ew[(a * nk + k) * ny + j] = phii;
+            }
+        }
+    }
+}
+
+/* source is the per-iteration source subtask: save the old flux, rebuild
+ * the isotropic emission density and the three P1 source moments from the
+ * previous iteration's flux moments, and clear the accumulators.
+ * 5 flops per cell (sweep.FlopsPerSourceCell). */
+void source(int ncells, double flux[], double fluxold[],
+            double jx[], double jy[], double jz[],
+            double s0[], double s1x[], double s1y[], double s1z[],
+            double sigs, double sigs1, double q) {
+    int c;
+    for (c = 0; c < ncells; c++) {
+        fluxold[c] = flux[c];
+        s0[c] = sigs * flux[c] + q;
+        s1x[c] = sigs1 * jx[c];
+        s1y[c] = sigs1 * jy[c];
+        s1z[c] = sigs1 * jz[c];
+        flux[c] = 0.0;
+        jx[c] = 0.0;
+        jy[c] = 0.0;
+        jz[c] = 0.0;
+    }
+}
+
+/* flux_err is the per-iteration convergence subtask: the maximum relative
+ * pointwise flux change. 2 flops per cell (sweep.FlopsPerFluxErrCell);
+ * fabs is characterised as free (a sign-bit operation). */
+double flux_err(int ncells, double flux[], double fluxold[]) {
+    int c;
+    double df;
+    double d;
+    df = 0.0;
+    for (c = 0; c < ncells; c++) {
+        d = fabs(flux[c] - fluxold[c]) / fabs(flux[c]);
+        /*@ prob: 0.5 */
+        if (d > df) {
+            df = d;
+        }
+    }
+    return df;
+}

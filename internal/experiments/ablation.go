@@ -44,14 +44,15 @@ func AblationOpcode() (*Ablation, error) {
 	evOld := *ev
 	evOld.UseOpcodeCosts = true
 
-	a := &Ablation{Platform: pl}
-	for i, row := range PaperTable2 {
+	a := &Ablation{Platform: pl, Rows: make([]AblationRow, len(PaperTable2))}
+	err = forEach(len(PaperTable2), func(i int) error {
+		row := PaperTable2[i]
 		g := grid.Global{NX: row.NX, NY: row.NY, NZ: row.NZ}
 		d := grid.Decomp{PX: row.PX, PY: row.PY}
 		p := problemFor(g)
 		measured, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: 4100 + int64(i*13)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := pace.Config{
 			Grid: g, Decomp: d, MK: p.MK, MMI: p.MMI,
@@ -59,20 +60,25 @@ func AblationOpcode() (*Ablation, error) {
 		}
 		newPred, err := ev.Predict(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oldPred, err := evOld.Predict(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r := AblationRow{
+		a.Rows[i] = AblationRow{
 			Grid: g, Decomp: d, Measured: measured,
 			NewPred:   newPred.Total,
 			NewErrPct: stats.RelErrPercent(measured, newPred.Total),
 			OldPred:   oldPred.Total,
 			OldErrPct: stats.RelErrPercent(measured, oldPred.Total),
 		}
-		a.Rows = append(a.Rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range a.Rows {
 		a.MaxNewAbsErr = math.Max(a.MaxNewAbsErr, math.Abs(r.NewErrPct))
 		a.MaxOldAbsErr = math.Max(a.MaxOldAbsErr, math.Abs(r.OldErrPct))
 	}

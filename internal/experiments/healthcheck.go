@@ -63,8 +63,11 @@ func RunHealthCheck(faultFactor, tolerancePct float64, seed int64) (*HealthCheck
 	degraded := pl
 	degraded.Net = degradedNet
 
-	for i, dd := range [][2]int{{2, 2}, {3, 4}, {4, 5}, {5, 6}} {
-		d := grid.Decomp{PX: dd[0], PY: dd[1]}
+	configs := [][2]int{{2, 2}, {3, 4}, {4, 5}, {5, 6}}
+	hc.Healthy = make([]HealthRow, len(configs))
+	hc.Degraded = make([]HealthRow, len(configs))
+	err = forEach(len(configs), func(i int) error {
+		d := grid.Decomp{PX: configs[i][0], PY: configs[i][1]}
 		g := grid.Global{NX: 50 * d.PX, NY: 50 * d.PY, NZ: 50}
 		p := problemFor(g)
 		cfg := pace.Config{
@@ -73,22 +76,26 @@ func RunHealthCheck(faultFactor, tolerancePct float64, seed int64) (*HealthCheck
 		}
 		pred, err := ev.Predict(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, sys := range []struct {
 			pl   platform.Platform
-			rows *[]HealthRow
-		}{{pl, &hc.Healthy}, {degraded, &hc.Degraded}} {
+			rows []HealthRow
+		}{{pl, hc.Healthy}, {degraded, hc.Degraded}} {
 			m, err := bench.Measure(sys.pl, p, d, bench.MeasureOptions{Seed: seed + int64(50+i*3)})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			e := stats.RelErrPercent(m, pred.Total)
-			*sys.rows = append(*sys.rows, HealthRow{
+			sys.rows[i] = HealthRow{
 				Decomp: d, Measured: m, Expected: pred.Total,
 				ErrorPct: e, Flagged: math.Abs(e) > tolerancePct,
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, r := range hc.Healthy {
 		if r.Flagged {

@@ -38,25 +38,33 @@ type OverlapResult struct {
 // most if it existed).
 func OverlapStudy() (*OverlapResult, error) {
 	pl := platform.OpteronGigE()
-	out := &OverlapResult{Platform: pl}
-	for _, dd := range [][2]int{{2, 2}, {4, 4}, {5, 6}, {8, 8}} {
-		d := grid.Decomp{PX: dd[0], PY: dd[1]}
+	configs := [][2]int{{2, 2}, {4, 4}, {5, 6}, {8, 8}}
+	out := &OverlapResult{Platform: pl, Rows: make([]OverlapRow, len(configs))}
+	err := forEach(len(configs), func(i int) error {
+		d := grid.Decomp{PX: configs[i][0], PY: configs[i][1]}
 		p := sweep.New(grid.Global{NX: 50 * d.PX, NY: 50 * d.PY, NZ: 50})
 		costs := sweep.CostsFromRate(350)
-		opts := mp.Options{Net: pl.NetModel(false)} // deterministic: no jitter
+		// Deterministic: no jitter, event scheduler.
+		opts := mp.Options{Net: pl.NetModel(false), Scheduler: mp.SchedulerEvent}
 		std, err := sweep.RunSkeleton(p, d, costs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ovl, err := sweep.RunSkeletonOverlapped(p, d, costs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		delta := (std.Makespan - ovl.Makespan) / std.Makespan * 100
-		out.Rows = append(out.Rows, OverlapRow{
+		out.Rows[i] = OverlapRow{
 			Decomp: d, Blocking: std.Makespan, Overlapped: ovl.Makespan, DeltaPct: delta,
-		})
-		out.MaxDelta = math.Max(out.MaxDelta, math.Abs(delta))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range out.Rows {
+		out.MaxDelta = math.Max(out.MaxDelta, math.Abs(r.DeltaPct))
 	}
 	return out, nil
 }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) on a bounded worker pool and returns the first
+// error (by index order). Every experiment driver fans its independent
+// configurations out through this: each prediction/measurement builds its
+// own mp worlds and carries an explicit per-index seed, so results are
+// identical to the sequential drivers regardless of worker count or
+// completion order — workers only decide wall-clock, never values.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		next   = make(chan int)
+		errs   = make([]error, n)
+		failed atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

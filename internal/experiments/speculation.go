@@ -69,34 +69,43 @@ func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*Sca
 		PerProc:     perProc,
 		Procs:       procs,
 		ModelMFLOPS: model.MFLOPS,
+		Actual:      make([]float64, len(procs)),
+		Plus25:      make([]float64, len(procs)),
+		Plus50:      make([]float64, len(procs)),
+		LogGPTimes:  make([]float64, len(procs)),
+		HoisieTimes: make([]float64, len(procs)),
 	}
 	lg := loggp.FromModel(model)
-	for _, p := range procs {
+	// Every (processor count, rate variant) prediction is independent; the
+	// worker pool fans the whole figure out across cores. The largest
+	// points now run template evaluation over 8000 virtual processors on
+	// the event scheduler instead of falling back to the closed form.
+	err = forEach(len(procs), func(i int) error {
+		p := procs[i]
 		cfg, err := scalingConfig(perProc, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.TotalCells = cfg.Grid.Cells()
 
 		pred, err := ev.PredictAuto(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.Actual = append(s.Actual, pred.Total)
+		s.Actual[i] = pred.Total
 
 		for _, boost := range []struct {
 			factor float64
-			out    *[]float64
-		}{{1.25, &s.Plus25}, {1.50, &s.Plus50}} {
+			out    []float64
+		}{{1.25, s.Plus25}, {1.50, s.Plus50}} {
 			boosted := *model
 			boosted.MFLOPS = model.MFLOPS * boost.factor
 			evBoost := *ev
 			evBoost.HW = &boosted
 			bp, err := evBoost.PredictAuto(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			*boost.out = append(*boost.out, bp.Total)
+			boost.out[i] = bp.Total
 		}
 
 		// Related analytic models at the base rate.
@@ -115,9 +124,9 @@ func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*Sca
 			Iterations:    cfg.Iterations,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.LogGPTimes = append(s.LogGPTimes, lgTime)
+		s.LogGPTimes[i] = lgTime
 
 		machine := hoisie.Machine{
 			TMsg:     model.Send.Seconds(64) + model.Recv.Seconds(64),
@@ -135,9 +144,20 @@ func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*Sca
 			Iterations:   cfg.Iterations,
 		})
 		if err != nil {
+			return err
+		}
+		s.HoisieTimes[i] = hb.Total
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) > 0 {
+		cfg, err := scalingConfig(perProc, procs[len(procs)-1])
+		if err != nil {
 			return nil, err
 		}
-		s.HoisieTimes = append(s.HoisieTimes, hb.Total)
+		s.TotalCells = cfg.Grid.Cells()
 	}
 	return s, nil
 }

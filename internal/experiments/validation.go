@@ -89,14 +89,17 @@ func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg,
 		PaperAvgErr: paperAvg,
 		PaperVarErr: paperVar,
 	}
-	var errs []float64
-	for i, row := range rows {
+	// Rows are independent (explicit per-row seeds, private mp worlds), so
+	// measure and predict them on the worker pool; results land by index.
+	v.Rows = make([]ValidationRow, len(rows))
+	err = forEach(len(rows), func(i int) error {
+		row := rows[i]
 		g := grid.Global{NX: row.NX, NY: row.NY, NZ: row.NZ}
 		d := grid.Decomp{PX: row.PX, PY: row.PY}
 		p := problemFor(g)
 		measured, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: seed + int64(100+i*7)})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: row %v/%v: %w", g, d, err)
+			return fmt.Errorf("experiments: row %v/%v: %w", g, d, err)
 		}
 		cfg := pace.Config{
 			Grid: g, Decomp: d, MK: p.MK, MMI: p.MMI,
@@ -104,15 +107,22 @@ func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg,
 		}
 		pred, err := ev.Predict(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e := stats.RelErrPercent(measured, pred.Total)
-		errs = append(errs, e)
-		v.Rows = append(v.Rows, ValidationRow{
+		v.Rows[i] = ValidationRow{
 			Grid: g, Decomp: d,
-			Measured: measured, Predicted: pred.Total, ErrorPct: e,
-			Paper: row,
-		})
+			Measured: measured, Predicted: pred.Total,
+			ErrorPct: stats.RelErrPercent(measured, pred.Total),
+			Paper:    row,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]float64, len(v.Rows))
+	for i, r := range v.Rows {
+		errs[i] = r.ErrorPct
 	}
 	abs := make([]float64, len(errs))
 	for i, e := range errs {

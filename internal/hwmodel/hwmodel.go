@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"pacesweep/internal/clc"
 	"pacesweep/internal/platform"
@@ -74,24 +75,47 @@ func (m *Model) OpcodeCostOf(v clc.Vector) float64 {
 // is deterministic (no jitter): PACE evaluation is analytic.
 func (m *Model) Net() *FittedNet { return &FittedNet{m: m} }
 
+// sizeMemo caches one priced message size of one curve. Template
+// evaluation prices millions of messages drawn from a handful of block
+// shapes, so a single-entry memo hits almost always. The curves are pure
+// functions of the size, so a racy replace under the goroutine backend is
+// still correct; the atomic pointer keeps the (bytes, seconds) pair
+// consistent.
+type sizeMemo struct {
+	bytes   int
+	seconds float64
+}
+
+func priced(p *atomic.Pointer[sizeMemo], bytes int, eval func(int) float64) float64 {
+	if m := p.Load(); m != nil && m.bytes == bytes {
+		return m.seconds
+	}
+	m := &sizeMemo{bytes: bytes, seconds: eval(bytes)}
+	p.Store(m)
+	return m.seconds
+}
+
 // FittedNet prices messages from the fitted Eq. 3 curves. One-way transit
 // is half the fitted ping-pong round trip, as in the paper's communication
 // resource model.
-type FittedNet struct{ m *Model }
+type FittedNet struct {
+	m                   *Model
+	send, recv, transit atomic.Pointer[sizeMemo]
+}
 
 // SendOverhead implements mp.NetworkModel.
 func (n *FittedNet) SendOverhead(bytes int, _ *rand.Rand) float64 {
-	return n.m.Send.Seconds(bytes)
+	return priced(&n.send, bytes, n.m.Send.Seconds)
 }
 
 // RecvOverhead implements mp.NetworkModel.
 func (n *FittedNet) RecvOverhead(bytes int, _ *rand.Rand) float64 {
-	return n.m.Recv.Seconds(bytes)
+	return priced(&n.recv, bytes, n.m.Recv.Seconds)
 }
 
 // Transit implements mp.NetworkModel.
 func (n *FittedNet) Transit(bytes int, _ *rand.Rand) float64 {
-	return n.m.PingPong.Seconds(bytes) / 2
+	return priced(&n.transit, bytes, func(b int) float64 { return n.m.PingPong.Seconds(b) / 2 })
 }
 
 // ReduceCost implements mp.NetworkModel: a binomial-tree estimate from the

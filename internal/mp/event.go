@@ -1,0 +1,380 @@
+package mp
+
+// The event-driven virtual-time scheduler backend (Options.Scheduler ==
+// SchedulerEvent).
+//
+// Ranks run as cooperative coroutines: exactly one goroutine holds the
+// execution token at any moment, and a rank that blocks (a receive with no
+// matching message, a collective waiting for stragglers) hands the token
+// directly to the next runnable rank — the one with the smallest virtual
+// clock, drawn from a binary min-heap. Message delivery is a plain slice
+// append; there are no mutexes, condition variables or broadcast wake-ups
+// anywhere on the path. Because the interleaving is fully determined by
+// the virtual clocks (ties broken by rank id), a run's output — including
+// floating-point accumulation order in collectives — is bit-identical
+// across repeated runs and GOMAXPROCS settings.
+//
+// Per-rank virtual-clock arithmetic is shared with the goroutine backend
+// (Comm.SendN/RecvN/reduce), so the two backends produce bit-identical
+// Makespan and per-rank clocks for the same seed; sched_test.go enforces
+// this. Summed reduction values are the one place the backends may differ
+// in the last bits: the goroutine backend accumulates in nondeterministic
+// arrival order, this backend in deterministic schedule order.
+//
+// Deadlocks need no watchdog here: when no rank is runnable and some are
+// still blocked, no message can ever arrive, so the scheduler aborts the
+// blocked ranks immediately with the same errAborted the watchdog uses.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rank states of the event scheduler.
+const (
+	evReady   uint8 = iota // runnable, queued in the clock heap
+	evRunning              // holds the execution token
+	evBlocked              // parked on a receive or collective
+	evDone                 // rank function returned or panicked
+)
+
+// msgStream is a FIFO of messages for one (src, tag) pair: appended at
+// the tail, consumed from head. When drained it resets to reuse capacity,
+// so steady-state delivery is allocation- and memmove-free.
+type msgStream struct {
+	key  uint64
+	msgs []message
+	head int
+}
+
+// qkey packs a (src, tag) pair into one stream key.
+func qkey(src, tag int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+}
+
+// evRank is one rank's cooperative execution state.
+type evRank struct {
+	id     int
+	c      *Comm
+	resume chan struct{} // buffered(1) token handoff
+	status uint8
+
+	// streams holds incoming messages by (src, tag). A small linear-scanned
+	// slice: ranks talk to a handful of peers (the wavefront uses at most
+	// four streams), where a scan beats a map by 4-5x per operation.
+	streams []*msgStream
+	wantKey uint64 // the stream a blocked receive waits for
+	inColl  bool   // blocked inside a collective
+
+	// Snapshot of the collective outcome, written by the generation's
+	// closing rank before this rank is woken (the closer may race ahead
+	// into the next generation before this rank resumes).
+	collRes  []float64
+	collDone float64
+
+	err error
+}
+
+// evColl is the lock-free collective state of the event backend. It
+// mirrors the arithmetic of the goroutine backend's generation-counted
+// collective exactly (same accumulator logic, same pricing RNG stream).
+type evColl struct {
+	n       int
+	arrived int
+	op      int
+	acc     []float64
+	maxTime float64
+	rng     *rand.Rand
+	waiters []*evRank
+}
+
+// evWorld is the per-Run scheduler instance.
+type evWorld struct {
+	w         *World
+	ranks     []*evRank
+	heap      clockHeap
+	master    chan struct{} // closed when every rank has finished
+	doneCount int
+	aborting  bool
+	coll      evColl
+}
+
+// runEvent executes f once per rank under the event scheduler.
+func (w *World) runEvent(f func(c *Comm) error) error {
+	ev := &evWorld{w: w, master: make(chan struct{})}
+	ev.coll.n = w.n
+	ev.coll.rng = rand.New(rand.NewSource(w.opts.Seed ^ 0x1F3D5B79))
+	ev.ranks = make([]*evRank, w.n)
+	w.ev = ev
+	for i := 0; i < w.n; i++ {
+		r := &evRank{
+			id:     i,
+			resume: make(chan struct{}, 1),
+			c: &Comm{
+				w:    w,
+				rank: i,
+				rng:  rand.New(rand.NewSource(w.opts.Seed + int64(i)*0x9E3779B9)),
+			},
+		}
+		ev.ranks[i] = r
+		ev.heap.push(heapEntry{clock: 0, id: i})
+	}
+	for _, r := range ev.ranks {
+		go ev.runRank(r, f)
+	}
+	ev.scheduleNext() // hand the token to rank 0
+	<-ev.master
+	w.ev = nil
+	for _, r := range ev.ranks {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
+
+// runRank is a rank's goroutine body: wait for the token, run the rank
+// function, and pass the token on when done.
+func (ev *evWorld) runRank(r *evRank, f func(c *Comm) error) {
+	<-r.resume
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok && errors.Is(err, errAborted) {
+				r.err = err
+			} else {
+				r.err = fmt.Errorf("mp: rank %d panicked: %v", r.id, p)
+			}
+		}
+		ev.finishRank(r)
+	}()
+	r.err = f(r.c)
+	ev.w.clocks[r.id] = r.c.clock
+}
+
+// scheduleNext pops the runnable rank with the smallest virtual clock and
+// hands it the execution token. All scheduler-state mutation happens
+// before the handoff send, so the resumed rank sees a consistent view;
+// the caller must not touch scheduler state afterwards. Returns false
+// when no rank is runnable.
+func (ev *evWorld) scheduleNext() bool {
+	for ev.heap.len() > 0 {
+		e := ev.heap.pop()
+		r := ev.ranks[e.id]
+		if r.status != evReady {
+			continue
+		}
+		r.status = evRunning
+		r.resume <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// block parks the calling rank until another rank wakes it. If nothing is
+// runnable the world is deadlocked; every blocked rank (the caller
+// included) is aborted.
+func (ev *evWorld) block(r *evRank) {
+	r.status = evBlocked
+	if !ev.scheduleNext() {
+		ev.stalled()
+	}
+	<-r.resume
+	if ev.aborting {
+		panic(errAborted)
+	}
+}
+
+// finishRank retires a rank and passes the token on; the last rank to
+// finish releases the master goroutine.
+func (ev *evWorld) finishRank(r *evRank) {
+	r.status = evDone
+	ev.doneCount++
+	if ev.doneCount == ev.w.n {
+		close(ev.master)
+		return
+	}
+	if !ev.scheduleNext() {
+		ev.stalled()
+	}
+}
+
+// stalled handles the no-runnable-rank case: every live rank is parked on
+// a message or collective that can never complete. Unlike the goroutine
+// backend's watchdog this detection is exact and immediate. All blocked
+// ranks are made runnable and unwound with errAborted as each receives
+// the token. The resume channels are buffered, so the caller may hand the
+// token to itself and then collect it in block().
+func (ev *evWorld) stalled() {
+	ev.aborting = true
+	for _, br := range ev.ranks {
+		if br.status == evBlocked {
+			br.status = evReady
+			ev.heap.push(heapEntry{clock: br.c.clock, id: br.id})
+		}
+	}
+	ev.scheduleNext()
+}
+
+// stream returns the rank's (src, tag) stream, creating it on first use.
+func (r *evRank) stream(k uint64) *msgStream {
+	for _, s := range r.streams {
+		if s.key == k {
+			return s
+		}
+	}
+	s := &msgStream{key: k}
+	r.streams = append(r.streams, s)
+	return s
+}
+
+// deliver appends a message to the destination's (src, tag) stream and
+// wakes the destination if it is blocked waiting for exactly that stream.
+func (ev *evWorld) deliver(dst int, m message) {
+	r := ev.ranks[dst]
+	k := qkey(m.src, m.tag)
+	q := r.stream(k)
+	q.msgs = append(q.msgs, m)
+	if r.status == evBlocked && !r.inColl && r.wantKey == k {
+		r.status = evReady
+		ev.heap.push(heapEntry{clock: r.c.clock, id: r.id})
+	}
+}
+
+// receive returns the next queued message of the (src, tag) stream,
+// blocking the rank until one arrives. Per-stream FIFO consumption gives
+// the non-overtaking guarantee directly.
+func (ev *evWorld) receive(c *Comm, src, tag int) message {
+	r := ev.ranks[c.rank]
+	q := r.stream(qkey(src, tag))
+	for {
+		if q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = message{} // release the payload for GC
+			q.head++
+			if q.head == len(q.msgs) {
+				q.msgs = q.msgs[:0]
+				q.head = 0
+			}
+			return m
+		}
+		r.wantKey = q.key
+		ev.block(r)
+	}
+}
+
+// reduce is the event backend's blocking all-reduce. The closing rank
+// snapshots the result and completion clock into every waiter before
+// waking it, so back-to-back generations cannot cross-talk even though
+// the closer keeps running immediately.
+func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
+	cl := &ev.coll
+	r := ev.ranks[c.rank]
+	if cl.arrived == 0 {
+		cl.op = op
+		cl.maxTime = c.clock
+		if data != nil {
+			cl.acc = append(cl.acc[:0], data...)
+		} else {
+			cl.acc = cl.acc[:0]
+		}
+	} else {
+		if op != cl.op {
+			panic(fmt.Errorf("mp: rank %d joined collective with mismatched op", c.rank))
+		}
+		if data != nil {
+			if len(data) != len(cl.acc) {
+				panic(fmt.Errorf("mp: rank %d collective length mismatch: %d vs %d", c.rank, len(data), len(cl.acc)))
+			}
+			reduceAccumulate(cl.acc, data, op, c.bcastRoot)
+		}
+		cl.maxTime = math.Max(cl.maxTime, c.clock)
+	}
+	cl.arrived++
+	if cl.arrived == cl.n {
+		// Last participant closes the generation and prices the
+		// collective from the dedicated RNG stream, exactly as the
+		// goroutine backend does.
+		result := append([]float64(nil), cl.acc...)
+		done := cl.maxTime
+		if net := ev.w.opts.Net; net != nil {
+			done += net.ReduceCost(cl.n, 8*len(cl.acc), cl.rng)
+		}
+		cl.arrived = 0
+		for _, wr := range cl.waiters {
+			wr.collRes = result
+			wr.collDone = done
+			wr.status = evReady
+			ev.heap.push(heapEntry{clock: wr.c.clock, id: wr.id})
+		}
+		cl.waiters = cl.waiters[:0]
+		c.clock = done
+		return result
+	}
+	r.inColl = true
+	cl.waiters = append(cl.waiters, r)
+	ev.block(r)
+	r.inColl = false
+	res := r.collRes
+	r.collRes = nil
+	c.clock = r.collDone
+	return res
+}
+
+// --- virtual-clock min-heap of runnable ranks ---
+
+type heapEntry struct {
+	clock float64
+	id    int
+}
+
+// clockHeap is a binary min-heap ordered by (clock, id). Each rank has at
+// most one live entry; stale entries are skipped by the status check in
+// scheduleNext.
+type clockHeap struct {
+	e []heapEntry
+}
+
+func (h *clockHeap) len() int { return len(h.e) }
+
+func entryLess(a, b heapEntry) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (h *clockHeap) push(x heapEntry) {
+	h.e = append(h.e, x)
+	i := len(h.e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h.e[i], h.e[parent]) {
+			break
+		}
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
+		i = parent
+	}
+}
+
+func (h *clockHeap) pop() heapEntry {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.e) && entryLess(h.e[l], h.e[small]) {
+			small = l
+		}
+		if r < len(h.e) && entryLess(h.e[r], h.e[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.e[i], h.e[small] = h.e[small], h.e[i]
+		i = small
+	}
+	return top
+}

@@ -1,6 +1,6 @@
 // Package mp is an MPI-like message-passing runtime for in-process parallel
-// programs. Ranks run as goroutines and exchange typed messages through
-// blocking point-to-point sends/receives and collectives.
+// programs. Ranks exchange typed messages through blocking point-to-point
+// sends/receives and collectives.
 //
 // The runtime doubles as a virtual-time cluster simulator: when a World is
 // created with a NetworkModel, every rank carries a virtual clock (seconds)
@@ -11,6 +11,25 @@
 // This is the substrate both for "measured" cluster-simulation runs (driven
 // by ground-truth platform models, internal/platform) and for PACE model
 // evaluation (driven by fitted hardware models, internal/hwmodel).
+//
+// Two execution backends are provided, selected by Options.Scheduler:
+//
+//   - SchedulerGoroutine (the default): one preemptively scheduled
+//     goroutine per rank with mutex+condvar inboxes. Ranks doing real
+//     arithmetic (the functional solver) run in parallel on all cores, and
+//     a watchdog (Options.Timeout) can abort stalled runs.
+//   - SchedulerEvent: a cooperative event-driven run loop. Ranks execute
+//     one at a time, ordered by a virtual-clock min-heap, handing control
+//     off directly when they block; message delivery is a plain slice
+//     append with no locks. Per-rank clocks and makespan are bit-identical
+//     to the goroutine backend for the same seed (a test enforces it), and
+//     a run is fully deterministic regardless of GOMAXPROCS — including
+//     the floating-point accumulation order of collectives, which on the
+//     goroutine backend follows nondeterministic arrival order, so summed
+//     reduction *values* may differ from the goroutine backend in the last
+//     bits. It is the backend of the PACE template evaluation engine and
+//     of simulated measurement. Deadlocks are detected exactly (no
+//     runnable rank while some are still blocked) instead of by timeout.
 package mp
 
 import (
@@ -50,12 +69,26 @@ type ComputeNoise interface {
 	Perturb(seconds float64, rng *rand.Rand) float64
 }
 
+// Scheduler backend names for Options.Scheduler.
+const (
+	// SchedulerGoroutine is the legacy preemptive backend: one goroutine
+	// per rank, mutex+condvar message handoff, optional watchdog.
+	SchedulerGoroutine = "goroutine"
+	// SchedulerEvent is the cooperative virtual-time backend: a
+	// single-threaded run loop ordered by a virtual-clock event heap,
+	// lock-free queues, deterministic output, exact deadlock detection.
+	SchedulerEvent = "event"
+)
+
 // Options configure a World.
 type Options struct {
 	Net     NetworkModel  // nil: zero-cost (functional) transport
 	Noise   ComputeNoise  // nil: charges applied exactly
 	Seed    int64         // base seed for per-rank RNG streams
-	Timeout time.Duration // 0: no watchdog; otherwise abort stalled runs
+	Timeout time.Duration // 0: no watchdog; otherwise abort stalled runs (goroutine backend only)
+	// Scheduler selects the execution backend: SchedulerGoroutine (the
+	// default when empty) or SchedulerEvent. See the package comment.
+	Scheduler string
 }
 
 // message is one in-flight point-to-point message.
@@ -84,6 +117,7 @@ type World struct {
 	coll   collective
 	abort  atomic.Bool
 	ops    atomic.Int64 // progress counter for the watchdog
+	ev     *evWorld     // non-nil while an event-scheduler run is active
 }
 
 // NewWorld creates a world of n ranks. n must be positive.
@@ -91,11 +125,23 @@ func NewWorld(n int, opts Options) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mp: world size must be positive, got %d", n)
 	}
-	w := &World{n: n, opts: opts, boxes: make([]inbox, n), clocks: make([]float64, n)}
-	for i := range w.boxes {
-		w.boxes[i].cond = sync.NewCond(&w.boxes[i].mu)
+	switch opts.Scheduler {
+	case "", SchedulerGoroutine, SchedulerEvent:
+	default:
+		return nil, fmt.Errorf("mp: unknown scheduler %q (want %q or %q)",
+			opts.Scheduler, SchedulerGoroutine, SchedulerEvent)
 	}
-	w.coll.init(n, opts.Seed)
+	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
+	if opts.Scheduler != SchedulerEvent {
+		// The event backend has its own per-rank streams and lock-free
+		// collective; only the goroutine backend needs inboxes and the
+		// condvar collective.
+		w.boxes = make([]inbox, n)
+		for i := range w.boxes {
+			w.boxes[i].cond = sync.NewCond(&w.boxes[i].mu)
+		}
+		w.coll.init(n, opts.Seed)
+	}
 	return w, nil
 }
 
@@ -119,10 +165,18 @@ func (w *World) Clock(rank int) float64 { return w.clocks[rank] }
 // watchdog fires; Run converts it into an error.
 var errAborted = errors.New("mp: run aborted by watchdog (possible deadlock)")
 
-// Run executes f once per rank, each on its own goroutine, and waits for all
-// of them. The first non-nil error (or recovered panic) is returned. Final
-// virtual clocks remain available via Clock/Makespan.
+// Run executes f once per rank under the configured scheduler backend and
+// waits for all ranks. The first non-nil error (or recovered panic) is
+// returned. Final virtual clocks remain available via Clock/Makespan.
 func (w *World) Run(f func(c *Comm) error) error {
+	if w.opts.Scheduler == SchedulerEvent {
+		return w.runEvent(f)
+	}
+	return w.runGoroutine(f)
+}
+
+// runGoroutine is the legacy backend: one goroutine per rank.
+func (w *World) runGoroutine(f func(c *Comm) error) error {
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
@@ -256,6 +310,10 @@ func (c *Comm) SendN(dst, tag, bytes int, data []float64) {
 		copy(cp, data)
 	}
 	m := message{src: c.rank, tag: tag, bytes: bytes, data: cp, avail: avail}
+	if ev := c.w.ev; ev != nil {
+		ev.deliver(dst, m)
+		return
+	}
 	b := &c.w.boxes[dst]
 	b.mu.Lock()
 	b.queue = append(b.queue, m)
@@ -277,36 +335,42 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 	if src < 0 || src >= c.w.n {
 		panic(fmt.Errorf("mp: rank %d receiving from invalid rank %d", c.rank, src))
 	}
-	b := &c.w.boxes[c.rank]
-	b.mu.Lock()
 	var m message
-	for {
-		if c.w.abort.Load() {
-			b.mu.Unlock()
-			panic(errAborted)
-		}
-		found := -1
-		for i := range b.queue {
-			if b.queue[i].src == src && b.queue[i].tag == tag {
-				found = i
+	if ev := c.w.ev; ev != nil {
+		m = ev.receive(c, src, tag)
+	} else {
+		b := &c.w.boxes[c.rank]
+		b.mu.Lock()
+		for {
+			if c.w.abort.Load() {
+				b.mu.Unlock()
+				panic(errAborted)
+			}
+			found := -1
+			for i := range b.queue {
+				if b.queue[i].src == src && b.queue[i].tag == tag {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				m = b.queue[found]
+				b.queue = append(b.queue[:found], b.queue[found+1:]...)
 				break
 			}
+			b.cond.Wait()
 		}
-		if found >= 0 {
-			m = b.queue[found]
-			b.queue = append(b.queue[:found], b.queue[found+1:]...)
-			break
-		}
-		b.cond.Wait()
+		b.mu.Unlock()
+		c.w.ops.Add(1)
 	}
-	b.mu.Unlock()
 	// Causality holds regardless of the cost model: the receive cannot
 	// complete before the message is available.
-	c.clock = math.Max(c.clock, m.avail)
+	if m.avail > c.clock {
+		c.clock = m.avail
+	}
 	if net := c.w.opts.Net; net != nil {
 		c.clock += net.RecvOverhead(m.bytes, c.rng)
 	}
-	c.w.ops.Add(1)
 	return m.data, m.bytes
 }
 
@@ -386,8 +450,28 @@ func (cl *collective) broadcastAbort() {
 	cl.cond.Broadcast()
 }
 
+// reduceAccumulate folds one rank's contribution into the accumulator.
+// root marks the calling rank as the Bcast root.
+func reduceAccumulate(acc, data []float64, op int, root bool) {
+	for i, v := range data {
+		switch op {
+		case reduceSum:
+			acc[i] += v
+		case reduceMax:
+			acc[i] = math.Max(acc[i], v)
+		case reduceRoot:
+			if root {
+				acc[i] = v
+			}
+		}
+	}
+}
+
 // reduce performs a blocking all-reduce. op 0 means barrier (data ignored).
 func (c *Comm) reduce(data []float64, op int) []float64 {
+	if ev := c.w.ev; ev != nil {
+		return ev.reduce(c, data, op)
+	}
 	cl := &c.w.coll
 	cl.mu.Lock()
 	if cl.aborted {
@@ -413,18 +497,7 @@ func (c *Comm) reduce(data []float64, op int) []float64 {
 				cl.mu.Unlock()
 				panic(fmt.Errorf("mp: rank %d collective length mismatch: %d vs %d", c.rank, len(data), len(cl.acc)))
 			}
-			for i, v := range data {
-				switch op {
-				case reduceSum:
-					cl.acc[i] += v
-				case reduceMax:
-					cl.acc[i] = math.Max(cl.acc[i], v)
-				case reduceRoot:
-					if c.bcastRoot {
-						cl.acc[i] = v
-					}
-				}
-			}
+			reduceAccumulate(cl.acc, data, op, c.bcastRoot)
 		}
 		cl.maxTime = math.Max(cl.maxTime, c.clock)
 	}

@@ -1,0 +1,379 @@
+package mp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// schedulers lists both backends for table-driven semantics tests.
+var schedulers = []string{SchedulerGoroutine, SchedulerEvent}
+
+// wavefrontProgram is a miniature of the SWEEP3D pipeline: a px x py rank
+// array sweeping from all four corners with charges, tagged sends/receives
+// and per-iteration collectives. It exercises every virtual-time path the
+// real workloads use.
+func wavefrontProgram(px, py, iters int) func(c *Comm) error {
+	return func(c *Comm) error {
+		ix, iy := c.Rank()%px, c.Rank()/px
+		for it := 0; it < iters; it++ {
+			c.Charge(1e-4 * float64(1+c.Rank()%3))
+			for _, sx := range []int{+1, -1} {
+				for _, sy := range []int{+1, -1} {
+					upX, downX := ix-sx, ix+sx
+					upY, downY := iy-sy, iy+sy
+					if upX >= 0 && upX < px {
+						c.RecvN(iy*px+upX, 1)
+					}
+					if upY >= 0 && upY < py {
+						c.RecvN(upY*px+ix, 2)
+					}
+					c.ChargeExact(2e-4)
+					if downX >= 0 && downX < px {
+						c.SendN(iy*px+downX, 1, 1200, nil)
+					}
+					if downY >= 0 && downY < py {
+						c.SendN(downY*px+ix, 2, 960, nil)
+					}
+				}
+			}
+			c.AllreduceMax(float64(c.Rank()))
+		}
+		c.AllreduceSum(1)
+		return nil
+	}
+}
+
+func runWavefront(t *testing.T, sched string, seed int64) *World {
+	t.Helper()
+	w, err := NewWorld(12, Options{
+		Net:       alphaBeta{alpha: 2e-5, beta: 1e-8},
+		Noise:     jitterNoise{0.05},
+		Seed:      seed,
+		Scheduler: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(wavefrontProgram(4, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSchedulerEquivalence is the cross-backend correctness harness: for
+// identical seeds the goroutine and event backends must agree bit for bit
+// on the makespan and on every rank's final clock.
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		g := runWavefront(t, SchedulerGoroutine, seed)
+		e := runWavefront(t, SchedulerEvent, seed)
+		if g.Makespan() != e.Makespan() {
+			t.Fatalf("seed %d: makespan goroutine %v != event %v", seed, g.Makespan(), e.Makespan())
+		}
+		gc, ec := g.SortedClocks(), e.SortedClocks()
+		for i := range gc {
+			if gc[i] != ec[i] {
+				t.Fatalf("seed %d: clock[%d] goroutine %v != event %v", seed, i, gc[i], ec[i])
+			}
+		}
+	}
+}
+
+// TestEventSchedulerDeterministic runs the same seeded program repeatedly
+// and across GOMAXPROCS settings; every run must be bit-identical.
+func TestEventSchedulerDeterministic(t *testing.T) {
+	ref := runWavefront(t, SchedulerEvent, 99).SortedClocks()
+	for rep := 0; rep < 3; rep++ {
+		got := runWavefront(t, SchedulerEvent, 99).SortedClocks()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("rep %d: clock[%d] = %v, want %v", rep, i, got[i], ref[i])
+			}
+		}
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	got := runWavefront(t, SchedulerEvent, 99).SortedClocks()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("GOMAXPROCS=1: clock[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestEventSemanticsBattery reruns the core messaging semantics on the
+// event backend: tag selectivity, non-overtaking, payload copying,
+// causality, collectives and broadcast.
+func TestEventSemanticsBattery(t *testing.T) {
+	opts := Options{Scheduler: SchedulerEvent}
+
+	t.Run("tag-selectivity", func(t *testing.T) {
+		_, err := RunWorld(2, opts, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 1, []float64{1})
+				c.Send(1, 2, []float64{2})
+			} else {
+				if got := c.Recv(0, 2); got[0] != 2 {
+					return fmt.Errorf("tag 2 payload = %v", got)
+				}
+				if got := c.Recv(0, 1); got[0] != 1 {
+					return fmt.Errorf("tag 1 payload = %v", got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("non-overtaking", func(t *testing.T) {
+		_, err := RunWorld(2, opts, func(c *Comm) error {
+			const n = 50
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					c.Send(1, 0, []float64{float64(i)})
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if got := c.Recv(0, 0); got[0] != float64(i) {
+						return fmt.Errorf("message %d overtaken: %v", i, got)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("payload-copied", func(t *testing.T) {
+		_, err := RunWorld(2, opts, func(c *Comm) error {
+			if c.Rank() == 0 {
+				buf := []float64{42}
+				c.Send(1, 0, buf)
+				buf[0] = -1
+			} else if got := c.Recv(0, 0); got[0] != 42 {
+				return fmt.Errorf("payload mutated: %v", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("causality", func(t *testing.T) {
+		w, err := NewWorld(2, Options{Net: alphaBeta{alpha: 0.5}, Scheduler: SchedulerEvent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.ChargeExact(10)
+				c.Send(1, 0, []float64{1})
+			} else {
+				c.Recv(0, 0)
+				if got := c.Now(); math.Abs(got-11.5) > 1e-12 {
+					return fmt.Errorf("receiver clock = %v, want 11.5", got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("collectives", func(t *testing.T) {
+		_, err := RunWorld(5, opts, func(c *Comm) error {
+			r := float64(c.Rank())
+			if got := c.AllreduceMax(r); got != 4 {
+				return fmt.Errorf("max = %v", got)
+			}
+			if got := c.AllreduceSum(r); got != 10 {
+				return fmt.Errorf("sum = %v", got)
+			}
+			for i := 0; i < 20; i++ {
+				if got := c.AllreduceSum(float64(i)); got != float64(5*i) {
+					return fmt.Errorf("round %d: %v", i, got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("bcast", func(t *testing.T) {
+		_, err := RunWorld(4, opts, func(c *Comm) error {
+			for round := 0; round < 4; round++ {
+				v := 0.0
+				if c.Rank() == round {
+					v = float64(100 + round)
+				}
+				if got := c.Bcast(round, []float64{v}); got[0] != float64(100+round) {
+					return fmt.Errorf("round %d rank %d: %v", round, c.Rank(), got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("nonblocking", func(t *testing.T) {
+		w, err := NewWorld(2, Options{Net: alphaBeta{alpha: 0.5}, Scheduler: SchedulerEvent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Isend(1, 0, 8, nil)
+			} else {
+				req := c.Irecv(0, 0)
+				c.ChargeExact(10)
+				req.Wait()
+				if got := c.Now(); math.Abs(got-10.5) > 1e-12 {
+					return fmt.Errorf("clock = %v, want 10.5", got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestEventSchedulerDetectsDeadlock checks that the event backend turns a
+// stuck world into an immediate error — no watchdog timer involved.
+func TestEventSchedulerDetectsDeadlock(t *testing.T) {
+	w, err := NewWorld(2, Options{Scheduler: SchedulerEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Recv(0, 99) // never sent
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestEventSchedulerErrorPaths mirrors the goroutine backend's error
+// handling for invalid arguments and mismatched collectives.
+func TestEventSchedulerErrorPaths(t *testing.T) {
+	opts := Options{Scheduler: SchedulerEvent}
+	for name, f := range map[string]func(c *Comm) error{
+		"self-send":    func(c *Comm) error { c.Send(0, 0, nil); return nil },
+		"invalid-dst":  func(c *Comm) error { c.Send(9, 0, nil); return nil },
+		"invalid-src":  func(c *Comm) error { c.Recv(9, 0); return nil },
+		"invalid-root": func(c *Comm) error { c.Bcast(5, []float64{1}); return nil },
+	} {
+		w, err := NewWorld(1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(f); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	w, err := NewWorld(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.AllreduceMax(1)
+		} else {
+			c.AllreduceSum(1)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected collective mismatch error")
+	}
+
+	if _, err := NewWorld(2, Options{Scheduler: "bogus"}); err == nil {
+		t.Fatal("expected unknown-scheduler error")
+	}
+}
+
+// TestEventSchedulerRunsAheadPipeline checks the virtual-time pipeline
+// result on the event backend against the analytic value (same program as
+// TestRingPipelineVirtualTime).
+func TestEventSchedulerRunsAheadPipeline(t *testing.T) {
+	const n = 8
+	w, err := NewWorld(n, Options{Net: alphaBeta{}, Scheduler: SchedulerEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() > 0 {
+			c.Recv(c.Rank()-1, 0)
+		}
+		c.ChargeExact(1)
+		if c.Rank() < n-1 {
+			c.Send(c.Rank()+1, 0, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Makespan(); math.Abs(got-n) > 1e-12 {
+		t.Errorf("pipeline makespan = %v, want %v", got, float64(n))
+	}
+}
+
+// TestSchedulerEquivalenceRandomPrograms fuzzes both backends with random
+// deterministic charge/exchange schedules.
+func TestSchedulerEquivalenceRandomPrograms(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(1000 + trial)
+		prog := func(c *Comm) error {
+			rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			n := c.Size()
+			for i := 0; i < 15; i++ {
+				c.ChargeExact(rng.Float64() * 1e-3)
+				next := (c.Rank() + 1) % n
+				prev := (c.Rank() + n - 1) % n
+				c.SendN(next, i, 64+rng.Intn(4096), nil)
+				c.RecvN(prev, i)
+				if i%5 == 0 {
+					c.Barrier()
+				}
+			}
+			return nil
+		}
+		var spans [2]float64
+		for bi, sched := range schedulers {
+			w, err := NewWorld(6, Options{
+				Net:       alphaBeta{alpha: 1e-5, beta: 2e-9},
+				Seed:      seed,
+				Scheduler: sched,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			spans[bi] = w.Makespan()
+		}
+		if spans[0] != spans[1] {
+			t.Fatalf("trial %d: makespan %v vs %v", trial, spans[0], spans[1])
+		}
+	}
+}

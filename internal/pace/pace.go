@@ -109,6 +109,11 @@ type Evaluator struct {
 	// UseOpcodeCosts switches the hardware layer to the old per-opcode
 	// summation (the pre-paper PACE method) for the ablation study.
 	UseOpcodeCosts bool
+
+	// Scheduler selects the mp backend for template evaluation; empty
+	// uses the fast event-driven scheduler. The goroutine backend is kept
+	// selectable for the old-vs-new benchmark comparison.
+	Scheduler string
 }
 
 // FlowProvider yields named subtask flows; *capp.Analysis satisfies it.

@@ -184,7 +184,18 @@ func TestPredictAutoSwitchesPath(t *testing.T) {
 	if small.Method != "template" {
 		t.Errorf("small array method = %q", small.Method)
 	}
-	big, err := ev.PredictAuto(paperConfig(30, 30))
+	// 900 processors: well beyond the old 512-rank template ceiling, now
+	// simulated directly by the event scheduler.
+	mid, err := ev.PredictAuto(paperConfig(30, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Method != "template" {
+		t.Errorf("mid array method = %q, want template through %d ranks", mid.Method, TemplateMaxRanks)
+	}
+	// Beyond the paper's largest speculative study the closed form takes
+	// over.
+	big, err := ev.PredictAuto(paperConfig(95, 95))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,7 +43,11 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 		}
 	}
 	d := cfg.Decomp
-	w, err := mp.NewWorld(d.Size(), mp.Options{Net: e.HW.Net()})
+	sched := e.Scheduler
+	if sched == "" {
+		sched = mp.SchedulerEvent
+	}
+	w, err := mp.NewWorld(d.Size(), mp.Options{Net: e.HW.Net(), Scheduler: sched})
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +138,18 @@ func fillStages(d grid.Decomp) int {
 	return 3*(d.PX-1) + 2*(d.PY-1)
 }
 
+// TemplateMaxRanks is the processor-array size up to which PredictAuto
+// uses full template evaluation. The event-driven mp scheduler simulates
+// every processor of the paper's largest speculative studies (Figures 8-9,
+// 8000 processors) in seconds, so the closed form is only a fallback for
+// configurations beyond anything the paper evaluates.
+const TemplateMaxRanks = 8000
+
 // PredictAuto picks the evaluation path by array size: template evaluation
-// up to a few hundred processors, the closed form beyond (the speculative
-// 8000-processor studies).
+// through the paper's speculative 8000-processor studies, the analytic
+// closed form beyond.
 func (e *Evaluator) PredictAuto(cfg Config) (*Prediction, error) {
-	if cfg.Decomp.Size() <= 512 {
+	if cfg.Decomp.Size() <= TemplateMaxRanks {
 		return e.Predict(cfg)
 	}
 	return e.PredictClosedForm(cfg)
