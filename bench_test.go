@@ -172,6 +172,7 @@ func BenchmarkWorldRun(b *testing.B) {
 		for _, sched := range []string{mp.SchedulerGoroutine, mp.SchedulerEvent} {
 			b.Run("sched="+sched+"/P="+strconv.Itoa(p), func(b *testing.B) {
 				opts := mp.Options{Net: pl.NetModel(false), Scheduler: sched}
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := sweep.RunSkeleton(prob, d, costs, opts); err != nil {
 						b.Fatal(err)
@@ -205,6 +206,7 @@ func BenchmarkPredictTemplate(b *testing.B) {
 			b.Run("sched="+sched+"/P="+strconv.Itoa(p), func(b *testing.B) {
 				evS := *ev
 				evS.Scheduler = sched
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := evS.Predict(cfg); err != nil {
 						b.Fatal(err)

@@ -1,0 +1,105 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// fresh benchjson record against the committed baseline (BENCH_PR2.json)
+// and fails when any matched benchmark's ns/op regresses beyond the
+// threshold.
+//
+//	go run ./cmd/benchjson < bench.txt > bench_current.json
+//	go run ./cmd/benchgate -baseline BENCH_PR2.json -current bench_current.json
+//
+// Only benchmarks present in both records are compared, so adding or
+// removing benchmarks never trips the gate. The default threshold (15%)
+// absorbs shared-runner noise on short -benchtime smoke runs; intentional
+// regressions are shipped by tagging the commit message with [bench-skip],
+// which the CI workflow honours by skipping this step entirely.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// record mirrors the benchjson fields the gate needs.
+type record struct {
+	Entries []struct {
+		Name string  `json:"name"`
+		NsOp float64 `json:"ns_per_op"`
+	} `json:"entries"`
+}
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64, len(r.Entries))
+	for _, e := range r.Entries {
+		m[e.Name] = e.NsOp
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR2.json", "committed baseline record")
+		currentPath  = flag.String("current", "", "fresh benchjson record to check (required)")
+		threshold    = flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+		match        = flag.String("match", "", "only gate benchmarks whose name contains this substring")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fail(err)
+	}
+
+	var failures []string
+	compared := 0
+	for name, base := range baseline {
+		if *match != "" && !strings.Contains(name, *match) {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		compared++
+		ratio := cur/base - 1
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-55s base %14.0f ns/op  current %14.0f ns/op  %+6.1f%%  %s\n",
+			name, base, cur, ratio*100, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks matched between baseline and current record")
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d/%d benchmarks regressed more than %.0f%%: %s\n",
+			len(failures), compared, *threshold*100, strings.Join(failures, ", "))
+		fmt.Fprintln(os.Stderr, "benchgate: tag the commit message with [bench-skip] if the regression is intentional")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", compared, *threshold*100)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,26 +1,44 @@
-// Command benchjson converts `go test -bench` output on stdin into the
-// BENCH_PR1.json scheduler-comparison record: one entry per benchmark
-// with ns/op, plus derived event-vs-goroutine speedups for benchmarks
-// that were run under both mp scheduler backends.
+// Command benchjson converts `go test -bench` output into the BENCH_PRn.json
+// scheduler-comparison record: one entry per benchmark with ns/op — plus
+// allocs/op and B/op when the input was produced with -benchmem — and
+// derived event-vs-goroutine speedups for benchmarks that were run under
+// both mp scheduler backends.
 //
-//	go test -run xxx -bench 'BenchmarkWorldRun|BenchmarkPredictTemplate' -benchtime 3x . \
-//	  | go run ./cmd/benchjson > BENCH_PR1.json
+// Two modes:
+//
+//	# filter mode: parse bench output from stdin
+//	go test -run xxx -bench 'BenchmarkWorldRun|BenchmarkPredictTemplate' \
+//	  -benchmem -benchtime 3x . | go run ./cmd/benchjson > BENCH_PR2.json
+//
+//	# runner mode: invoke go test itself, passing profiles through
+//	go run ./cmd/benchjson -bench 'BenchmarkWorldRun|BenchmarkPredictTemplate' \
+//	  -benchtime 3x -cpuprofile cpu.prof -memprofile mem.prof > BENCH_PR2.json
+//
+// In runner mode -cpuprofile/-memprofile are passed through to go test
+// unchanged, so the emitted record and the pprof profiles come from the
+// same run; the raw bench output is echoed to stderr.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. AllocsPerOp/BytesPerOp are emitted
+// when the bench run included -benchmem.
 type Entry struct {
-	Name string  `json:"name"`
-	NsOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	NsOp        float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 // Speedup pairs the two scheduler backends of one benchmark/point.
@@ -43,7 +61,62 @@ type Record struct {
 }
 
 func main() {
-	rec := Record{
+	var (
+		benchRe    = flag.String("bench", "", "runner mode: invoke `go test -bench` with this pattern instead of reading stdin")
+		benchtime  = flag.String("benchtime", "3x", "runner mode: -benchtime passed to go test")
+		count      = flag.Int("count", 1, "runner mode: -count passed to go test")
+		pkg        = flag.String("pkg", ".", "runner mode: package to benchmark")
+		cpuprofile = flag.String("cpuprofile", "", "runner mode: -cpuprofile passed through to go test")
+		memprofile = flag.String("memprofile", "", "runner mode: -memprofile passed through to go test")
+	)
+	flag.Parse()
+
+	input := io.Reader(os.Stdin)
+	var cmd *exec.Cmd
+	if *benchRe != "" {
+		args := []string{"test", "-run", "xxx", "-bench", *benchRe,
+			"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+		if *cpuprofile != "" {
+			args = append(args, "-cpuprofile", *cpuprofile)
+		}
+		if *memprofile != "" {
+			args = append(args, "-memprofile", *memprofile)
+		}
+		args = append(args, *pkg)
+		cmd = exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fail(err)
+		}
+		// Echo the raw bench lines to stderr while parsing them.
+		input = io.TeeReader(out, os.Stderr)
+	}
+
+	rec, parseErr := parse(input)
+	// A failed bench run must never produce a plausible record on stdout:
+	// reap the child and bail before encoding anything.
+	if cmd != nil {
+		if err := cmd.Wait(); err != nil {
+			fail(fmt.Errorf("go test: %w", err))
+		}
+	}
+	if parseErr != nil {
+		fail(parseErr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fail(err)
+	}
+}
+
+// parse reads `go test -bench` output and builds the record.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -52,37 +125,44 @@ func main() {
 			"benchmark point; the goroutine backend pays no contention on single-CPU hosts, " +
 			"so speedups there are a lower bound on contended multi-core machines.",
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// "BenchmarkFoo/sub-8   3   123456 ns/op [...]"
+		// "BenchmarkFoo/sub-8   3   123456 ns/op   64 B/op   2 allocs/op [...]"
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		ns := -1.0
+		e := Entry{NsOp: -1}
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
-					ns = v
-				}
-				break
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp = v
+			case "B/op":
+				b := v
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				e.AllocsPerOp = &a
 			}
 		}
-		if ns < 0 {
+		if e.NsOp < 0 {
 			continue
 		}
-		name := fields[0]
+		e.Name = fields[0]
 		// Strip the trailing -GOMAXPROCS suffix.
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+		if i := strings.LastIndex(e.Name, "-"); i > 0 {
+			if _, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+				e.Name = e.Name[:i]
 			}
 		}
-		rec.Entries = append(rec.Entries, Entry{Name: name, NsOp: ns})
+		rec.Entries = append(rec.Entries, e)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
 
 	// Pair sched=goroutine with sched=event entries of the same benchmark.
@@ -106,11 +186,10 @@ func main() {
 			Speedup:     e.NsOp / evNs,
 		})
 	}
+	return rec, nil
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

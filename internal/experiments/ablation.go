@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"pacesweep/internal/bench"
 	"pacesweep/internal/grid"
 	"pacesweep/internal/pace"
 	"pacesweep/internal/platform"
@@ -34,10 +33,12 @@ type Ablation struct {
 	MaxNewAbsErr float64
 }
 
-// AblationOpcode runs the ablation on the Table 2 (Opteron) rows.
+// AblationOpcode runs the ablation on the Table 2 (Opteron) rows, through
+// the shared memoizing evaluator (the opcode-mode evaluator copy shares
+// its caches; the memo keys include the opcode toggle).
 func AblationOpcode() (*Ablation, error) {
 	pl := platform.OpteronGigE()
-	ev, _, err := BuildEvaluator(pl, perProc, 4004)
+	ev, _, err := sharedEvaluator(pl, perProc, 4004)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +51,7 @@ func AblationOpcode() (*Ablation, error) {
 		g := grid.Global{NX: row.NX, NY: row.NY, NZ: row.NZ}
 		d := grid.Decomp{PX: row.PX, PY: row.PY}
 		p := problemFor(g)
-		measured, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: 4100 + int64(i*13)})
+		measured, err := measureOnce(pl, p, d, 4100+int64(i*13))
 		if err != nil {
 			return err
 		}

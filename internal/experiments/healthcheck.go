@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"pacesweep/internal/bench"
 	"pacesweep/internal/grid"
 	"pacesweep/internal/pace"
 	"pacesweep/internal/platform"
@@ -47,7 +46,11 @@ func RunHealthCheck(faultFactor, tolerancePct float64, seed int64) (*HealthCheck
 		return nil, fmt.Errorf("experiments: fault factor must be >= 1, got %v", faultFactor)
 	}
 	pl := platform.OpteronGigE()
-	ev, _, err := BuildEvaluator(pl, perProc, seed)
+	// The expectations come from the shared memoizing evaluator; the
+	// measurements go through measureOnce, whose key is the full platform
+	// fingerprint, so the degraded copy below (same name, inflated curves)
+	// caches separately from the healthy system.
+	ev, _, err := sharedEvaluator(pl, perProc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +85,7 @@ func RunHealthCheck(faultFactor, tolerancePct float64, seed int64) (*HealthCheck
 			pl   platform.Platform
 			rows []HealthRow
 		}{{pl, hc.Healthy}, {degraded, hc.Degraded}} {
-			m, err := bench.Measure(sys.pl, p, d, bench.MeasureOptions{Seed: seed + int64(50+i*3)})
+			m, err := measureOnce(sys.pl, p, d, seed+int64(50+i*3))
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"pacesweep/internal/bench"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+)
+
+// TestMemoLayerByteIdentical is the ISSUE's acceptance check for the
+// shared memo layer: driver outputs must be byte-identical to the
+// uncached path for the same seeds — on repeat driver invocations (memo
+// hits) and against a fresh, cache-free evaluator and direct measurement.
+func TestMemoLayerByteIdentical(t *testing.T) {
+	v1, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.Rows) != len(v2.Rows) {
+		t.Fatal("row count drifted across invocations")
+	}
+	for i := range v1.Rows {
+		if v1.Rows[i] != v2.Rows[i] {
+			t.Errorf("row %d drifted across invocations: %+v vs %+v", i, v1.Rows[i], v2.Rows[i])
+		}
+	}
+
+	// The second invocation must have been served by the prediction memo.
+	ev, _, err := sharedEvaluator(platform.OpteronGigE(), perProc, 2002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := ev.Memo.Stats()
+	if hits == 0 {
+		t.Error("second Table2 run recorded no prediction-memo hits")
+	}
+
+	// Against the uncached path: a fresh evaluator (no shared memo, no
+	// warm pools) and a direct bench.Measure must reproduce row 0 exactly.
+	pl := platform.OpteronGigE()
+	freshEv, _, err := BuildEvaluator(pl, perProc, 2002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := v1.Rows[0]
+	p := problemFor(row.Grid)
+	cfg := pace.Config{
+		Grid: row.Grid, Decomp: row.Decomp, MK: p.MK, MMI: p.MMI,
+		Angles: p.Quad.M(), Iterations: p.Iterations,
+	}
+	pred, err := freshEv.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Total != row.Predicted {
+		t.Errorf("memoised prediction %v != uncached %v", row.Predicted, pred.Total)
+	}
+	measured, err := bench.Measure(pl, p, row.Decomp, bench.MeasureOptions{Seed: 2002 + int64(100+0*7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured != row.Measured {
+		t.Errorf("memoised measurement %v != uncached %v", row.Measured, measured)
+	}
+	// Guard the key design: the health check's degraded platform shares
+	// its name with the healthy one; the fingerprint keys must keep them
+	// distinct (the degraded system must measure slower).
+	hc, err := RunHealthCheck(6, 10, 6006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hc.Healthy {
+		if hc.Degraded[i].Measured == hc.Healthy[i].Measured {
+			t.Errorf("row %d: degraded measurement collided with healthy in the memo", i)
+		}
+	}
+}

@@ -57,10 +57,13 @@ func scalingConfig(perProc grid.Global, p int) (pace.Config, error) {
 	}, nil
 }
 
-// runScaling produces one figure's curves.
+// runScaling produces one figure's curves. The shared memoizing evaluator
+// makes repeated figure generation (tests, benchmarks, the baseline
+// comparison) nearly free after the first pass; the rate-boost evaluator
+// copies share its caches, keyed by their distinct achieved rates.
 func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*ScalingStudy, error) {
 	pl := platform.OpteronMyrinet()
-	ev, model, err := BuildEvaluator(pl, perProc, seed)
+	ev, model, err := sharedEvaluator(pl, perProc, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -76,9 +76,13 @@ type Validation struct {
 	PaperVarErr float64
 }
 
-// runValidation reproduces one validation table.
+// runValidation reproduces one validation table. It goes through the
+// shared memoizing evaluator and measurement cache, so rows that recur
+// across drivers (or across repeated invocations of the same table) are
+// simulated once per process; per-row seeds keep the emitted numbers
+// byte-identical to the uncached path.
 func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg, paperVar float64, seed int64) (*Validation, error) {
-	ev, model, err := BuildEvaluator(pl, perProc, seed)
+	ev, model, err := sharedEvaluator(pl, perProc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +101,7 @@ func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg,
 		g := grid.Global{NX: row.NX, NY: row.NY, NZ: row.NZ}
 		d := grid.Decomp{PX: row.PX, PY: row.PY}
 		p := problemFor(g)
-		measured, err := bench.Measure(pl, p, d, bench.MeasureOptions{Seed: seed + int64(100+i*7)})
+		measured, err := measureOnce(pl, p, d, seed+int64(100+i*7))
 		if err != nil {
 			return fmt.Errorf("experiments: row %v/%v: %w", g, d, err)
 		}

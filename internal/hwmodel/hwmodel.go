@@ -103,6 +103,11 @@ type FittedNet struct {
 	send, recv, transit atomic.Pointer[sizeMemo]
 }
 
+// CostsDeterministic implements mp.DeterministicCosts: the fitted curves
+// are pure functions of the size (PACE evaluation is analytic), so the mp
+// runtime may skip RNG materialisation and memoize per size.
+func (n *FittedNet) CostsDeterministic() bool { return true }
+
 // SendOverhead implements mp.NetworkModel.
 func (n *FittedNet) SendOverhead(bytes int, _ *rand.Rand) float64 {
 	return priced(&n.send, bytes, n.m.Send.Seconds)

@@ -7,12 +7,36 @@ package mp
 // execution token at any moment, and a rank that blocks (a receive with no
 // matching message, a collective waiting for stragglers) hands the token
 // directly to the next runnable rank — the one with the smallest virtual
-// clock, drawn from a binary min-heap. Message delivery is a plain slice
-// append; there are no mutexes, condition variables or broadcast wake-ups
-// anywhere on the path. Because the interleaving is fully determined by
-// the virtual clocks (ties broken by rank id), a run's output — including
-// floating-point accumulation order in collectives — is bit-identical
-// across repeated runs and GOMAXPROCS settings.
+// clock. Message delivery is a plain slice append; there are no mutexes,
+// condition variables or broadcast wake-ups anywhere on the path. Because
+// the interleaving is fully determined by the virtual clocks (ties broken
+// by rank id), a run's output — including floating-point accumulation
+// order in collectives — is bit-identical across repeated runs and
+// GOMAXPROCS settings.
+//
+// Run-to-completion handoff: the scheduler keeps the next runnable rank in
+// a dedicated slot (ev.slot) beside the clock min-heap. A rank woken by a
+// message delivery (the overwhelmingly common case in a wavefront, where
+// the sender's delivery is what unblocks the unique minimum-clock rank)
+// parks in the slot instead of being pushed through the heap; when the
+// sender eventually blocks, the token is handed straight to the slot with
+// zero heap traffic. The heap only sees ranks displaced from the slot by
+// an even-earlier wake-up, so steady-state block/wake cycles cost one
+// comparison instead of a push+pop pair of log-depth sift operations.
+// scheduleNext still always resumes the exact minimum-(clock, id) runnable
+// rank, so the schedule — and therefore every clock — is unchanged.
+//
+// Memory layout: per-rank state is split into two parallel arrays. evInbox
+// holds only what a *sender* touches when delivering into another rank —
+// status, the awaited stream key, and the stream table — at ~48 bytes per
+// rank, so the whole delivery-hot working set of even an 8000-rank world
+// stays cache-resident. evRank carries everything else (the resume
+// channel, collective snapshot, the embedded Comm), which only the rank
+// itself and the scheduler touch.
+//
+// All per-run state lives in one evWorld that is allocated with the World
+// and reused across Run calls via World.Reset, so a pooled world reaches
+// zero steady-state allocations per message operation.
 //
 // Per-rank virtual-clock arithmetic is shared with the goroutine backend
 // (Comm.SendN/RecvN/reduce), so the two backends produce bit-identical
@@ -23,7 +47,9 @@ package mp
 //
 // Deadlocks need no watchdog here: when no rank is runnable and some are
 // still blocked, no message can ever arrive, so the scheduler aborts the
-// blocked ranks immediately with the same errAborted the watchdog uses.
+// blocked ranks immediately with the same errAborted the watchdog uses —
+// including ranks parked *inside* a collective that the remaining ranks
+// will never join.
 
 import (
 	"errors"
@@ -34,39 +60,81 @@ import (
 
 // Rank states of the event scheduler.
 const (
-	evReady   uint8 = iota // runnable, queued in the clock heap
+	evReady   uint8 = iota // runnable, queued in the clock heap or slot
 	evRunning              // holds the execution token
 	evBlocked              // parked on a receive or collective
 	evDone                 // rank function returned or panicked
 )
 
-// msgStream is a FIFO of messages for one (src, tag) pair: appended at
-// the tail, consumed from head. When drained it resets to reuse capacity,
-// so steady-state delivery is allocation- and memmove-free.
-type msgStream struct {
-	key  uint64
-	msgs []message
-	head int
+// qmsg is one queued message in a stream. The stream key already encodes
+// (src, tag) and payloads live in the stream's side array, so a queued
+// message is 16 bytes — delivery into a remote rank's queue is the single
+// hottest memory traffic of the event backend, and skeleton/template
+// workloads (payload-free sends) dirty exactly one cache line per four
+// deliveries. Wire sizes are stored as int32: virtual messages above 2 GiB
+// are outside any modelled regime.
+type qmsg struct {
+	avail   float64 // virtual time at which the receiver may consume it
+	bytes   int32
+	dataIdx int32 // index into msgStream.data, or -1 for payload-free
 }
 
-// qkey packs a (src, tag) pair into one stream key.
+// msgStream is a FIFO of messages for one (src, tag) pair: appended at
+// the tail, consumed from head. When drained it resets to reuse capacity,
+// so steady-state delivery is allocation- and memmove-free. The data side
+// array is touched only by payload-carrying messages and stays nil for
+// skeleton traffic.
+type msgStream struct {
+	key  uint64
+	msgs []qmsg
+	head int
+	data [][]float64
+}
+
+// qkey packs a (src, tag) pair into one stream key. It must stay a leaf
+// function (no closures, no interface hops): it sits on the per-block
+// fast path of every send and receive and is expected to inline.
 func qkey(src, tag int) uint64 {
 	return uint64(uint32(src))<<32 | uint64(uint32(tag))
 }
 
-// evRank is one rank's cooperative execution state.
+// evInbox is the delivery-hot slice of one rank's state; see the package
+// comment on layout.
+type evInbox struct {
+	status  uint8
+	inColl  bool    // blocked inside a collective
+	wantKey uint64  // the stream a blocked receive waits for
+	clock   float64 // the rank's clock, frozen at block time (valid while not running)
+
+	// streams holds incoming messages by (src, tag), flattened into a
+	// value slice: ranks talk to a handful of peers (the wavefront uses at
+	// most four streams), where an inline linear scan beats both a map and
+	// a pointer slice. Streams are addressed by index, never by held
+	// pointer — the backing array moves when a new stream is added.
+	streams []msgStream
+}
+
+// streamIndex returns the index of the rank's (src, tag) stream, creating
+// it on first use. Callers re-derive the *msgStream from the index after
+// any operation that can add streams (blocking included) — the backing
+// array may have moved.
+func (ib *evInbox) streamIndex(k uint64) int {
+	for i := range ib.streams {
+		if ib.streams[i].key == k {
+			return i
+		}
+	}
+	ib.streams = append(ib.streams, msgStream{key: k})
+	return len(ib.streams) - 1
+}
+
+// evRank is the cold remainder of a rank's cooperative execution state:
+// only the rank itself (while running) and the scheduler (on handoff)
+// touch it.
 type evRank struct {
 	id     int
-	c      *Comm
 	resume chan struct{} // buffered(1) token handoff
-	status uint8
-
-	// streams holds incoming messages by (src, tag). A small linear-scanned
-	// slice: ranks talk to a handful of peers (the wavefront uses at most
-	// four streams), where a scan beats a map by 4-5x per operation.
-	streams []*msgStream
-	wantKey uint64 // the stream a blocked receive waits for
-	inColl  bool   // blocked inside a collective
+	body   func()        // pre-built goroutine body; spawning it allocates nothing
 
 	// Snapshot of the collective outcome, written by the generation's
 	// closing rank before this rank is woken (the closer may race ahead
@@ -74,7 +142,8 @@ type evRank struct {
 	collRes  []float64
 	collDone float64
 
-	err error
+	err  error
+	comm Comm
 }
 
 // evColl is the lock-free collective state of the event backend. It
@@ -87,49 +156,96 @@ type evColl struct {
 	acc     []float64
 	maxTime float64
 	rng     *rand.Rand
-	waiters []*evRank
+	waiters []int // rank ids, in arrival order
 }
 
-// evWorld is the per-Run scheduler instance.
+// evWorld is the event scheduler instance. It is created once per World
+// and reused across Run calls (see World.Reset); nothing in it is
+// reallocated on the steady-state path.
 type evWorld struct {
 	w         *World
-	ranks     []*evRank
+	f         func(c *Comm) error // the current run's rank function
+	ranks     []evRank
+	inbox     []evInbox
 	heap      clockHeap
-	master    chan struct{} // closed when every rank has finished
+	slot      int           // run-to-completion handoff slot (rank id; -1 empty)
+	slotClock float64       // the slot rank's frozen clock
+	master    chan struct{} // buffered(1); signalled when every rank has finished
 	doneCount int
 	aborting  bool
 	coll      evColl
 }
 
-// runEvent executes f once per rank under the event scheduler.
-func (w *World) runEvent(f func(c *Comm) error) error {
-	ev := &evWorld{w: w, master: make(chan struct{})}
+// newEvWorld builds the persistent scheduler state for an event world.
+func newEvWorld(w *World) *evWorld {
+	ev := &evWorld{w: w, slot: -1, master: make(chan struct{}, 1)}
 	ev.coll.n = w.n
 	ev.coll.rng = rand.New(rand.NewSource(w.opts.Seed ^ 0x1F3D5B79))
-	ev.ranks = make([]*evRank, w.n)
-	w.ev = ev
-	for i := 0; i < w.n; i++ {
-		r := &evRank{
-			id:     i,
-			resume: make(chan struct{}, 1),
-			c: &Comm{
-				w:    w,
-				rank: i,
-				rng:  rand.New(rand.NewSource(w.opts.Seed + int64(i)*0x9E3779B9)),
-			},
-		}
-		ev.ranks[i] = r
-		ev.heap.push(heapEntry{clock: 0, id: i})
+	ev.ranks = make([]evRank, w.n)
+	ev.inbox = make([]evInbox, w.n)
+	ev.heap.e = make([]heapEntry, 0, w.n)
+	for i := range ev.ranks {
+		r := &ev.ranks[i]
+		r.id = i
+		r.resume = make(chan struct{}, 1)
+		r.body = func() { ev.runRank(r) }
+		w.initComm(&r.comm, i)
 	}
-	for _, r := range ev.ranks {
-		go ev.runRank(r, f)
+	return ev
+}
+
+// reset returns the scheduler to its initial state without releasing any
+// of the pooled storage: rank records, stream buffers, the heap slice and
+// the collective scratch all keep their capacity.
+func (ev *evWorld) reset() {
+	ev.slot = -1
+	ev.doneCount = 0
+	ev.aborting = false
+	ev.heap.e = ev.heap.e[:0]
+	ev.coll.arrived = 0
+	ev.coll.acc = ev.coll.acc[:0]
+	ev.coll.waiters = ev.coll.waiters[:0]
+	ev.coll.rng.Seed(ev.w.opts.Seed ^ 0x1F3D5B79)
+	for i := range ev.ranks {
+		r := &ev.ranks[i]
+		r.collRes = nil
+		r.collDone = 0
+		r.err = nil
+		ev.w.initComm(&r.comm, i)
+		ib := &ev.inbox[i]
+		ib.status = evReady
+		ib.inColl = false
+		ib.wantKey = 0
+		ib.clock = 0
+		for s := range ib.streams {
+			q := &ib.streams[s]
+			q.msgs = q.msgs[:0]
+			q.head = 0
+			for d := range q.data {
+				q.data[d] = nil
+			}
+			q.data = q.data[:0]
+		}
+	}
+}
+
+// runEvent executes f once per rank under the event scheduler.
+func (w *World) runEvent(f func(c *Comm) error) error {
+	ev := w.ev
+	ev.f = f
+	for i := range ev.ranks {
+		ev.inbox[i].status = evReady
+		// All clocks are zero at start, so appending in id order already
+		// satisfies the heap invariant — no sifting needed.
+		ev.heap.e = append(ev.heap.e, heapEntry{clock: 0, id: i})
+		go ev.ranks[i].body()
 	}
 	ev.scheduleNext() // hand the token to rank 0
 	<-ev.master
-	w.ev = nil
-	for _, r := range ev.ranks {
-		if r.err != nil {
-			return r.err
+	ev.f = nil
+	for i := range ev.ranks {
+		if err := ev.ranks[i].err; err != nil {
+			return err
 		}
 	}
 	return nil
@@ -137,7 +253,7 @@ func (w *World) runEvent(f func(c *Comm) error) error {
 
 // runRank is a rank's goroutine body: wait for the token, run the rank
 // function, and pass the token on when done.
-func (ev *evWorld) runRank(r *evRank, f func(c *Comm) error) {
+func (ev *evWorld) runRank(r *evRank) {
 	<-r.resume
 	defer func() {
 		if p := recover(); p != nil {
@@ -149,34 +265,68 @@ func (ev *evWorld) runRank(r *evRank, f func(c *Comm) error) {
 		}
 		ev.finishRank(r)
 	}()
-	r.err = f(r.c)
-	ev.w.clocks[r.id] = r.c.clock
+	r.err = ev.f(&r.comm)
+	ev.w.clocks[r.id] = r.comm.clock
 }
 
-// scheduleNext pops the runnable rank with the smallest virtual clock and
-// hands it the execution token. All scheduler-state mutation happens
-// before the handoff send, so the resumed rank sees a consistent view;
-// the caller must not touch scheduler state afterwards. Returns false
-// when no rank is runnable.
+// wake marks a blocked rank runnable. The slot holds the earliest woken
+// rank; a later wake with a smaller (clock, id) displaces the incumbent
+// into the heap. Each ready rank lives in exactly one place — the slot or
+// the heap — so scheduleNext's minimum is exact. Clocks come from the
+// inbox records (frozen at block time), so the whole wake path stays on
+// the delivery-hot array.
+func (ev *evWorld) wake(id int, ib *evInbox) {
+	ib.status = evReady
+	clock := ib.clock
+	s := ev.slot
+	if s < 0 {
+		ev.slot, ev.slotClock = id, clock
+		return
+	}
+	if clock < ev.slotClock || (clock == ev.slotClock && id < s) {
+		// Displace the incumbent into the heap.
+		id, clock, ev.slot, ev.slotClock = s, ev.slotClock, id, clock
+	}
+	ev.heap.push(heapEntry{clock: clock, id: id})
+}
+
+// scheduleNext hands the execution token to the runnable rank with the
+// smallest (clock, id), drawn from the slot or the heap. All
+// scheduler-state mutation happens before the handoff send, so the
+// resumed rank sees a consistent view; the caller must not touch
+// scheduler state afterwards. Returns false when no rank is runnable.
 func (ev *evWorld) scheduleNext() bool {
-	for ev.heap.len() > 0 {
-		e := ev.heap.pop()
-		r := ev.ranks[e.id]
-		if r.status != evReady {
-			continue
+	for {
+		if s := ev.slot; s >= 0 {
+			if ev.heap.len() == 0 || !entryLess(ev.heap.top(), heapEntry{clock: ev.slotClock, id: s}) {
+				// Fast path: the slot rank is the minimum — zero heap ops.
+				ev.slot = -1
+				ev.inbox[s].status = evRunning
+				ev.ranks[s].resume <- struct{}{}
+				return true
+			}
 		}
-		r.status = evRunning
-		r.resume <- struct{}{}
+		if ev.heap.len() == 0 {
+			return false
+		}
+		e := ev.heap.pop()
+		if ev.inbox[e.id].status != evReady {
+			continue // stale entry; re-compare the slot against the new top
+		}
+		ev.inbox[e.id].status = evRunning
+		ev.ranks[e.id].resume <- struct{}{}
 		return true
 	}
-	return false
 }
 
-// block parks the calling rank until another rank wakes it. If nothing is
-// runnable the world is deadlocked; every blocked rank (the caller
-// included) is aborted.
+// block parks the calling rank until another rank wakes it, freezing its
+// clock into the inbox record for the wake path. If nothing is runnable
+// the world is deadlocked; every blocked rank (the caller included) is
+// aborted.
 func (ev *evWorld) block(r *evRank) {
-	r.status = evBlocked
+	ib := &ev.inbox[r.id]
+	ib.status = evBlocked
+	ib.clock = r.comm.clock
 	if !ev.scheduleNext() {
 		ev.stalled()
 	}
@@ -189,10 +339,10 @@ func (ev *evWorld) block(r *evRank) {
 // finishRank retires a rank and passes the token on; the last rank to
 // finish releases the master goroutine.
 func (ev *evWorld) finishRank(r *evRank) {
-	r.status = evDone
+	ev.inbox[r.id].status = evDone
 	ev.doneCount++
 	if ev.doneCount == ev.w.n {
-		close(ev.master)
+		ev.master <- struct{}{}
 		return
 	}
 	if !ev.scheduleNext() {
@@ -208,59 +358,61 @@ func (ev *evWorld) finishRank(r *evRank) {
 // token to itself and then collect it in block().
 func (ev *evWorld) stalled() {
 	ev.aborting = true
-	for _, br := range ev.ranks {
-		if br.status == evBlocked {
-			br.status = evReady
-			ev.heap.push(heapEntry{clock: br.c.clock, id: br.id})
+	for i := range ev.inbox {
+		if ib := &ev.inbox[i]; ib.status == evBlocked {
+			ev.wake(i, ib)
 		}
 	}
 	ev.scheduleNext()
 }
 
-// stream returns the rank's (src, tag) stream, creating it on first use.
-func (r *evRank) stream(k uint64) *msgStream {
-	for _, s := range r.streams {
-		if s.key == k {
-			return s
-		}
-	}
-	s := &msgStream{key: k}
-	r.streams = append(r.streams, s)
-	return s
-}
-
 // deliver appends a message to the destination's (src, tag) stream and
 // wakes the destination if it is blocked waiting for exactly that stream.
-func (ev *evWorld) deliver(dst int, m message) {
-	r := ev.ranks[dst]
-	k := qkey(m.src, m.tag)
-	q := r.stream(k)
-	q.msgs = append(q.msgs, m)
-	if r.status == evBlocked && !r.inColl && r.wantKey == k {
-		r.status = evReady
-		ev.heap.push(heapEntry{clock: r.c.clock, id: r.id})
+// The woken receiver usually lands in the handoff slot: when the sender
+// later blocks, the token passes to it directly.
+func (ev *evWorld) deliver(dst int, k uint64, bytes int, data []float64, avail float64) {
+	ib := &ev.inbox[dst]
+	q := &ib.streams[ib.streamIndex(k)]
+	dataIdx := int32(-1)
+	if data != nil {
+		q.data = append(q.data, data)
+		dataIdx = int32(len(q.data) - 1)
+	}
+	q.msgs = append(q.msgs, qmsg{avail: avail, bytes: int32(bytes), dataIdx: dataIdx})
+	if ib.status == evBlocked && !ib.inColl && ib.wantKey == k {
+		ev.wake(dst, ib)
 	}
 }
 
-// receive returns the next queued message of the (src, tag) stream,
-// blocking the rank until one arrives. Per-stream FIFO consumption gives
-// the non-overtaking guarantee directly.
-func (ev *evWorld) receive(c *Comm, src, tag int) message {
-	r := ev.ranks[c.rank]
-	q := r.stream(qkey(src, tag))
+// receive returns the payload, wire size and availability time of the
+// next queued message of the (src, tag) stream, blocking the rank until
+// one arrives. Per-stream FIFO consumption gives the non-overtaking
+// guarantee directly.
+func (ev *evWorld) receive(c *Comm, src, tag int) ([]float64, int, float64) {
+	ib := &ev.inbox[c.rank]
+	k := qkey(src, tag)
+	qi := ib.streamIndex(k)
 	for {
+		q := &ib.streams[qi]
 		if q.head < len(q.msgs) {
 			m := q.msgs[q.head]
-			q.msgs[q.head] = message{} // release the payload for GC
+			var data []float64
+			if m.dataIdx >= 0 {
+				data = q.data[m.dataIdx]
+				q.data[m.dataIdx] = nil // release the payload for GC
+			}
 			q.head++
 			if q.head == len(q.msgs) {
 				q.msgs = q.msgs[:0]
 				q.head = 0
+				if q.data != nil {
+					q.data = q.data[:0]
+				}
 			}
-			return m
+			return data, int(m.bytes), m.avail
 		}
-		r.wantKey = q.key
-		ev.block(r)
+		ib.wantKey = k
+		ev.block(&ev.ranks[c.rank])
 	}
 }
 
@@ -270,7 +422,6 @@ func (ev *evWorld) receive(c *Comm, src, tag int) message {
 // the closer keeps running immediately.
 func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 	cl := &ev.coll
-	r := ev.ranks[c.rank]
 	if cl.arrived == 0 {
 		cl.op = op
 		cl.maxTime = c.clock
@@ -302,20 +453,21 @@ func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 			done += net.ReduceCost(cl.n, 8*len(cl.acc), cl.rng)
 		}
 		cl.arrived = 0
-		for _, wr := range cl.waiters {
+		for _, id := range cl.waiters {
+			wr := &ev.ranks[id]
 			wr.collRes = result
 			wr.collDone = done
-			wr.status = evReady
-			ev.heap.push(heapEntry{clock: wr.c.clock, id: wr.id})
+			ev.wake(id, &ev.inbox[id])
 		}
 		cl.waiters = cl.waiters[:0]
 		c.clock = done
 		return result
 	}
-	r.inColl = true
-	cl.waiters = append(cl.waiters, r)
+	r := &ev.ranks[c.rank]
+	ev.inbox[c.rank].inColl = true
+	cl.waiters = append(cl.waiters, c.rank)
 	ev.block(r)
-	r.inColl = false
+	ev.inbox[c.rank].inColl = false
 	res := r.collRes
 	r.collRes = nil
 	c.clock = r.collDone
@@ -338,6 +490,11 @@ type clockHeap struct {
 
 func (h *clockHeap) len() int { return len(h.e) }
 
+// top peeks the minimum entry; callers must check len() > 0 first.
+func (h *clockHeap) top() heapEntry { return h.e[0] }
+
+// entryLess orders heap entries by (clock, id). Like qkey it must stay a
+// branch-only leaf so the per-handoff comparisons inline.
 func entryLess(a, b heapEntry) bool {
 	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
 }

@@ -45,8 +45,11 @@ import (
 
 // NetworkModel prices message-passing operations in seconds. Implementations
 // may use the supplied per-rank RNG to add deterministic jitter; rng is never
-// nil. A nil NetworkModel on the World means all costs are zero (purely
-// functional execution).
+// nil — except for models that implement DeterministicCosts and report true,
+// which have declared their costs pure functions of the size and must ignore
+// the RNG (the runtime then passes nil and memoizes per size). A nil
+// NetworkModel on the World means all costs are zero (purely functional
+// execution).
 type NetworkModel interface {
 	// SendOverhead is the time the sending processor is busy in a blocking
 	// standard-mode send of the given wire size.
@@ -67,6 +70,25 @@ type NetworkModel interface {
 // arguments and the RNG stream so that simulations are reproducible.
 type ComputeNoise interface {
 	Perturb(seconds float64, rng *rand.Rand) float64
+}
+
+// DeterministicCosts is an optional NetworkModel extension. A model that
+// reports true declares all four cost methods pure functions of their size
+// arguments (no RNG use): the runtime then skips per-rank RNG materialisation
+// on the message path and caches one priced size per curve per rank, which is
+// a near-100% hit rate for block-structured workloads like the wavefront.
+type DeterministicCosts interface {
+	CostsDeterministic() bool
+}
+
+// netIsDeterministic reports whether the model opted into the
+// DeterministicCosts fast path.
+func netIsDeterministic(net NetworkModel) bool {
+	if net == nil {
+		return false
+	}
+	dc, ok := net.(DeterministicCosts)
+	return ok && dc.CostsDeterministic()
 }
 
 // Scheduler backend names for Options.Scheduler.
@@ -108,16 +130,22 @@ type inbox struct {
 	queue []message
 }
 
-// World is a fixed-size group of ranks.
+// World is a fixed-size group of ranks. A world may be Run once; Reset
+// returns it to its initial state for another Run, reusing all internal
+// storage (rank records, message streams, heap, RNG state), which is what
+// lets callers pool worlds across evaluations with zero steady-state
+// allocations per message operation.
 type World struct {
 	n      int
 	opts   Options
+	detNet bool // opts.Net opted into the DeterministicCosts fast path
+	ran    bool // set by Run; cleared by Reset
 	boxes  []inbox
 	clocks []float64
 	coll   collective
 	abort  atomic.Bool
 	ops    atomic.Int64 // progress counter for the watchdog
-	ev     *evWorld     // non-nil while an event-scheduler run is active
+	ev     *evWorld     // the persistent event-scheduler instance (event backend only)
 }
 
 // NewWorld creates a world of n ranks. n must be positive.
@@ -132,10 +160,12 @@ func NewWorld(n int, opts Options) (*World, error) {
 			opts.Scheduler, SchedulerGoroutine, SchedulerEvent)
 	}
 	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
-	if opts.Scheduler != SchedulerEvent {
+	w.detNet = netIsDeterministic(opts.Net)
+	if opts.Scheduler == SchedulerEvent {
 		// The event backend has its own per-rank streams and lock-free
-		// collective; only the goroutine backend needs inboxes and the
-		// condvar collective.
+		// collective; it is built once here and pooled across Runs.
+		w.ev = newEvWorld(w)
+	} else {
 		w.boxes = make([]inbox, n)
 		for i := range w.boxes {
 			w.boxes[i].cond = sync.NewCond(&w.boxes[i].mu)
@@ -143,6 +173,54 @@ func NewWorld(n int, opts Options) (*World, error) {
 		w.coll.init(n, opts.Seed)
 	}
 	return w, nil
+}
+
+// Reset returns a finished (or fresh) world to its initial state so Run can
+// be called again: clocks to zero, per-rank RNG streams back to their seeds,
+// message queues drained, collective generations rewound. All internal
+// storage is retained, so a Reset+Run cycle on a warmed world performs zero
+// steady-state heap allocations per message operation. Reset also re-reads
+// whether Options.Net opts into the DeterministicCosts fast path, so pooled
+// worlds may swap the model behind an indirection between runs. It must not
+// be called while a Run is in progress.
+func (w *World) Reset() {
+	w.ran = false
+	w.detNet = netIsDeterministic(w.opts.Net)
+	for i := range w.clocks {
+		w.clocks[i] = 0
+	}
+	w.abort.Store(false)
+	w.ops.Store(0)
+	if w.ev != nil {
+		w.ev.reset()
+		return
+	}
+	for i := range w.boxes {
+		b := &w.boxes[i]
+		b.mu.Lock()
+		for j := range b.queue {
+			b.queue[j].data = nil
+		}
+		b.queue = b.queue[:0]
+		b.mu.Unlock()
+	}
+	w.coll.reset(w.n, w.opts.Seed)
+}
+
+// initComm (re)initialises a rank's Comm for a fresh run. The RNG object is
+// retained across resets and lazily reseeded on first use, so untouched
+// streams (the common case under deterministic cost models) cost nothing.
+func (w *World) initComm(c *Comm, rank int) {
+	c.w = w
+	c.rank = rank
+	c.clock = 0
+	c.seed = w.opts.Seed + int64(rank)*0x9E3779B9
+	c.rngOK = false
+	c.det = w.detNet
+	c.sendC = sizeCost{bytes: -1}
+	c.recvC = sizeCost{bytes: -1}
+	c.transC = sizeCost{bytes: -1}
+	c.bcastRoot = false
 }
 
 // Size returns the number of ranks in the world.
@@ -167,8 +245,13 @@ var errAborted = errors.New("mp: run aborted by watchdog (possible deadlock)")
 
 // Run executes f once per rank under the configured scheduler backend and
 // waits for all ranks. The first non-nil error (or recovered panic) is
-// returned. Final virtual clocks remain available via Clock/Makespan.
+// returned. Final virtual clocks remain available via Clock/Makespan. A
+// world runs once; call Reset before running it again.
 func (w *World) Run(f func(c *Comm) error) error {
+	if w.ran {
+		return errors.New("mp: world already run; call Reset before reusing it")
+	}
+	w.ran = true
 	if w.opts.Scheduler == SchedulerEvent {
 		return w.runEvent(f)
 	}
@@ -192,11 +275,8 @@ func (w *World) runGoroutine(f func(c *Comm) error) error {
 					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, p)
 				}
 			}()
-			c := &Comm{
-				w:    w,
-				rank: rank,
-				rng:  rand.New(rand.NewSource(w.opts.Seed + int64(rank)*0x9E3779B9)),
-			}
+			c := &Comm{}
+			w.initComm(c, rank)
 			errs[rank] = f(c)
 			w.clocks[rank] = c.clock
 		}(r)
@@ -239,14 +319,30 @@ func (w *World) runGoroutine(f func(c *Comm) error) error {
 	return nil
 }
 
+// sizeCost memoizes one priced message size for one cost curve
+// (bytes -> seconds); bytes == -1 marks it empty. Block-structured
+// workloads send a handful of distinct sizes, so a single entry hits
+// almost always and replaces an interface dispatch per operation with an
+// integer compare.
+type sizeCost struct {
+	bytes int
+	sec   float64
+}
+
 // Comm is a rank's handle on the world. It is valid only inside the function
 // passed to Run and must not be shared across goroutines.
 type Comm struct {
 	w         *World
 	rank      int
 	clock     float64
-	rng       *rand.Rand
-	bcastRoot bool // set while this rank is the root of a Bcast
+	seed      int64
+	rng       *rand.Rand // materialised lazily; see rand()
+	rngOK     bool       // rng is seeded for the current run
+	det       bool       // world's net model declared DeterministicCosts
+	bcastRoot bool       // set while this rank is the root of a Bcast
+
+	// Per-curve single-size memos for the DeterministicCosts fast path.
+	sendC, recvC, transC sizeCost
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -255,11 +351,29 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.n }
 
-// Now returns the rank's current virtual clock in seconds.
+// Now returns the rank's current virtual clock in seconds. It must stay a
+// leaf accessor (no interface hops, nothing that defeats inlining): it sits
+// on the per-block fast path of template evaluation.
 func (c *Comm) Now() float64 { return c.clock }
 
+// rand returns the rank's RNG stream, materialising or reseeding it on
+// first use in a run. Deferring this keeps RNG-free runs (deterministic
+// cost models, no noise) from paying the ~5KB source allocation and
+// 607-step seeding scramble per rank per run.
+func (c *Comm) rand() *rand.Rand {
+	if !c.rngOK {
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(c.seed))
+		} else {
+			c.rng.Seed(c.seed)
+		}
+		c.rngOK = true
+	}
+	return c.rng
+}
+
 // Rand returns the rank's deterministic RNG stream.
-func (c *Comm) Rand() *rand.Rand { return c.rng }
+func (c *Comm) Rand() *rand.Rand { return c.rand() }
 
 // Charge advances the rank's virtual clock by the given compute time,
 // applying the world's noise model if any. Negative charges are ignored.
@@ -268,13 +382,14 @@ func (c *Comm) Charge(seconds float64) {
 		return
 	}
 	if n := c.w.opts.Noise; n != nil {
-		seconds = n.Perturb(seconds, c.rng)
+		seconds = n.Perturb(seconds, c.rand())
 	}
 	c.clock += seconds
 }
 
 // ChargeExact advances the clock without noise; used by model evaluation,
-// which is deterministic by definition.
+// which is deterministic by definition. Like Now it must stay a leaf
+// function — it is called once per (angle, k) block per rank.
 func (c *Comm) ChargeExact(seconds float64) {
 	if seconds > 0 {
 		c.clock += seconds
@@ -301,19 +416,31 @@ func (c *Comm) SendN(dst, tag, bytes int, data []float64) {
 	start := c.clock
 	avail := start
 	if net := c.w.opts.Net; net != nil {
-		c.clock = start + net.SendOverhead(bytes, c.rng)
-		avail = start + net.Transit(bytes, c.rng)
+		if c.det {
+			if c.sendC.bytes != bytes {
+				c.sendC = sizeCost{bytes: bytes, sec: net.SendOverhead(bytes, nil)}
+			}
+			c.clock = start + c.sendC.sec
+			if c.transC.bytes != bytes {
+				c.transC = sizeCost{bytes: bytes, sec: net.Transit(bytes, nil)}
+			}
+			avail = start + c.transC.sec
+		} else {
+			rng := c.rand()
+			c.clock = start + net.SendOverhead(bytes, rng)
+			avail = start + net.Transit(bytes, rng)
+		}
 	}
 	var cp []float64
 	if data != nil {
 		cp = make([]float64, len(data))
 		copy(cp, data)
 	}
-	m := message{src: c.rank, tag: tag, bytes: bytes, data: cp, avail: avail}
 	if ev := c.w.ev; ev != nil {
-		ev.deliver(dst, m)
+		ev.deliver(dst, qkey(c.rank, tag), bytes, cp, avail)
 		return
 	}
+	m := message{src: c.rank, tag: tag, bytes: bytes, data: cp, avail: avail}
 	b := &c.w.boxes[dst]
 	b.mu.Lock()
 	b.queue = append(b.queue, m)
@@ -335,10 +462,15 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 	if src < 0 || src >= c.w.n {
 		panic(fmt.Errorf("mp: rank %d receiving from invalid rank %d", c.rank, src))
 	}
-	var m message
+	var (
+		data  []float64
+		bytes int
+		avail float64
+	)
 	if ev := c.w.ev; ev != nil {
-		m = ev.receive(c, src, tag)
+		data, bytes, avail = ev.receive(c, src, tag)
 	} else {
+		var m message
 		b := &c.w.boxes[c.rank]
 		b.mu.Lock()
 		for {
@@ -362,16 +494,24 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 		}
 		b.mu.Unlock()
 		c.w.ops.Add(1)
+		data, bytes, avail = m.data, m.bytes, m.avail
 	}
 	// Causality holds regardless of the cost model: the receive cannot
 	// complete before the message is available.
-	if m.avail > c.clock {
-		c.clock = m.avail
+	if avail > c.clock {
+		c.clock = avail
 	}
 	if net := c.w.opts.Net; net != nil {
-		c.clock += net.RecvOverhead(m.bytes, c.rng)
+		if c.det {
+			if c.recvC.bytes != bytes {
+				c.recvC = sizeCost{bytes: bytes, sec: net.RecvOverhead(bytes, nil)}
+			}
+			c.clock += c.recvC.sec
+		} else {
+			c.clock += net.RecvOverhead(bytes, c.rand())
+		}
 	}
-	return m.data, m.bytes
+	return data, bytes
 }
 
 // Barrier blocks until all ranks have entered it. Under a network model all
@@ -441,6 +581,23 @@ func (cl *collective) init(n int, seed int64) {
 	cl.n = n
 	cl.cond = sync.NewCond(&cl.mu)
 	cl.rng = rand.New(rand.NewSource(seed ^ 0x1F3D5B79))
+}
+
+// reset rewinds the collective for a world Reset, keeping the accumulator
+// storage and reseeding the pricing stream in place.
+func (cl *collective) reset(n int, seed int64) {
+	cl.mu.Lock()
+	cl.n = n
+	cl.arrived = 0
+	cl.gen = 0
+	cl.acc = cl.acc[:0]
+	cl.op = 0
+	cl.maxTime = 0
+	cl.result = nil
+	cl.done = 0
+	cl.aborted = false
+	cl.rng.Seed(seed ^ 0x1F3D5B79)
+	cl.mu.Unlock()
 }
 
 func (cl *collective) broadcastAbort() {

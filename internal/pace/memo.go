@@ -1,0 +1,88 @@
+package pace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pacesweep/internal/platform"
+)
+
+// predKey is the canonical form of one memoised prediction: the full model
+// configuration plus every scalar evaluator knob that can change the
+// result, including the fitted Eq. 3 interconnect curves. The subtask
+// flows and the opcode cost table are NOT part of the key, so a memo must
+// only be shared among evaluators characterising the same application
+// kernel on the same opcode table (everything NewEvaluator builds from one
+// capp analysis — the only sharing the package does). All fields are
+// comparable values, so the Go map hash of the key is the "canonical
+// config hash" — there is no serialisation step to drift out of sync with
+// the Config definition.
+type predKey struct {
+	cfg                  Config
+	mflops               float64
+	send, recv, pingpong platform.Piecewise
+	opcode               bool
+	sched                string
+}
+
+// memoKey builds the canonical key for a configuration under this
+// evaluator's hardware layer and backend.
+func (e *Evaluator) memoKey(cfg Config) predKey {
+	return predKey{
+		cfg:    cfg,
+		mflops: e.HW.MFLOPS,
+		send:   e.HW.Send, recv: e.HW.Recv, pingpong: e.HW.PingPong,
+		opcode: e.UseOpcodeCosts,
+		sched:  e.Scheduler,
+	}
+}
+
+// PredictionMemo caches whole Prediction results across Predict calls. It
+// is safe for concurrent use; hit/miss counters are exposed for tests and
+// serving metrics. Prediction contains no reference types, so storing and
+// returning by value is a deep copy: callers may freely mutate what
+// Predict hands them without poisoning the cache.
+type PredictionMemo struct {
+	mu     sync.Mutex
+	m      map[predKey]Prediction
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPredictionMemo returns an empty memo ready for use as Evaluator.Memo.
+func NewPredictionMemo() *PredictionMemo {
+	return &PredictionMemo{m: make(map[predKey]Prediction)}
+}
+
+// lookup returns the cached prediction for the key, if any, and counts the
+// outcome.
+func (pm *PredictionMemo) lookup(k predKey) (Prediction, bool) {
+	pm.mu.Lock()
+	p, ok := pm.m[k]
+	pm.mu.Unlock()
+	if ok {
+		pm.hits.Add(1)
+	} else {
+		pm.misses.Add(1)
+	}
+	return p, ok
+}
+
+// store records a prediction by value.
+func (pm *PredictionMemo) store(k predKey, p Prediction) {
+	pm.mu.Lock()
+	pm.m[k] = p
+	pm.mu.Unlock()
+}
+
+// Stats reports the cumulative hit and miss counts.
+func (pm *PredictionMemo) Stats() (hits, misses uint64) {
+	return pm.hits.Load(), pm.misses.Load()
+}
+
+// Len reports the number of cached predictions.
+func (pm *PredictionMemo) Len() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.m)
+}

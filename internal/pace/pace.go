@@ -114,6 +114,19 @@ type Evaluator struct {
 	// uses the fast event-driven scheduler. The goroutine backend is kept
 	// selectable for the old-vs-new benchmark comparison.
 	Scheduler string
+
+	// Memo, when non-nil, caches whole Prediction results keyed by the
+	// canonical configuration (plus the hardware-layer parameters). It is
+	// nil by default so benchmarks and one-shot callers measure real
+	// evaluation; the experiment drivers share one memo so overlapping
+	// rows across figures are computed once. See PredictionMemo.
+	Memo *PredictionMemo
+
+	// shared holds the world pool and cost-kernel cache. It is created by
+	// NewEvaluator and deliberately survives the shallow evaluator copies
+	// the drivers make for ablation/boost variants; nil on zero-value
+	// evaluators, which then take the uncached paths.
+	shared *evalShared
 }
 
 // FlowProvider yields named subtask flows; *capp.Analysis satisfies it.
@@ -139,7 +152,10 @@ func NewEvaluator(hw *hwmodel.Model, flows FlowProvider) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{HW: hw, WorkFlow: work, SourceFlow: src, FluxErrFlow: ferr}, nil
+	return &Evaluator{
+		HW: hw, WorkFlow: work, SourceFlow: src, FluxErrFlow: ferr,
+		shared: newEvalShared(),
+	}, nil
 }
 
 // cost prices an operation vector under the configured hardware layer.

@@ -18,69 +18,60 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	srcCost, ferrCost, err := e.serialCosts(cfg)
-	if err != nil {
-		return nil, err
-	}
-	fullBlock, err := e.blockCost(cfg, cfg.MMI, minInt(cfg.MK, cfg.Grid.NZ))
-	if err != nil {
-		return nil, err
-	}
-	// Pre-compute the cost of each (angle block, k block) shape, including
-	// ragged tails.
-	nab, nkb := cfg.AngleBlocks(), cfg.KBlocks()
-	blockCosts := make([][]float64, nab)
-	for ab := 0; ab < nab; ab++ {
-		na := blockLen(ab, cfg.MMI, cfg.Angles)
-		blockCosts[ab] = make([]float64, nkb)
-		for kb := 0; kb < nkb; kb++ {
-			nk := blockLen(kb, cfg.MK, cfg.Grid.NZ)
-			c, err := e.blockCost(cfg, na, nk)
-			if err != nil {
-				return nil, err
-			}
-			blockCosts[ab][kb] = c
+	var key predKey
+	if e.Memo != nil {
+		key = e.memoKey(cfg)
+		if p, ok := e.Memo.lookup(key); ok {
+			return &p, nil // p is a value copy; mutation cannot reach the cache
 		}
+	}
+	// The cost kernel prices every (angle block, k block) shape once per
+	// configuration shape, including ragged tails, and is cached across
+	// Predict calls.
+	k, err := e.kernelFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 	d := cfg.Decomp
 	sched := e.Scheduler
 	if sched == "" {
 		sched = mp.SchedulerEvent
 	}
-	w, err := mp.NewWorld(d.Size(), mp.Options{Net: e.HW.Net(), Scheduler: sched})
+	w, release, err := e.acquireWorld(d.Size(), sched)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
+	nab, nkb := k.nab, k.nkb
 	var sweepOnly float64
 	err = w.Run(func(c *mp.Comm) error {
 		ix, iy := d.Coords(c.Rank())
 		for it := 0; it < cfg.Iterations; it++ {
-			c.ChargeExact(srcCost)
+			c.ChargeExact(k.src)
 			t0 := c.Now()
 			for _, o := range sn.Octants() {
 				upX, downX, upY, downY := d.UpstreamDownstream(ix, iy, o.SX, o.SY)
 				for ab := 0; ab < nab; ab++ {
-					na := blockLen(ab, cfg.MMI, cfg.Angles)
+					costs := k.blockCosts[ab*nkb : (ab+1)*nkb]
+					ew := k.ewBytes[ab*nkb : (ab+1)*nkb]
+					ns := k.nsBytes[ab*nkb : (ab+1)*nkb]
 					for step := 0; step < nkb; step++ {
 						kb := step
 						if o.SZ < 0 {
 							kb = nkb - 1 - step
 						}
-						nk := blockLen(kb, cfg.MK, cfg.Grid.NZ)
-						ew := 8 * cfg.localNY() * nk * na
-						ns := 8 * cfg.localNX() * nk * na
 						if upX >= 0 {
 							c.RecvN(upX, 1)
 						}
 						if upY >= 0 {
 							c.RecvN(upY, 2)
 						}
-						c.ChargeExact(blockCosts[ab][kb])
+						c.ChargeExact(costs[kb])
 						if downX >= 0 {
-							c.SendN(downX, 1, ew, nil)
+							c.SendN(downX, 1, ew[kb], nil)
 						}
 						if downY >= 0 {
-							c.SendN(downY, 2, ns, nil)
+							c.SendN(downY, 2, ns[kb], nil)
 						}
 					}
 				}
@@ -88,7 +79,7 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 			if c.Rank() == 0 && it == 0 {
 				sweepOnly = c.Now() - t0
 			}
-			c.ChargeExact(ferrCost)
+			c.ChargeExact(k.ferr)
 			c.AllreduceMax(0)
 		}
 		c.AllreduceSum(0) // the closing "last" subtask reduction
@@ -99,17 +90,21 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 	}
 
 	reduce := e.HW.Net().ReduceCost(d.Size(), 8+16, nil)
-	return &Prediction{
+	pred := &Prediction{
 		Total:          w.Makespan(),
 		SweepPerIter:   sweepOnly,
-		SourcePerIter:  srcCost,
-		FluxErrPerIter: ferrCost,
+		SourcePerIter:  k.src,
+		FluxErrPerIter: k.ferr,
 		ReducePerIter:  reduce,
 		Last:           reduce,
-		BlockSeconds:   fullBlock,
+		BlockSeconds:   k.fullBlock,
 		FillStages:     fillStages(d),
 		Method:         "template",
-	}, nil
+	}
+	if e.Memo != nil {
+		e.Memo.store(key, *pred)
+	}
+	return pred, nil
 }
 
 // blockLen returns the length of block i under blocking factor f over total

@@ -167,6 +167,11 @@ type TruthNet struct {
 	jitter bool
 }
 
+// CostsDeterministic implements mp.DeterministicCosts: without jitter the
+// truth curves are pure functions of the size, so the runtime may use its
+// per-size memo fast path.
+func (t *TruthNet) CostsDeterministic() bool { return !t.jitter || t.ic.Jitter == 0 }
+
 func (t *TruthNet) perturb(s float64, rng *rand.Rand) float64 {
 	if !t.jitter || t.ic.Jitter == 0 {
 		return s
