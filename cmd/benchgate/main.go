@@ -1,16 +1,24 @@
 // Command benchgate is the CI benchmark-regression gate: it compares a
 // fresh benchjson record against the committed baseline (BENCH_PR2.json)
-// and fails when any matched benchmark's ns/op regresses beyond the
-// threshold.
+// and fails when any matched benchmark regresses beyond the thresholds —
+// on ns/op, and on allocs/op where both records carry it.
 //
 //	go run ./cmd/benchjson < bench.txt > bench_current.json
 //	go run ./cmd/benchgate -baseline BENCH_PR2.json -current bench_current.json
 //
+// The allocation gate exists because the time gate alone let allocation
+// regressions through: a new allocation on a zero-alloc pooled path costs
+// far less than 15% of ns/op on a single run but destroys the
+// steady-state serving contract. Allocation counts are near-deterministic,
+// so the default allocation slack is tight (5% + one alloc); a zero-alloc
+// baseline fails on ANY new allocation.
+//
 // Only benchmarks present in both records are compared, so adding or
-// removing benchmarks never trips the gate. The default threshold (15%)
-// absorbs shared-runner noise on short -benchtime smoke runs; intentional
-// regressions are shipped by tagging the commit message with [bench-skip],
-// which the CI workflow honours by skipping this step entirely.
+// removing benchmarks never trips the gate. The default time threshold
+// (15%) absorbs shared-runner noise on short -benchtime smoke runs;
+// intentional regressions are shipped by tagging the commit message with
+// [bench-skip], which the CI workflow honours by skipping this step
+// entirely.
 package main
 
 import (
@@ -18,18 +26,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
-// record mirrors the benchjson fields the gate needs.
+// entry mirrors the benchjson fields the gate needs.
+type entry struct {
+	NsOp   float64  // ns/op; <= 0 means absent
+	Allocs *float64 // allocs/op; nil when the record lacks -benchmem data
+}
+
+// record mirrors the benchjson document.
 type record struct {
 	Entries []struct {
-		Name string  `json:"name"`
-		NsOp float64 `json:"ns_per_op"`
+		Name        string   `json:"name"`
+		NsOp        float64  `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"entries"`
 }
 
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]entry, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -38,9 +54,9 @@ func load(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(raw, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m := make(map[string]float64, len(r.Entries))
+	m := make(map[string]entry, len(r.Entries))
 	for _, e := range r.Entries {
-		m[e.Name] = e.NsOp
+		m[e.Name] = entry{NsOp: e.NsOp, Allocs: e.AllocsPerOp}
 	}
 	return m, nil
 }
@@ -50,7 +66,9 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_PR2.json", "committed baseline record")
 		currentPath  = flag.String("current", "", "fresh benchjson record to check (required)")
 		threshold    = flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
-		match        = flag.String("match", "", "only gate benchmarks whose name contains this substring")
+		allocsThresh = flag.Float64("allocs-threshold", 0.05,
+			"allowed fractional allocs/op regression (plus one alloc of absolute slack; a zero-alloc baseline admits none)")
+		match = flag.String("match", "", "only gate benchmarks whose name contains this substring")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -66,37 +84,59 @@ func main() {
 		fail(err)
 	}
 
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
 	var failures []string
-	compared := 0
-	for name, base := range baseline {
+	compared, allocsCompared := 0, 0
+	for _, name := range names {
+		base := baseline[name]
 		if *match != "" && !strings.Contains(name, *match) {
 			continue
 		}
 		cur, ok := current[name]
-		if !ok || base <= 0 {
+		if !ok || base.NsOp <= 0 {
 			continue
 		}
 		compared++
-		ratio := cur/base - 1
+		ratio := cur.NsOp/base.NsOp - 1
 		status := "ok"
 		if ratio > *threshold {
 			status = "REGRESSED"
 			failures = append(failures, name)
 		}
-		fmt.Printf("%-55s base %14.0f ns/op  current %14.0f ns/op  %+6.1f%%  %s\n",
-			name, base, cur, ratio*100, status)
+		allocNote := ""
+		if base.Allocs != nil && cur.Allocs != nil {
+			allocsCompared++
+			baseA, curA := *base.Allocs, *cur.Allocs
+			// Zero-alloc baselines admit no new allocation at all; others
+			// get fractional slack plus one absolute alloc for jitter in
+			// averaged sub-unit counts.
+			if curA > baseA*(1+*allocsThresh)+1 || (baseA == 0 && curA > 0) {
+				status = "REGRESSED"
+				if len(failures) == 0 || failures[len(failures)-1] != name {
+					failures = append(failures, name)
+				}
+			}
+			allocNote = fmt.Sprintf("  allocs %6.0f -> %6.0f", baseA, curA)
+		}
+		fmt.Printf("%-55s base %14.0f ns/op  current %14.0f ns/op  %+6.1f%%%s  %s\n",
+			name, base.NsOp, cur.NsOp, ratio*100, allocNote, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks matched between baseline and current record")
 		os.Exit(2)
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d/%d benchmarks regressed more than %.0f%%: %s\n",
-			len(failures), compared, *threshold*100, strings.Join(failures, ", "))
+		fmt.Fprintf(os.Stderr, "benchgate: %d/%d benchmarks regressed (ns/op beyond %.0f%% or allocs/op beyond %.0f%%+1): %s\n",
+			len(failures), compared, *threshold*100, *allocsThresh*100, strings.Join(failures, ", "))
 		fmt.Fprintln(os.Stderr, "benchgate: tag the commit message with [bench-skip] if the regression is intentional")
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", compared, *threshold*100)
+	fmt.Printf("benchgate: %d benchmarks within thresholds (%d with allocation data)\n", compared, allocsCompared)
 }
 
 func fail(err error) {

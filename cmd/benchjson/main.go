@@ -164,6 +164,7 @@ func parse(r io.Reader) (*Record, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	rec.Entries = minByName(rec.Entries)
 
 	// Pair sched=goroutine with sched=event entries of the same benchmark.
 	byName := map[string]float64{}
@@ -187,6 +188,34 @@ func parse(r io.Reader) (*Record, error) {
 		})
 	}
 	return rec, nil
+}
+
+// minByName folds repeated measurements of one benchmark (go test -count
+// N) into a single entry holding the minimum ns/op — the standard robust
+// estimator on shared/noisy runners, where background load only ever
+// inflates a measurement. Allocation counts are near-deterministic, so
+// the minimum is taken independently per field. First-seen order is kept.
+func minByName(entries []Entry) []Entry {
+	idx := make(map[string]int, len(entries))
+	out := entries[:0]
+	for _, e := range entries {
+		i, seen := idx[e.Name]
+		if !seen {
+			idx[e.Name] = len(out)
+			out = append(out, e)
+			continue
+		}
+		if e.NsOp < out[i].NsOp {
+			out[i].NsOp = e.NsOp
+		}
+		if e.AllocsPerOp != nil && (out[i].AllocsPerOp == nil || *e.AllocsPerOp < *out[i].AllocsPerOp) {
+			out[i].AllocsPerOp = e.AllocsPerOp
+		}
+		if e.BytesPerOp != nil && (out[i].BytesPerOp == nil || *e.BytesPerOp < *out[i].BytesPerOp) {
+			out[i].BytesPerOp = e.BytesPerOp
+		}
+	}
+	return out
 }
 
 func fail(err error) {

@@ -1,0 +1,137 @@
+// Command paceserve runs the PACE prediction-serving subsystem: an
+// HTTP/JSON service answering SWEEP3D performance-model queries
+// (/v1/predict), design-space sweeps (/v1/sweep) and operational
+// telemetry (/v1/stats, /metrics). See README.md beside this file for a
+// quickstart and internal/serve for the serving architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pacesweep/internal/mp"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+
+		platforms = flag.String("platforms", strings.Join(platform.Names(), ","),
+			"comma-separated platform names to serve")
+		seed  = flag.Int64("seed", 1001, "seed for the simulated benchmark-fitting pipeline")
+		sched = flag.String("scheduler", mp.SchedulerEvent,
+			"mp backend for template evaluation (event|goroutine; goroutine is discouraged for serving)")
+
+		cacheEntries = flag.Int("cache-entries", 1<<16,
+			"response cache capacity in entries (-1 disables the response cache)")
+		cacheShards = flag.Int("cache-shards", 16, "response cache shard count")
+		memoEntries = flag.Int("memo-entries", 0,
+			"per-evaluator prediction-memo capacity (0 = default, -1 = unbounded)")
+		worldPool = flag.Int("world-pool", 0,
+			"max idle pooled worlds per evaluator (0 = default, -1 = unbounded)")
+
+		maxConcurrent = flag.Int("max-concurrent", 0,
+			"max simultaneous model evaluations (0 = 2*GOMAXPROCS)")
+		sweepWorkers = flag.Int("sweep-workers", 0,
+			"worker pool per sweep request (0 = GOMAXPROCS)")
+		maxSweepPoints = flag.Int("max-sweep-points", 4096, "largest accepted sweep expansion")
+
+		warmup = flag.Bool("warmup", false,
+			"fit every configured platform's evaluator before accepting traffic")
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second,
+			"how long graceful shutdown waits for inflight requests")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "paceserve: ", log.LstdFlags)
+
+	cfg := serve.Config{
+		Platforms:            splitNonEmpty(*platforms),
+		Seed:                 *seed,
+		Scheduler:            schedulerOpt(*sched),
+		ResponseCacheEntries: *cacheEntries,
+		ResponseCacheShards:  *cacheShards,
+		MemoEntries:          *memoEntries,
+		WorldPoolCap:         *worldPool,
+		MaxConcurrent:        *maxConcurrent,
+		SweepWorkers:         *sweepWorkers,
+		MaxSweepPoints:       *maxSweepPoints,
+		Logf: func(format string, args ...any) {
+			logger.Printf(strings.TrimPrefix(format, "paceserve: "), args...)
+		},
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *warmup {
+		for _, name := range cfg.Platforms {
+			if err := srv.Warm(name); err != nil {
+				logger.Fatalf("warmup %s: %v", name, err)
+			}
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving %v on http://%s (scheduler=%s)", cfg.Platforms, *addr, orDefault(cfg.Scheduler, mp.SchedulerEvent))
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining for up to %s", *shutdownGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("bye")
+}
+
+// schedulerOpt maps the flag onto the serve config convention (empty =
+// event backend).
+func schedulerOpt(s string) string {
+	if s == mp.SchedulerEvent {
+		return ""
+	}
+	return s
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

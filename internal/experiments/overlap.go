@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pacesweep/internal/grid"
+	"pacesweep/internal/lru"
 	"pacesweep/internal/mp"
 	"pacesweep/internal/platform"
 	"pacesweep/internal/report"
@@ -35,8 +36,14 @@ type OverlapResult struct {
 
 // overlapCache memoizes one row's (blocking, overlapped) makespans: the
 // study is fully deterministic (no jitter, event scheduler), so repeat
-// driver invocations share the shared memo layer like every other driver.
-var overlapCache memo[overlapRowKey, [2]float64]
+// driver invocations share the shared cache layer like every other driver.
+var overlapCache = lru.New[overlapRowKey, [2]float64](1024, 4, func(k overlapRowKey) uint64 {
+	h := lru.NewHasher()
+	h.String(k.platform)
+	h.Int(k.d.PX)
+	h.Int(k.d.PY)
+	return h.Sum()
+})
 
 type overlapRowKey struct {
 	platform string
@@ -52,7 +59,7 @@ func OverlapStudy() (*OverlapResult, error) {
 	out := &OverlapResult{Platform: pl, Rows: make([]OverlapRow, len(configs))}
 	err := forEach(len(configs), func(i int) error {
 		d := grid.Decomp{PX: configs[i][0], PY: configs[i][1]}
-		spans, err := overlapCache.get(overlapRowKey{platform: fmt.Sprintf("%+v", pl), d: d}, func() ([2]float64, error) {
+		spans, err := overlapCache.GetOrBuild(overlapRowKey{platform: fmt.Sprintf("%+v", pl), d: d}, func() ([2]float64, error) {
 			p := sweep.New(grid.Global{NX: 50 * d.PX, NY: 50 * d.PY, NZ: 50})
 			costs := sweep.CostsFromRate(350)
 			// Deterministic: no jitter, event scheduler.

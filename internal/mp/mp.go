@@ -146,6 +146,17 @@ type World struct {
 	abort  atomic.Bool
 	ops    atomic.Int64 // progress counter for the watchdog
 	ev     *evWorld     // the persistent event-scheduler instance (event backend only)
+
+	// Goroutine-backend pooled per-run state, allocated once in NewWorld
+	// and reused across Reset+Run cycles so pooled worlds on this backend
+	// stop paying per-rank Comm (and retained-RNG) allocations per Run.
+	// gbodies are pre-built argless rank bodies — spawning them allocates
+	// no closure — reading the current run's rank function from gfn.
+	gcomms  []Comm
+	gerrs   []error
+	gbodies []func()
+	gwg     sync.WaitGroup
+	gfn     func(c *Comm) error
 }
 
 // NewWorld creates a world of n ranks. n must be positive.
@@ -171,6 +182,13 @@ func NewWorld(n int, opts Options) (*World, error) {
 			w.boxes[i].cond = sync.NewCond(&w.boxes[i].mu)
 		}
 		w.coll.init(n, opts.Seed)
+		w.gcomms = make([]Comm, n)
+		w.gerrs = make([]error, n)
+		w.gbodies = make([]func(), n)
+		for r := 0; r < n; r++ {
+			rank := r
+			w.gbodies[rank] = func() { w.runRankGoroutine(rank) }
+		}
 	}
 	return w, nil
 }
@@ -258,33 +276,44 @@ func (w *World) Run(f func(c *Comm) error) error {
 	return w.runGoroutine(f)
 }
 
-// runGoroutine is the legacy backend: one goroutine per rank.
+// runRankGoroutine is one rank's pre-built goroutine body: its Comm comes
+// from the world's pooled gcomms array (retaining the rank's RNG object
+// across runs) and its result lands in the pooled gerrs slot.
+func (w *World) runRankGoroutine(rank int) {
+	defer w.gwg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok && errors.Is(err, errAborted) {
+				w.gerrs[rank] = err
+				return
+			}
+			w.gerrs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, p)
+		}
+	}()
+	c := &w.gcomms[rank]
+	w.initComm(c, rank)
+	w.gerrs[rank] = w.gfn(c)
+	w.clocks[rank] = c.clock
+}
+
+// runGoroutine is the legacy backend: one goroutine per rank. All per-run
+// state (Comms, error slots, rank bodies) is pooled on the World, so a
+// warmed Reset+Run cycle without a watchdog performs no per-rank heap
+// allocations; only the optional watchdog path allocates (its channel,
+// ticker and closure).
 func (w *World) runGoroutine(f func(c *Comm) error) error {
-	errs := make([]error, w.n)
-	var wg sync.WaitGroup
-	wg.Add(w.n)
+	for i := range w.gerrs {
+		w.gerrs[i] = nil
+	}
+	w.gfn = f
+	w.gwg.Add(w.n)
 	for r := 0; r < w.n; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if err, ok := p.(error); ok && errors.Is(err, errAborted) {
-						errs[rank] = err
-						return
-					}
-					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, p)
-				}
-			}()
-			c := &Comm{}
-			w.initComm(c, rank)
-			errs[rank] = f(c)
-			w.clocks[rank] = c.clock
-		}(r)
+		go w.gbodies[r]()
 	}
 
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
 	if w.opts.Timeout > 0 {
+		done := make(chan struct{})
+		go func() { w.gwg.Wait(); close(done) }()
 		ticker := time.NewTicker(w.opts.Timeout)
 		defer ticker.Stop()
 		last := w.ops.Load()
@@ -308,10 +337,11 @@ func (w *World) runGoroutine(f func(c *Comm) error) error {
 			}
 		}
 	} else {
-		<-done
+		w.gwg.Wait()
 	}
+	w.gfn = nil
 
-	for _, err := range errs {
+	for _, err := range w.gerrs {
 		if err != nil {
 			return err
 		}

@@ -186,6 +186,47 @@ func TestEventSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestGoroutineSteadyStatePooledAllocs is the goroutine backend's pooling
+// check: per-run Comm/error-slot/closure state is pooled on the World, so
+// the allocations of a warmed Reset+Run cycle must be a small constant —
+// independent of both the message count and the per-rank Comm footprint.
+// (Exact zero is not asserted: goroutine respawn may touch runtime-managed
+// memory outside the test's control.)
+func TestGoroutineSteadyStatePooledAllocs(t *testing.T) {
+	const ranks = 8
+	w, err := NewWorld(ranks, Options{
+		Net:       alphaBeta{alpha: 1e-6, beta: 1e-9},
+		Seed:      7,
+		Scheduler: SchedulerGoroutine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func(prog func(c *Comm) error) func() {
+		return func() {
+			w.Reset()
+			if err := w.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm: materialise RNGs, queue capacities and the runtime's goroutine
+	// free lists.
+	for i := 0; i < 3; i++ {
+		cycle(ringProgram(50))()
+	}
+	short := testing.AllocsPerRun(10, cycle(ringProgram(10)))
+	long := testing.AllocsPerRun(10, cycle(ringProgram(400)))
+	if long > short+4 {
+		t.Errorf("allocations grow with message count: %v (10 msgs) vs %v (400 msgs)", short, long)
+	}
+	// Before pooling each cycle paid >= one Comm per rank; now the whole
+	// cycle must stay well under that.
+	if short >= ranks {
+		t.Errorf("steady-state goroutine Reset+Run allocates %v per cycle, want < %d (one per rank)", short, ranks)
+	}
+}
+
 // BenchmarkWorldReuseRun measures the pooled Reset+Run cycle; with
 // ReportAllocs it documents the zero-allocation steady state (each op is
 // a full 8-rank, 800-message-op virtual-time run).

@@ -1,9 +1,7 @@
 package pace
 
 import (
-	"sync"
-	"sync/atomic"
-
+	"pacesweep/internal/lru"
 	"pacesweep/internal/platform"
 )
 
@@ -14,15 +12,45 @@ import (
 // only be shared among evaluators characterising the same application
 // kernel on the same opcode table (everything NewEvaluator builds from one
 // capp analysis — the only sharing the package does). All fields are
-// comparable values, so the Go map hash of the key is the "canonical
-// config hash" — there is no serialisation step to drift out of sync with
-// the Config definition.
+// comparable values, so map equality on the key is exact — the
+// fingerprint below is only the shard/index hash, never the identity.
 type predKey struct {
 	cfg                  Config
 	mflops               float64
 	send, recv, pingpong platform.Piecewise
 	opcode               bool
 	sched                string
+}
+
+// hash fingerprints the key for shard selection. It folds every field so
+// request mixes that differ only in one knob (a rate-boost copy, an
+// opcode-ablation copy) still spread across shards.
+func (k predKey) hash() uint64 {
+	h := lru.NewHasher()
+	h.Int(k.cfg.Grid.NX)
+	h.Int(k.cfg.Grid.NY)
+	h.Int(k.cfg.Grid.NZ)
+	h.Int(k.cfg.Decomp.PX)
+	h.Int(k.cfg.Decomp.PY)
+	h.Int(k.cfg.MK)
+	h.Int(k.cfg.MMI)
+	h.Int(k.cfg.Angles)
+	h.Int(k.cfg.Iterations)
+	h.Float64(k.mflops)
+	hashPiecewise(&h, k.send)
+	hashPiecewise(&h, k.recv)
+	hashPiecewise(&h, k.pingpong)
+	h.Bool(k.opcode)
+	h.String(k.sched)
+	return h.Sum()
+}
+
+func hashPiecewise(h *lru.Hasher, p platform.Piecewise) {
+	h.Int(p.A)
+	h.Float64(p.B)
+	h.Float64(p.C)
+	h.Float64(p.D)
+	h.Float64(p.E)
 }
 
 // memoKey builds the canonical key for a configuration under this
@@ -37,52 +65,71 @@ func (e *Evaluator) memoKey(cfg Config) predKey {
 	}
 }
 
-// PredictionMemo caches whole Prediction results across Predict calls. It
-// is safe for concurrent use; hit/miss counters are exposed for tests and
+// Default sizing of a prediction memo built by NewPredictionMemo: roomy
+// enough that no experiment driver ever evicts, bounded so unbounded query
+// traffic (paceserve) cannot grow it past a few MB of Prediction values.
+const (
+	DefaultMemoEntries = 1 << 16
+	DefaultMemoShards  = 16
+)
+
+// PredictionMemo caches whole Prediction results across Predict calls on a
+// sharded, size-bounded LRU (shards keyed by the canonical-configuration
+// fingerprint, per-shard mutex, eviction counters). It is safe for
+// concurrent use; hit/miss/eviction counters are exposed for tests and
 // serving metrics. Prediction contains no reference types, so storing and
 // returning by value is a deep copy: callers may freely mutate what
 // Predict hands them without poisoning the cache.
 type PredictionMemo struct {
-	mu     sync.Mutex
-	m      map[predKey]Prediction
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	c *lru.Cache[predKey, Prediction]
 }
 
-// NewPredictionMemo returns an empty memo ready for use as Evaluator.Memo.
+// NewPredictionMemo returns an empty memo with the default size bound,
+// ready for use as Evaluator.Memo.
 func NewPredictionMemo() *PredictionMemo {
-	return &PredictionMemo{m: make(map[predKey]Prediction)}
+	return NewPredictionMemoSize(DefaultMemoEntries, DefaultMemoShards)
+}
+
+// NewPredictionMemoSize returns a memo bounded to maxEntries predictions
+// (0 = unbounded) over the given shard count.
+func NewPredictionMemoSize(maxEntries, shards int) *PredictionMemo {
+	return &PredictionMemo{c: lru.New[predKey, Prediction](maxEntries, shards, predKey.hash)}
 }
 
 // lookup returns the cached prediction for the key, if any, and counts the
 // outcome.
 func (pm *PredictionMemo) lookup(k predKey) (Prediction, bool) {
-	pm.mu.Lock()
-	p, ok := pm.m[k]
-	pm.mu.Unlock()
-	if ok {
-		pm.hits.Add(1)
-	} else {
-		pm.misses.Add(1)
-	}
-	return p, ok
+	return pm.c.Get(k)
 }
 
 // store records a prediction by value.
 func (pm *PredictionMemo) store(k predKey, p Prediction) {
-	pm.mu.Lock()
-	pm.m[k] = p
-	pm.mu.Unlock()
+	pm.c.Put(k, p)
 }
 
 // Stats reports the cumulative hit and miss counts.
 func (pm *PredictionMemo) Stats() (hits, misses uint64) {
-	return pm.hits.Load(), pm.misses.Load()
+	s := pm.c.Stats()
+	return s.Hits, s.Misses
 }
 
+// CacheStats snapshots the full counter set, including evictions and the
+// current entry count.
+func (pm *PredictionMemo) CacheStats() lru.Stats { return pm.c.Stats() }
+
 // Len reports the number of cached predictions.
-func (pm *PredictionMemo) Len() int {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	return len(pm.m)
+func (pm *PredictionMemo) Len() int { return pm.c.Len() }
+
+// CachedPredict returns the memoised prediction for cfg by value, without
+// touching the evaluation engine. ok is false on a memo miss, when no memo
+// is attached, or when cfg is invalid (the key is built from cfg as-is;
+// only Predict validates). The hit path performs zero heap allocations —
+// this is the serving fast path the paceserve layer sits on. A miss is
+// not counted against the memo's miss counter: callers fall through to
+// Predict, whose own lookup records it.
+func (e *Evaluator) CachedPredict(cfg Config) (Prediction, bool) {
+	if e.Memo == nil {
+		return Prediction{}, false
+	}
+	return e.Memo.c.Peek(e.memoKey(cfg))
 }

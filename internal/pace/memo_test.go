@@ -65,6 +65,137 @@ func TestPredictionMemoHitsAndCopies(t *testing.T) {
 	}
 }
 
+// TestCachedPredictZeroAllocs is the serving acceptance check: answering
+// a memoised prediction must not allocate on the evaluator hot path — the
+// key build, the sharded-LRU lookup and the value copy are all
+// stack-resident.
+func TestCachedPredictZeroAllocs(t *testing.T) {
+	ev := testEvaluator(t)
+	ev.Memo = NewPredictionMemo()
+	cfg := paperConfig(2, 2)
+	want, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		p, ok := ev.CachedPredict(cfg)
+		if !ok || p.Total != want.Total {
+			t.Fatal("cached predict missed or drifted")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("CachedPredict hit allocates %v per op, want 0", avg)
+	}
+
+	// Misses and memo-less evaluators degrade to ok=false, never to
+	// evaluation.
+	if _, ok := ev.CachedPredict(paperConfig(5, 7)); ok {
+		t.Error("unevaluated configuration reported as cached")
+	}
+	bare := testEvaluator(t)
+	if _, ok := bare.CachedPredict(cfg); ok {
+		t.Error("memo-less evaluator reported a cached prediction")
+	}
+}
+
+// TestPredictionMemoEviction bounds the memo and drives more distinct
+// configurations through it than it can hold: the LRU must stay within
+// its cap, count evictions, and re-deliver identical values for evicted
+// keys by re-evaluating.
+func TestPredictionMemoEviction(t *testing.T) {
+	ev := testEvaluator(t)
+	ev.Memo = NewPredictionMemoSize(4, 1)
+	cfgs := make([]Config, 8)
+	want := make([]float64, 8)
+	for i := range cfgs {
+		cfgs[i] = paperConfig(1, i+1)
+		p, err := ev.Predict(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p.Total
+	}
+	if n := ev.Memo.Len(); n > 4 {
+		t.Errorf("memo holds %d entries, cap 4", n)
+	}
+	st := ev.Memo.CacheStats()
+	if st.Evictions < 4 {
+		t.Errorf("evictions = %d, want >= 4", st.Evictions)
+	}
+	// The earliest configuration was evicted; re-predicting must rebuild
+	// the exact same value (deterministic evaluation is what makes
+	// eviction safe).
+	if _, ok := ev.CachedPredict(cfgs[0]); ok {
+		t.Error("cfgs[0] still cached past the LRU bound")
+	}
+	p, err := ev.Predict(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != want[0] {
+		t.Errorf("re-evaluated prediction %v != original %v", p.Total, want[0])
+	}
+}
+
+// TestWorldPoolEviction drives a long-tailed sweep over many array sizes
+// through a capped pool: idle worlds beyond the cap must be evicted
+// (least recently released first), the counters must record it, and an
+// evicted size must still predict identically when it comes back.
+func TestWorldPoolEviction(t *testing.T) {
+	ev := testEvaluator(t)
+	ev.SetWorldPoolCap(2)
+	sizes := [][2]int{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {1, 5}}
+	want := make([]float64, len(sizes))
+	for i, d := range sizes {
+		p, err := ev.Predict(paperConfig(d[0], d[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p.Total
+	}
+	ps := ev.PoolStats()
+	if ps.IdleWorlds != 2 {
+		t.Errorf("idle worlds = %d, want 2 (cap)", ps.IdleWorlds)
+	}
+	if ps.WorldEvictions != uint64(len(sizes)-2) {
+		t.Errorf("world evictions = %d, want %d", ps.WorldEvictions, len(sizes)-2)
+	}
+	// Eviction must prune emptied pool keys, not just their worlds: a
+	// long-tailed sweep may see thousands of distinct sizes.
+	if got := len(ev.shared.worlds); got != 2 {
+		t.Errorf("pool map holds %d keys after eviction, want 2", got)
+	}
+	// The first size was evicted long ago; predicting it again builds a
+	// fresh world and must reproduce the value bit for bit.
+	p, err := ev.Predict(paperConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != want[0] {
+		t.Errorf("post-eviction prediction %v != original %v", p.Total, want[0])
+	}
+
+	// Raising the cap stops eviction; dropping it evicts immediately.
+	ev.SetWorldPoolCap(0)
+	for _, d := range sizes {
+		if _, err := ev.Predict(paperConfig(d[0], d[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ev.PoolStats().IdleWorlds; got != len(sizes) {
+		t.Errorf("uncapped idle worlds = %d, want %d", got, len(sizes))
+	}
+	before := ev.PoolStats().WorldEvictions
+	ev.SetWorldPoolCap(1)
+	after := ev.PoolStats()
+	if after.IdleWorlds != 1 {
+		t.Errorf("idle worlds after cap shrink = %d, want 1", after.IdleWorlds)
+	}
+	if after.WorldEvictions != before+uint64(len(sizes)-1) {
+		t.Errorf("shrink evicted %d, want %d", after.WorldEvictions-before, len(sizes)-1)
+	}
+}
+
 // TestPooledWorldReuseMatchesFresh checks that predictions through the
 // world pool — including alternating configurations of the same array
 // size and both backends — are bit-identical to a fresh evaluator's.

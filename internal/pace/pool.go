@@ -3,7 +3,9 @@ package pace
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
+	"pacesweep/internal/lru"
 	"pacesweep/internal/mp"
 )
 
@@ -18,18 +20,83 @@ import (
 // the hardware-layer parameters that vary across such copies (achieved
 // MFLOPS, the opcode-costs toggle). Evaluators built as plain struct
 // literals have no shared state and simply take the uncached paths.
+//
+// Both caches are bounded for serving: the kernel cache is a sharded LRU,
+// and the world pool keeps at most worldCap idle worlds, evicting the
+// least recently released one beyond that — a long-tailed sweep over many
+// array sizes warms and drops worlds instead of pinning one per size
+// forever.
+
+// Default pool bounds. A pooled 8000-rank world holds tens of MB of rank
+// state, so the idle-world cap is deliberately small; kernels are a few KB
+// each.
+const (
+	DefaultWorldPoolCap     = 32
+	defaultKernelCacheSize  = 4096
+	defaultKernelCacheShard = 8
+)
 
 // evalShared is the cache block shared by an evaluator and its copies.
 type evalShared struct {
-	mu      sync.Mutex
-	kernels map[kernelKey]*costKernel
-	worlds  map[worldKey][]*pooledWorld
+	kernels *lru.Cache[kernelKey, *costKernel]
+
+	mu          sync.Mutex // guards worlds, the idle list and worldCap
+	worlds      map[worldKey][]*pooledWorld
+	idleHead    *pooledWorld // least recently released (eviction victim)
+	idleTail    *pooledWorld // most recently released
+	idleCount   int
+	worldCap    int // max idle worlds retained; 0 = unbounded
+	worldEvicts atomic.Uint64
 }
 
 func newEvalShared() *evalShared {
 	return &evalShared{
-		kernels: make(map[kernelKey]*costKernel),
-		worlds:  make(map[worldKey][]*pooledWorld),
+		kernels: lru.New[kernelKey, *costKernel](
+			defaultKernelCacheSize, defaultKernelCacheShard, kernelKey.hash),
+		worlds:   make(map[worldKey][]*pooledWorld),
+		worldCap: DefaultWorldPoolCap,
+	}
+}
+
+// SetWorldPoolCap bounds the number of idle pooled worlds this evaluator
+// (and every shallow copy sharing its caches) retains; 0 removes the
+// bound. Shrinking the cap evicts immediately.
+func (e *Evaluator) SetWorldPoolCap(n int) {
+	if e.shared == nil {
+		return
+	}
+	s := e.shared
+	s.mu.Lock()
+	s.worldCap = n
+	evicted := s.evictIdleLocked()
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.worldEvicts.Add(uint64(evicted))
+	}
+}
+
+// PoolStats is a point-in-time snapshot of the evaluator's shared caches,
+// surfaced by the serving layer's /v1/stats.
+type PoolStats struct {
+	IdleWorlds     int       `json:"idle_worlds"`
+	WorldEvictions uint64    `json:"world_evictions"`
+	Kernels        lru.Stats `json:"kernels"`
+}
+
+// PoolStats snapshots the shared world pool and kernel cache counters.
+// Zero-value evaluators (no shared caches) report an empty snapshot.
+func (e *Evaluator) PoolStats() PoolStats {
+	if e.shared == nil {
+		return PoolStats{}
+	}
+	s := e.shared
+	s.mu.Lock()
+	idle := s.idleCount
+	s.mu.Unlock()
+	return PoolStats{
+		IdleWorlds:     idle,
+		WorldEvictions: s.worldEvicts.Load(),
+		Kernels:        s.kernels.Stats(),
 	}
 }
 
@@ -42,10 +109,15 @@ type worldKey struct {
 }
 
 // pooledWorld is one reusable world plus the indirection that lets each
-// acquisition point it at the borrowing evaluator's fitted curves.
+// acquisition point it at the borrowing evaluator's fitted curves. While
+// idle it is linked into the shared recency list (prev = released earlier,
+// next = released later).
 type pooledWorld struct {
 	w   *mp.World
 	net *netProxy
+
+	key        worldKey
+	prev, next *pooledWorld
 }
 
 // netProxy is a swappable indirection over the evaluator's fitted network
@@ -77,6 +149,68 @@ func (p *netProxy) CostsDeterministic() bool {
 	return false
 }
 
+// --- idle-list upkeep (callers hold s.mu) ---
+
+func (s *evalShared) idleUnlink(pw *pooledWorld) {
+	if pw.prev != nil {
+		pw.prev.next = pw.next
+	} else {
+		s.idleHead = pw.next
+	}
+	if pw.next != nil {
+		pw.next.prev = pw.prev
+	} else {
+		s.idleTail = pw.prev
+	}
+	pw.prev, pw.next = nil, nil
+	s.idleCount--
+}
+
+func (s *evalShared) idleAppend(pw *pooledWorld) {
+	pw.prev, pw.next = s.idleTail, nil
+	if s.idleTail != nil {
+		s.idleTail.next = pw
+	}
+	s.idleTail = pw
+	if s.idleHead == nil {
+		s.idleHead = pw
+	}
+	s.idleCount++
+}
+
+// evictIdleLocked drops least-recently-released worlds until the idle pool
+// is within worldCap, returning how many were dropped. The victim is also
+// removed from its per-key free slice; the world itself is simply released
+// to the GC.
+func (s *evalShared) evictIdleLocked() int {
+	if s.worldCap <= 0 {
+		return 0
+	}
+	n := 0
+	for s.idleCount > s.worldCap && s.idleHead != nil {
+		victim := s.idleHead
+		s.idleUnlink(victim)
+		free := s.worlds[victim.key]
+		for i, pw := range free {
+			if pw == victim {
+				free[i] = free[len(free)-1]
+				free[len(free)-1] = nil
+				free = free[:len(free)-1]
+				break
+			}
+		}
+		if len(free) == 0 {
+			// Prune emptied keys: a long-tailed sweep must not leave one
+			// map entry (and retained backing array) per size ever seen.
+			delete(s.worlds, victim.key)
+		} else {
+			s.worlds[victim.key] = free
+		}
+		n++
+	}
+	return n
+}
+
 // acquireWorld returns a world of n ranks wired to this evaluator's
 // hardware model, plus a release function that parks it for reuse. Worlds
 // are pooled per (size, backend): a released world keeps its rank records,
@@ -89,29 +223,37 @@ func (e *Evaluator) acquireWorld(n int, sched string) (*mp.World, func(), error)
 		return w, func() {}, err
 	}
 	key := worldKey{n: n, sched: sched}
-	e.shared.mu.Lock()
+	s := e.shared
+	s.mu.Lock()
 	var pw *pooledWorld
-	if free := e.shared.worlds[key]; len(free) > 0 {
+	if free := s.worlds[key]; len(free) > 0 {
 		pw = free[len(free)-1]
-		e.shared.worlds[key] = free[:len(free)-1]
+		free[len(free)-1] = nil
+		s.worlds[key] = free[:len(free)-1]
+		s.idleUnlink(pw)
 	}
-	e.shared.mu.Unlock()
+	s.mu.Unlock()
 	if pw == nil {
 		proxy := &netProxy{target: e.HW.Net()}
 		w, err := mp.NewWorld(n, mp.Options{Net: proxy, Scheduler: sched})
 		if err != nil {
 			return nil, nil, err
 		}
-		pw = &pooledWorld{w: w, net: proxy}
+		pw = &pooledWorld{w: w, net: proxy, key: key}
 	} else {
 		pw.net.target = e.HW.Net()
 		pw.w.Reset()
 	}
 	release := func() {
 		pw.net.target = nil // don't pin the borrowing evaluator's model
-		e.shared.mu.Lock()
-		e.shared.worlds[key] = append(e.shared.worlds[key], pw)
-		e.shared.mu.Unlock()
+		s.mu.Lock()
+		s.worlds[key] = append(s.worlds[key], pw)
+		s.idleAppend(pw)
+		evicted := s.evictIdleLocked()
+		s.mu.Unlock()
+		if evicted > 0 {
+			s.worldEvicts.Add(uint64(evicted))
+		}
 	}
 	return pw.w, release, nil
 }
@@ -124,6 +266,20 @@ type kernelKey struct {
 	angles     int
 	opcode     bool
 	mflops     float64
+}
+
+// hash fingerprints the key for the kernel cache's shard selection.
+func (k kernelKey) hash() uint64 {
+	h := lru.NewHasher()
+	h.Int(k.nx)
+	h.Int(k.ny)
+	h.Int(k.nz)
+	h.Int(k.mk)
+	h.Int(k.mmi)
+	h.Int(k.angles)
+	h.Bool(k.opcode)
+	h.Float64(k.mflops)
+	return h.Sum()
 }
 
 // costKernel holds everything Predict needs per (angle block, k block)
@@ -141,30 +297,27 @@ type costKernel struct {
 }
 
 // kernelFor returns the cost kernel for a configuration, computing and
-// caching it on first use. Safe for concurrent Predicts.
+// caching it on first use. Safe for concurrent Predicts. The lookup is
+// Get/Put rather than GetOrBuild so the hot path stays allocation-free
+// (no build closure); two racing misses both build the same deterministic
+// kernel and the first insert wins.
 func (e *Evaluator) kernelFor(cfg Config) (*costKernel, error) {
+	if e.shared == nil {
+		return e.buildKernel(cfg)
+	}
 	key := kernelKey{
 		nx: cfg.localNX(), ny: cfg.localNY(), nz: cfg.Grid.NZ,
 		mk: cfg.MK, mmi: cfg.MMI, angles: cfg.Angles,
 		opcode: e.UseOpcodeCosts, mflops: e.HW.MFLOPS,
 	}
-	if e.shared != nil {
-		e.shared.mu.Lock()
-		k, ok := e.shared.kernels[key]
-		e.shared.mu.Unlock()
-		if ok {
-			return k, nil
-		}
+	if k, ok := e.shared.kernels.Get(key); ok {
+		return k, nil
 	}
 	k, err := e.buildKernel(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if e.shared != nil {
-		e.shared.mu.Lock()
-		e.shared.kernels[key] = k
-		e.shared.mu.Unlock()
-	}
+	e.shared.kernels.Put(key, k)
 	return k, nil
 }
 

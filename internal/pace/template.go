@@ -140,11 +140,17 @@ func fillStages(d grid.Decomp) int {
 // configurations beyond anything the paper evaluates.
 const TemplateMaxRanks = 8000
 
+// UsesTemplate reports whether PredictAuto evaluates cfg with the
+// template engine (as opposed to the analytic closed form). Exposed so
+// serving layers can route memo fast paths by the same rule instead of
+// re-deriving it.
+func UsesTemplate(cfg Config) bool { return cfg.Decomp.Size() <= TemplateMaxRanks }
+
 // PredictAuto picks the evaluation path by array size: template evaluation
 // through the paper's speculative 8000-processor studies, the analytic
 // closed form beyond.
 func (e *Evaluator) PredictAuto(cfg Config) (*Prediction, error) {
-	if cfg.Decomp.Size() <= TemplateMaxRanks {
+	if UsesTemplate(cfg) {
 		return e.Predict(cfg)
 	}
 	return e.PredictClosedForm(cfg)

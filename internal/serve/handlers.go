@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"pacesweep/internal/pace"
+)
+
+// maxBodyBytes bounds request bodies; even the largest sweep grid is a few
+// KB of JSON.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/predict", s.instrument(&s.st.predict, s.handlePredict))
+	s.mux.HandleFunc("/v1/sweep", s.instrument(&s.st.sweep, s.handleSweep))
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+}
+
+// instrument wraps a handler with the inflight gauge, latency histogram
+// and error counter of its endpoint.
+func (s *Server) instrument(ep *endpointStats, h func(http.ResponseWriter, *http.Request) (ok bool)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.st.inflight.Add(1)
+		start := time.Now()
+		ok := h(w, r)
+		s.st.inflight.Add(-1)
+		ep.observe(time.Since(start), !ok)
+	}
+}
+
+// writeError emits the uniform JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
+}
+
+// decodeJSON strictly decodes a request body into dst.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	// Trailing garbage after the JSON value is a malformed request too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("request body holds more than one JSON value")
+	}
+	return nil
+}
+
+// handlePredict is POST /v1/predict. The fast path — a response-cache hit
+// — costs one sharded-LRU lookup and one write, and never touches the
+// evaluation semaphore.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	var q PredictRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	q.normalize(s.cfg.Platforms[0])
+	if err := q.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	if _, known := s.evals[q.Platform]; !known {
+		writeError(w, http.StatusBadRequest, "unknown platform %q (serving %v)", q.Platform, s.cfg.Platforms)
+		return false
+	}
+
+	key := q.key()
+	if s.responses != nil {
+		// Peek, not Get: a cold request falls through to the counted
+		// GetOrBuild below, and counting the probe too would double-count
+		// every miss.
+		if body, hit := s.responses.Peek(key); hit {
+			s.st.predict.cacheHits.Add(1)
+			writeCached(w, body, true)
+			return true
+		}
+	}
+
+	ev, err := s.evaluator(q.Platform)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "evaluator for %q: %v", q.Platform, err)
+		return false
+	}
+
+	// Evaluator-memo fast path: a memoised prediction (e.g. warmed by a
+	// sweep, or surviving response-cache eviction) is a microsecond
+	// lookup and must not queue behind second-long cold evaluations.
+	if p, ok := cachedPrediction(ev, key.cfg, q.Method); ok {
+		body, err := marshalPredictResponse(&q, &p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding failed: %v", err)
+			return false
+		}
+		if s.responses != nil {
+			s.responses.Put(key, body)
+		}
+		writeCached(w, body, true)
+		return true
+	}
+
+	// Cold path. Identical concurrent requests coalesce on the response
+	// cache's singleflight: one evaluation serves every waiter. (A waiter
+	// can receive the builder's cancellation error — the rare cost of
+	// coalescing; it surfaces as a retryable 503.)
+	build := func() ([]byte, error) {
+		if err := s.acquire(r); err != nil {
+			return nil, fmt.Errorf("cancelled while queued: %w", err)
+		}
+		pred, err := s.evaluate(ev, key.cfg, q.Method)
+		s.release()
+		if err != nil {
+			return nil, err
+		}
+		return marshalPredictResponse(&q, pred)
+	}
+	var body []byte
+	if s.responses != nil {
+		body, err = s.responses.GetOrBuild(key, build)
+	} else {
+		body, err = build()
+	}
+	if err != nil {
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "evaluation failed: %v", err)
+		}
+		return false
+	}
+	writeCached(w, body, false)
+	return true
+}
+
+// marshalPredictResponse renders the canonical response bytes (newline
+// terminated) for a canonical request and its prediction.
+func marshalPredictResponse(q *PredictRequest, p *pace.Prediction) ([]byte, error) {
+	body, err := json.Marshal(buildPredictResponse(q, p))
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// writeCached writes a (possibly cached) response body with the cache
+// disposition in a header — never in the body, which must stay a pure
+// function of the request fingerprint.
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Paceserve-Cache", "hit")
+	} else {
+		w.Header().Set("X-Paceserve-Cache", "miss")
+	}
+	w.Write(body)
+}

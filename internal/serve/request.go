@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/lru"
+	"pacesweep/internal/pace"
+)
+
+// Evaluation method selectors accepted by the API.
+const (
+	MethodAuto       = "auto"        // template through pace.TemplateMaxRanks, closed form beyond
+	MethodTemplate   = "template"    // force template evaluation (bounded by TemplateMaxRanks)
+	MethodClosedForm = "closed-form" // force the analytic closed form
+)
+
+// GridSpec is a JSON grid triple (the paper's it x jt x kt data size).
+type GridSpec struct {
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	NZ int `json:"nz"`
+}
+
+// ArraySpec is a JSON 2-D processor array (the paper's Px x Py).
+type ArraySpec struct {
+	PX int `json:"px"`
+	PY int `json:"py"`
+}
+
+// PredictRequest is the /v1/predict body. Grid and Array are required;
+// the remaining knobs default to the paper's benchmark configuration
+// (mk=10, mmi=3, 6 angles per octant, 12 iterations, auto method, the
+// server's first configured platform).
+type PredictRequest struct {
+	Platform   string    `json:"platform,omitempty"`
+	Grid       GridSpec  `json:"grid"`
+	Array      ArraySpec `json:"array"`
+	MK         int       `json:"mk,omitempty"`
+	MMI        int       `json:"mmi,omitempty"`
+	Angles     int       `json:"angles,omitempty"`
+	Iterations int       `json:"iterations,omitempty"`
+	Method     string    `json:"method,omitempty"`
+}
+
+// normalize fills defaults in place; the result is the canonical request
+// the fingerprint is computed from, so two spellings of the same query
+// (explicit defaults versus omitted fields) share one cache entry.
+func (q *PredictRequest) normalize(defaultPlatform string) {
+	if q.Platform == "" {
+		q.Platform = defaultPlatform
+	}
+	if q.MK == 0 {
+		q.MK = 10
+	}
+	if q.MMI == 0 {
+		q.MMI = 3
+	}
+	if q.Angles == 0 {
+		q.Angles = 6
+	}
+	if q.Iterations == 0 {
+		q.Iterations = 12
+	}
+	if q.Method == "" {
+		q.Method = MethodAuto
+	}
+}
+
+// toConfig maps the canonical request onto the model configuration.
+func (q *PredictRequest) toConfig() pace.Config {
+	return pace.Config{
+		Grid:       grid.Global{NX: q.Grid.NX, NY: q.Grid.NY, NZ: q.Grid.NZ},
+		Decomp:     grid.Decomp{PX: q.Array.PX, PY: q.Array.PY},
+		MK:         q.MK,
+		MMI:        q.MMI,
+		Angles:     q.Angles,
+		Iterations: q.Iterations,
+	}
+}
+
+// validate rejects malformed canonical requests: unknown method, invalid
+// model configuration, or a forced template evaluation beyond the engine's
+// rank ceiling (auto degrades to the closed form instead).
+func (q *PredictRequest) validate() error {
+	switch q.Method {
+	case MethodAuto, MethodTemplate, MethodClosedForm:
+	default:
+		return fmt.Errorf("unknown method %q (want %q, %q or %q)",
+			q.Method, MethodAuto, MethodTemplate, MethodClosedForm)
+	}
+	cfg := q.toConfig()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if q.Method == MethodTemplate && cfg.Decomp.Size() > pace.TemplateMaxRanks {
+		return fmt.Errorf("template evaluation is bounded to %d ranks (requested %d); use method %q",
+			pace.TemplateMaxRanks, cfg.Decomp.Size(), MethodAuto)
+	}
+	return nil
+}
+
+// reqKey is the request fingerprint: the canonical (platform,
+// configuration, method) triple. Map equality on the struct is the cache
+// identity; hash is only the shard/index fingerprint.
+type reqKey struct {
+	platform string
+	cfg      pace.Config
+	method   string
+}
+
+func (q *PredictRequest) key() reqKey {
+	return reqKey{platform: q.Platform, cfg: q.toConfig(), method: q.Method}
+}
+
+func (k reqKey) hash() uint64 {
+	h := lru.NewHasher()
+	h.String(k.platform)
+	h.Int(k.cfg.Grid.NX)
+	h.Int(k.cfg.Grid.NY)
+	h.Int(k.cfg.Grid.NZ)
+	h.Int(k.cfg.Decomp.PX)
+	h.Int(k.cfg.Decomp.PY)
+	h.Int(k.cfg.MK)
+	h.Int(k.cfg.MMI)
+	h.Int(k.cfg.Angles)
+	h.Int(k.cfg.Iterations)
+	h.String(k.method)
+	return h.Sum()
+}
+
+// Breakdown is the per-phase model breakdown of a prediction (the layered
+// decomposition of Figure 3: subtask charges, template costs, pipeline
+// fill).
+type Breakdown struct {
+	SweepPerIter   float64 `json:"sweep_per_iter_seconds"`
+	SourcePerIter  float64 `json:"source_per_iter_seconds"`
+	FluxErrPerIter float64 `json:"flux_err_per_iter_seconds"`
+	ReducePerIter  float64 `json:"reduce_per_iter_seconds"`
+	Last           float64 `json:"last_seconds"`
+	BlockSeconds   float64 `json:"block_seconds"`
+	FillStages     int     `json:"fill_stages"`
+}
+
+// PredictResponse is the /v1/predict body: the canonical request echoed
+// back plus the prediction. It is a deterministic function of the
+// fingerprint, so cached bytes and freshly marshalled bytes are
+// identical.
+type PredictResponse struct {
+	Platform         string    `json:"platform"`
+	Grid             GridSpec  `json:"grid"`
+	Array            ArraySpec `json:"array"`
+	MK               int       `json:"mk"`
+	MMI              int       `json:"mmi"`
+	Angles           int       `json:"angles"`
+	Iterations       int       `json:"iterations"`
+	PredictedSeconds float64   `json:"predicted_seconds"`
+	Method           string    `json:"method"` // method actually used ("template" or "closed-form")
+	Breakdown        Breakdown `json:"breakdown"`
+}
+
+// buildPredictResponse assembles the response for a canonical request and
+// its evaluated prediction.
+func buildPredictResponse(q *PredictRequest, p *pace.Prediction) PredictResponse {
+	return PredictResponse{
+		Platform:         q.Platform,
+		Grid:             q.Grid,
+		Array:            q.Array,
+		MK:               q.MK,
+		MMI:              q.MMI,
+		Angles:           q.Angles,
+		Iterations:       q.Iterations,
+		PredictedSeconds: p.Total,
+		Method:           p.Method,
+		Breakdown: Breakdown{
+			SweepPerIter:   p.SweepPerIter,
+			SourcePerIter:  p.SourcePerIter,
+			FluxErrPerIter: p.FluxErrPerIter,
+			ReducePerIter:  p.ReducePerIter,
+			Last:           p.Last,
+			BlockSeconds:   p.BlockSeconds,
+			FillStages:     p.FillStages,
+		},
+	}
+}
+
+// cachedPrediction answers from the evaluator's prediction memo when the
+// canonical request's evaluation path is the (memoised) template engine —
+// method "template", or "auto" within the template rank ceiling. The
+// closed form is not memoised (it is sub-millisecond arithmetic), and its
+// predictions must never be served from template-memo entries. A hit is
+// the zero-allocation serving fast path and bypasses the evaluation
+// semaphore.
+func cachedPrediction(ev *pace.Evaluator, cfg pace.Config, method string) (pace.Prediction, bool) {
+	if method == MethodClosedForm || (method == MethodAuto && !pace.UsesTemplate(cfg)) {
+		return pace.Prediction{}, false
+	}
+	return ev.CachedPredict(cfg)
+}
+
+// evaluate runs the canonical request's evaluation path on the platform's
+// evaluator.
+func (s *Server) evaluate(ev *pace.Evaluator, cfg pace.Config, method string) (*pace.Prediction, error) {
+	switch method {
+	case MethodTemplate:
+		return ev.Predict(cfg)
+	case MethodClosedForm:
+		return ev.PredictClosedForm(cfg)
+	default:
+		return ev.PredictAuto(cfg)
+	}
+}

@@ -1,0 +1,293 @@
+// Package serve is the paceserve prediction-serving subsystem: an
+// HTTP/JSON front end over the PACE model evaluator (internal/pace) built
+// for sustained concurrent query traffic.
+//
+// Endpoints:
+//
+//	POST /v1/predict — one configuration → predicted makespan, evaluation
+//	                   method and per-phase model breakdown
+//	POST /v1/sweep   — a grid of processor-array × blocking-factor ×
+//	                   platform variations fanned out on a bounded worker
+//	                   pool; aggregated JSON or streaming NDJSON
+//	GET  /v1/stats   — cache hit/miss/eviction counters, pool occupancy,
+//	                   per-endpoint latency histograms (JSON)
+//	GET  /metrics    — the same counters in Prometheus text format
+//	GET  /healthz    — liveness
+//
+// Serving architecture, bottom to top:
+//
+//   - Every platform gets one fitted pace.Evaluator, built once on first
+//     use (the simulated benchmarking pipeline takes seconds) and shared
+//     by all requests; its world pool is capped (pace.SetWorldPoolCap) so
+//     long-tailed sweeps over many array sizes cannot pin a warmed world
+//     per size forever.
+//   - Each evaluator carries a size-bounded sharded-LRU prediction memo
+//     (pace.NewPredictionMemoSize), which is what /v1/sweep points hit.
+//   - /v1/predict adds a response cache above that: a sharded LRU keyed by
+//     the request fingerprint (canonical platform+configuration+method)
+//     holding fully marshalled response bytes, so a repeated query costs a
+//     map lookup and one write. Responses are deterministic functions of
+//     the fingerprint, which is what makes both cache layers sound: an
+//     evicted entry rebuilds byte-identically.
+//   - A global semaphore bounds concurrent model evaluations; cache hits
+//     bypass it.
+//
+// The package deliberately has no main: cmd/paceserve owns flags, logging
+// and lifecycle, tests own httptest servers.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/lru"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+)
+
+// Config parameterises a Server. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Platforms lists the platform names served; default: every
+	// predefined platform (platform.Names()). Requests naming anything
+	// else are rejected with 400.
+	Platforms []string
+
+	// Seed drives the simulated benchmarking pipeline that fits each
+	// platform's hardware model. Default 1001 (the Table 1 seed).
+	Seed int64
+
+	// Scheduler selects the mp backend for template evaluation; empty
+	// means the event scheduler. The goroutine backend is accepted but
+	// warned about: it is slower, nondeterministic in collective
+	// accumulation order, and not allocation-free under pooling.
+	Scheduler string
+
+	// ResponseCacheEntries bounds the /v1/predict response-byte LRU
+	// (default 65536 entries; <0 disables the cache).
+	ResponseCacheEntries int
+	// ResponseCacheShards is its shard count (default 16).
+	ResponseCacheShards int
+
+	// MemoEntries bounds each evaluator's prediction memo (default
+	// pace.DefaultMemoEntries; <0 = unbounded).
+	MemoEntries int
+	// MemoShards is the prediction memo's shard count (default
+	// pace.DefaultMemoShards).
+	MemoShards int
+
+	// WorldPoolCap bounds each evaluator's idle pooled worlds (default
+	// pace.DefaultWorldPoolCap; <0 = unbounded).
+	WorldPoolCap int
+
+	// MaxConcurrent bounds simultaneous model evaluations across all
+	// requests (default 2*GOMAXPROCS).
+	MaxConcurrent int
+
+	// SweepWorkers bounds one sweep's fan-out (default GOMAXPROCS; also
+	// clamped by MaxConcurrent at evaluation time).
+	SweepWorkers int
+
+	// MaxSweepPoints rejects sweeps expanding beyond this many points
+	// (default 4096).
+	MaxSweepPoints int
+
+	// ProfileGrid is the per-processor profiling grid for the fitting
+	// pipeline (default 50x50x50, the validation tables' working set).
+	ProfileGrid grid.Global
+
+	// BuildEvaluator overrides evaluator construction (tests inject cheap
+	// deterministic models here). The server attaches the memo, scheduler
+	// and pool cap to whatever it returns. Default: the experiments
+	// fitting pipeline on the named predefined platform.
+	BuildEvaluator func(name string) (*pace.Evaluator, error)
+
+	// Logf receives operational log lines; default discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Platforms) == 0 {
+		c.Platforms = platform.Names()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1001
+	}
+	if c.ResponseCacheEntries == 0 {
+		c.ResponseCacheEntries = 1 << 16
+	}
+	if c.ResponseCacheShards <= 0 {
+		c.ResponseCacheShards = 16
+	}
+	switch {
+	case c.MemoEntries == 0:
+		c.MemoEntries = pace.DefaultMemoEntries
+	case c.MemoEntries < 0:
+		c.MemoEntries = 0 // explicit unbounded, the pace convention
+	}
+	if c.MemoShards <= 0 {
+		c.MemoShards = pace.DefaultMemoShards
+	}
+	switch {
+	case c.WorldPoolCap == 0:
+		c.WorldPoolCap = pace.DefaultWorldPoolCap
+	case c.WorldPoolCap < 0:
+		c.WorldPoolCap = 0 // explicit unbounded
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if (c.ProfileGrid == grid.Global{}) {
+		c.ProfileGrid = grid.Global{NX: 50, NY: 50, NZ: 50}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// evalSlot is one platform's evaluator cell. ready is set (with release
+// semantics) only after ev is fully equipped, so readers that observe it
+// may use ev without holding the mutex. Build failures are NOT cached —
+// the next request retries, matching lru.GetOrBuild's convention — so a
+// transient fitting error cannot 500 a platform until process restart.
+type evalSlot struct {
+	mu    sync.Mutex
+	ev    *pace.Evaluator
+	ready atomic.Bool
+}
+
+// Server is the serving subsystem; it implements http.Handler. Create it
+// with New.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	evals     map[string]*evalSlot // fixed key set; slots built on demand
+	responses *lru.Cache[reqKey, []byte]
+	sem       chan struct{}
+	st        serverStats
+	started   time.Time
+}
+
+// New validates the configuration and builds a Server. Evaluators are
+// fitted lazily on first use per platform.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Scheduler {
+	case "", "event":
+	case "goroutine":
+		cfg.Logf("paceserve: WARNING: goroutine scheduler configured; it is slower than the "+
+			"event backend, accumulates collectives in nondeterministic order, and still pays "+
+			"per-run goroutine-spawn allocations under pooling — see DESIGN.md; serving "+
+			"deployments should use %q", "event")
+	default:
+		return nil, fmt.Errorf("serve: unknown scheduler %q (want \"event\" or \"goroutine\")", cfg.Scheduler)
+	}
+	if cfg.BuildEvaluator == nil {
+		cfg.BuildEvaluator = defaultBuilder(cfg)
+		// With the default builder every platform must resolve; surface
+		// typos at startup rather than on first request.
+		for _, name := range cfg.Platforms {
+			if _, err := platform.ByName(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		evals:   make(map[string]*evalSlot, len(cfg.Platforms)),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+	if cfg.ResponseCacheEntries > 0 {
+		s.responses = lru.New[reqKey, []byte](
+			cfg.ResponseCacheEntries, cfg.ResponseCacheShards, reqKey.hash)
+	}
+	for _, name := range cfg.Platforms {
+		s.evals[name] = &evalSlot{}
+	}
+	s.routes()
+	return s, nil
+}
+
+// defaultBuilder fits a hardware model for a predefined platform through
+// the simulated benchmarking pipeline and wires it to the capp-derived
+// SWEEP3D flows — the same construction the experiment drivers use.
+func defaultBuilder(cfg Config) func(name string) (*pace.Evaluator, error) {
+	return func(name string) (*pace.Evaluator, error) {
+		pl, err := platform.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ev, _, err := experiments.BuildEvaluator(pl, cfg.ProfileGrid, cfg.Seed)
+		return ev, err
+	}
+}
+
+// evaluator returns the platform's shared fitted evaluator, building and
+// equipping it on first use. Unknown names (not in Config.Platforms) are
+// a request error. Concurrent first requests coalesce on the slot mutex;
+// exactly one builds.
+func (s *Server) evaluator(name string) (*pace.Evaluator, error) {
+	slot, ok := s.evals[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown platform %q (serving %v)", name, s.cfg.Platforms)
+	}
+	if slot.ready.Load() {
+		return slot.ev, nil
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.ev != nil {
+		return slot.ev, nil
+	}
+	start := time.Now()
+	ev, err := s.cfg.BuildEvaluator(name)
+	if err != nil {
+		s.cfg.Logf("paceserve: fitting %s failed (will retry on next request): %v", name, err)
+		return nil, err
+	}
+	ev.Scheduler = s.cfg.Scheduler
+	ev.Memo = pace.NewPredictionMemoSize(s.cfg.MemoEntries, s.cfg.MemoShards)
+	ev.SetWorldPoolCap(s.cfg.WorldPoolCap)
+	slot.ev = ev
+	slot.ready.Store(true)
+	s.cfg.Logf("paceserve: fitted evaluator for %s in %s", name, time.Since(start).Round(time.Millisecond))
+	return ev, nil
+}
+
+// Warm fits the named platform's evaluator now instead of on first
+// request; cmd/paceserve's -warmup calls it before accepting traffic.
+func (s *Server) Warm(name string) error {
+	_, err := s.evaluator(name)
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// acquire takes one evaluation slot, honouring request cancellation.
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }

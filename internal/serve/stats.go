@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pacesweep/internal/lru"
+	"pacesweep/internal/pace"
+)
+
+// latencyBounds are the fixed histogram bucket upper bounds in seconds; a
+// final implicit +Inf bucket catches the rest. Model evaluations span
+// ~microseconds (cache hit) to ~seconds (8000-rank template), so the
+// bounds are log-spaced across that range.
+var latencyBounds = [...]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10}
+
+// endpointStats is one endpoint's counter block. All fields are atomics:
+// the hot path must not take locks for bookkeeping.
+type endpointStats struct {
+	requests     atomic.Uint64
+	errors       atomic.Uint64
+	cacheHits    atomic.Uint64 // responses served from the response cache
+	latencyNanos atomic.Uint64
+	buckets      [len(latencyBounds) + 1]atomic.Uint64
+}
+
+func (e *endpointStats) observe(d time.Duration, isErr bool) {
+	e.requests.Add(1)
+	if isErr {
+		e.errors.Add(1)
+	}
+	e.latencyNanos.Add(uint64(d.Nanoseconds()))
+	sec := d.Seconds()
+	for i, bound := range latencyBounds {
+		if sec <= bound {
+			e.buckets[i].Add(1)
+			return
+		}
+	}
+	e.buckets[len(latencyBounds)].Add(1)
+}
+
+// serverStats aggregates the server's operational counters.
+type serverStats struct {
+	inflight atomic.Int64
+	predict  endpointStats
+	sweep    endpointStats
+}
+
+// BucketCount is one latency histogram bucket in the stats JSON
+// (cumulative, Prometheus-style: count of requests at or under LeSeconds).
+type BucketCount struct {
+	LeSeconds float64 `json:"le_seconds"` // +Inf encoded as 0 with Inf=true
+	Inf       bool    `json:"inf,omitempty"`
+	Count     uint64  `json:"count"`
+}
+
+// EndpointSnapshot is one endpoint's block in the stats JSON.
+type EndpointSnapshot struct {
+	Requests            uint64        `json:"requests"`
+	Errors              uint64        `json:"errors"`
+	CacheHits           uint64        `json:"cache_hits"`
+	AvgLatencySeconds   float64       `json:"avg_latency_seconds"`
+	TotalLatencySeconds float64       `json:"total_latency_seconds"`
+	Latency             []BucketCount `json:"latency"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	out := EndpointSnapshot{
+		Requests:  e.requests.Load(),
+		Errors:    e.errors.Load(),
+		CacheHits: e.cacheHits.Load(),
+	}
+	out.TotalLatencySeconds = float64(e.latencyNanos.Load()) / 1e9
+	if out.Requests > 0 {
+		out.AvgLatencySeconds = out.TotalLatencySeconds / float64(out.Requests)
+	}
+	cum := uint64(0)
+	for i := range e.buckets {
+		cum += e.buckets[i].Load()
+		b := BucketCount{Count: cum}
+		if i < len(latencyBounds) {
+			b.LeSeconds = latencyBounds[i]
+		} else {
+			b.Inf = true
+		}
+		out.Latency = append(out.Latency, b)
+	}
+	return out
+}
+
+// EvaluatorSnapshot is one fitted evaluator's cache block in the stats
+// JSON: the prediction memo's sharded-LRU counters plus the world-pool
+// and kernel-cache occupancy/evictions.
+type EvaluatorSnapshot struct {
+	Memo lru.Stats      `json:"memo"`
+	Pool pace.PoolStats `json:"pool"`
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Inflight      int64                        `json:"inflight"`
+	Endpoints     map[string]EndpointSnapshot  `json:"endpoints"`
+	ResponseCache *lru.Stats                   `json:"response_cache,omitempty"`
+	Evaluators    map[string]EvaluatorSnapshot `json:"evaluators"`
+}
+
+// statsResponse assembles the full snapshot. Only evaluators that have
+// actually been fitted appear; unbuilt platforms would otherwise be
+// force-built just to report empty counters.
+func (s *Server) statsResponse() StatsResponse {
+	out := StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Inflight:      s.st.inflight.Load(),
+		Endpoints: map[string]EndpointSnapshot{
+			"predict": s.st.predict.snapshot(),
+			"sweep":   s.st.sweep.snapshot(),
+		},
+		Evaluators: make(map[string]EvaluatorSnapshot),
+	}
+	if s.responses != nil {
+		st := s.responses.Stats()
+		out.ResponseCache = &st
+	}
+	for name, slot := range s.evals {
+		if !slot.ready.Load() {
+			continue
+		}
+		out.Evaluators[name] = EvaluatorSnapshot{
+			Memo: slot.ev.Memo.CacheStats(),
+			Pool: slot.ev.PoolStats(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.statsResponse())
+}
+
+// handleMetrics renders the same counters in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.statsResponse()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	fmt.Fprintf(w, "# TYPE paceserve_uptime_seconds gauge\npaceserve_uptime_seconds %g\n", st.UptimeSeconds)
+	fmt.Fprintf(w, "# TYPE paceserve_inflight_requests gauge\npaceserve_inflight_requests %d\n", st.Inflight)
+
+	fmt.Fprintf(w, "# TYPE paceserve_requests_total counter\n")
+	for _, ep := range sortedKeys(st.Endpoints) {
+		fmt.Fprintf(w, "paceserve_requests_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].Requests)
+	}
+	fmt.Fprintf(w, "# TYPE paceserve_request_errors_total counter\n")
+	for _, ep := range sortedKeys(st.Endpoints) {
+		fmt.Fprintf(w, "paceserve_request_errors_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].Errors)
+	}
+	// Full Prometheus histogram convention: _bucket series plus the _sum
+	// and _count series that rate()/avg queries depend on.
+	fmt.Fprintf(w, "# TYPE paceserve_request_seconds histogram\n")
+	for _, ep := range sortedKeys(st.Endpoints) {
+		snap := st.Endpoints[ep]
+		for _, b := range snap.Latency {
+			le := fmt.Sprintf("%g", b.LeSeconds)
+			if b.Inf {
+				le = "+Inf"
+			}
+			fmt.Fprintf(w, "paceserve_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, le, b.Count)
+		}
+		fmt.Fprintf(w, "paceserve_request_seconds_sum{endpoint=%q} %g\n", ep, snap.TotalLatencySeconds)
+		fmt.Fprintf(w, "paceserve_request_seconds_count{endpoint=%q} %d\n", ep, snap.Requests)
+	}
+
+	if st.ResponseCache != nil {
+		writeCacheMetrics(w, "paceserve_response_cache", []string{""}, []lru.Stats{*st.ResponseCache})
+	}
+	platforms := sortedKeys(st.Evaluators)
+	if len(platforms) > 0 {
+		labels := make([]string, len(platforms))
+		memos := make([]lru.Stats, len(platforms))
+		kernels := make([]lru.Stats, len(platforms))
+		for i, name := range platforms {
+			labels[i] = fmt.Sprintf("{platform=%q}", name)
+			memos[i] = st.Evaluators[name].Memo
+			kernels[i] = st.Evaluators[name].Pool.Kernels
+		}
+		writeCacheMetrics(w, "paceserve_memo", labels, memos)
+		writeCacheMetrics(w, "paceserve_kernel_cache", labels, kernels)
+		fmt.Fprintf(w, "# TYPE paceserve_pool_idle_worlds gauge\n")
+		for i, name := range platforms {
+			fmt.Fprintf(w, "paceserve_pool_idle_worlds%s %d\n", labels[i], st.Evaluators[name].Pool.IdleWorlds)
+		}
+		fmt.Fprintf(w, "# TYPE paceserve_pool_world_evictions_total counter\n")
+		for i, name := range platforms {
+			fmt.Fprintf(w, "paceserve_pool_world_evictions_total%s %d\n", labels[i], st.Evaluators[name].Pool.WorldEvictions)
+		}
+	}
+}
+
+// writeCacheMetrics renders one sharded-LRU counter block over parallel
+// label/stats slices, with each metric name's # TYPE line emitted once
+// before all its series (the Prometheus exposition requirement).
+func writeCacheMetrics(w http.ResponseWriter, prefix string, labels []string, stats []lru.Stats) {
+	kinds := [...]struct {
+		suffix, typ string
+		value       func(lru.Stats) uint64
+	}{
+		{"_hits_total", "counter", func(s lru.Stats) uint64 { return s.Hits }},
+		{"_misses_total", "counter", func(s lru.Stats) uint64 { return s.Misses }},
+		{"_evictions_total", "counter", func(s lru.Stats) uint64 { return s.Evictions }},
+		{"_entries", "gauge", func(s lru.Stats) uint64 { return uint64(s.Entries) }},
+	}
+	for _, k := range kinds {
+		fmt.Fprintf(w, "# TYPE %s%s %s\n", prefix, k.suffix, k.typ)
+		for i, label := range labels {
+			fmt.Fprintf(w, "%s%s%s %d\n", prefix, k.suffix, label, k.value(stats[i]))
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pacesweep/internal/pace"
+)
+
+// SweepRequest is the /v1/sweep body: the cross product of platforms ×
+// processor arrays × mk × mmi is expanded into prediction points in a
+// fixed, documented order (platform outermost, mmi innermost). Arrays is
+// required; platforms defaults to the server default, mk to [10] and mmi
+// to [3]. Each point's data size is either the fixed Grid or — the
+// paper's weak-scaling convention, the default — CellsPerProc (50x50x50
+// when omitted) scaled by the point's processor array.
+type SweepRequest struct {
+	Platforms    []string    `json:"platforms,omitempty"`
+	Platform     string      `json:"platform,omitempty"` // single-platform convenience
+	Arrays       []ArraySpec `json:"arrays"`
+	MK           []int       `json:"mk,omitempty"`
+	MMI          []int       `json:"mmi,omitempty"`
+	Grid         *GridSpec   `json:"grid,omitempty"`
+	CellsPerProc *GridSpec   `json:"cells_per_proc,omitempty"`
+	Angles       int         `json:"angles,omitempty"`
+	Iterations   int         `json:"iterations,omitempty"`
+	Method       string      `json:"method,omitempty"`
+	// Stream selects NDJSON streaming: one SweepPoint per line in index
+	// order, flushed as each becomes available. Default: one aggregated
+	// SweepResponse document.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// SweepPoint is one evaluated point of a sweep. Error is set (and the
+// prediction fields zero) for points whose configuration is invalid or
+// whose evaluation failed; one bad point never aborts the sweep.
+type SweepPoint struct {
+	Index            int       `json:"index"`
+	Platform         string    `json:"platform"`
+	Grid             GridSpec  `json:"grid"`
+	Array            ArraySpec `json:"array"`
+	MK               int       `json:"mk"`
+	MMI              int       `json:"mmi"`
+	PredictedSeconds float64   `json:"predicted_seconds,omitempty"`
+	Method           string    `json:"method,omitempty"`
+	Error            string    `json:"error,omitempty"`
+}
+
+// SweepResponse is the aggregated (non-streaming) sweep document.
+type SweepResponse struct {
+	Count  int          `json:"count"`
+	Errors int          `json:"errors"`
+	Best   *SweepPoint  `json:"best,omitempty"` // minimum predicted time among clean points
+	Points []SweepPoint `json:"points"`
+}
+
+// expand builds the canonical per-point predict requests. Structural
+// problems (nothing to sweep, unknown platform, too many points) are
+// request-level errors; per-point configuration validity is checked at
+// evaluation time so one degenerate point doesn't reject the grid.
+func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
+	platforms := q.Platforms
+	if len(platforms) == 0 {
+		name := q.Platform
+		if name == "" {
+			name = s.cfg.Platforms[0]
+		}
+		platforms = []string{name}
+	} else if q.Platform != "" {
+		return nil, errRequest("set either platform or platforms, not both")
+	}
+	for _, name := range platforms {
+		if _, known := s.evals[name]; !known {
+			return nil, errRequest("unknown platform %q (serving %v)", name, s.cfg.Platforms)
+		}
+	}
+	if len(q.Arrays) == 0 {
+		return nil, errRequest("arrays is required and must be non-empty")
+	}
+	// Explicit list entries must be valid — normalize()'s 0-means-default
+	// convention is for omitted scalars and would silently rewrite a
+	// listed 0 into the default blocking factor.
+	mks := q.MK
+	if len(mks) == 0 {
+		mks = []int{10}
+	}
+	for _, mk := range mks {
+		if mk <= 0 {
+			return nil, errRequest("mk values must be positive, got %d", mk)
+		}
+	}
+	mmis := q.MMI
+	if len(mmis) == 0 {
+		mmis = []int{3}
+	}
+	for _, mmi := range mmis {
+		if mmi <= 0 {
+			return nil, errRequest("mmi values must be positive, got %d", mmi)
+		}
+	}
+	if q.Grid != nil && q.CellsPerProc != nil {
+		return nil, errRequest("set either grid or cells_per_proc, not both")
+	}
+	// Knobs uniform across the whole grid fail the request, not every
+	// point: a method typo on a 1000-point sweep must be a 400, not a 200
+	// with 1000 identical per-point errors.
+	switch q.Method {
+	case "", MethodAuto, MethodTemplate, MethodClosedForm:
+	default:
+		return nil, errRequest("unknown method %q (want %q, %q or %q)",
+			q.Method, MethodAuto, MethodTemplate, MethodClosedForm)
+	}
+	if q.Angles < 0 || q.Iterations < 0 {
+		return nil, errRequest("angles and iterations must be non-negative")
+	}
+	perProc := GridSpec{NX: 50, NY: 50, NZ: 50}
+	if q.CellsPerProc != nil {
+		perProc = *q.CellsPerProc
+	}
+	if g := q.Grid; g != nil && (g.NX <= 0 || g.NY <= 0 || g.NZ <= 0) {
+		return nil, errRequest("grid extents must be positive: %dx%dx%d", g.NX, g.NY, g.NZ)
+	}
+	if perProc.NX <= 0 || perProc.NY <= 0 || perProc.NZ <= 0 {
+		return nil, errRequest("cells_per_proc extents must be positive: %dx%dx%d", perProc.NX, perProc.NY, perProc.NZ)
+	}
+
+	total := len(platforms) * len(q.Arrays) * len(mks) * len(mmis)
+	if total > s.cfg.MaxSweepPoints {
+		return nil, errRequest("sweep expands to %d points, limit %d", total, s.cfg.MaxSweepPoints)
+	}
+	points := make([]PredictRequest, 0, total)
+	for _, name := range platforms {
+		for _, arr := range q.Arrays {
+			var g GridSpec
+			if q.Grid != nil {
+				g = *q.Grid
+			} else {
+				g = GridSpec{NX: perProc.NX * arr.PX, NY: perProc.NY * arr.PY, NZ: perProc.NZ}
+			}
+			for _, mk := range mks {
+				for _, mmi := range mmis {
+					p := PredictRequest{
+						Platform: name, Grid: g, Array: arr,
+						MK: mk, MMI: mmi,
+						Angles: q.Angles, Iterations: q.Iterations, Method: q.Method,
+					}
+					p.normalize(s.cfg.Platforms[0])
+					points = append(points, p)
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// requestError marks a 400-class sweep failure.
+type requestError struct{ msg string }
+
+func (e requestError) Error() string { return e.msg }
+
+func errRequest(format string, args ...any) error {
+	return requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// evaluatePoint runs one canonical point, converting every failure mode
+// into the point's Error field. The global evaluation semaphore is held
+// only around the model evaluation itself.
+func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepPoint {
+	pt := SweepPoint{
+		Index: i, Platform: q.Platform, Grid: q.Grid, Array: q.Array,
+		MK: q.MK, MMI: q.MMI,
+	}
+	if err := q.validate(); err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	ev, err := s.evaluator(q.Platform)
+	if err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	// Memo hits bypass the evaluation semaphore, like /v1/predict's.
+	if p, ok := cachedPrediction(ev, q.toConfig(), q.Method); ok {
+		pt.PredictedSeconds = p.Total
+		pt.Method = p.Method
+		return pt
+	}
+
+	evaluate := func() (*pace.Prediction, error) {
+		if err := s.acquire(r); err != nil {
+			return nil, fmt.Errorf("cancelled while queued: %w", err)
+		}
+		defer s.release()
+		return s.evaluate(ev, q.toConfig(), q.Method)
+	}
+	if s.responses == nil {
+		pred, err := evaluate()
+		if err != nil {
+			pt.Error = err.Error()
+			return pt
+		}
+		pt.PredictedSeconds = pred.Total
+		pt.Method = pred.Method
+		return pt
+	}
+	// Cold points go through the response cache's singleflight under the
+	// same fingerprint /v1/predict uses: identical points of concurrent
+	// sweeps coalesce onto one evaluation, and every evaluated point
+	// warms the predict endpoint's byte cache. The marshal/unmarshal
+	// round trip costs microseconds against a millisecond-plus
+	// evaluation.
+	body, err := s.responses.GetOrBuild(q.key(), func() ([]byte, error) {
+		pred, err := evaluate()
+		if err != nil {
+			return nil, err
+		}
+		return marshalPredictResponse(q, pred)
+	})
+	if err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		pt.Error = "decoding cached response: " + err.Error()
+		return pt
+	}
+	pt.PredictedSeconds = resp.PredictedSeconds
+	pt.Method = resp.Method
+	return pt
+}
+
+// runSweep fans the points out on the sweep worker pool. results[i] is
+// valid once ready[i] is closed; the returned channel closes when every
+// worker has retired. Workers decide only wall-clock, never values — each
+// point is an independent deterministic evaluation, so results are
+// identical to a sequential pass regardless of completion order.
+func (s *Server) runSweep(r *http.Request, points []PredictRequest) (results []SweepPoint, ready []chan struct{}, finished chan struct{}) {
+	n := len(points)
+	results = make([]SweepPoint, n)
+	ready = make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	workers := s.cfg.SweepWorkers
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = s.evaluatePoint(r, i, &points[i])
+				close(ready[i])
+			}
+		}()
+	}
+	finished = make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		close(finished)
+	}()
+	return results, ready, finished
+}
+
+// handleSweep is POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	var q SweepRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	points, err := s.expand(&q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+
+	results, ready, finished := s.runSweep(r, points)
+	defer func() { <-finished }() // never leave workers writing after return
+
+	if q.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for i := range results {
+			<-ready[i]
+			if err := enc.Encode(&results[i]); err != nil {
+				return false // client went away; workers drain via ctx
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return true
+	}
+
+	<-finished
+	resp := SweepResponse{Count: len(results), Points: results}
+	for i := range results {
+		pt := &results[i]
+		if pt.Error != "" {
+			resp.Errors++
+			continue
+		}
+		if resp.Best == nil || pt.PredictedSeconds < resp.Best.PredictedSeconds {
+			resp.Best = pt
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&resp) == nil
+}
