@@ -217,6 +217,45 @@ func BenchmarkPredictTemplate(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictTrace is BenchmarkPredictTemplate on the trace tier
+// (the default scheduler): the shape's communication script is compiled
+// once — amortised across b.N — and every op replays through the flat
+// goroutine-free engine. The PR 4 acceptance is >= 2x over sched=event at
+// P=4000.
+func BenchmarkPredictTrace(b *testing.B) {
+	ev, _, err := experiments.BuildEvaluator(platform.OpteronMyrinet(), grid.Global{NX: 5, NY: 5, NZ: 100}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range schedulerPoints {
+		d, err := grid.FactorNearSquare(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := pace.Config{
+			Grid:   grid.Global{NX: 5 * d.PX, NY: 5 * d.PY, NZ: 100},
+			Decomp: d,
+			MK:     10, MMI: 3, Angles: 6, Iterations: 12,
+		}
+		b.Run("sched=trace/P="+strconv.Itoa(p), func(b *testing.B) {
+			evS := *ev
+			evS.Scheduler = mp.SchedulerTrace
+			// Compile the shape (and warm the replayer pool) outside the
+			// measured loop, mirroring serving steady state.
+			if _, err := evS.Predict(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evS.Predict(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSweepKernel measures the functional solver's cell-angle update

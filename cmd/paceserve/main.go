@@ -29,8 +29,9 @@ func main() {
 		platforms = flag.String("platforms", strings.Join(platform.Names(), ","),
 			"comma-separated platform names to serve")
 		seed  = flag.Int64("seed", 1001, "seed for the simulated benchmark-fitting pipeline")
-		sched = flag.String("scheduler", mp.SchedulerEvent,
-			"mp backend for template evaluation (event|goroutine; goroutine is discouraged for serving)")
+		sched = flag.String("scheduler", mp.SchedulerTrace,
+			"mp backend for template evaluation (trace|event|goroutine; trace compiles each "+
+				"configuration shape once and replays it per point, goroutine is discouraged for serving)")
 
 		cacheEntries = flag.Int("cache-entries", 1<<16,
 			"response cache capacity in entries (-1 disables the response cache)")
@@ -91,7 +92,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("serving %v on http://%s (scheduler=%s)", cfg.Platforms, *addr, orDefault(cfg.Scheduler, mp.SchedulerEvent))
+	logger.Printf("serving %v on http://%s (scheduler=%s)", cfg.Platforms, *addr, orDefault(cfg.Scheduler, mp.SchedulerTrace))
 
 	select {
 	case err := <-errc:
@@ -111,9 +112,9 @@ func main() {
 }
 
 // schedulerOpt maps the flag onto the serve config convention (empty =
-// event backend).
+// the default trace tier).
 func schedulerOpt(s string) string {
-	if s == mp.SchedulerEvent {
+	if s == mp.SchedulerTrace {
 		return ""
 	}
 	return s

@@ -145,7 +145,20 @@ type World struct {
 	coll   collective
 	abort  atomic.Bool
 	ops    atomic.Int64 // progress counter for the watchdog
-	ev     *evWorld     // the persistent event-scheduler instance (event backend only)
+	ev     *evWorld     // the persistent event-scheduler instance (event and trace backends)
+
+	// Trace-backend state: the recorder is non-nil only during a recording
+	// run; the trace is captured by the first Run and replayed by the
+	// Replayer on every later Run (see trace.go).
+	rec   *traceRec
+	trace *Trace
+	rep   *Replayer
+
+	// Parameter tables read by ChargeParam/SendParam (SetParams) and the
+	// mark slots written by Comm.Mark.
+	paramCharges []float64
+	paramSizes   []int
+	marks        [MaxMarks]float64
 
 	// Goroutine-backend pooled per-run state, allocated once in NewWorld
 	// and reused across Reset+Run cycles so pooled worlds on this backend
@@ -165,16 +178,17 @@ func NewWorld(n int, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mp: world size must be positive, got %d", n)
 	}
 	switch opts.Scheduler {
-	case "", SchedulerGoroutine, SchedulerEvent:
+	case "", SchedulerGoroutine, SchedulerEvent, SchedulerTrace:
 	default:
-		return nil, fmt.Errorf("mp: unknown scheduler %q (want %q or %q)",
-			opts.Scheduler, SchedulerGoroutine, SchedulerEvent)
+		return nil, fmt.Errorf("mp: unknown scheduler %q (want %q, %q or %q)",
+			opts.Scheduler, SchedulerGoroutine, SchedulerEvent, SchedulerTrace)
 	}
 	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
 	w.detNet = netIsDeterministic(opts.Net)
-	if opts.Scheduler == SchedulerEvent {
+	if opts.Scheduler == SchedulerEvent || opts.Scheduler == SchedulerTrace {
 		// The event backend has its own per-rank streams and lock-free
-		// collective; it is built once here and pooled across Runs.
+		// collective; it is built once here and pooled across Runs. The
+		// trace backend records its first Run on the same machinery.
 		w.ev = newEvWorld(w)
 	} else {
 		w.boxes = make([]inbox, n)
@@ -206,6 +220,9 @@ func (w *World) Reset() {
 	w.detNet = netIsDeterministic(w.opts.Net)
 	for i := range w.clocks {
 		w.clocks[i] = 0
+	}
+	for i := range w.marks {
+		w.marks[i] = 0
 	}
 	w.abort.Store(false)
 	w.ops.Store(0)
@@ -265,16 +282,104 @@ var errAborted = errors.New("mp: run aborted by watchdog (possible deadlock)")
 // waits for all ranks. The first non-nil error (or recovered panic) is
 // returned. Final virtual clocks remain available via Clock/Makespan. A
 // world runs once; call Reset before running it again.
+//
+// On the trace backend the first Run executes f for real (recording the
+// communication script); every later Run replays the recorded script as a
+// timing replay — f is not executed again and must be structurally
+// identical to the recorded program. Call DiscardTrace to re-record.
 func (w *World) Run(f func(c *Comm) error) error {
 	if w.ran {
 		return errors.New("mp: world already run; call Reset before reusing it")
 	}
 	w.ran = true
-	if w.opts.Scheduler == SchedulerEvent {
+	switch w.opts.Scheduler {
+	case SchedulerEvent:
 		return w.runEvent(f)
+	case SchedulerTrace:
+		if w.trace == nil {
+			t, err := w.recordRun(f)
+			if err != nil {
+				return err
+			}
+			w.trace = t
+			return nil
+		}
+		return w.replayRun()
 	}
 	return w.runGoroutine(f)
 }
+
+// recordRun executes f on the event machinery with the recorder active;
+// on success the recorded trace is returned. A failed recording (deadlock,
+// rank error, panic) stores nothing, so the next Run records again.
+func (w *World) recordRun(f func(c *Comm) error) (*Trace, error) {
+	w.rec = newTraceRec(w.n)
+	err := w.runEvent(f)
+	rec := w.rec
+	w.rec = nil
+	if err != nil {
+		return nil, err
+	}
+	return rec.build(), nil
+}
+
+// replayRun replays the recorded trace with the world's current options
+// and parameter tables, publishing clocks and marks on the World.
+func (w *World) replayRun() error {
+	if w.rep == nil {
+		w.rep = NewReplayer()
+	}
+	err := w.rep.Replay(w.trace, w.opts, ReplayParams{Charges: w.paramCharges, Sizes: w.paramSizes})
+	if err != nil {
+		return err
+	}
+	for i := range w.clocks {
+		w.clocks[i] = w.rep.rk[i].clock
+	}
+	for i, m := range w.rep.marks {
+		if i < MaxMarks {
+			w.marks[i] = m
+		}
+	}
+	return nil
+}
+
+// RunRecorded runs f once like Run while recording each rank's operation
+// sequence, returning the trace for replay elsewhere (NewReplayer). It is
+// available on the event and trace backends; the world's clocks are valid
+// afterwards exactly as for Run.
+func (w *World) RunRecorded(f func(c *Comm) error) (*Trace, error) {
+	if w.ran {
+		return nil, errors.New("mp: world already run; call Reset before reusing it")
+	}
+	if w.ev == nil {
+		return nil, errors.New("mp: RunRecorded requires the event or trace scheduler backend")
+	}
+	w.ran = true
+	return w.recordRun(f)
+}
+
+// Trace returns the script recorded by a trace-backend world's first Run,
+// or nil before it.
+func (w *World) Trace() *Trace { return w.trace }
+
+// DiscardTrace drops a trace world's recorded script so the next Run
+// (after Reset) records afresh — required when the program's structure
+// changes between runs.
+func (w *World) DiscardTrace() { w.trace = nil }
+
+// SetParams attaches the parameter tables read by Comm.ChargeParam and
+// Comm.SendParam (and by trace replays of programs recorded with them).
+// The slices are aliased, not copied; callers may swap tables between
+// Reset+Run cycles to re-price a recorded program.
+func (w *World) SetParams(charges []float64, sizes []int) {
+	w.paramCharges = charges
+	w.paramSizes = sizes
+}
+
+// Marks returns the world's mark slots (Comm.Mark) after Run; unwritten
+// slots are zero. The returned slice aliases the world's storage.
+func (w *World) Marks() []float64 { return w.marks[:] }
 
 // runRankGoroutine is one rank's pre-built goroutine body: its Comm comes
 // from the world's pooled gcomms array (retaining the rank's RNG object
@@ -411,6 +516,11 @@ func (c *Comm) Charge(seconds float64) {
 	if seconds <= 0 {
 		return
 	}
+	if rec := c.w.rec; rec != nil {
+		// Recorded pre-noise: replays re-perturb from the rank stream, so
+		// the draw order (and every later draw) matches the live run.
+		rec.chargeLit(c.rank, seconds, c.w.opts.Noise != nil)
+	}
 	if n := c.w.opts.Noise; n != nil {
 		seconds = n.Perturb(seconds, c.rand())
 	}
@@ -422,8 +532,40 @@ func (c *Comm) Charge(seconds float64) {
 // function — it is called once per (angle, k) block per rank.
 func (c *Comm) ChargeExact(seconds float64) {
 	if seconds > 0 {
+		if rec := c.w.rec; rec != nil {
+			rec.chargeLit(c.rank, seconds, false)
+		}
 		c.clock += seconds
 	}
+}
+
+// ChargeParam advances the clock by entry i of the world's charge
+// parameter table (World.SetParams), without noise. Unlike ChargeExact the
+// table *index* — not the value — is what a trace records, so a recorded
+// program replays correctly under swapped tables.
+func (c *Comm) ChargeParam(i int) {
+	if rec := c.w.rec; rec != nil {
+		rec.chargeParam(c.rank, i)
+	}
+	if s := c.w.paramCharges[i]; s > 0 {
+		c.clock += s
+	}
+}
+
+// SendParam is SendN with the wire size drawn from entry i of the world's
+// size parameter table (World.SetParams); traces record the index.
+func (c *Comm) SendParam(dst, tag, i int) {
+	c.sendN(dst, tag, c.w.paramSizes[i], nil, int32(i))
+}
+
+// Mark records the rank's current clock in the world's mark slot (read
+// back via World.Marks after Run). Slots are single-writer: at most one
+// rank may write a given slot during a run. slot must be < MaxMarks.
+func (c *Comm) Mark(slot int) {
+	if rec := c.w.rec; rec != nil {
+		rec.mark(c.rank, slot)
+	}
+	c.w.marks[slot] = c.clock
 }
 
 // Send delivers data to dst under tag. It blocks only for the (virtual) send
@@ -437,11 +579,20 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 // charge realistic message costs without materialising payloads. data may be
 // nil; if not nil it is copied so the caller may reuse the buffer.
 func (c *Comm) SendN(dst, tag, bytes int, data []float64) {
+	c.sendN(dst, tag, bytes, data, -1)
+}
+
+// sendN is the shared send path; paramIdx >= 0 marks a SendParam whose
+// size-table index (rather than the literal size) is recorded in traces.
+func (c *Comm) sendN(dst, tag, bytes int, data []float64, paramIdx int32) {
 	if dst < 0 || dst >= c.w.n {
 		panic(fmt.Errorf("mp: rank %d sending to invalid rank %d", c.rank, dst))
 	}
 	if dst == c.rank {
 		panic(fmt.Errorf("mp: rank %d sending to itself", c.rank))
+	}
+	if rec := c.w.rec; rec != nil {
+		rec.send(c.rank, dst, tag, bytes, paramIdx)
 	}
 	start := c.clock
 	avail := start
@@ -491,6 +642,9 @@ func (c *Comm) Recv(src, tag int) []float64 {
 func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 	if src < 0 || src >= c.w.n {
 		panic(fmt.Errorf("mp: rank %d receiving from invalid rank %d", c.rank, src))
+	}
+	if rec := c.w.rec; rec != nil {
+		rec.recv(c.rank, src, tag)
 	}
 	var (
 		data  []float64
@@ -656,6 +810,9 @@ func reduceAccumulate(acc, data []float64, op int, root bool) {
 
 // reduce performs a blocking all-reduce. op 0 means barrier (data ignored).
 func (c *Comm) reduce(data []float64, op int) []float64 {
+	if rec := c.w.rec; rec != nil {
+		rec.reduce(c.rank, len(data))
+	}
 	if ev := c.w.ev; ev != nil {
 		return ev.reduce(c, data, op)
 	}

@@ -8,8 +8,11 @@ import (
 	"testing"
 )
 
-// schedulers lists both backends for table-driven semantics tests.
-var schedulers = []string{SchedulerGoroutine, SchedulerEvent}
+// schedulers lists every backend for table-driven semantics tests. The
+// trace backend records its first Run on the event machinery (so a single
+// Run is a true execution) and replays on reuse; the reset/replay tests
+// cover both phases.
+var schedulers = []string{SchedulerGoroutine, SchedulerEvent, SchedulerTrace}
 
 // wavefrontProgram is a miniature of the SWEEP3D pipeline: a px x py rank
 // array sweeping from all four corners with charges, tagged sends/receives
@@ -64,19 +67,30 @@ func runWavefront(t *testing.T, sched string, seed int64) *World {
 }
 
 // TestSchedulerEquivalence is the cross-backend correctness harness: for
-// identical seeds the goroutine and event backends must agree bit for bit
-// on the makespan and on every rank's final clock.
+// identical seeds every backend must agree bit for bit on the makespan
+// and on every rank's final clock. The trace backend is additionally
+// checked on its *replay* path (Reset+Run after the recording run).
 func TestSchedulerEquivalence(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42, 1234} {
 		g := runWavefront(t, SchedulerGoroutine, seed)
-		e := runWavefront(t, SchedulerEvent, seed)
-		if g.Makespan() != e.Makespan() {
-			t.Fatalf("seed %d: makespan goroutine %v != event %v", seed, g.Makespan(), e.Makespan())
-		}
-		gc, ec := g.SortedClocks(), e.SortedClocks()
-		for i := range gc {
-			if gc[i] != ec[i] {
-				t.Fatalf("seed %d: clock[%d] goroutine %v != event %v", seed, i, gc[i], ec[i])
+		gc := g.SortedClocks()
+		for _, sched := range []string{SchedulerEvent, SchedulerTrace} {
+			e := runWavefront(t, sched, seed)
+			if sched == SchedulerTrace {
+				// Replay the recorded trace; clocks must not move a bit.
+				e.Reset()
+				if err := e.Run(wavefrontProgram(4, 3, 5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if g.Makespan() != e.Makespan() {
+				t.Fatalf("seed %d: makespan goroutine %v != %s %v", seed, g.Makespan(), sched, e.Makespan())
+			}
+			ec := e.SortedClocks()
+			for i := range gc {
+				if gc[i] != ec[i] {
+					t.Fatalf("seed %d: clock[%d] goroutine %v != %s %v", seed, i, gc[i], sched, ec[i])
+				}
 			}
 		}
 	}
@@ -357,7 +371,7 @@ func TestSchedulerEquivalenceRandomPrograms(t *testing.T) {
 			}
 			return nil
 		}
-		var spans [2]float64
+		spans := make([]float64, len(schedulers))
 		for bi, sched := range schedulers {
 			w, err := NewWorld(6, Options{
 				Net:       alphaBeta{alpha: 1e-5, beta: 2e-9},
@@ -372,8 +386,11 @@ func TestSchedulerEquivalenceRandomPrograms(t *testing.T) {
 			}
 			spans[bi] = w.Makespan()
 		}
-		if spans[0] != spans[1] {
-			t.Fatalf("trial %d: makespan %v vs %v", trial, spans[0], spans[1])
+		for bi := 1; bi < len(spans); bi++ {
+			if spans[0] != spans[bi] {
+				t.Fatalf("trial %d: makespan %s %v vs %s %v",
+					trial, schedulers[0], spans[0], schedulers[bi], spans[bi])
+			}
 		}
 	}
 }

@@ -1,0 +1,847 @@
+package mp
+
+// The trace-compiled replay backend (Options.Scheduler == SchedulerTrace).
+//
+// Rationale: the event backend already removed locks and broadcast wake-ups,
+// but every genuine block/wake still crosses two buffered-channel hops (park
+// the blocking rank's goroutine, resume the next one). For the serving
+// workloads — thousands of speculative sweep points whose rank control flow
+// is identical — even that is waste: the communication structure of a run is
+// deterministic, so it can be *recorded once* and then *replayed* in a flat,
+// single-goroutine event loop with no channels, no goroutines, and no
+// per-op allocations at all.
+//
+// The backend therefore has two phases:
+//
+//   - Recording: the first Run executes the rank function for real on the
+//     event machinery, while each Comm operation appends one compact op to
+//     the recording rank's script: sends and receives with their partner
+//     (delta-encoded), tag and wire size; compute charges; collectives;
+//     marks. The recording run is itself a valid run — its clocks are the
+//     event backend's, bit for bit.
+//   - Replay: subsequent Reset+Run cycles execute the recorded script in
+//     the Replayer, a goroutine-free state machine that mirrors the event
+//     scheduler's min-(clock, id) schedule with the same handoff-slot +
+//     clock-heap structure — but a "handoff" is now an array index swap
+//     instead of a channel send, and a "blocked rank" is three words of
+//     saved cursor state instead of a parked goroutine.
+//
+// Replays are timing replays: virtual clocks, marks and the schedule are
+// bit-identical to the event backend, but payload data does not flow and
+// collective *values* are not reproduced (the rank function is not
+// executed). Programs whose communication structure depends on received
+// values cannot use this backend; the repo's modelled workloads (skeleton
+// and template evaluation) never do.
+//
+// Costs are parameters of replay, not of the script. Wire sizes and compute
+// charges are stored in side tables; ops reference table indices. Literal
+// operations (SendN, Charge, ChargeExact) intern their values into the
+// trace's own tables, while the parameterised operations (SendParam,
+// ChargeParam) reference the caller-supplied tables of World.SetParams —
+// so one recorded script can be replayed under different hardware models
+// and cost kernels (see ReplayParams and internal/pace's shape-keyed trace
+// compilation). Replays re-price everything from the replay-time
+// NetworkModel: for DeterministicCosts models each distinct size is priced
+// once per replay into flat arrays, so the per-op loop does no interface
+// calls at all; for RNG-using models every op draws from per-rank streams
+// in program order — exactly the order the live backends draw in — keeping
+// replays bit-identical even under jitter.
+//
+// Memory: per-rank scripts are delta-encoded (a send stores dst-rank, so
+// every interior rank of a regular decomposition produces byte-identical
+// ops) and interned in fixed-size chunks shared across ranks. An 8000-rank
+// wavefront whose raw op stream would be tens of millions of ops compacts
+// to a handful of distinct boundary-signature scripts — a few MB — and the
+// interning happens online during recording, so the raw stream never
+// materialises.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// SchedulerTrace selects the trace-compiled replay backend: the first Run
+// records the program on the event machinery, later Runs replay the
+// recorded script without goroutines or channels. See the comment above.
+const SchedulerTrace = "trace"
+
+// MaxMarks is the number of mark slots a World carries (Comm.Mark).
+const MaxMarks = 8
+
+// Trace op kinds.
+const (
+	topChargeLit   uint8 = iota // clock += lits[arg0]
+	topChargeNoisy              // clock += Perturb(lits[arg0], rank rng)
+	topChargeParam              // clock += params.Charges[arg0] if positive
+	topSendLit                  // send to rank+arg0, tag arg1, bytes sizes[arg2]
+	topSendParam                // send to rank+arg0, tag arg1, bytes params.Sizes[arg2]
+	topRecv                     // receive from rank+arg0, tag arg1
+	topReduce                   // collective of payload length arg0
+	topMark                     // marks[arg0] = clock
+)
+
+// top is one recorded operation. Partners are delta-encoded (arg0 holds
+// dst-rank or src-rank) so that ranks with the same boundary signature
+// produce identical op streams and share interned chunks.
+type top struct {
+	arg0 int32 // see the kind table above
+	arg1 int32 // send/recv: tag
+	arg2 int32 // send: size-table index
+	kind uint8
+}
+
+// traceChunkOps is the interning granularity: scripts are split into
+// chunks of this many ops and deduplicated across ranks (and across the
+// repetitions within one rank). It bounds recording memory to
+// n*traceChunkOps ops of open buffers regardless of program length.
+const traceChunkOps = 128
+
+// Trace is a recorded communication script: per-rank sequences of chunk
+// ids over a shared interned chunk pool, plus the literal cost tables.
+// A Trace is immutable after recording and safe to replay from any number
+// of Replayers concurrently.
+type Trace struct {
+	n        int
+	chunkOps []top     // interned chunk payloads, concatenated
+	cstart   []int32   // chunk c occupies chunkOps[cstart[c]:cstart[c+1]]
+	script   []int32   // concatenated per-rank chunk-id sequences
+	sstart   []int32   // rank r's chunk ids are script[sstart[r]:sstart[r+1]]
+	lits     []float64 // interned literal charges
+	sizes    []int32   // interned literal wire sizes
+	nmarks   int       // mark slots referenced (max slot + 1)
+	maxChPar int32     // largest ChargeParam index referenced; -1 none
+	maxSzPar int32     // largest SendParam size index referenced; -1 none
+	ops      int       // total (pre-interning) op count
+}
+
+// Ranks returns the world size the trace was recorded on.
+func (t *Trace) Ranks() int { return t.n }
+
+// Ops returns the total recorded op count (before chunk interning).
+func (t *Trace) Ops() int { return t.ops }
+
+// UniqueOps returns the op count after chunk interning — the trace's
+// actual memory footprint in ops.
+func (t *Trace) UniqueOps() int { return len(t.chunkOps) }
+
+// ReplayParams are the replay-time parameter tables referenced by
+// ChargeParam and SendParam ops. Traces recorded without parameterised
+// operations replay with zero-value params.
+type ReplayParams struct {
+	Charges []float64
+	Sizes   []int
+}
+
+// --- recording ---
+
+// traceRec accumulates a trace during a recording run. The event backend
+// runs exactly one rank at a time, so the recorder needs no locking.
+type traceRec struct {
+	n       int
+	buf     [][]top   // per-rank open chunk (flushed at traceChunkOps)
+	scripts [][]int32 // per-rank chunk-id sequences
+
+	chunkOps []top
+	cstart   []int32
+	index    map[uint64][]int32 // chunk content hash -> candidate chunk ids
+
+	lits    []float64
+	litIdx  map[float64]int32
+	sizes   []int32
+	sizeIdx map[int]int32
+
+	nmarks   int
+	maxChPar int32
+	maxSzPar int32
+	ops      int
+}
+
+func newTraceRec(n int) *traceRec {
+	return &traceRec{
+		n:        n,
+		buf:      make([][]top, n),
+		scripts:  make([][]int32, n),
+		cstart:   []int32{0},
+		index:    make(map[uint64][]int32),
+		litIdx:   make(map[float64]int32),
+		sizeIdx:  make(map[int]int32),
+		maxChPar: -1,
+		maxSzPar: -1,
+	}
+}
+
+func (r *traceRec) push(rank int, o top) {
+	r.buf[rank] = append(r.buf[rank], o)
+	r.ops++
+	if len(r.buf[rank]) == traceChunkOps {
+		r.flush(rank)
+	}
+}
+
+// flush interns the rank's open chunk and appends its id to the rank's
+// script. Equal chunks (same content) share one id across all ranks.
+func (r *traceRec) flush(rank int) {
+	ops := r.buf[rank]
+	if len(ops) == 0 {
+		return
+	}
+	h := chunkHash(ops)
+	var id int32 = -1
+	for _, cand := range r.index[h] {
+		if chunkEqual(r.chunkOps[r.cstart[cand]:r.cstart[cand+1]], ops) {
+			id = cand
+			break
+		}
+	}
+	if id < 0 {
+		id = int32(len(r.cstart) - 1)
+		r.chunkOps = append(r.chunkOps, ops...)
+		r.cstart = append(r.cstart, int32(len(r.chunkOps)))
+		r.index[h] = append(r.index[h], id)
+	}
+	r.scripts[rank] = append(r.scripts[rank], id)
+	r.buf[rank] = r.buf[rank][:0]
+}
+
+func chunkHash(ops []top) uint64 {
+	h := uint64(1469598103934665603) ^ uint64(len(ops))
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for i := range ops {
+		o := &ops[i]
+		mix(uint64(uint32(o.arg0)))
+		mix(uint64(uint32(o.arg1)))
+		mix(uint64(uint32(o.arg2)))
+		mix(uint64(o.kind))
+	}
+	return h
+}
+
+func chunkEqual(a, b []top) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *traceRec) chargeLit(rank int, sec float64, noisy bool) {
+	idx, ok := r.litIdx[sec]
+	if !ok {
+		idx = int32(len(r.lits))
+		r.lits = append(r.lits, sec)
+		r.litIdx[sec] = idx
+	}
+	k := topChargeLit
+	if noisy {
+		k = topChargeNoisy
+	}
+	r.push(rank, top{kind: k, arg0: idx})
+}
+
+func (r *traceRec) chargeParam(rank, i int) {
+	if int32(i) > r.maxChPar {
+		r.maxChPar = int32(i)
+	}
+	r.push(rank, top{kind: topChargeParam, arg0: int32(i)})
+}
+
+func (r *traceRec) send(rank, dst, tag, bytes int, paramIdx int32) {
+	if paramIdx >= 0 {
+		if paramIdx > r.maxSzPar {
+			r.maxSzPar = paramIdx
+		}
+		r.push(rank, top{kind: topSendParam, arg0: int32(dst - rank), arg1: int32(tag), arg2: paramIdx})
+		return
+	}
+	idx, ok := r.sizeIdx[bytes]
+	if !ok {
+		idx = int32(len(r.sizes))
+		r.sizes = append(r.sizes, int32(bytes))
+		r.sizeIdx[bytes] = idx
+	}
+	r.push(rank, top{kind: topSendLit, arg0: int32(dst - rank), arg1: int32(tag), arg2: idx})
+}
+
+func (r *traceRec) recv(rank, src, tag int) {
+	r.push(rank, top{kind: topRecv, arg0: int32(src - rank), arg1: int32(tag)})
+}
+
+func (r *traceRec) reduce(rank, payloadLen int) {
+	r.push(rank, top{kind: topReduce, arg0: int32(payloadLen)})
+}
+
+func (r *traceRec) mark(rank, slot int) {
+	if slot+1 > r.nmarks {
+		r.nmarks = slot + 1
+	}
+	r.push(rank, top{kind: topMark, arg0: int32(slot)})
+}
+
+// build finalises the trace: tail chunks are flushed and per-rank scripts
+// concatenated into the flat script/sstart layout.
+func (r *traceRec) build() *Trace {
+	total := 0
+	for rank := 0; rank < r.n; rank++ {
+		r.flush(rank)
+		total += len(r.scripts[rank])
+	}
+	t := &Trace{
+		n:        r.n,
+		chunkOps: r.chunkOps,
+		cstart:   r.cstart,
+		script:   make([]int32, 0, total),
+		sstart:   make([]int32, r.n+1),
+		lits:     r.lits,
+		sizes:    r.sizes,
+		nmarks:   r.nmarks,
+		maxChPar: r.maxChPar,
+		maxSzPar: r.maxSzPar,
+		ops:      r.ops,
+	}
+	for rank := 0; rank < r.n; rank++ {
+		t.sstart[rank] = int32(len(t.script))
+		t.script = append(t.script, r.scripts[rank]...)
+	}
+	t.sstart[r.n] = int32(len(t.script))
+	return t
+}
+
+// --- replay ---
+
+// Replay-only rank states, continuing the ev* space: a rank blocked inside
+// a collective must not be woken by message delivery.
+const rBlockedColl uint8 = 200
+
+// rmsg is one in-flight replay message: its availability time plus the
+// receive-side pricing, resolved at delivery time. Under a deterministic
+// net aux IS the receive overhead in seconds (the consume path adds it
+// with no further table lookup); under an RNG-using net aux carries the
+// unified size index (exactly representable: indices are small) and the
+// receiver prices at completion, preserving draw order.
+type rmsg struct {
+	avail float64
+	aux   float64
+}
+
+// rstream is a per-(src, tag) FIFO of replay messages; consumed entries
+// reset the slice so steady-state capacity is reused. Stream keys live in
+// a parallel packed array (Replayer.skeys) so the per-op lookup scans one
+// cache line instead of striding through these headers.
+type rstream struct {
+	head int32
+	msgs []rmsg
+}
+
+// Replayer executes recorded traces. It owns all replay storage and
+// reuses it across Replay calls: a warmed replayer re-running the same
+// trace performs zero heap allocations. A Replayer is not safe for
+// concurrent use; pool replayers, not replays.
+type Replayer struct {
+	t    *Trace
+	opts Options
+	det  bool // opts.Net is nil or DeterministicCosts
+
+	charges []float64 // params.Charges (aliased, not copied)
+
+	// Unified size tables: literal sizes first, then params.Sizes. With a
+	// deterministic net every entry is priced once per replay, so the op
+	// loop does pure array arithmetic.
+	bytes    []int32
+	sendSec  []float64
+	availSec []float64
+	recvSec  []float64
+
+	// Per-rank state. The scheduler-hot fields live in one 40-byte record
+	// per rank (rk), so a block, wake or delivery touches one cache line
+	// instead of striding across parallel arrays; cold state (streams,
+	// RNGs) stays out of it.
+	//
+	// Stream storage is flat and inline: rank r's first rsInline stream
+	// keys live in its rrank record (scanned on the same cache lines the
+	// delivery status check already loads) and the headers at
+	// [r*rsInline, (r+1)*rsInline) of streamFlat, with the rare rank that
+	// talks on more than rsInline (src, tag) pairs spilling into the
+	// per-rank overflow slices.
+	rk          []rrank
+	streamFlat  []rstream
+	overKeys    [][]uint64
+	overStreams [][]rstream
+	rngs        []*rand.Rand
+	rngOK       []bool
+
+	heap      clockHeap
+	slot      int
+	slotClock float64
+	doneCount int
+
+	collArrived int
+	collMax     float64
+	collWaiters []int32
+	collRng     *rand.Rand
+	collRngOK   bool
+	redMemo     sizeCost // reduce-cost memo keyed by payload bytes (det nets)
+
+	marks []float64
+}
+
+// rsInline is the per-rank inline stream capacity; the wavefront needs at
+// most four (two receive streams, two delivery streams).
+const rsInline = 4
+
+// rrank is one rank's scheduler-hot replay state, including its inline
+// stream keys: a delivery's status check, wake-clock read and stream-key
+// scan all land on this one record.
+type rrank struct {
+	clock        float64
+	wantKey      uint64           // the stream a blocked receive waits for
+	collDone     float64          // resolved collective completion clock
+	skey         [rsInline]uint64 // inline stream keys (first nstreams valid)
+	spos         int32            // cursor into Trace.script
+	opos         int32            // cursor within the current chunk
+	nstreams     uint16           // streams in use (inline + overflow)
+	status       uint8
+	collResolved bool // collDone is pending consumption by the reduce op
+}
+
+// NewReplayer returns an empty replayer ready for Replay.
+func NewReplayer() *Replayer { return &Replayer{slot: -1} }
+
+// Makespan returns the maximum final clock of the last replay.
+func (r *Replayer) Makespan() float64 {
+	m := 0.0
+	for i := range r.rk {
+		if c := r.rk[i].clock; c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Clock returns a rank's final clock after the last replay.
+func (r *Replayer) Clock(rank int) float64 { return r.rk[rank].clock }
+
+// Marks returns the mark slots written by the last replay; the slice is
+// valid until the next Replay call.
+func (r *Replayer) Marks() []float64 { return r.marks }
+
+// Replay executes the trace under the given options and parameter tables.
+// Clocks, marks and schedule order are bit-identical to running the
+// recorded program on the event backend with the same options and params.
+func (r *Replayer) Replay(t *Trace, opts Options, p ReplayParams) error {
+	if err := r.prepare(t, opts, p); err != nil {
+		return err
+	}
+	for {
+		id := r.next()
+		if id < 0 {
+			if r.doneCount == t.n {
+				return nil
+			}
+			// Unreachable for traces built by a completed recording run;
+			// guards against corrupted or hand-built traces.
+			return errors.New("mp: trace replay stalled (incomplete trace)")
+		}
+		r.runRank(id)
+	}
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
+	if t == nil {
+		return errors.New("mp: Replay of a nil trace")
+	}
+	if int(t.maxChPar) >= len(p.Charges) {
+		return fmt.Errorf("mp: trace references charge param %d, table holds %d", t.maxChPar, len(p.Charges))
+	}
+	if int(t.maxSzPar) >= len(p.Sizes) {
+		return fmt.Errorf("mp: trace references size param %d, table holds %d", t.maxSzPar, len(p.Sizes))
+	}
+	sameTrace := r.t == t
+	r.opts = opts
+	r.det = opts.Net == nil || netIsDeterministic(opts.Net)
+	r.charges = p.Charges
+
+	nlit := len(t.sizes)
+	ns := nlit + len(p.Sizes)
+	r.bytes = resizeI32(r.bytes, ns)
+	copy(r.bytes, t.sizes)
+	for i, b := range p.Sizes {
+		r.bytes[nlit+i] = int32(b)
+	}
+	if net := opts.Net; net != nil && r.det {
+		r.sendSec = resizeF(r.sendSec, ns)
+		r.availSec = resizeF(r.availSec, ns)
+		r.recvSec = resizeF(r.recvSec, ns)
+		for i := 0; i < ns; i++ {
+			b := int(r.bytes[i])
+			r.sendSec[i] = net.SendOverhead(b, nil)
+			r.availSec[i] = net.Transit(b, nil)
+			r.recvSec[i] = net.RecvOverhead(b, nil)
+		}
+	}
+
+	n := t.n
+	if len(r.rk) != n || !sameTrace {
+		r.rk = make([]rrank, n)
+		r.streamFlat = make([]rstream, n*rsInline)
+		r.overKeys = nil
+		r.overStreams = nil
+		r.rngs = make([]*rand.Rand, n)
+		r.rngOK = make([]bool, n)
+		if cap(r.heap.e) < n {
+			r.heap.e = make([]heapEntry, 0, n)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			// Clearing nstreams (via the record reset) retires the keys
+			// without touching them; stream creation order is a pure
+			// function of the schedule, so the same keys land in the same
+			// slots next replay and message capacity is reused.
+			cnt := int(r.rk[i].nstreams)
+			if cnt > rsInline {
+				cnt = rsInline
+			}
+			base := i * rsInline
+			for j := 0; j < cnt; j++ {
+				st := &r.streamFlat[base+j]
+				st.head = 0
+				st.msgs = st.msgs[:0]
+			}
+			if r.overStreams != nil {
+				r.overKeys[i] = r.overKeys[i][:0]
+				r.overStreams[i] = r.overStreams[i][:0]
+			}
+			r.rk[i] = rrank{}
+			r.rngOK[i] = false
+		}
+	}
+	// Reset cursors start every rank at its script head; the heap is
+	// seeded in id order, which already satisfies the (clock, id) ordering
+	// at clock zero.
+	r.t = t
+	r.heap.e = r.heap.e[:0]
+	for i := 0; i < n; i++ {
+		r.rk[i].spos = t.sstart[i]
+		r.rk[i].status = evReady
+		r.heap.e = append(r.heap.e, heapEntry{clock: 0, id: i})
+	}
+	r.slot = -1
+	r.doneCount = 0
+	r.collArrived = 0
+	r.collWaiters = r.collWaiters[:0]
+	r.collRngOK = false
+	r.redMemo = sizeCost{bytes: -1}
+	r.marks = resizeF(r.marks, t.nmarks)
+	for i := range r.marks {
+		r.marks[i] = 0
+	}
+	return nil
+}
+
+// rng returns the rank's replay RNG stream, seeded exactly as the live
+// backends seed theirs, so RNG-using cost models and noise draw identical
+// sequences in identical per-rank program order.
+func (r *Replayer) rng(id int) *rand.Rand {
+	if !r.rngOK[id] {
+		seed := r.opts.Seed + int64(id)*0x9E3779B9
+		if r.rngs[id] == nil {
+			r.rngs[id] = rand.New(rand.NewSource(seed))
+		} else {
+			r.rngs[id].Seed(seed)
+		}
+		r.rngOK[id] = true
+	}
+	return r.rngs[id]
+}
+
+// collRngStream is the collective-pricing stream (same seed derivation as
+// the live backends' dedicated collective RNG).
+func (r *Replayer) collRngStream() *rand.Rand {
+	if !r.collRngOK {
+		seed := r.opts.Seed ^ 0x1F3D5B79
+		if r.collRng == nil {
+			r.collRng = rand.New(rand.NewSource(seed))
+		} else {
+			r.collRng.Seed(seed)
+		}
+		r.collRngOK = true
+	}
+	return r.collRng
+}
+
+// streamFast scans the rank's inline stream keys (resident in its rrank
+// record) for the key; the hot call sites (receive and deliver) use it
+// directly and fall back to streamSlow on a miss. It must stay small
+// enough to inline.
+func (r *Replayer) streamFast(rank int, rk *rrank, k uint64) *rstream {
+	ns := int(rk.nstreams)
+	if ns > rsInline {
+		ns = rsInline
+	}
+	for i := 0; i < ns; i++ {
+		if rk.skey[i] == k {
+			return &r.streamFlat[rank*rsInline+i]
+		}
+	}
+	return nil
+}
+
+// streamSlow resolves a streamFast miss: overflow lookup, then stream
+// creation (inline slot or per-rank overflow spill).
+func (r *Replayer) streamSlow(rank int, k uint64) *rstream {
+	rk := &r.rk[rank]
+	ns := int(rk.nstreams)
+	if ns > rsInline {
+		over := r.overKeys[rank]
+		for i := range over {
+			if over[i] == k {
+				return &r.overStreams[rank][i]
+			}
+		}
+	}
+	if ns >= 1<<16-1 {
+		panic(errors.New("mp: replay rank exceeds 65534 distinct message streams"))
+	}
+	rk.nstreams++
+	if ns < rsInline {
+		rk.skey[ns] = k
+		return &r.streamFlat[rank*rsInline+ns]
+	}
+	if r.overKeys == nil {
+		r.overKeys = make([][]uint64, len(r.rk))
+		r.overStreams = make([][]rstream, len(r.rk))
+	}
+	r.overKeys[rank] = append(r.overKeys[rank], k)
+	r.overStreams[rank] = append(r.overStreams[rank], rstream{})
+	return &r.overStreams[rank][len(r.overStreams[rank])-1]
+}
+
+// wake marks a blocked rank runnable, mirroring the event scheduler's
+// handoff-slot discipline exactly (same displacement rule, same frozen
+// block-time clocks), so the replay schedule is the event schedule.
+func (r *Replayer) wake(id int) {
+	r.rk[id].status = evReady
+	clock := r.rk[id].clock
+	s := r.slot
+	if s < 0 {
+		r.slot, r.slotClock = id, clock
+		return
+	}
+	if clock < r.slotClock || (clock == r.slotClock && id < s) {
+		id, clock, r.slot, r.slotClock = s, r.slotClock, id, clock
+	}
+	r.heap.push(heapEntry{clock: clock, id: id})
+}
+
+// next picks the runnable rank with the smallest (clock, id) from the
+// slot or the heap; -1 when none is runnable.
+func (r *Replayer) next() int {
+	for {
+		if s := r.slot; s >= 0 {
+			if r.heap.len() == 0 || !entryLess(r.heap.top(), heapEntry{clock: r.slotClock, id: s}) {
+				r.slot = -1
+				return s
+			}
+		}
+		if r.heap.len() == 0 {
+			return -1
+		}
+		e := r.heap.pop()
+		if r.rk[e.id].status != evReady {
+			continue
+		}
+		return e.id
+	}
+}
+
+// deliver appends a message to the destination's stream and wakes the
+// destination if it is blocked on exactly that stream.
+func (r *Replayer) deliver(dst int, k uint64, avail, aux float64) {
+	rk := &r.rk[dst]
+	st := r.streamFast(dst, rk, k)
+	if st == nil {
+		st = r.streamSlow(dst, k)
+	}
+	st.msgs = append(st.msgs, rmsg{avail: avail, aux: aux})
+	if rk.status == evBlocked && rk.wantKey == k {
+		r.wake(dst)
+	}
+}
+
+// runRank executes one rank's script ops until the rank blocks or
+// finishes. It is the replay engine's hot loop: every arm is straight
+// array arithmetic; with a deterministic net no arm makes an interface
+// call.
+func (r *Replayer) runRank(id int) {
+	t := r.t
+	net := r.opts.Net
+	det := r.det
+	lits, charges := t.lits, r.charges
+	sendSec, availSec, recvSec := r.sendSec, r.availSec, r.recvSec
+	self := &r.rk[id]
+	clock := self.clock
+	sp, op := self.spos, self.opos
+	sEnd := t.sstart[id+1]
+	var chunk []top
+	if sp < sEnd {
+		c := t.script[sp]
+		chunk = t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+	}
+	for {
+		if int(op) >= len(chunk) {
+			if sp >= sEnd {
+				break
+			}
+			sp++
+			op = 0
+			if sp >= sEnd {
+				break
+			}
+			c := t.script[sp]
+			chunk = t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+			continue
+		}
+		o := &chunk[op]
+		switch o.kind {
+		case topChargeParam:
+			if s := charges[o.arg0]; s > 0 {
+				clock += s
+			}
+		case topChargeLit:
+			clock += lits[o.arg0]
+		case topChargeNoisy:
+			s := lits[o.arg0]
+			if n := r.opts.Noise; n != nil {
+				s = n.Perturb(s, r.rng(id))
+			}
+			clock += s
+		case topSendLit, topSendParam:
+			u := o.arg2
+			if o.kind == topSendParam {
+				u += int32(len(t.sizes))
+			}
+			start := clock
+			avail := start
+			var aux float64 // unread when net == nil
+			if net != nil {
+				if det {
+					clock = start + sendSec[u]
+					avail = start + availSec[u]
+					aux = recvSec[u]
+				} else {
+					rng := r.rng(id)
+					b := int(r.bytes[u])
+					clock = start + net.SendOverhead(b, rng)
+					avail = start + net.Transit(b, rng)
+					aux = float64(u)
+				}
+			}
+			r.deliver(id+int(o.arg0), qkey(id, int(o.arg1)), avail, aux)
+		case topRecv:
+			k := qkey(id+int(o.arg0), int(o.arg1))
+			st := r.streamFast(id, self, k)
+			if st == nil {
+				st = r.streamSlow(id, k)
+			}
+			if st.head >= int32(len(st.msgs)) {
+				// Park: save the cursor at this op; when woken, the outer
+				// loop re-enters runRank and the receive re-executes with
+				// the message queued.
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = evBlocked
+				self.wantKey = k
+				return
+			}
+			m := st.msgs[st.head]
+			st.head++
+			if st.head == int32(len(st.msgs)) {
+				st.head = 0
+				st.msgs = st.msgs[:0]
+			}
+			if m.avail > clock {
+				clock = m.avail
+			}
+			if net != nil {
+				if det {
+					clock += m.aux
+				} else {
+					clock += net.RecvOverhead(int(r.bytes[int(m.aux)]), r.rng(id))
+				}
+			}
+		case topReduce:
+			if self.collResolved {
+				self.collResolved = false
+				clock = self.collDone
+				break
+			}
+			if r.collArrived == 0 {
+				r.collMax = clock
+			} else if clock > r.collMax {
+				r.collMax = clock
+			}
+			r.collArrived++
+			if r.collArrived < t.n {
+				// Park inside the collective; the closing rank resolves the
+				// generation into collDone/collResolved, and the re-executed
+				// op consumes it on resume.
+				r.collWaiters = append(r.collWaiters, int32(id))
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = rBlockedColl
+				return
+			}
+			// Last participant closes the generation and prices the
+			// collective exactly as the live backends do.
+			done := r.collMax
+			if net != nil {
+				bytes := 8 * int(o.arg0)
+				if det {
+					if r.redMemo.bytes != bytes {
+						r.redMemo = sizeCost{bytes: bytes, sec: net.ReduceCost(t.n, bytes, nil)}
+					}
+					done += r.redMemo.sec
+				} else {
+					done += net.ReduceCost(t.n, bytes, r.collRngStream())
+				}
+			}
+			r.collArrived = 0
+			for _, wid := range r.collWaiters {
+				wr := &r.rk[wid]
+				wr.collDone = done
+				wr.collResolved = true
+				r.wake(int(wid))
+			}
+			r.collWaiters = r.collWaiters[:0]
+			clock = done
+		case topMark:
+			r.marks[o.arg0] = clock
+		}
+		op++
+	}
+	self.clock = clock
+	self.spos, self.opos = sp, 0
+	self.status = evDone
+	r.doneCount++
+}

@@ -143,6 +143,11 @@ func TestPredictionMemoEviction(t *testing.T) {
 // evicted size must still predict identically when it comes back.
 func TestWorldPoolEviction(t *testing.T) {
 	ev := testEvaluator(t)
+	// Pin the event backend: it acquires one world per Predict, which is
+	// the traffic pattern this test pins down. (The trace default touches
+	// the world pool only on shape compilation, and the global trace cache
+	// would make that dependent on test order.)
+	ev.Scheduler = mp.SchedulerEvent
 	ev.SetWorldPoolCap(2)
 	sizes := [][2]int{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {1, 5}}
 	want := make([]float64, len(sizes))

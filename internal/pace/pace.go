@@ -110,9 +110,13 @@ type Evaluator struct {
 	// summation (the pre-paper PACE method) for the ablation study.
 	UseOpcodeCosts bool
 
-	// Scheduler selects the mp backend for template evaluation; empty
-	// uses the fast event-driven scheduler. The goroutine backend is kept
-	// selectable for the old-vs-new benchmark comparison.
+	// Scheduler selects the mp backend for template evaluation; empty (or
+	// mp.SchedulerTrace) uses the trace tier: the configuration shape's
+	// communication script is compiled once and replayed per prediction
+	// under this evaluator's cost tables, bit-identical to the event
+	// backend. "event" and "goroutine" force the live backends; both are
+	// kept selectable for the cross-backend equivalence tests and the
+	// old-vs-new benchmark comparisons.
 	Scheduler string
 
 	// Memo, when non-nil, caches whole Prediction results keyed by the

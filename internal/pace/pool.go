@@ -40,10 +40,11 @@ const (
 type evalShared struct {
 	kernels *lru.Cache[kernelKey, *costKernel]
 
-	mu          sync.Mutex // guards worlds, the idle list and worldCap
+	mu          sync.Mutex // guards worlds, replayers, the idle list and worldCap
 	worlds      map[worldKey][]*pooledWorld
-	idleHead    *pooledWorld // least recently released (eviction victim)
-	idleTail    *pooledWorld // most recently released
+	replayers   []*mp.Replayer // idle trace replayers (see trace.go)
+	idleHead    *pooledWorld   // least recently released (eviction victim)
+	idleTail    *pooledWorld   // most recently released
 	idleCount   int
 	worldCap    int // max idle worlds retained; 0 = unbounded
 	worldEvicts atomic.Uint64
@@ -79,12 +80,14 @@ func (e *Evaluator) SetWorldPoolCap(n int) {
 // surfaced by the serving layer's /v1/stats.
 type PoolStats struct {
 	IdleWorlds     int       `json:"idle_worlds"`
+	IdleReplayers  int       `json:"idle_replayers"`
 	WorldEvictions uint64    `json:"world_evictions"`
 	Kernels        lru.Stats `json:"kernels"`
 }
 
-// PoolStats snapshots the shared world pool and kernel cache counters.
-// Zero-value evaluators (no shared caches) report an empty snapshot.
+// PoolStats snapshots the shared world pool, replayer pool and kernel
+// cache counters. Zero-value evaluators (no shared caches) report an
+// empty snapshot.
 func (e *Evaluator) PoolStats() PoolStats {
 	if e.shared == nil {
 		return PoolStats{}
@@ -92,9 +95,11 @@ func (e *Evaluator) PoolStats() PoolStats {
 	s := e.shared
 	s.mu.Lock()
 	idle := s.idleCount
+	idleRep := len(s.replayers)
 	s.mu.Unlock()
 	return PoolStats{
 		IdleWorlds:     idle,
+		IdleReplayers:  idleRep,
 		WorldEvictions: s.worldEvicts.Load(),
 		Kernels:        s.kernels.Stats(),
 	}
@@ -245,7 +250,8 @@ func (e *Evaluator) acquireWorld(n int, sched string) (*mp.World, func(), error)
 		pw.w.Reset()
 	}
 	release := func() {
-		pw.net.target = nil // don't pin the borrowing evaluator's model
+		pw.net.target = nil      // don't pin the borrowing evaluator's model
+		pw.w.SetParams(nil, nil) // nor the borrowing kernel's tables
 		s.mu.Lock()
 		s.worlds[key] = append(s.worlds[key], pw)
 		s.idleAppend(pw)
@@ -283,17 +289,27 @@ func (k kernelKey) hash() uint64 {
 }
 
 // costKernel holds everything Predict needs per (angle block, k block)
-// step, flattened row-major over [nab][nkb]: the compute charge and the
-// two outgoing wire sizes. Hoisting these out of the rank loop removes
-// the per-step flow evaluations and multiplies from the 8*nab*nkb steps
-// every rank executes per iteration.
+// step, flattened into the two parameter tables the template body indexes
+// through mp's ChargeParam/SendParam (and trace replay re-prices through
+// mp.ReplayParams). Hoisting these out of the rank loop removes the
+// per-step flow evaluations and multiplies from the 8*nab*nkb steps every
+// rank executes per iteration; keeping them as *tables* (rather than
+// inlined literals) is what lets one recorded trace serve every platform
+// and cost curve of the same shape.
+//
+// Table layout (fixed; the recorded traces depend on it):
+//
+//	charges[ab*nkb+kb]  compute seconds of the (ab, kb) block
+//	charges[nab*nkb]    per-iteration source subtask charge
+//	charges[nab*nkb+1]  per-iteration flux_err subtask charge
+//	sizes[ab*nkb+kb]            east/west wire size
+//	sizes[nab*nkb + ab*nkb+kb]  north/south wire size
 type costKernel struct {
-	nab, nkb   int
-	src, ferr  float64   // per-iteration serial subtask charges
-	fullBlock  float64   // Tx_work of one full (mmi, mk) block
-	blockCosts []float64 // [ab*nkb+kb] compute seconds
-	ewBytes    []int     // [ab*nkb+kb] east/west wire size
-	nsBytes    []int     // [ab*nkb+kb] north/south wire size
+	nab, nkb  int
+	src, ferr float64 // per-iteration serial subtask charges (also in charges)
+	fullBlock float64 // Tx_work of one full (mmi, mk) block
+	charges   []float64
+	sizes     []int
 }
 
 // kernelFor returns the cost kernel for a configuration, computing and
@@ -336,9 +352,8 @@ func (e *Evaluator) buildKernel(cfg Config) (*costKernel, error) {
 	k := &costKernel{
 		nab: nab, nkb: nkb,
 		src: src, ferr: ferr, fullBlock: fullBlock,
-		blockCosts: make([]float64, nab*nkb),
-		ewBytes:    make([]int, nab*nkb),
-		nsBytes:    make([]int, nab*nkb),
+		charges: make([]float64, nab*nkb+2),
+		sizes:   make([]int, 2*nab*nkb),
 	}
 	ny, nx := cfg.localNY(), cfg.localNX()
 	for ab := 0; ab < nab; ab++ {
@@ -350,10 +365,12 @@ func (e *Evaluator) buildKernel(cfg Config) (*costKernel, error) {
 				return nil, err
 			}
 			i := ab*nkb + kb
-			k.blockCosts[i] = c
-			k.ewBytes[i] = 8 * ny * nk * na
-			k.nsBytes[i] = 8 * nx * nk * na
+			k.charges[i] = c
+			k.sizes[i] = 8 * ny * nk * na         // east/west
+			k.sizes[nab*nkb+i] = 8 * nx * nk * na // north/south
 		}
 	}
+	k.charges[nab*nkb] = src
+	k.charges[nab*nkb+1] = ferr
 	return k, nil
 }

@@ -8,12 +8,73 @@ import (
 	"pacesweep/internal/sn"
 )
 
+// templateBody builds the pipeline template's rank function over the cost
+// kernel's parameter-table layout (see costKernel): every compute charge
+// and wire size is referenced by table index through ChargeParam/
+// SendParam, never by value. The same body therefore serves all three mp
+// backends — and on the event backend it can be *recorded* into a trace
+// whose ops carry only the indices, which is what makes a recorded shape
+// replayable under any platform's tables (internal/pace trace tier).
+// Marks 0 and 1 bracket the first iteration's sweep on rank 0 (the
+// SweepPerIter breakdown).
+func templateBody(d grid.Decomp, nab, nkb, iterations int) func(c *mp.Comm) error {
+	base := nab * nkb // charges[base]=source, charges[base+1]=flux_err; sizes base offset = north/south
+	return func(c *mp.Comm) error {
+		ix, iy := d.Coords(c.Rank())
+		first := c.Rank() == 0
+		for it := 0; it < iterations; it++ {
+			c.ChargeParam(base) // source subtask
+			if first && it == 0 {
+				c.Mark(0)
+			}
+			for _, o := range sn.Octants() {
+				upX, downX, upY, downY := d.UpstreamDownstream(ix, iy, o.SX, o.SY)
+				for ab := 0; ab < nab; ab++ {
+					off := ab * nkb
+					for step := 0; step < nkb; step++ {
+						kb := step
+						if o.SZ < 0 {
+							kb = nkb - 1 - step
+						}
+						if upX >= 0 {
+							c.RecvN(upX, 1)
+						}
+						if upY >= 0 {
+							c.RecvN(upY, 2)
+						}
+						c.ChargeParam(off + kb)
+						if downX >= 0 {
+							c.SendParam(downX, 1, off+kb)
+						}
+						if downY >= 0 {
+							c.SendParam(downY, 2, base+off+kb)
+						}
+					}
+				}
+			}
+			if first && it == 0 {
+				c.Mark(1)
+			}
+			c.ChargeParam(base + 1) // flux_err subtask
+			c.AllreduceMax(0)
+		}
+		c.AllreduceSum(0) // the closing "last" subtask reduction
+		return nil
+	}
+}
+
 // Predict evaluates the model with the template evaluation engine: every
 // processor of the template is simulated with a virtual clock on the mp
 // runtime, communication priced by the fitted Eq. 3 curves, computation by
 // the subtask flows under the hardware layer. This is the reproduction of
 // PACE's evaluation engine ("predictions of execution time within seconds",
 // Section 4).
+//
+// The default backend (Scheduler "") is the trace tier: the configuration
+// shape's communication script is compiled once (recorded on the event
+// backend) and replayed under this evaluator's cost tables — bit-identical
+// clocks to the event backend, no goroutines or channels on the replay.
+// Scheduler "event" and "goroutine" force the live backends.
 func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -33,65 +94,22 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 		return nil, err
 	}
 	d := cfg.Decomp
-	sched := e.Scheduler
-	if sched == "" {
-		sched = mp.SchedulerEvent
+	var total, sweepOnly float64
+	switch sched := e.Scheduler; sched {
+	case "", mp.SchedulerTrace:
+		total, sweepOnly, err = e.evalTrace(cfg, k)
+	case mp.SchedulerEvent, mp.SchedulerGoroutine:
+		total, sweepOnly, err = e.evalWorld(cfg, k, sched)
+	default:
+		return nil, fmt.Errorf("pace: unknown scheduler %q", sched)
 	}
-	w, release, err := e.acquireWorld(d.Size(), sched)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	nab, nkb := k.nab, k.nkb
-	var sweepOnly float64
-	err = w.Run(func(c *mp.Comm) error {
-		ix, iy := d.Coords(c.Rank())
-		for it := 0; it < cfg.Iterations; it++ {
-			c.ChargeExact(k.src)
-			t0 := c.Now()
-			for _, o := range sn.Octants() {
-				upX, downX, upY, downY := d.UpstreamDownstream(ix, iy, o.SX, o.SY)
-				for ab := 0; ab < nab; ab++ {
-					costs := k.blockCosts[ab*nkb : (ab+1)*nkb]
-					ew := k.ewBytes[ab*nkb : (ab+1)*nkb]
-					ns := k.nsBytes[ab*nkb : (ab+1)*nkb]
-					for step := 0; step < nkb; step++ {
-						kb := step
-						if o.SZ < 0 {
-							kb = nkb - 1 - step
-						}
-						if upX >= 0 {
-							c.RecvN(upX, 1)
-						}
-						if upY >= 0 {
-							c.RecvN(upY, 2)
-						}
-						c.ChargeExact(costs[kb])
-						if downX >= 0 {
-							c.SendN(downX, 1, ew[kb], nil)
-						}
-						if downY >= 0 {
-							c.SendN(downY, 2, ns[kb], nil)
-						}
-					}
-				}
-			}
-			if c.Rank() == 0 && it == 0 {
-				sweepOnly = c.Now() - t0
-			}
-			c.ChargeExact(k.ferr)
-			c.AllreduceMax(0)
-		}
-		c.AllreduceSum(0) // the closing "last" subtask reduction
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
 
 	reduce := e.HW.Net().ReduceCost(d.Size(), 8+16, nil)
 	pred := &Prediction{
-		Total:          w.Makespan(),
+		Total:          total,
 		SweepPerIter:   sweepOnly,
 		SourcePerIter:  k.src,
 		FluxErrPerIter: k.ferr,
@@ -105,6 +123,24 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 		e.Memo.store(key, *pred)
 	}
 	return pred, nil
+}
+
+// evalWorld runs the template body live on a pooled world of the given
+// backend, returning the makespan and the first iteration's rank-0 sweep
+// span.
+func (e *Evaluator) evalWorld(cfg Config, k *costKernel, sched string) (total, sweepOnly float64, err error) {
+	d := cfg.Decomp
+	w, release, err := e.acquireWorld(d.Size(), sched)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer release()
+	w.SetParams(k.charges, k.sizes)
+	if err := w.Run(templateBody(d, k.nab, k.nkb, cfg.Iterations)); err != nil {
+		return 0, 0, err
+	}
+	marks := w.Marks()
+	return w.Makespan(), marks[1] - marks[0], nil
 }
 
 // blockLen returns the length of block i under blocking factor f over total
@@ -136,8 +172,9 @@ func fillStages(d grid.Decomp) int {
 // TemplateMaxRanks is the processor-array size up to which PredictAuto
 // uses full template evaluation. The event-driven mp scheduler simulates
 // every processor of the paper's largest speculative studies (Figures 8-9,
-// 8000 processors) in seconds, so the closed form is only a fallback for
-// configurations beyond anything the paper evaluates.
+// 8000 processors) in seconds — and the trace tier replays them faster
+// still — so the closed form is only a fallback for configurations beyond
+// anything the paper evaluates.
 const TemplateMaxRanks = 8000
 
 // UsesTemplate reports whether PredictAuto evaluates cfg with the

@@ -1,0 +1,136 @@
+package pace
+
+// The trace tier: Predict's default evaluation path. A configuration's
+// communication *script* — which ranks exchange which messages in which
+// order — depends only on its shape (processor array, angle/k blocking,
+// iteration count), not on the platform or the cost curves; those enter
+// only as the parameter tables the ops index. So the script is compiled
+// once per shape (a recording run on the event backend) into an mp.Trace
+// and replayed per prediction point with the point's own kernel tables and
+// fitted network model: a sweep over platforms and cost curves pays one
+// compilation per shape and a goroutine-free, channel-free,
+// allocation-free replay per point.
+//
+// The trace cache is process-global — deliberately wider than the
+// per-evaluator cache block (evalShared) — because traces are
+// evaluator-independent: paceserve's per-platform evaluators all replay
+// the same compiled shapes. Replayers, by contrast, carry mutable replay
+// state and are pooled per evaluator family beside the worlds.
+
+import (
+	"sync/atomic"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/lru"
+	"pacesweep/internal/mp"
+)
+
+// traceKey is the configuration shape that determines the communication
+// script. Message sizes and compute costs are parameters of replay, so
+// mk/mmi/angles/grid enter only through the block counts.
+type traceKey struct {
+	px, py     int
+	nab, nkb   int
+	iterations int
+}
+
+func (k traceKey) hash() uint64 {
+	h := lru.NewHasher()
+	h.Int(k.px)
+	h.Int(k.py)
+	h.Int(k.nab)
+	h.Int(k.nkb)
+	h.Int(k.iterations)
+	return h.Sum()
+}
+
+// DefaultTraceCacheEntries bounds the global compiled-trace cache. Traces
+// are shape-deduplicated internally (interned chunks), so even large-array
+// entries are a few MB; typical sweep workloads touch a handful of shapes.
+const DefaultTraceCacheEntries = 128
+
+var traceCache = lru.New[traceKey, *mp.Trace](DefaultTraceCacheEntries, 8, traceKey.hash)
+
+// traceReplays counts trace replays served process-wide (each is one
+// template evaluation that skipped the live backends entirely).
+var traceReplays atomic.Uint64
+
+// TraceCacheStats snapshots the global compiled-trace cache counters:
+// Entries is the number of resident compiled shapes, Hits the replays
+// served from an already-compiled shape, Misses the compilations.
+func TraceCacheStats() lru.Stats { return traceCache.Stats() }
+
+// TraceReplays reports how many template evaluations have been served by
+// trace replay process-wide.
+func TraceReplays() uint64 { return traceReplays.Load() }
+
+// evalTrace is the trace-tier template evaluation: compile (or fetch) the
+// shape's script, then replay it under this evaluator's kernel tables and
+// fitted network model. Clocks are bit-identical to the event backend.
+func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float64, err error) {
+	d := cfg.Decomp
+	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations}
+	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
+		return e.compileTrace(d, k, cfg.Iterations)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	rp, release := e.acquireReplayer()
+	defer release()
+	err = rp.Replay(t, mp.Options{Net: e.HW.Net()},
+		mp.ReplayParams{Charges: k.charges, Sizes: k.sizes})
+	if err != nil {
+		return 0, 0, err
+	}
+	traceReplays.Add(1)
+	marks := rp.Marks()
+	return rp.Makespan(), marks[1] - marks[0], nil
+}
+
+// compileTrace records the shape's script by running the template body
+// once on a pooled event world. The recorded ops carry only table indices
+// and delta-encoded partners, so the trace is valid for every evaluator
+// sharing the shape.
+func (e *Evaluator) compileTrace(d grid.Decomp, k *costKernel, iterations int) (*mp.Trace, error) {
+	w, release, err := e.acquireWorld(d.Size(), mp.SchedulerEvent)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	w.SetParams(k.charges, k.sizes)
+	return w.RunRecorded(templateBody(d, k.nab, k.nkb, iterations))
+}
+
+// replayerPoolCap bounds idle pooled replayers per evaluator family; a
+// replayer retains one trace's worth of cursor/stream state, so the cap is
+// small like the world pool's.
+const replayerPoolCap = 16
+
+// acquireReplayer returns a pooled replayer and its release function.
+// Without shared caches (zero-value Evaluator) it falls back to a fresh
+// replayer per call.
+func (e *Evaluator) acquireReplayer() (*mp.Replayer, func()) {
+	if e.shared == nil {
+		return mp.NewReplayer(), func() {}
+	}
+	s := e.shared
+	s.mu.Lock()
+	var rp *mp.Replayer
+	if n := len(s.replayers); n > 0 {
+		rp = s.replayers[n-1]
+		s.replayers[n-1] = nil
+		s.replayers = s.replayers[:n-1]
+	}
+	s.mu.Unlock()
+	if rp == nil {
+		rp = mp.NewReplayer()
+	}
+	return rp, func() {
+		s.mu.Lock()
+		if len(s.replayers) < replayerPoolCap {
+			s.replayers = append(s.replayers, rp)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"pacesweep/internal/pace"
@@ -86,13 +87,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 	}
 
 	key := q.key()
+	etag := etagFor(key)
+	// Responses are deterministic functions of the fingerprint, so the
+	// fingerprint-derived ETag validates without computing the body: a
+	// client resending its stored validator gets an empty 304 even when
+	// the response bytes have been evicted server-side.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.Header().Set("ETag", etag)
+		s.st.predict.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
 	if s.responses != nil {
 		// Peek, not Get: a cold request falls through to the counted
 		// GetOrBuild below, and counting the probe too would double-count
 		// every miss.
 		if body, hit := s.responses.Peek(key); hit {
 			s.st.predict.cacheHits.Add(1)
-			writeCached(w, body, true)
+			writeCached(w, body, true, etag)
 			return true
 		}
 	}
@@ -115,7 +127,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		if s.responses != nil {
 			s.responses.Put(key, body)
 		}
-		writeCached(w, body, true)
+		writeCached(w, body, true, etag)
 		return true
 	}
 
@@ -148,8 +160,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		}
 		return false
 	}
-	writeCached(w, body, false)
+	writeCached(w, body, false, etag)
 	return true
+}
+
+// etagFor derives the strong entity tag from the request fingerprint. The
+// response body is a pure function of the fingerprint, so fingerprint
+// equality implies byte equality.
+func etagFor(k reqKey) string {
+	return fmt.Sprintf("\"pace-%016x\"", k.hash())
+}
+
+// etagMatches implements If-None-Match comparison: a comma-separated
+// validator list, "*" wildcard, and weak validators (W/ prefix) matching
+// their strong form.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // marshalPredictResponse renders the canonical response bytes (newline
@@ -164,9 +197,11 @@ func marshalPredictResponse(q *PredictRequest, p *pace.Prediction) ([]byte, erro
 
 // writeCached writes a (possibly cached) response body with the cache
 // disposition in a header — never in the body, which must stay a pure
-// function of the request fingerprint.
-func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+// function of the request fingerprint — and the fingerprint-derived ETag
+// for client-side revalidation.
+func writeCached(w http.ResponseWriter, body []byte, hit bool, etag string) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
 	if hit {
 		w.Header().Set("X-Paceserve-Cache", "hit")
 	} else {

@@ -21,14 +21,23 @@
 //     by all requests; its world pool is capped (pace.SetWorldPoolCap) so
 //     long-tailed sweeps over many array sizes cannot pin a warmed world
 //     per size forever.
+//   - Template evaluations run on pace's trace tier by default: each
+//     configuration *shape* is compiled once into a communication script
+//     (a recording run on the event backend) and replayed per point with
+//     the point's cost tables — goroutine- and channel-free, bit-identical
+//     to the event backend. /v1/sweep groups its points by shape so one
+//     worker's chunk shares the compiled trace and a warmed replayer.
 //   - Each evaluator carries a size-bounded sharded-LRU prediction memo
 //     (pace.NewPredictionMemoSize), which is what /v1/sweep points hit.
-//   - /v1/predict adds a response cache above that: a sharded LRU keyed by
-//     the request fingerprint (canonical platform+configuration+method)
+//   - Above that sits the response cache: a sharded LRU keyed by the
+//     request fingerprint (canonical platform+configuration+method)
 //     holding fully marshalled response bytes, so a repeated query costs a
-//     map lookup and one write. Responses are deterministic functions of
-//     the fingerprint, which is what makes both cache layers sound: an
-//     evicted entry rebuilds byte-identically.
+//     map lookup and one write. Both /v1/predict and every /v1/sweep point
+//     read and warm it. Responses are deterministic functions of the
+//     fingerprint, which is what makes the cache layers sound: an evicted
+//     entry rebuilds byte-identically. /v1/predict derives an ETag from
+//     the fingerprint, so clients holding a cached body can revalidate
+//     with If-None-Match for an empty 304.
 //   - A global semaphore bounds concurrent model evaluations; cache hits
 //     bypass it.
 //
@@ -64,9 +73,12 @@ type Config struct {
 	Seed int64
 
 	// Scheduler selects the mp backend for template evaluation; empty
-	// means the event scheduler. The goroutine backend is accepted but
-	// warned about: it is slower, nondeterministic in collective
-	// accumulation order, and not allocation-free under pooling.
+	// means the trace tier (compile each configuration shape's
+	// communication script once, replay it per point — bit-identical to
+	// the event backend). "event" forces the live event scheduler. The
+	// goroutine backend is accepted but warned about: it is slower,
+	// nondeterministic in collective accumulation order, and not
+	// allocation-free under pooling.
 	Scheduler string
 
 	// ResponseCacheEntries bounds the /v1/predict response-byte LRU
@@ -186,14 +198,14 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	switch cfg.Scheduler {
-	case "", "event":
+	case "", "trace", "event":
 	case "goroutine":
 		cfg.Logf("paceserve: WARNING: goroutine scheduler configured; it is slower than the "+
-			"event backend, accumulates collectives in nondeterministic order, and still pays "+
-			"per-run goroutine-spawn allocations under pooling — see DESIGN.md; serving "+
-			"deployments should use %q", "event")
+			"event backend and the trace tier, accumulates collectives in nondeterministic "+
+			"order, and still pays per-run goroutine-spawn allocations under pooling — see "+
+			"DESIGN.md; serving deployments should use %q (the default)", "trace")
 	default:
-		return nil, fmt.Errorf("serve: unknown scheduler %q (want \"event\" or \"goroutine\")", cfg.Scheduler)
+		return nil, fmt.Errorf("serve: unknown scheduler %q (want \"trace\", \"event\" or \"goroutine\")", cfg.Scheduler)
 	}
 	if cfg.BuildEvaluator == nil {
 		cfg.BuildEvaluator = defaultBuilder(cfg)

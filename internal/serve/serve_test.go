@@ -548,7 +548,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		`paceserve_requests_total{endpoint="predict"} 1`,
 		`paceserve_request_seconds_bucket{endpoint="predict",le="+Inf"} 1`,
 		`paceserve_memo_misses_total{platform="alpha"} 1`,
-		`paceserve_pool_idle_worlds{platform="alpha"} 1`,
+		// Idle worlds depend on whether this shape's trace was already
+		// compiled (the trace cache is process-global), so assert only the
+		// series; the replayer pool is deterministically warmed by the
+		// trace-tier predict.
+		`paceserve_pool_idle_worlds{platform="alpha"} `,
+		`paceserve_pool_idle_replayers{platform="alpha"} 1`,
+		"paceserve_trace_cache_entries ",
+		"paceserve_trace_replays_total ",
 		"paceserve_response_cache_entries 1",
 		"paceserve_inflight_requests 0",
 	} {

@@ -24,6 +24,7 @@ type endpointStats struct {
 	requests     atomic.Uint64
 	errors       atomic.Uint64
 	cacheHits    atomic.Uint64 // responses served from the response cache
+	notModified  atomic.Uint64 // empty 304s served off If-None-Match
 	latencyNanos atomic.Uint64
 	buckets      [len(latencyBounds) + 1]atomic.Uint64
 }
@@ -49,6 +50,23 @@ type serverStats struct {
 	inflight atomic.Int64
 	predict  endpointStats
 	sweep    endpointStats
+
+	// Sweep shape-batching telemetry (see sweep.go batchSweep).
+	sweepBatchGroups atomic.Uint64 // shape groups dispatched, cumulative
+	sweepBatchPoints atomic.Uint64 // points routed through batching
+	sweepMaxGroup    atomic.Uint64 // largest single shape group ever seen
+}
+
+// observeSweepBatch records one sweep's grouping outcome.
+func (st *serverStats) observeSweepBatch(groups, points, maxGroup int) {
+	st.sweepBatchGroups.Add(uint64(groups))
+	st.sweepBatchPoints.Add(uint64(points))
+	for {
+		cur := st.sweepMaxGroup.Load()
+		if uint64(maxGroup) <= cur || st.sweepMaxGroup.CompareAndSwap(cur, uint64(maxGroup)) {
+			return
+		}
+	}
 }
 
 // BucketCount is one latency histogram bucket in the stats JSON
@@ -64,6 +82,7 @@ type EndpointSnapshot struct {
 	Requests            uint64        `json:"requests"`
 	Errors              uint64        `json:"errors"`
 	CacheHits           uint64        `json:"cache_hits"`
+	NotModified         uint64        `json:"not_modified,omitempty"`
 	AvgLatencySeconds   float64       `json:"avg_latency_seconds"`
 	TotalLatencySeconds float64       `json:"total_latency_seconds"`
 	Latency             []BucketCount `json:"latency"`
@@ -71,9 +90,10 @@ type EndpointSnapshot struct {
 
 func (e *endpointStats) snapshot() EndpointSnapshot {
 	out := EndpointSnapshot{
-		Requests:  e.requests.Load(),
-		Errors:    e.errors.Load(),
-		CacheHits: e.cacheHits.Load(),
+		Requests:    e.requests.Load(),
+		Errors:      e.errors.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		NotModified: e.notModified.Load(),
 	}
 	out.TotalLatencySeconds = float64(e.latencyNanos.Load()) / 1e9
 	if out.Requests > 0 {
@@ -101,12 +121,22 @@ type EvaluatorSnapshot struct {
 	Pool pace.PoolStats `json:"pool"`
 }
 
+// SweepBatchSnapshot is the sweep shape-batching block of the stats JSON.
+type SweepBatchSnapshot struct {
+	GroupsTotal  uint64 `json:"groups_total"`
+	PointsTotal  uint64 `json:"points_total"`
+	MaxGroupSize uint64 `json:"max_group_size"`
+}
+
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Inflight      int64                        `json:"inflight"`
 	Endpoints     map[string]EndpointSnapshot  `json:"endpoints"`
 	ResponseCache *lru.Stats                   `json:"response_cache,omitempty"`
+	TraceCache    lru.Stats                    `json:"trace_cache"`
+	TraceReplays  uint64                       `json:"trace_replays"`
+	SweepBatching SweepBatchSnapshot           `json:"sweep_batching"`
 	Evaluators    map[string]EvaluatorSnapshot `json:"evaluators"`
 }
 
@@ -120,6 +150,13 @@ func (s *Server) statsResponse() StatsResponse {
 		Endpoints: map[string]EndpointSnapshot{
 			"predict": s.st.predict.snapshot(),
 			"sweep":   s.st.sweep.snapshot(),
+		},
+		TraceCache:   pace.TraceCacheStats(),
+		TraceReplays: pace.TraceReplays(),
+		SweepBatching: SweepBatchSnapshot{
+			GroupsTotal:  s.st.sweepBatchGroups.Load(),
+			PointsTotal:  s.st.sweepBatchPoints.Load(),
+			MaxGroupSize: s.st.sweepMaxGroup.Load(),
 		},
 		Evaluators: make(map[string]EvaluatorSnapshot),
 	}
@@ -171,6 +208,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ep := range sortedKeys(st.Endpoints) {
 		fmt.Fprintf(w, "paceserve_request_errors_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].Errors)
 	}
+	fmt.Fprintf(w, "# TYPE paceserve_not_modified_total counter\n")
+	for _, ep := range sortedKeys(st.Endpoints) {
+		fmt.Fprintf(w, "paceserve_not_modified_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].NotModified)
+	}
 	// Full Prometheus histogram convention: _bucket series plus the _sum
 	// and _count series that rate()/avg queries depend on.
 	fmt.Fprintf(w, "# TYPE paceserve_request_seconds histogram\n")
@@ -190,6 +231,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st.ResponseCache != nil {
 		writeCacheMetrics(w, "paceserve_response_cache", []string{""}, []lru.Stats{*st.ResponseCache})
 	}
+	// Trace-tier telemetry: compiled shapes resident (entries), replays
+	// served off a compiled shape (hits), compilations (misses).
+	writeCacheMetrics(w, "paceserve_trace_cache", []string{""}, []lru.Stats{st.TraceCache})
+	fmt.Fprintf(w, "# TYPE paceserve_trace_replays_total counter\npaceserve_trace_replays_total %d\n", st.TraceReplays)
+	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_groups_total counter\npaceserve_sweep_batch_groups_total %d\n", st.SweepBatching.GroupsTotal)
+	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_points_total counter\npaceserve_sweep_batch_points_total %d\n", st.SweepBatching.PointsTotal)
+	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_max_group_size gauge\npaceserve_sweep_batch_max_group_size %d\n", st.SweepBatching.MaxGroupSize)
 	platforms := sortedKeys(st.Evaluators)
 	if len(platforms) > 0 {
 		labels := make([]string, len(platforms))
@@ -205,6 +253,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE paceserve_pool_idle_worlds gauge\n")
 		for i, name := range platforms {
 			fmt.Fprintf(w, "paceserve_pool_idle_worlds%s %d\n", labels[i], st.Evaluators[name].Pool.IdleWorlds)
+		}
+		fmt.Fprintf(w, "# TYPE paceserve_pool_idle_replayers gauge\n")
+		for i, name := range platforms {
+			fmt.Fprintf(w, "paceserve_pool_idle_replayers%s %d\n", labels[i], st.Evaluators[name].Pool.IdleReplayers)
 		}
 		fmt.Fprintf(w, "# TYPE paceserve_pool_world_evictions_total counter\n")
 		for i, name := range platforms {

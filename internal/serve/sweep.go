@@ -167,6 +167,12 @@ func errRequest(format string, args ...any) error {
 // evaluatePoint runs one canonical point, converting every failure mode
 // into the point's Error field. The global evaluation semaphore is held
 // only around the model evaluation itself.
+//
+// Cache route, top to bottom, under the same fingerprint /v1/predict
+// uses: response-byte LRU (a repeated point costs one lookup and one
+// unmarshal), then the evaluator's prediction memo (marshalled into the
+// response cache on the way out, so the next repeat — and /v1/predict
+// itself — hits bytes), then the cold singleflight evaluation.
 func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepPoint {
 	pt := SweepPoint{
 		Index: i, Platform: q.Platform, Grid: q.Grid, Array: q.Array,
@@ -175,6 +181,12 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 	if err := q.validate(); err != nil {
 		pt.Error = err.Error()
 		return pt
+	}
+	if s.responses != nil {
+		if body, hit := s.responses.Peek(q.key()); hit {
+			s.st.sweep.cacheHits.Add(1)
+			return pointFromBody(pt, body)
+		}
 	}
 	ev, err := s.evaluator(q.Platform)
 	if err != nil {
@@ -185,6 +197,11 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 	if p, ok := cachedPrediction(ev, q.toConfig(), q.Method); ok {
 		pt.PredictedSeconds = p.Total
 		pt.Method = p.Method
+		if s.responses != nil {
+			if body, err := marshalPredictResponse(q, &p); err == nil {
+				s.responses.Put(q.key(), body)
+			}
+		}
 		return pt
 	}
 
@@ -222,6 +239,11 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 		pt.Error = err.Error()
 		return pt
 	}
+	return pointFromBody(pt, body)
+}
+
+// pointFromBody fills a sweep point from canonical cached response bytes.
+func pointFromBody(pt SweepPoint, body []byte) SweepPoint {
 	var resp PredictResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		pt.Error = "decoding cached response: " + err.Error()
@@ -232,11 +254,87 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 	return pt
 }
 
-// runSweep fans the points out on the sweep worker pool. results[i] is
-// valid once ready[i] is closed; the returned channel closes when every
-// worker has retired. Workers decide only wall-clock, never values — each
-// point is an independent deterministic evaluation, so results are
-// identical to a sequential pass regardless of completion order.
+// sweepGroupKey identifies sweep points that share a compiled trace shape
+// (and platform, hence evaluator caches): all such points replay one
+// script under different cost tables, so batching them onto one worker
+// shares the compiled trace, the warmed replayer and the kernel cache.
+type sweepGroupKey struct {
+	platform   string
+	px, py     int
+	nab, nkb   int
+	iterations int
+	method     string
+}
+
+func sweepGroupOf(q *PredictRequest) sweepGroupKey {
+	// The block counts come from pace.Config — the same formulas the trace
+	// cache's shape key is built from — so grouping can never drift from
+	// what actually shares a compiled script. expand has already rejected
+	// non-positive MK/MMI.
+	cfg := q.toConfig()
+	return sweepGroupKey{
+		platform:   q.Platform,
+		px:         q.Array.PX,
+		py:         q.Array.PY,
+		nab:        cfg.AngleBlocks(),
+		nkb:        cfg.KBlocks(),
+		iterations: q.Iterations,
+		method:     q.Method,
+	}
+}
+
+// batchSpan is one worker work unit: a run of shape-coherent point
+// indices (into the grouped order).
+type batchSpan struct{ lo, hi int }
+
+// batchSweep reorders point indices shape-major and cuts the order into
+// bounded shape-coherent spans: one span never crosses a shape boundary
+// (so a worker processing it shares the compiled trace end to end), and
+// spans are small enough that even a single-shape sweep spreads across
+// the whole worker pool.
+func (s *Server) batchSweep(points []PredictRequest, workers int) (order []int, spans []batchSpan) {
+	n := len(points)
+	groups := make(map[sweepGroupKey][]int)
+	var keyOrder []sweepGroupKey
+	for i := range points {
+		k := sweepGroupOf(&points[i])
+		if _, ok := groups[k]; !ok {
+			keyOrder = append(keyOrder, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	// Bound spans so workers*4 units exist even for one giant group.
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	order = make([]int, 0, n)
+	maxGroup := 0
+	for _, k := range keyOrder {
+		idxs := groups[k]
+		if len(idxs) > maxGroup {
+			maxGroup = len(idxs)
+		}
+		start := len(order)
+		order = append(order, idxs...)
+		for lo := start; lo < len(order); lo += chunk {
+			hi := lo + chunk
+			if hi > len(order) {
+				hi = len(order)
+			}
+			spans = append(spans, batchSpan{lo: lo, hi: hi})
+		}
+	}
+	s.st.observeSweepBatch(len(keyOrder), n, maxGroup)
+	return order, spans
+}
+
+// runSweep fans the points out on the sweep worker pool, batched by trace
+// shape (batchSweep). results[i] is valid once ready[i] is closed; the
+// returned channel closes when every worker has retired. Workers decide
+// only wall-clock, never values — each point is an independent
+// deterministic evaluation, so results are identical to a sequential pass
+// regardless of completion order or grouping.
 func (s *Server) runSweep(r *http.Request, points []PredictRequest) (results []SweepPoint, ready []chan struct{}, finished chan struct{}) {
 	n := len(points)
 	results = make([]SweepPoint, n)
@@ -248,22 +346,25 @@ func (s *Server) runSweep(r *http.Request, points []PredictRequest) (results []S
 	if workers > n {
 		workers = n
 	}
-	next := make(chan int)
+	order, spans := s.batchSweep(points, workers)
+	next := make(chan batchSpan)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for wkr := 0; wkr < workers; wkr++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				results[i] = s.evaluatePoint(r, i, &points[i])
-				close(ready[i])
+			for sp := range next {
+				for _, i := range order[sp.lo:sp.hi] {
+					results[i] = s.evaluatePoint(r, i, &points[i])
+					close(ready[i])
+				}
 			}
 		}()
 	}
 	finished = make(chan struct{})
 	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
+		for _, sp := range spans {
+			next <- sp
 		}
 		close(next)
 		wg.Wait()
