@@ -19,15 +19,32 @@ func main() {
 	var (
 		plat = flag.String("platform", "PentiumIII-Myrinet",
 			"simulated platform: "+strings.Join(platform.Names(), ", "))
+		specFile = flag.String("platform-spec", "",
+			"JSON platform spec file: registers a custom platform and selects it (overrides -platform)")
+		level = flag.Int("level", -1,
+			"interconnect level to probe on a hierarchical platform (pins both ranks to that tier; -1 = level 0)")
 		reps = flag.Int("reps", 5, "repetitions per size (median taken)")
 		seed = flag.Int64("seed", 7, "benchmark seed")
 		csv  = flag.Bool("csv", false, "emit raw points as CSV")
 	)
 	flag.Parse()
 
+	if *specFile != "" {
+		spec, err := platform.LoadSpecFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := platform.DefaultRegistry().Register(spec); err != nil {
+			fatal(err)
+		}
+		*plat = spec.Name
+	}
 	pl, err := platform.ByName(*plat)
 	if err != nil {
 		fatal(err)
+	}
+	if *level >= 0 {
+		pl = pl.FlattenedAt(*level)
 	}
 	points, err := bench.MPIBench(pl, bench.DefaultMessageSizes(), *reps, *seed)
 	if err != nil {

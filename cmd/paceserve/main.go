@@ -28,6 +28,8 @@ func main() {
 
 		platforms = flag.String("platforms", strings.Join(platform.Names(), ","),
 			"comma-separated platform names to serve")
+		register = flag.String("register", "",
+			"comma-separated JSON platform spec files to register and serve alongside -platforms")
 		seed  = flag.Int64("seed", 1001, "seed for the simulated benchmark-fitting pipeline")
 		sched = flag.String("scheduler", mp.SchedulerTrace,
 			"mp backend for template evaluation (trace|event|goroutine; trace compiles each "+
@@ -55,8 +57,21 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "paceserve: ", log.LstdFlags)
 
+	served := splitNonEmpty(*platforms)
+	for _, path := range splitNonEmpty(*register) {
+		spec, err := platform.LoadSpecFile(path)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := platform.DefaultRegistry().Register(spec); err != nil {
+			logger.Fatal(err)
+		}
+		served = append(served, spec.Name)
+		logger.Printf("registered custom platform %s (%s) from %s", spec.Name, spec.FingerprintHex(), path)
+	}
+
 	cfg := serve.Config{
-		Platforms:            splitNonEmpty(*platforms),
+		Platforms:            served,
 		Seed:                 *seed,
 		Scheduler:            schedulerOpt(*sched),
 		ResponseCacheEntries: *cacheEntries,

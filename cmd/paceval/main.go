@@ -42,10 +42,23 @@ func main() {
 		pslEmb   = flag.String("app", "sweep3d", "application object name for PSL evaluation")
 		pslBuilt = flag.Bool("psl-embedded", false, "evaluate the embedded PSL model (Figures 4-7)")
 		hmcl     = flag.String("hardware", "", "HMCL hardware object name for PSL evaluation")
-		closed   = flag.Bool("closed-form", false, "use the closed-form fast path")
-		seed     = flag.Int64("seed", 42, "benchmarking seed")
+		specFile = flag.String("platform-spec", "",
+			"JSON platform spec file: registers a custom platform and selects it (overrides -platform)")
+		closed = flag.Bool("closed-form", false, "use the closed-form fast path")
+		seed   = flag.Int64("seed", 42, "benchmarking seed")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		spec, err := platform.LoadSpecFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := platform.DefaultRegistry().Register(spec); err != nil {
+			fatal(err)
+		}
+		*plat = spec.Name
+	}
 
 	if *px <= 0 || *py <= 0 {
 		fatal(fmt.Errorf("processor array must be positive, got %dx%d", *px, *py))

@@ -16,17 +16,57 @@ import (
 	"os"
 
 	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/platform"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "both", "which figure to reproduce: 8, 9 or both")
-		compare = flag.Bool("compare", false, "print the related-model comparison table")
-		data    = flag.Bool("data", false, "print the raw series data as CSV rows")
-		width   = flag.Int("width", 72, "plot width in characters")
-		height  = flag.Int("height", 18, "plot height in characters")
+		figure   = flag.String("figure", "both", "which figure to reproduce: 8, 9 or both")
+		compare  = flag.Bool("compare", false, "print the related-model comparison table")
+		data     = flag.Bool("data", false, "print the raw series data as CSV rows")
+		width    = flag.Int("width", 72, "plot width in characters")
+		height   = flag.Int("height", 18, "plot height in characters")
+		specFile = flag.String("platform-spec", "",
+			"JSON platform spec file: run the scaling study on the custom platform instead of the paper's hypothetical system")
+		cellsX = flag.Int("cells-x", 5, "cells per processor in x for -platform-spec")
+		cellsY = flag.Int("cells-y", 5, "cells per processor in y for -platform-spec")
+		cellsZ = flag.Int("cells-z", 100, "cells per processor in z for -platform-spec")
+		seed   = flag.Int64("seed", 6006, "seed for -platform-spec studies")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		spec, err := platform.LoadSpecFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speculate: %v\n", err)
+			os.Exit(1)
+		}
+		pl, err := spec.Platform()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speculate: %v\n", err)
+			os.Exit(1)
+		}
+		perProc := grid.Global{NX: *cellsX, NY: *cellsY, NZ: *cellsZ}
+		s, err := experiments.ScalingStudyFor(pl,
+			"Speculative scaling — "+pl.Name, perProc, experiments.DefaultProcCounts(), *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "speculate: custom platform: %v\n", err)
+			os.Exit(1)
+		}
+		fig := s.Figure()
+		fmt.Print(fig.Render(*width, *height))
+		fmt.Println()
+		if *data {
+			fmt.Print(fig.DataRows())
+			fmt.Println()
+		}
+		if *compare {
+			_ = s.ComparisonTable().Write(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
 
 	runners := []struct {
 		key string

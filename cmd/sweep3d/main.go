@@ -39,9 +39,22 @@ func main() {
 		mode  = flag.String("mode", "solve", "solve (functional) or skeleton (simulated timing)")
 		plat  = flag.String("platform", "PentiumIII-Myrinet",
 			"simulated platform for -mode skeleton: "+strings.Join(platform.Names(), ", "))
+		specFile = flag.String("platform-spec", "",
+			"JSON platform spec file: registers a custom platform and selects it (overrides -platform)")
 		seed = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		spec, err := platform.LoadSpecFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := platform.DefaultRegistry().Register(spec); err != nil {
+			fatal(err)
+		}
+		*plat = spec.Name
+	}
 
 	quad, err := sn.LevelSymmetric(*snOrd)
 	if err != nil {

@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pacesweep/internal/experiments"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/platform"
 	"pacesweep/internal/report"
 )
 
@@ -23,7 +26,37 @@ func main() {
 	ablation := flag.Bool("ablation", false, "also run the Section 4 opcode-benchmark ablation")
 	overlap := flag.Bool("overlap", false, "also run the communication-overlap study (Section 4.4 claim)")
 	health := flag.Bool("healthcheck", false, "also run the run-time verification scenario (Section 1)")
+	specFile := flag.String("platform-spec", "",
+		"JSON platform spec file: run the measure-versus-predict validation on the custom platform instead of the paper tables")
+	arrays := flag.String("arrays", "2x2,2x3,4x4,4x6,8x8",
+		"processor arrays for -platform-spec validation (comma-separated PXxPY)")
+	seed := flag.Int64("seed", 4004, "seed for -platform-spec validation")
 	flag.Parse()
+
+	if *specFile != "" {
+		spec, err := platform.LoadSpecFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(1)
+		}
+		pl, err := spec.Platform()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(1)
+		}
+		decomps, err := parseArrays(*arrays)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(2)
+		}
+		v, err := experiments.ValidateCustom(pl, decomps, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: custom platform: %v\n", err)
+			os.Exit(1)
+		}
+		emit(v.Table(), *csv)
+		return
+	}
 
 	runners := map[string]func() (*experiments.Validation, error){
 		"1": experiments.Table1,
@@ -76,6 +109,26 @@ func main() {
 		}
 		emit(hc.Table(), *csv)
 	}
+}
+
+// parseArrays parses a comma-separated list of PXxPY processor arrays.
+func parseArrays(s string) ([]grid.Decomp, error) {
+	var out []grid.Decomp
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var px, py int
+		if _, err := fmt.Sscanf(part, "%dx%d", &px, &py); err != nil {
+			return nil, fmt.Errorf("bad array %q (want PXxPY)", part)
+		}
+		out = append(out, grid.Decomp{PX: px, PY: py})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no arrays given")
+	}
+	return out, nil
 }
 
 func emit(t *report.Table, csv bool) {

@@ -141,7 +141,11 @@ func DefaultMessageSizes() []int {
 
 // MPIBench times sends, receives and ping-pongs of increasing sizes on the
 // simulated interconnect (with its jitter), taking the median of reps
-// repetitions — the "MPI benchmark program" of Section 4.4.
+// repetitions — the "MPI benchmark program" of Section 4.4. The two probe
+// ranks land on the same node (class 0); to benchmark a deeper tier of a
+// hierarchical platform, pass pl.FlattenedAt(level) — the simulation
+// equivalent of pinning the benchmark processes to different nodes or
+// clusters.
 func MPIBench(pl platform.Platform, sizes []int, reps int, seed int64) ([]CommPoint, error) {
 	if reps <= 0 {
 		reps = 5
@@ -228,42 +232,68 @@ func FitEq3(points []CommPoint, pick func(CommPoint) float64) (platform.Piecewis
 	}, nil
 }
 
+// fitLevel runs the MPI benchmark against one (possibly flattened)
+// platform view and fits the three Eq. 3 curves.
+func fitLevel(pl platform.Platform, reps int, seed int64) (send, recv, pp platform.Piecewise, err error) {
+	points, err := MPIBench(pl, DefaultMessageSizes(), reps, seed)
+	if err != nil {
+		return send, recv, pp, fmt.Errorf("bench: mpi benchmark: %w", err)
+	}
+	if send, err = FitEq3(points, func(p CommPoint) float64 { return p.SendMicros }); err != nil {
+		return send, recv, pp, err
+	}
+	if recv, err = FitEq3(points, func(p CommPoint) float64 { return p.RecvMicros }); err != nil {
+		return send, recv, pp, err
+	}
+	pp, err = FitEq3(points, func(p CommPoint) float64 { return p.PingPongMicros })
+	return send, recv, pp, err
+}
+
 // BuildModel runs the full benchmarking pipeline against a simulated
 // platform and assembles the fitted hardware model: kernel profiling at the
 // given per-processor working set, the MPI benchmark with Eq. 3 fits, and
 // the old opcode cost table (whose micro-benchmark the simulation represents
 // directly by the platform's measured per-opcode cycles).
+//
+// On a hierarchical platform the MPI benchmark runs once per interconnect
+// level, the probe processes "pinned" to that tier (FlattenedAt) exactly as
+// a real benchmark campaign pins by node and cluster, and the fitted model
+// carries the per-level curves plus the machine topology — observable
+// configuration, not hidden truth, so the epistemic firewall stands.
 func BuildModel(pl platform.Platform, perProc grid.Global, base sweep.Problem, seed int64) (*hwmodel.Model, error) {
 	prof, err := ProfileKernel(pl, perProc, base, seed)
 	if err != nil {
 		return nil, fmt.Errorf("bench: kernel profiling: %w", err)
 	}
-	points, err := MPIBench(pl, DefaultMessageSizes(), 5, seed+100)
-	if err != nil {
-		return nil, fmt.Errorf("bench: mpi benchmark: %w", err)
-	}
-	sendFit, err := FitEq3(points, func(p CommPoint) float64 { return p.SendMicros })
-	if err != nil {
-		return nil, err
-	}
-	recvFit, err := FitEq3(points, func(p CommPoint) float64 { return p.RecvMicros })
-	if err != nil {
-		return nil, err
-	}
-	ppFit, err := FitEq3(points, func(p CommPoint) float64 { return p.PingPongMicros })
-	if err != nil {
-		return nil, err
-	}
 	opcode := clc.CostTable{}
 	for op, cycles := range pl.Proc.OpcodeCycles {
 		opcode[clc.Op(op)] = cycles / (pl.Proc.ClockGHz * 1e9)
 	}
-	return &hwmodel.Model{
+	m := &hwmodel.Model{
 		Name:        pl.Name,
 		MFLOPS:      prof.MFLOPS,
 		OpcodeCosts: opcode,
-		Send:        sendFit,
-		Recv:        recvFit,
-		PingPong:    ppFit,
-	}, nil
+	}
+	if !pl.Net.Hierarchical() {
+		m.Send, m.Recv, m.PingPong, err = fitLevel(pl, 5, seed+100)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m.Topology = pl.Topology()
+	m.Levels = make([]hwmodel.NetLevel, len(pl.Net.Levels))
+	for l := range pl.Net.Levels {
+		// Distinct seed block per level: each level's campaign is its own
+		// sequence of benchmark runs.
+		send, recv, pp, err := fitLevel(pl.FlattenedAt(l), 5, seed+100+int64(l)*10_000)
+		if err != nil {
+			return nil, fmt.Errorf("bench: level %d: %w", l, err)
+		}
+		m.Levels[l] = hwmodel.NetLevel{Send: send, Recv: recv, PingPong: pp}
+	}
+	// The flat fields mirror level 0 — what a placement-blind benchmark
+	// would have measured — keeping size-only consumers coherent.
+	m.Send, m.Recv, m.PingPong = m.Levels[0].Send, m.Levels[0].Recv, m.Levels[0].PingPong
+	return m, nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"pacesweep/internal/grid"
+	"pacesweep/internal/platform"
 	"pacesweep/internal/stats"
 )
 
@@ -279,5 +281,88 @@ func TestHealthCheckFlagsFaults(t *testing.T) {
 	}
 	if _, err := RunHealthCheck(0.5, 10, 1); err == nil {
 		t.Error("expected fault-factor validation error")
+	}
+}
+
+// TestValidateCustomPlatform drives the full custom-platform pipeline the
+// CLIs and the serving layer share: a hierarchical spec is materialised,
+// its hardware model fitted per interconnect level through the simulated
+// benchmark campaign, and measure-versus-predict validation run on it.
+// The errors should stay in the paper's single-digit band — the custom
+// path must be as predictive as the built-ins.
+func TestValidateCustomPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long validation")
+	}
+	spec := platform.Spec{
+		Name:         "Test-DualFabric",
+		CoresPerNode: 4,
+		Processor: platform.ProcSpec{
+			ClockGHz: 2.0,
+			Rates: []platform.RatePoint{
+				{CellsPerProc: 2500, MFLOPS: 362}, {CellsPerProc: 125000, MFLOPS: 350},
+			},
+			OpcodeCycles: map[string]float64{"MFDG": 8, "AFDG": 7, "DFDG": 36, "IFBR": 2.2, "LFOR": 2.9},
+		},
+		Interconnect: platform.NetSpec{
+			Name: "dual",
+			Levels: []platform.Level{
+				{
+					Name:     "intra",
+					Send:     platform.Piecewise{A: 2048, B: 1.2, C: 0.0008, D: 1.8, E: 0.00055},
+					Recv:     platform.Piecewise{A: 2048, B: 1.4, C: 0.0008, D: 2.0, E: 0.00055},
+					PingPong: platform.Piecewise{A: 2048, B: 3.4, C: 0.002, D: 5.1, E: 0.0012},
+				},
+				{
+					Name:     "inter",
+					Send:     platform.Piecewise{A: 512, B: 6, C: 0.008, D: 8, E: 0.0042},
+					Recv:     platform.Piecewise{A: 512, B: 7, C: 0.008, D: 9, E: 0.0042},
+					PingPong: platform.Piecewise{A: 512, B: 26, C: 0.02, D: 32, E: 0.0088},
+					Jitter:   0.05,
+				},
+			},
+		},
+		Truth: &platform.TruthSpec{NoiseFrac: 0.01, LoadFrac: 0.02},
+	}
+	pl, err := spec.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ValidateCustom(pl, []grid.Decomp{{PX: 2, PY: 2}, {PX: 4, PY: 2}}, 5005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != 2 {
+		t.Fatalf("rows = %d", len(v.Rows))
+	}
+	for _, r := range v.Rows {
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if v.MaxAbsErr >= 10 {
+		t.Errorf("max |error| = %.2f%%, want the paper's <10%% band", v.MaxAbsErr)
+	}
+}
+
+// TestScalingStudyForCustomPlatform runs the speculative scaling study on
+// a custom platform at small processor counts.
+func TestScalingStudyForCustomPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long study")
+	}
+	pl := platform.OpteronGigE() // any non-default platform exercises the new path
+	s, err := ScalingStudyFor(pl, "custom", grid.Global{NX: 5, NY: 5, NZ: 100},
+		[]int{1, 4, 16}, 7007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Actual) != 3 || s.Actual[2] <= s.Actual[0] {
+		t.Fatalf("scaling curve %v", s.Actual)
+	}
+	for i := range s.Actual {
+		if !(s.Plus50[i] < s.Plus25[i] && s.Plus25[i] < s.Actual[i]) {
+			t.Errorf("rate boosts not ordered at %d: %v %v %v", i, s.Actual[i], s.Plus25[i], s.Plus50[i])
+		}
 	}
 }

@@ -62,7 +62,17 @@ func scalingConfig(perProc grid.Global, p int) (pace.Config, error) {
 // comparison) nearly free after the first pass; the rate-boost evaluator
 // copies share its caches, keyed by their distinct achieved rates.
 func runScaling(name string, perProc grid.Global, procs []int, seed int64) (*ScalingStudy, error) {
-	pl := platform.OpteronMyrinet()
+	return ScalingStudyFor(platform.OpteronMyrinet(), name, perProc, procs, seed)
+}
+
+// ScalingStudyFor runs the Section 6 speculative scaling study on an
+// arbitrary platform — the procurement what-if the paper motivates, opened
+// to custom platform specs (speculate -platform-spec): the platform's
+// hardware model is fitted through the standard simulated benchmarking
+// pipeline (per interconnect level on hierarchical systems) and the scaling
+// curves predicted exactly as for the paper's hypothetical Opteron/Myrinet
+// machine.
+func ScalingStudyFor(pl platform.Platform, name string, perProc grid.Global, procs []int, seed int64) (*ScalingStudy, error) {
 	ev, model, err := sharedEvaluator(pl, perProc, seed)
 	if err != nil {
 		return nil, err

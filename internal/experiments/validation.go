@@ -138,6 +138,26 @@ func runValidation(name string, pl platform.Platform, rows []PaperRow, paperAvg,
 	return v, nil
 }
 
+// ValidateCustom runs the measure-versus-predict validation loop on an
+// arbitrary platform (validate -platform-spec): weak scaling at the
+// paper's 50^3 cells per processor over the given processor arrays, with
+// no published columns to compare against (the Paper fields stay zero).
+// This is how a custom platform description is sanity-checked before its
+// predictions are trusted for procurement sweeps.
+func ValidateCustom(pl platform.Platform, decomps []grid.Decomp, seed int64) (*Validation, error) {
+	rows := make([]PaperRow, len(decomps))
+	for i, d := range decomps {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		rows[i] = PaperRow{
+			NX: perProc.NX * d.PX, NY: perProc.NY * d.PY, NZ: perProc.NZ,
+			PEs: d.Size(), PX: d.PX, PY: d.PY,
+		}
+	}
+	return runValidation("Custom validation", pl, rows, 0, 0, seed)
+}
+
 // Table1 reproduces the Pentium III / Myrinet validation.
 func Table1() (*Validation, error) {
 	return runValidation("Table 1", platform.PentiumIIIMyrinet(), PaperTable1,

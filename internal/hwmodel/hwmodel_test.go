@@ -82,3 +82,92 @@ func TestFittedNet(t *testing.T) {
 		t.Errorf("log-tree scaling: %v vs %v", r4, r16)
 	}
 }
+
+// hierModel is a two-level fitted model: cheap intra-node curves, the flat
+// test model's curves as the inter-node tier.
+func hierModel() *Model {
+	m := testModel()
+	m.Topology = platform.Topology{CoresPerNode: 4}
+	m.Levels = []NetLevel{
+		{
+			Send:     platform.Piecewise{A: 1024, B: 1, C: 0.001, D: 2, E: 0.0005},
+			Recv:     platform.Piecewise{A: 1024, B: 1.1, C: 0.001, D: 2.2, E: 0.0005},
+			PingPong: platform.Piecewise{A: 1024, B: 3, C: 0.002, D: 5, E: 0.001},
+		},
+		{Send: m.Send, Recv: m.Recv, PingPong: m.PingPong},
+	}
+	return m
+}
+
+func TestHierarchicalFittedNet(t *testing.T) {
+	m := hierModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := m.Net()
+	var _ mp.ClassNetworkModel = n
+	if n.NetClasses() != 2 {
+		t.Fatalf("NetClasses = %d, want 2", n.NetClasses())
+	}
+	if n.ClassOf(0, 3) != 0 || n.ClassOf(3, 4) != 1 {
+		t.Fatalf("class resolution: %d %d", n.ClassOf(0, 3), n.ClassOf(3, 4))
+	}
+	for _, b := range []int{64, 12000} {
+		intra := n.SendOverheadClass(0, b, nil)
+		inter := n.SendOverheadClass(1, b, nil)
+		if !(intra < inter) {
+			t.Errorf("size %d: intra %v must undercut inter %v", b, intra, inter)
+		}
+	}
+	// The (class, size) memo must return exact per-class values under
+	// alternating classes (the wavefront's steady state).
+	for i := 0; i < 3; i++ {
+		if got, want := n.RecvOverheadClass(0, 1500, nil), m.Levels[0].Recv.Seconds(1500); got != want {
+			t.Fatalf("memoised class-0 recv = %v, want %v", got, want)
+		}
+		if got, want := n.RecvOverheadClass(1, 1500, nil), m.Levels[1].Recv.Seconds(1500); got != want {
+			t.Fatalf("memoised class-1 recv = %v, want %v", got, want)
+		}
+	}
+	// Size-only methods price class 0.
+	if n.SendOverhead(64, nil) != n.SendOverheadClass(0, 64, nil) {
+		t.Error("size-only SendOverhead must price class 0")
+	}
+	// Hierarchical reduce: within-node trees plus cross-node hops; must
+	// exceed a pure intra-node tree and depend on the deep level's curves.
+	rHier := n.ReduceCost(16, 8, nil)
+	flat0 := testModel()
+	flat0.Send, flat0.Recv, flat0.PingPong = m.Levels[0].Send, m.Levels[0].Recv, m.Levels[0].PingPong
+	if rFlat := flat0.Net().ReduceCost(16, 8, nil); !(rHier > rFlat) {
+		t.Errorf("hierarchical reduce %v must exceed intra-only %v", rHier, rFlat)
+	}
+	if n.ReduceCost(1, 8, nil) != 0 {
+		t.Error("single-rank reduce must be free")
+	}
+}
+
+func TestModelFingerprint(t *testing.T) {
+	if testModel().Fingerprint() != testModel().Fingerprint() {
+		t.Fatal("identical models must share a fingerprint")
+	}
+	seen := map[uint64]string{testModel().Fingerprint(): "flat"}
+	variants := map[string]func(*Model){
+		"rate":     func(m *Model) { m.MFLOPS = 201 },
+		"curve":    func(m *Model) { m.Send.B += 0.001 },
+		"levels":   func(m *Model) { *m = *hierModel() },
+		"topology": func(m *Model) { *m = *hierModel(); m.Topology.CoresPerNode = 8 },
+		"deep-level": func(m *Model) {
+			*m = *hierModel()
+			m.Levels[1].PingPong.D += 0.01
+		},
+	}
+	for name, mutate := range variants {
+		m := testModel()
+		mutate(m)
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}

@@ -81,6 +81,51 @@ type DeterministicCosts interface {
 	CostsDeterministic() bool
 }
 
+// ClassNetworkModel is an optional NetworkModel extension for hierarchical
+// interconnects: point-to-point costs depend on a (src, dst) cost class —
+// same node, same cluster, cross-cluster WAN — as well as the wire size.
+//
+// ClassOf must be a pure, symmetric function of the rank pair, and the
+// class methods pure functions of (class, size) modulo the supplied RNG —
+// the same contract NetworkModel's size-only methods carry per size. The
+// runtime resolves the class of every send at the sender (ClassOf(src,
+// dst)) and of every receive at delivery (same pair, same class), so all
+// three scheduler backends price identically. ReduceCost keeps pricing
+// collectives whole — a hierarchical model folds its tiers into that one
+// number (e.g. a tree that reduces within nodes before crossing them).
+//
+// A model reporting NetClasses() == 1 is flat; the runtime then ignores
+// the class machinery entirely and keeps its single-class fast paths, so
+// wrapping a flat network in this interface costs nothing. The size-only
+// NetworkModel methods must price class 0 (used by class-unaware callers
+// such as two-rank benchmark worlds).
+type ClassNetworkModel interface {
+	NetworkModel
+	// NetClasses returns the number of distinct cost classes ClassOf can
+	// produce; it must be at least 1 and constant for the model's lifetime.
+	NetClasses() int
+	// ClassOf resolves a rank pair to its cost class in [0, NetClasses()).
+	ClassOf(src, dst int) int
+	// SendOverheadClass, RecvOverheadClass and TransitClass are the
+	// class-resolved forms of the NetworkModel methods.
+	SendOverheadClass(class, bytes int, rng *rand.Rand) float64
+	RecvOverheadClass(class, bytes int, rng *rand.Rand) float64
+	TransitClass(class, bytes int, rng *rand.Rand) float64
+}
+
+// classesOf reports the class model and class count of a network model: a
+// ClassNetworkModel with more than one class, or (nil, 1) for flat models
+// — including class models that degenerate to a single class, which keep
+// the flat fast paths.
+func classesOf(net NetworkModel) (ClassNetworkModel, int) {
+	if cn, ok := net.(ClassNetworkModel); ok {
+		if n := cn.NetClasses(); n > 1 {
+			return cn, n
+		}
+	}
+	return nil, 1
+}
+
 // netIsDeterministic reports whether the model opted into the
 // DeterministicCosts fast path.
 func netIsDeterministic(net NetworkModel) bool {
@@ -138,8 +183,9 @@ type inbox struct {
 type World struct {
 	n      int
 	opts   Options
-	detNet bool // opts.Net opted into the DeterministicCosts fast path
-	ran    bool // set by Run; cleared by Reset
+	detNet bool              // opts.Net opted into the DeterministicCosts fast path
+	cnet   ClassNetworkModel // opts.Net with >1 (src,dst) cost class; nil for flat
+	ran    bool              // set by Run; cleared by Reset
 	boxes  []inbox
 	clocks []float64
 	coll   collective
@@ -185,6 +231,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 	}
 	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
 	w.detNet = netIsDeterministic(opts.Net)
+	w.cnet, _ = classesOf(opts.Net)
 	if opts.Scheduler == SchedulerEvent || opts.Scheduler == SchedulerTrace {
 		// The event backend has its own per-rank streams and lock-free
 		// collective; it is built once here and pooled across Runs. The
@@ -218,6 +265,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 func (w *World) Reset() {
 	w.ran = false
 	w.detNet = netIsDeterministic(w.opts.Net)
+	w.cnet, _ = classesOf(w.opts.Net)
 	for i := range w.clocks {
 		w.clocks[i] = 0
 	}
@@ -252,6 +300,7 @@ func (w *World) initComm(c *Comm, rank int) {
 	c.seed = w.opts.Seed + int64(rank)*0x9E3779B9
 	c.rngOK = false
 	c.det = w.detNet
+	c.cnet = w.cnet
 	c.sendC = sizeCost{bytes: -1}
 	c.recvC = sizeCost{bytes: -1}
 	c.transC = sizeCost{bytes: -1}
@@ -454,13 +503,14 @@ func (w *World) runGoroutine(f func(c *Comm) error) error {
 	return nil
 }
 
-// sizeCost memoizes one priced message size for one cost curve
-// (bytes -> seconds); bytes == -1 marks it empty. Block-structured
-// workloads send a handful of distinct sizes, so a single entry hits
-// almost always and replaces an interface dispatch per operation with an
-// integer compare.
+// sizeCost memoizes one priced (class, size) pair for one cost curve;
+// bytes == -1 marks it empty (flat models always price class 0).
+// Block-structured workloads send a handful of distinct sizes, so a
+// single entry hits almost always and replaces an interface dispatch per
+// operation with two integer compares.
 type sizeCost struct {
 	bytes int
+	class int
 	sec   float64
 }
 
@@ -471,10 +521,11 @@ type Comm struct {
 	rank      int
 	clock     float64
 	seed      int64
-	rng       *rand.Rand // materialised lazily; see rand()
-	rngOK     bool       // rng is seeded for the current run
-	det       bool       // world's net model declared DeterministicCosts
-	bcastRoot bool       // set while this rank is the root of a Bcast
+	rng       *rand.Rand        // materialised lazily; see rand()
+	rngOK     bool              // rng is seeded for the current run
+	det       bool              // world's net model declared DeterministicCosts
+	cnet      ClassNetworkModel // world's net model with >1 cost class; nil flat
+	bcastRoot bool              // set while this rank is the root of a Bcast
 
 	// Per-curve single-size memos for the DeterministicCosts fast path.
 	sendC, recvC, transC sizeCost
@@ -597,19 +648,23 @@ func (c *Comm) sendN(dst, tag, bytes int, data []float64, paramIdx int32) {
 	start := c.clock
 	avail := start
 	if net := c.w.opts.Net; net != nil {
+		cls := 0
+		if c.cnet != nil {
+			cls = c.cnet.ClassOf(c.rank, dst)
+		}
 		if c.det {
-			if c.sendC.bytes != bytes {
-				c.sendC = sizeCost{bytes: bytes, sec: net.SendOverhead(bytes, nil)}
+			if c.sendC.bytes != bytes || c.sendC.class != cls {
+				c.sendC = sizeCost{bytes: bytes, class: cls, sec: c.sendCost(net, cls, bytes, nil)}
 			}
 			c.clock = start + c.sendC.sec
-			if c.transC.bytes != bytes {
-				c.transC = sizeCost{bytes: bytes, sec: net.Transit(bytes, nil)}
+			if c.transC.bytes != bytes || c.transC.class != cls {
+				c.transC = sizeCost{bytes: bytes, class: cls, sec: c.transitCost(net, cls, bytes, nil)}
 			}
 			avail = start + c.transC.sec
 		} else {
 			rng := c.rand()
-			c.clock = start + net.SendOverhead(bytes, rng)
-			avail = start + net.Transit(bytes, rng)
+			c.clock = start + c.sendCost(net, cls, bytes, rng)
+			avail = start + c.transitCost(net, cls, bytes, rng)
 		}
 	}
 	var cp []float64
@@ -628,6 +683,31 @@ func (c *Comm) sendN(dst, tag, bytes int, data []float64, paramIdx int32) {
 	b.mu.Unlock()
 	b.cond.Broadcast()
 	c.w.ops.Add(1)
+}
+
+// sendCost, transitCost and recvCost price one operation at the resolved
+// cost class: through the class methods for multi-class models, the
+// size-only NetworkModel methods otherwise. They stay leaf-sized so the
+// common flat path inlines to the original single interface dispatch.
+func (c *Comm) sendCost(net NetworkModel, cls, bytes int, rng *rand.Rand) float64 {
+	if c.cnet != nil {
+		return c.cnet.SendOverheadClass(cls, bytes, rng)
+	}
+	return net.SendOverhead(bytes, rng)
+}
+
+func (c *Comm) transitCost(net NetworkModel, cls, bytes int, rng *rand.Rand) float64 {
+	if c.cnet != nil {
+		return c.cnet.TransitClass(cls, bytes, rng)
+	}
+	return net.Transit(bytes, rng)
+}
+
+func (c *Comm) recvCost(net NetworkModel, cls, bytes int, rng *rand.Rand) float64 {
+	if c.cnet != nil {
+		return c.cnet.RecvOverheadClass(cls, bytes, rng)
+	}
+	return net.RecvOverhead(bytes, rng)
 }
 
 // Recv blocks until a message from src with the given tag is available and
@@ -686,13 +766,17 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 		c.clock = avail
 	}
 	if net := c.w.opts.Net; net != nil {
+		cls := 0
+		if c.cnet != nil {
+			cls = c.cnet.ClassOf(src, c.rank)
+		}
 		if c.det {
-			if c.recvC.bytes != bytes {
-				c.recvC = sizeCost{bytes: bytes, sec: net.RecvOverhead(bytes, nil)}
+			if c.recvC.bytes != bytes || c.recvC.class != cls {
+				c.recvC = sizeCost{bytes: bytes, class: cls, sec: c.recvCost(net, cls, bytes, nil)}
 			}
 			c.clock += c.recvC.sec
 		} else {
-			c.clock += net.RecvOverhead(bytes, c.rand())
+			c.clock += c.recvCost(net, cls, bytes, c.rand())
 		}
 	}
 	return data, bytes

@@ -321,10 +321,12 @@ func (r *traceRec) build() *Trace {
 const rBlockedColl uint8 = 200
 
 // rmsg is one in-flight replay message: its availability time plus the
-// receive-side pricing, resolved at delivery time. Under a deterministic
-// net aux IS the receive overhead in seconds (the consume path adds it
-// with no further table lookup); under an RNG-using net aux carries the
-// unified size index (exactly representable: indices are small) and the
+// receive-side pricing, resolved at delivery time — the sender knows the
+// (src, dst) pair, so the cost class is settled here and the consume path
+// never re-derives it. Under a deterministic net aux IS the receive
+// overhead in seconds (the consume path adds it with no further table
+// lookup); under an RNG-using net aux carries the class-resolved unified
+// table index cls*ns+u (exactly representable: indices are small) and the
 // receiver prices at completion, preserving draw order.
 type rmsg struct {
 	avail float64
@@ -347,13 +349,19 @@ type rstream struct {
 type Replayer struct {
 	t    *Trace
 	opts Options
-	det  bool // opts.Net is nil or DeterministicCosts
+	det  bool              // opts.Net is nil or DeterministicCosts
+	cnet ClassNetworkModel // opts.Net with >1 (src,dst) cost class; nil flat
+	ncls int               // cost classes priced (1 for flat nets)
+	ns   int               // unified size-table width (literals + params)
 
 	charges []float64 // params.Charges (aliased, not copied)
 
-	// Unified size tables: literal sizes first, then params.Sizes. With a
-	// deterministic net every entry is priced once per replay, so the op
-	// loop does pure array arithmetic.
+	// Unified size tables: literal sizes first, then params.Sizes; bytes
+	// holds the ns distinct wire sizes. With a deterministic net every
+	// (cost class, size) pair is priced once per replay into the price
+	// tables — entry cls*ns+u prices size u at class cls, a flat net
+	// degenerating to the single-class prefix — so the op loop does pure
+	// array arithmetic whatever the interconnect's shape.
 	bytes    []int32
 	sendSec  []float64
 	availSec []float64
@@ -480,24 +488,34 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	sameTrace := r.t == t
 	r.opts = opts
 	r.det = opts.Net == nil || netIsDeterministic(opts.Net)
+	r.cnet, r.ncls = classesOf(opts.Net)
 	r.charges = p.Charges
 
 	nlit := len(t.sizes)
 	ns := nlit + len(p.Sizes)
+	r.ns = ns
 	r.bytes = resizeI32(r.bytes, ns)
 	copy(r.bytes, t.sizes)
 	for i, b := range p.Sizes {
 		r.bytes[nlit+i] = int32(b)
 	}
 	if net := opts.Net; net != nil && r.det {
-		r.sendSec = resizeF(r.sendSec, ns)
-		r.availSec = resizeF(r.availSec, ns)
-		r.recvSec = resizeF(r.recvSec, ns)
+		r.sendSec = resizeF(r.sendSec, r.ncls*ns)
+		r.availSec = resizeF(r.availSec, r.ncls*ns)
+		r.recvSec = resizeF(r.recvSec, r.ncls*ns)
 		for i := 0; i < ns; i++ {
 			b := int(r.bytes[i])
-			r.sendSec[i] = net.SendOverhead(b, nil)
-			r.availSec[i] = net.Transit(b, nil)
-			r.recvSec[i] = net.RecvOverhead(b, nil)
+			if r.cnet == nil {
+				r.sendSec[i] = net.SendOverhead(b, nil)
+				r.availSec[i] = net.Transit(b, nil)
+				r.recvSec[i] = net.RecvOverhead(b, nil)
+				continue
+			}
+			for cls := 0; cls < r.ncls; cls++ {
+				r.sendSec[cls*ns+i] = r.cnet.SendOverheadClass(cls, b, nil)
+				r.availSec[cls*ns+i] = r.cnet.TransitClass(cls, b, nil)
+				r.recvSec[cls*ns+i] = r.cnet.RecvOverheadClass(cls, b, nil)
+			}
 		}
 	}
 
@@ -697,6 +715,7 @@ func (r *Replayer) runRank(id int) {
 	t := r.t
 	net := r.opts.Net
 	det := r.det
+	cnet, ns := r.cnet, r.ns
 	lits, charges := t.lits, r.charges
 	sendSec, availSec, recvSec := r.sendSec, r.availSec, r.recvSec
 	self := &r.rk[id]
@@ -737,27 +756,38 @@ func (r *Replayer) runRank(id int) {
 			}
 			clock += s
 		case topSendLit, topSendParam:
-			u := o.arg2
+			u := int(o.arg2)
 			if o.kind == topSendParam {
-				u += int32(len(t.sizes))
+				u += len(t.sizes)
 			}
+			dst := id + int(o.arg0)
 			start := clock
 			avail := start
 			var aux float64 // unread when net == nil
 			if net != nil {
+				ui := u // class-resolved table index: cls*ns + size index
+				if cnet != nil {
+					ui += cnet.ClassOf(id, dst) * ns
+				}
 				if det {
-					clock = start + sendSec[u]
-					avail = start + availSec[u]
-					aux = recvSec[u]
+					clock = start + sendSec[ui]
+					avail = start + availSec[ui]
+					aux = recvSec[ui]
 				} else {
 					rng := r.rng(id)
 					b := int(r.bytes[u])
-					clock = start + net.SendOverhead(b, rng)
-					avail = start + net.Transit(b, rng)
-					aux = float64(u)
+					if cnet != nil {
+						cls := ui / ns
+						clock = start + cnet.SendOverheadClass(cls, b, rng)
+						avail = start + cnet.TransitClass(cls, b, rng)
+					} else {
+						clock = start + net.SendOverhead(b, rng)
+						avail = start + net.Transit(b, rng)
+					}
+					aux = float64(ui)
 				}
 			}
-			r.deliver(id+int(o.arg0), qkey(id, int(o.arg1)), avail, aux)
+			r.deliver(dst, qkey(id, int(o.arg1)), avail, aux)
 		case topRecv:
 			k := qkey(id+int(o.arg0), int(o.arg1))
 			st := r.streamFast(id, self, k)
@@ -787,7 +817,12 @@ func (r *Replayer) runRank(id int) {
 				if det {
 					clock += m.aux
 				} else {
-					clock += net.RecvOverhead(int(r.bytes[int(m.aux)]), r.rng(id))
+					ui := int(m.aux)
+					if cnet != nil {
+						clock += cnet.RecvOverheadClass(ui/ns, int(r.bytes[ui%ns]), r.rng(id))
+					} else {
+						clock += net.RecvOverhead(int(r.bytes[ui]), r.rng(id))
+					}
 				}
 			}
 		case topReduce:

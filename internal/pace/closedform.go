@@ -1,6 +1,11 @@
 package pace
 
-import "math"
+import (
+	"math"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+)
 
 // PredictClosedForm evaluates the model analytically, without simulating
 // per-processor clocks. It exists for the paper's Section 6 speculative
@@ -51,18 +56,24 @@ func (e *Evaluator) PredictClosedForm(cfg Config) (*Prediction, error) {
 	wBlock := workPerIter / float64(steps)
 
 	// Per-stage communication overhead on the critical path: full-block
-	// message sizes through the fitted Eq. 3 curves.
+	// message sizes through the fitted Eq. 3 curves. On a hierarchical
+	// model the neighbour links of the array resolve to (src, dst) cost
+	// classes; a synchronous pipeline's saturated throughput is set by its
+	// slowest stage, so each direction is priced at the most expensive
+	// class among its links (worstLinkClasses). Flat models are class 0
+	// everywhere and skip the scan.
 	ewBytes, nsBytes := cfg.messageBytes()
 	d := cfg.Decomp
 	var cStage, transit float64
 	net := e.HW.Net()
+	ewCls, nsCls := worstLinkClasses(net, d)
 	if d.PX > 1 {
-		cStage += net.SendOverhead(ewBytes, nil) + net.RecvOverhead(ewBytes, nil)
-		transit = net.Transit(ewBytes, nil)
+		cStage += net.SendOverheadClass(ewCls, ewBytes, nil) + net.RecvOverheadClass(ewCls, ewBytes, nil)
+		transit = net.TransitClass(ewCls, ewBytes, nil)
 	}
 	if d.PY > 1 {
-		cStage += net.SendOverhead(nsBytes, nil) + net.RecvOverhead(nsBytes, nil)
-		transit = math.Max(transit, net.Transit(nsBytes, nil))
+		cStage += net.SendOverheadClass(nsCls, nsBytes, nil) + net.RecvOverheadClass(nsCls, nsBytes, nil)
+		transit = math.Max(transit, net.TransitClass(nsCls, nsBytes, nil))
 	}
 
 	fill := fillStages(d)
@@ -88,4 +99,34 @@ func (e *Evaluator) PredictClosedForm(cfg Config) (*Prediction, error) {
 		FillStages:     fill,
 		Method:         "closed-form",
 	}, nil
+}
+
+// worstLinkClasses scans the decomposition's east/west and north/south
+// neighbour links and returns the most expensive (src, dst) cost class in
+// each direction under the model's topology. The wavefront's saturated
+// period is gated by its slowest pipeline stage, so these are the classes
+// the closed form prices per-stage communication at. Single-class (flat)
+// models return (0, 0) without scanning; the scan itself is pure integer
+// arithmetic, trivial even at the >8000-rank arrays the closed form
+// serves.
+func worstLinkClasses(net mp.ClassNetworkModel, d grid.Decomp) (ew, ns int) {
+	if net.NetClasses() <= 1 {
+		return 0, 0
+	}
+	for iy := 0; iy < d.PY; iy++ {
+		for ix := 0; ix < d.PX; ix++ {
+			r := d.Rank(ix, iy)
+			if ix+1 < d.PX {
+				if c := net.ClassOf(r, d.Rank(ix+1, iy)); c > ew {
+					ew = c
+				}
+			}
+			if iy+1 < d.PY {
+				if c := net.ClassOf(r, d.Rank(ix, iy+1)); c > ns {
+					ns = c
+				}
+			}
+		}
+	}
+	return ew, ns
 }

@@ -18,8 +18,20 @@ type predKey struct {
 	cfg                  Config
 	mflops               float64
 	send, recv, pingpong platform.Piecewise
-	opcode               bool
-	sched                string
+	// hwfp is the full hardware-model fingerprint (hwmodel.Model
+	// Fingerprint): it folds the per-level curves and topology of
+	// hierarchical models, which the three flat curves above cannot
+	// distinguish — two models differing only in a deep interconnect tier
+	// must never share a memo entry. The explicit scalar fields stay
+	// alongside it so flat-model identity remains exact (not hash-based).
+	// It is recomputed per memoKey call on purpose: the drivers' shallow
+	// copy idiom (`boosted := *model; boosted.MFLOPS *= 1.25`) would carry
+	// any fingerprint cached inside Model or Evaluator into the mutated
+	// copy stale, silently colliding the copies' memo entries; the
+	// allocation-free FNV pass is cheap against even a memo hit.
+	hwfp   uint64
+	opcode bool
+	sched  string
 }
 
 // hash fingerprints the key for shard selection. It folds every field so
@@ -40,6 +52,7 @@ func (k predKey) hash() uint64 {
 	hashPiecewise(&h, k.send)
 	hashPiecewise(&h, k.recv)
 	hashPiecewise(&h, k.pingpong)
+	h.Uint64(k.hwfp)
 	h.Bool(k.opcode)
 	h.String(k.sched)
 	return h.Sum()
@@ -60,6 +73,7 @@ func (e *Evaluator) memoKey(cfg Config) predKey {
 		cfg:    cfg,
 		mflops: e.HW.MFLOPS,
 		send:   e.HW.Send, recv: e.HW.Recv, pingpong: e.HW.PingPong,
+		hwfp:   e.HW.Fingerprint(),
 		opcode: e.UseOpcodeCosts,
 		sched:  e.Scheduler,
 	}

@@ -154,6 +154,47 @@ func (p *netProxy) CostsDeterministic() bool {
 	return false
 }
 
+// The class-model surface delegates to the target when it prices per
+// (src, dst) cost class, so a pooled world serves hierarchical evaluators
+// too. mp re-reads NetClasses on every World.Reset (like the determinism
+// flag), so a proxy retargeted from a flat to a hierarchical model — or
+// back — flips the world's pricing path with it. A flat target reports a
+// single class, which keeps mp's class-free fast paths.
+func (p *netProxy) NetClasses() int {
+	if cn, ok := p.target.(mp.ClassNetworkModel); ok {
+		return cn.NetClasses()
+	}
+	return 1
+}
+
+func (p *netProxy) ClassOf(src, dst int) int {
+	if cn, ok := p.target.(mp.ClassNetworkModel); ok {
+		return cn.ClassOf(src, dst)
+	}
+	return 0
+}
+
+func (p *netProxy) SendOverheadClass(class, bytes int, rng *rand.Rand) float64 {
+	if cn, ok := p.target.(mp.ClassNetworkModel); ok {
+		return cn.SendOverheadClass(class, bytes, rng)
+	}
+	return p.target.SendOverhead(bytes, rng)
+}
+
+func (p *netProxy) RecvOverheadClass(class, bytes int, rng *rand.Rand) float64 {
+	if cn, ok := p.target.(mp.ClassNetworkModel); ok {
+		return cn.RecvOverheadClass(class, bytes, rng)
+	}
+	return p.target.RecvOverhead(bytes, rng)
+}
+
+func (p *netProxy) TransitClass(class, bytes int, rng *rand.Rand) float64 {
+	if cn, ok := p.target.(mp.ClassNetworkModel); ok {
+		return cn.TransitClass(class, bytes, rng)
+	}
+	return p.target.Transit(bytes, rng)
+}
+
 // --- idle-list upkeep (callers hold s.mu) ---
 
 func (s *evalShared) idleUnlink(pw *pooledWorld) {

@@ -26,11 +26,45 @@ import (
 // Piecewise is the paper's Eq. 3 communication curve: the transfer time of a
 // message of x bytes is B + C*x for x <= A and D + E*x for x >= A, with all
 // times in microseconds. It describes both ground-truth interconnects here
-// and fitted model curves in internal/hwmodel.
+// and fitted model curves in internal/hwmodel. The JSON form is the wire
+// representation of custom platform specs (see Spec).
 type Piecewise struct {
-	A    int     // breakpoint in bytes
-	B, C float64 // intercept (us) and slope (us/byte) below A
-	D, E float64 // intercept (us) and slope (us/byte) above A
+	A int     `json:"a"` // breakpoint in bytes
+	B float64 `json:"b"` // intercept (us) below A
+	C float64 `json:"c"` // slope (us/byte) below A
+	D float64 `json:"d"` // intercept (us) above A
+	E float64 `json:"e"` // slope (us/byte) above A
+}
+
+// Validate is the curve invariant every Eq. 3 curve in the system must
+// satisfy — predefined, fitted and API-submitted alike: finite
+// coefficients, a non-negative breakpoint and intercept, non-negative
+// slopes, and no downward jump across the breakpoint, which together make
+// the curve monotone non-decreasing in message size.
+func (p Piecewise) Validate() error {
+	for name, v := range map[string]float64{"b": p.B, "c": p.C, "d": p.D, "e": p.E} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("coefficient %s is not finite: %v", name, v)
+		}
+	}
+	if p.A < 0 {
+		return fmt.Errorf("breakpoint a must be non-negative, got %d", p.A)
+	}
+	if p.B < 0 {
+		return fmt.Errorf("intercept b must be non-negative, got %v", p.B)
+	}
+	if p.C < 0 || p.E < 0 {
+		return fmt.Errorf("slopes must be non-negative (c=%v e=%v)", p.C, p.E)
+	}
+	// Monotonicity across the breakpoint: the second segment at x=A must
+	// not undercut the first segment's value there (each segment is
+	// monotone on its own once the slopes are non-negative).
+	x := float64(p.A)
+	if p.D+p.E*x < p.B+p.C*x-1e-9 {
+		return fmt.Errorf("curve decreases across breakpoint %d: %v -> %v",
+			p.A, p.B+p.C*x, p.D+p.E*x)
+	}
+	return nil
 }
 
 // Micros evaluates the curve at a message size in bytes.
@@ -45,23 +79,150 @@ func (p Piecewise) Micros(bytes int) float64 {
 // Seconds is Micros converted to seconds.
 func (p Piecewise) Seconds(bytes int) float64 { return p.Micros(bytes) * 1e-6 }
 
+// Level is one tier of a hierarchical interconnect: the Eq. 3 curves that
+// price messages between rank pairs whose closest shared enclosure is this
+// tier (same node, same cluster, cross-cluster WAN).
+type Level struct {
+	Name     string    `json:"name,omitempty"`
+	Send     Piecewise `json:"send"`
+	Recv     Piecewise `json:"recv"`
+	PingPong Piecewise `json:"pingpong"`
+	Jitter   float64   `json:"jitter,omitempty"` // truth-only fractional jitter
+}
+
 // Interconnect is a ground-truth network: three Eq. 3 curves as produced by
 // the paper's MPI benchmark (send, receive, ping-pong round trip), plus a
 // truth-only jitter fraction modelling network load variation.
+//
+// When Levels is non-empty the interconnect is hierarchical: level 0 prices
+// rank pairs on the same node, level 1 pairs on different nodes of the same
+// cluster, and an optional level 2 pairs in different clusters (WAN). The
+// flat Send/Recv/PingPong/Jitter fields are then ignored; which level a
+// rank pair resolves to is the Topology's cost class (clamped to the last
+// level). Collectives are priced as a tree that reduces within each tier
+// before crossing the next (see Topology.ReduceHops).
 type Interconnect struct {
 	Name     string
 	Send     Piecewise // MPI_Send time at the sender
 	Recv     Piecewise // MPI_Recv completion time once the message is available
 	PingPong Piecewise // round-trip time; one-way transit is half of this
 	Jitter   float64   // truth-only: symmetric fractional jitter on comm costs
+	Levels   []Level   // non-empty: hierarchical per-class curves (see above)
+}
+
+// Hierarchical reports whether the interconnect carries per-level curves.
+func (ic Interconnect) Hierarchical() bool { return len(ic.Levels) > 0 }
+
+// level returns the curves pricing a given cost class: the matching level
+// of a hierarchical interconnect (clamped to the deepest defined level), or
+// the flat curves viewed as a single level.
+func (ic Interconnect) level(class int) Level {
+	if len(ic.Levels) == 0 {
+		return Level{Name: ic.Name, Send: ic.Send, Recv: ic.Recv, PingPong: ic.PingPong, Jitter: ic.Jitter}
+	}
+	if class >= len(ic.Levels) {
+		class = len(ic.Levels) - 1
+	}
+	if class < 0 {
+		class = 0
+	}
+	return ic.Levels[class]
+}
+
+// Topology locates ranks on a machine: consecutive runs of CoresPerNode
+// ranks share a node, and consecutive runs of NodesPerCluster nodes share a
+// cluster (NodesPerCluster == 0 means one cluster spans everything). It is
+// the (src, dst) cost-class resolver of hierarchical interconnects; class
+// values are 0 (same node), 1 (same cluster, different node) and 2
+// (different cluster). ClassOf is symmetric by construction.
+type Topology struct {
+	CoresPerNode    int `json:"cores_per_node,omitempty"`
+	NodesPerCluster int `json:"nodes_per_cluster,omitempty"`
+}
+
+// normalized substitutes the defaults (1 core per node, a single cluster).
+func (t Topology) normalized() Topology {
+	if t.CoresPerNode <= 0 {
+		t.CoresPerNode = 1
+	}
+	return t
+}
+
+// ClassOf resolves a rank pair to its topological cost class.
+func (t Topology) ClassOf(src, dst int) int {
+	t = t.normalized()
+	ns, nd := src/t.CoresPerNode, dst/t.CoresPerNode
+	if ns == nd {
+		return 0
+	}
+	if t.NodesPerCluster > 0 && ns/t.NodesPerCluster != nd/t.NodesPerCluster {
+		return 2
+	}
+	return 1
+}
+
+// Classes returns how many distinct cost classes the topology can produce:
+// 1 for a single shared node, 2 with multiple nodes, 3 with multiple
+// clusters. The caller's world size is not known here, so this is the
+// upper bound the topology's structure admits.
+func (t Topology) Classes() int {
+	t = t.normalized()
+	if t.NodesPerCluster > 0 {
+		return 3
+	}
+	return 2
+}
+
+// ReduceHops returns the per-level hop counts of a hierarchical reduction
+// tree over p ranks: ranks reduce within their node (a log2 tree over at
+// most CoresPerNode participants), node roots within their cluster, and
+// cluster roots across the WAN. Level l contributes hops[l] one-way
+// small-message hops priced by that level's curves. A flat topology (one
+// level) degenerates to the plain ceil(log2 p) tree.
+func (t Topology) ReduceHops(p, levels int) []int {
+	t = t.normalized()
+	hops := make([]int, levels)
+	if p <= 1 || levels == 0 {
+		return hops
+	}
+	logTree := func(n int) int {
+		if n <= 1 {
+			return 0
+		}
+		return int(math.Ceil(math.Log2(float64(n))))
+	}
+	if levels == 1 {
+		hops[0] = logTree(p)
+		return hops
+	}
+	// Level 0: within-node trees over min(p, CoresPerNode) participants.
+	group := minI(p, t.CoresPerNode)
+	hops[0] = logTree(group)
+	nodes := (p + t.CoresPerNode - 1) / t.CoresPerNode
+	if levels == 2 || t.NodesPerCluster <= 0 {
+		hops[1] = logTree(nodes)
+		return hops
+	}
+	// Level 1: node roots within their cluster; level 2: cluster roots.
+	hops[1] = logTree(minI(nodes, t.NodesPerCluster))
+	clusters := (nodes + t.NodesPerCluster - 1) / t.NodesPerCluster
+	hops[2] = logTree(clusters)
+	return hops
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // RatePoint anchors the achieved floating-point rate curve at a working-set
 // size (cells per processor). Rates between anchors are interpolated
 // linearly in log10(cells); outside the range the nearest anchor holds.
 type RatePoint struct {
-	CellsPerProc int
-	MFLOPS       float64
+	CellsPerProc int     `json:"cells_per_proc"`
+	MFLOPS       float64 `json:"mflops"`
 }
 
 // Processor is a ground-truth CPU description.
@@ -136,9 +297,40 @@ type Platform struct {
 	Proc         Processor
 	Net          Interconnect
 	CoresPerNode int
-	Truth        Truth
+	// NodesPerCluster groups nodes into clusters for the optional WAN
+	// level of a hierarchical interconnect; 0 means a single cluster.
+	NodesPerCluster int
+	Truth           Truth
 	// Description mirrors the paper's table captions.
 	Description string
+}
+
+// Topology returns the platform's rank-placement topology (the (src, dst)
+// cost-class resolver of hierarchical interconnects).
+func (pl Platform) Topology() Topology {
+	return Topology{CoresPerNode: pl.CoresPerNode, NodesPerCluster: pl.NodesPerCluster}.normalized()
+}
+
+// FlattenedAt returns a copy of the platform whose interconnect is the
+// given level of its hierarchy viewed as a flat network — every rank pair
+// priced by that level's curves regardless of placement. This is how the
+// benchmarking pipeline "pins" its probe processes to one tier (same node,
+// different nodes, different clusters) to fit each level's curves, and how
+// tests build the flattened single-class equivalent of a hierarchical
+// system. On a flat platform it returns the platform unchanged.
+func (pl Platform) FlattenedAt(class int) Platform {
+	if !pl.Net.Hierarchical() {
+		return pl
+	}
+	lv := pl.Net.level(class)
+	pl.Net = Interconnect{
+		Name:     pl.Net.Name + "/" + lv.Name,
+		Send:     lv.Send,
+		Recv:     lv.Recv,
+		PingPong: lv.PingPong,
+		Jitter:   lv.Jitter,
+	}
+	return pl
 }
 
 // SecondsPerCellAngle returns the ground-truth compute cost of one
@@ -156,54 +348,125 @@ func (pl Platform) SecondsPerCellAngle(flopsPerCellAngle float64, cellsPerProc i
 // --- Adapters onto the mp runtime ---
 
 // NetModel adapts the interconnect to mp.NetworkModel. If jitter is false
-// the curves are used exactly (useful for model-equivalence tests).
+// the curves are used exactly (useful for model-equivalence tests). On a
+// hierarchical interconnect the returned model also implements
+// mp.ClassNetworkModel: the platform's Topology resolves each (src, dst)
+// pair to a cost class priced by the matching level's curves.
 func (pl Platform) NetModel(jitter bool) *TruthNet {
-	return &TruthNet{ic: pl.Net, jitter: jitter}
+	return &TruthNet{ic: pl.Net, topo: pl.Topology(), jitter: jitter}
 }
 
 // TruthNet prices messages from ground-truth interconnect curves.
 type TruthNet struct {
 	ic     Interconnect
+	topo   Topology
 	jitter bool
 }
 
 // CostsDeterministic implements mp.DeterministicCosts: without jitter the
-// truth curves are pure functions of the size, so the runtime may use its
-// per-size memo fast path.
-func (t *TruthNet) CostsDeterministic() bool { return !t.jitter || t.ic.Jitter == 0 }
-
-func (t *TruthNet) perturb(s float64, rng *rand.Rand) float64 {
-	if !t.jitter || t.ic.Jitter == 0 {
-		return s
+// truth curves are pure functions of (class, size), so the runtime may use
+// its per-size memo fast path.
+func (t *TruthNet) CostsDeterministic() bool {
+	if !t.jitter {
+		return true
 	}
-	return s * (1 + t.ic.Jitter*(2*rng.Float64()-1))
+	if !t.ic.Hierarchical() {
+		return t.ic.Jitter == 0
+	}
+	for _, lv := range t.ic.Levels {
+		if lv.Jitter != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// SendOverhead implements mp.NetworkModel.
+func (t *TruthNet) perturb(s, jitter float64, rng *rand.Rand) float64 {
+	if !t.jitter || jitter == 0 {
+		return s
+	}
+	return s * (1 + jitter*(2*rng.Float64()-1))
+}
+
+// NetClasses implements mp.ClassNetworkModel: the number of distinct cost
+// classes point-to-point pricing can produce. A flat interconnect is a
+// single class, so the runtime keeps its class-free fast path.
+func (t *TruthNet) NetClasses() int {
+	if !t.ic.Hierarchical() {
+		return 1
+	}
+	return minI(len(t.ic.Levels), t.topo.Classes())
+}
+
+// ClassOf implements mp.ClassNetworkModel: the topological class of a rank
+// pair, clamped to the interconnect's deepest level.
+func (t *TruthNet) ClassOf(src, dst int) int {
+	c := t.topo.ClassOf(src, dst)
+	if n := t.NetClasses(); c >= n {
+		c = n - 1
+	}
+	return c
+}
+
+// SendOverheadClass implements mp.ClassNetworkModel.
+func (t *TruthNet) SendOverheadClass(class, bytes int, rng *rand.Rand) float64 {
+	lv := t.ic.level(class)
+	return t.perturb(lv.Send.Seconds(bytes), lv.Jitter, rng)
+}
+
+// RecvOverheadClass implements mp.ClassNetworkModel.
+func (t *TruthNet) RecvOverheadClass(class, bytes int, rng *rand.Rand) float64 {
+	lv := t.ic.level(class)
+	return t.perturb(lv.Recv.Seconds(bytes), lv.Jitter, rng)
+}
+
+// TransitClass implements mp.ClassNetworkModel.
+func (t *TruthNet) TransitClass(class, bytes int, rng *rand.Rand) float64 {
+	lv := t.ic.level(class)
+	return t.perturb(lv.PingPong.Seconds(bytes)/2, lv.Jitter, rng)
+}
+
+// SendOverhead implements mp.NetworkModel, pricing class 0 (hierarchical
+// interconnects are priced per class by the runtime through the
+// ClassNetworkModel methods; the size-only methods exist for class-unaware
+// consumers such as the two-rank benchmark worlds).
 func (t *TruthNet) SendOverhead(bytes int, rng *rand.Rand) float64 {
-	return t.perturb(t.ic.Send.Seconds(bytes), rng)
+	return t.SendOverheadClass(0, bytes, rng)
 }
 
 // RecvOverhead implements mp.NetworkModel.
 func (t *TruthNet) RecvOverhead(bytes int, rng *rand.Rand) float64 {
-	return t.perturb(t.ic.Recv.Seconds(bytes), rng)
+	return t.RecvOverheadClass(0, bytes, rng)
 }
 
 // Transit implements mp.NetworkModel: one-way transit is half the ping-pong
 // round trip.
 func (t *TruthNet) Transit(bytes int, rng *rand.Rand) float64 {
-	return t.perturb(t.ic.PingPong.Seconds(bytes)/2, rng)
+	return t.TransitClass(0, bytes, rng)
 }
 
-// ReduceCost implements mp.NetworkModel with a binomial-tree reduction:
-// ceil(log2 p) one-way small-message hops.
+// ReduceCost implements mp.NetworkModel. On a flat interconnect it is a
+// binomial tree of ceil(log2 p) one-way small-message hops; on a
+// hierarchical one the tree reduces within each tier before crossing the
+// next, each tier's hops priced by its own curves (Topology.reduceHops).
 func (t *TruthNet) ReduceCost(p, bytes int, rng *rand.Rand) float64 {
 	if p <= 1 {
 		return 0
 	}
-	hops := math.Ceil(math.Log2(float64(p)))
-	per := t.ic.PingPong.Seconds(bytes+16) / 2
-	return t.perturb(hops*per, rng)
+	if !t.ic.Hierarchical() {
+		hops := math.Ceil(math.Log2(float64(p)))
+		per := t.ic.PingPong.Seconds(bytes+16) / 2
+		return t.perturb(hops*per, t.ic.Jitter, rng)
+	}
+	total := 0.0
+	for l, hops := range t.topo.ReduceHops(p, len(t.ic.Levels)) {
+		if hops == 0 {
+			continue
+		}
+		lv := t.ic.level(l)
+		total += t.perturb(float64(hops)*lv.PingPong.Seconds(bytes+16)/2, lv.Jitter, rng)
+	}
+	return total
 }
 
 // Noise returns the platform's compute-noise model for mp, or nil when the
@@ -295,10 +558,13 @@ func AltixNUMAlink() Platform {
 			},
 		},
 		Net: Interconnect{
-			Name:     "SGI NUMAlink 4",
-			Send:     Piecewise{A: 2048, B: 1.2, C: 0.00080, D: 1.8, E: 0.00055},
-			Recv:     Piecewise{A: 2048, B: 1.4, C: 0.00080, D: 2.0, E: 0.00055},
-			PingPong: Piecewise{A: 2048, B: 3.4, C: 0.00200, D: 4.6, E: 0.00120},
+			Name: "SGI NUMAlink 4",
+			Send: Piecewise{A: 2048, B: 1.2, C: 0.00080, D: 1.8, E: 0.00055},
+			Recv: Piecewise{A: 2048, B: 1.4, C: 0.00080, D: 2.0, E: 0.00055},
+			// D chosen so the curve stays monotone across the breakpoint
+			// (D + E*A >= B + C*A), the invariant Piecewise.Validate now
+			// enforces on every curve in the system.
+			PingPong: Piecewise{A: 2048, B: 3.4, C: 0.00200, D: 5.1, E: 0.00120},
 			Jitter:   0.03,
 		},
 		CoresPerNode: 56,
@@ -358,14 +624,11 @@ func gigE() Interconnect {
 	}
 }
 
-// ByName returns a predefined platform by its Name field.
+// ByName returns a platform by name from the default registry: the four
+// predefined systems plus any custom specs registered into it
+// (DefaultRegistry().Register). It is no longer limited to the built-ins.
 func ByName(name string) (Platform, error) {
-	for _, p := range All() {
-		if p.Name == name {
-			return p, nil
-		}
-	}
-	return Platform{}, fmt.Errorf("platform: unknown platform %q (have %v)", name, Names())
+	return DefaultRegistry().Platform(name)
 }
 
 // All returns every predefined platform.

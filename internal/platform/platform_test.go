@@ -32,12 +32,17 @@ func TestPiecewiseEvaluation(t *testing.T) {
 }
 
 func TestPiecewiseMonotoneProperty(t *testing.T) {
-	// All predefined platform curves must be monotone non-decreasing in
-	// message size (a sanity requirement on curve parameters).
+	// All predefined platform curves must satisfy the exported invariant
+	// (Piecewise.Validate) — the same gate the serving API applies to
+	// custom specs — and the invariant must actually imply monotone
+	// non-decreasing evaluation, checked here by property test.
 	for _, pl := range All() {
 		for name, c := range map[string]Piecewise{
 			"send": pl.Net.Send, "recv": pl.Net.Recv, "pingpong": pl.Net.PingPong,
 		} {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s %s curve fails the invariant: %v", pl.Name, name, err)
+			}
 			f := func(a, b uint32) bool {
 				x, y := int(a%1_000_000), int(b%1_000_000)
 				if x > y {
@@ -47,6 +52,11 @@ func TestPiecewiseMonotoneProperty(t *testing.T) {
 			}
 			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 				t.Errorf("%s %s curve not monotone: %v", pl.Name, name, err)
+			}
+			// The breakpoint crossing is the one place the random sampler
+			// is unlikely to probe; check it exactly.
+			if c.Micros(c.A) > c.Micros(c.A+1)+1e-9 {
+				t.Errorf("%s %s curve decreases across its breakpoint", pl.Name, name)
 			}
 		}
 	}

@@ -1,0 +1,416 @@
+package platform
+
+// A platform is data, not code: Spec is the serialisable description of a
+// complete system — achieved-rate curve, Eq. 3 interconnect levels,
+// optional truth-side noise — from which a ground-truth Platform is
+// materialised. The four systems of the paper are built-in specs in the
+// default Registry; custom systems arrive as JSON over the paceserve API
+// (procurement what-ifs) or from -platform-spec files in the CLIs, pass
+// the same Validate gate, and from there flow through the identical
+// benchmarking/fitting/evaluation pipeline as the built-ins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ProcSpec is the serialisable processor description of a Spec.
+type ProcSpec struct {
+	Name     string  `json:"name,omitempty"`
+	ClockGHz float64 `json:"clock_ghz,omitempty"`
+	// Rates anchors the achieved flop rate versus working set, ascending in
+	// CellsPerProc (Processor.Rates).
+	Rates []RatePoint `json:"rates"`
+	// OpcodeCycles feeds the old per-opcode ablation path; optional.
+	OpcodeCycles map[string]float64 `json:"opcode_cycles,omitempty"`
+}
+
+// NetSpec is the serialisable interconnect description of a Spec: one
+// level is a flat network, two levels an intra-node/inter-node hierarchy,
+// three levels add a cross-cluster WAN tier.
+type NetSpec struct {
+	Name   string  `json:"name,omitempty"`
+	Levels []Level `json:"levels"`
+}
+
+// TruthSpec carries the optional truth-side knobs of a Spec (invisible to
+// the fitted model; see Truth).
+type TruthSpec struct {
+	ParallelRateBias float64 `json:"parallel_rate_bias,omitempty"`
+	NoiseFrac        float64 `json:"noise_frac,omitempty"`
+	LoadFrac         float64 `json:"load_frac,omitempty"`
+}
+
+// Spec is a complete serialisable platform description.
+type Spec struct {
+	Name            string     `json:"name"`
+	Description     string     `json:"description,omitempty"`
+	CoresPerNode    int        `json:"cores_per_node,omitempty"`    // default 1
+	NodesPerCluster int        `json:"nodes_per_cluster,omitempty"` // 0: single cluster
+	Processor       ProcSpec   `json:"processor"`
+	Interconnect    NetSpec    `json:"interconnect"`
+	Truth           *TruthSpec `json:"truth,omitempty"`
+}
+
+// MaxLevels bounds the interconnect hierarchy depth a Spec may declare:
+// intra-node, inter-node, WAN.
+const MaxLevels = 3
+
+// Validate checks every invariant a platform description must satisfy
+// before it can price a simulation: a name, a plausible rate curve
+// (positive rates, strictly ascending working sets), a 1..MaxLevels-deep
+// interconnect whose Eq. 3 curves are each monotone non-decreasing with
+// finite coefficients (Piecewise.Validate), sane jitter/noise fractions,
+// and a consistent topology. It is the single gate shared by the registry,
+// the serving API boundary and the CLI spec loaders.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("platform spec: name is required")
+	}
+	if s.CoresPerNode < 0 {
+		return fmt.Errorf("platform spec %q: cores_per_node must be non-negative, got %d", s.Name, s.CoresPerNode)
+	}
+	if s.NodesPerCluster < 0 {
+		return fmt.Errorf("platform spec %q: nodes_per_cluster must be non-negative, got %d", s.Name, s.NodesPerCluster)
+	}
+	if len(s.Processor.Rates) == 0 {
+		return fmt.Errorf("platform spec %q: processor.rates must be non-empty", s.Name)
+	}
+	prev := 0
+	for i, r := range s.Processor.Rates {
+		if r.MFLOPS <= 0 || math.IsNaN(r.MFLOPS) || math.IsInf(r.MFLOPS, 0) {
+			return fmt.Errorf("platform spec %q: processor.rates[%d].mflops must be positive and finite, got %v", s.Name, i, r.MFLOPS)
+		}
+		if r.CellsPerProc <= prev {
+			return fmt.Errorf("platform spec %q: processor.rates[%d].cells_per_proc must be positive and strictly ascending", s.Name, i)
+		}
+		prev = r.CellsPerProc
+	}
+	if s.Processor.ClockGHz < 0 || math.IsNaN(s.Processor.ClockGHz) || math.IsInf(s.Processor.ClockGHz, 0) {
+		return fmt.Errorf("platform spec %q: processor.clock_ghz must be non-negative and finite", s.Name)
+	}
+	nl := len(s.Interconnect.Levels)
+	if nl == 0 {
+		return fmt.Errorf("platform spec %q: interconnect.levels must hold 1 (flat) to %d (hierarchical) levels", s.Name, MaxLevels)
+	}
+	if nl > MaxLevels {
+		return fmt.Errorf("platform spec %q: interconnect.levels holds %d levels, maximum %d", s.Name, nl, MaxLevels)
+	}
+	if nl > 1 && s.CoresPerNode <= 1 {
+		return fmt.Errorf("platform spec %q: a hierarchical interconnect needs cores_per_node > 1 to place ranks", s.Name)
+	}
+	if nl > 2 && s.NodesPerCluster <= 1 {
+		return fmt.Errorf("platform spec %q: a WAN level needs nodes_per_cluster > 1 to place nodes", s.Name)
+	}
+	for i, lv := range s.Interconnect.Levels {
+		for part, c := range map[string]Piecewise{"send": lv.Send, "recv": lv.Recv, "pingpong": lv.PingPong} {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("platform spec %q: interconnect.levels[%d].%s: %w", s.Name, i, part, err)
+			}
+			if c == (Piecewise{}) {
+				return fmt.Errorf("platform spec %q: interconnect.levels[%d].%s curve is missing", s.Name, i, part)
+			}
+		}
+		if lv.Jitter < 0 || lv.Jitter >= 1 || math.IsNaN(lv.Jitter) {
+			return fmt.Errorf("platform spec %q: interconnect.levels[%d].jitter must be in [0, 1), got %v", s.Name, i, lv.Jitter)
+		}
+	}
+	if t := s.Truth; t != nil {
+		if t.ParallelRateBias <= -1 || math.IsNaN(t.ParallelRateBias) || math.IsInf(t.ParallelRateBias, 0) {
+			return fmt.Errorf("platform spec %q: truth.parallel_rate_bias must be > -1 and finite", s.Name)
+		}
+		if t.NoiseFrac < 0 || t.NoiseFrac >= 1 || math.IsNaN(t.NoiseFrac) {
+			return fmt.Errorf("platform spec %q: truth.noise_frac must be in [0, 1)", s.Name)
+		}
+		if t.LoadFrac < 0 || t.LoadFrac >= 1 || math.IsNaN(t.LoadFrac) {
+			return fmt.Errorf("platform spec %q: truth.load_frac must be in [0, 1)", s.Name)
+		}
+	}
+	return nil
+}
+
+// Hierarchical reports whether the spec declares more than one
+// interconnect level.
+func (s Spec) Hierarchical() bool { return len(s.Interconnect.Levels) > 1 }
+
+// Platform materialises the ground-truth Platform the spec describes.
+// The spec must Validate.
+func (s Spec) Platform() (Platform, error) {
+	if err := s.Validate(); err != nil {
+		return Platform{}, err
+	}
+	cores := s.CoresPerNode
+	if cores <= 0 {
+		cores = 1
+	}
+	pl := Platform{
+		Name:            s.Name,
+		Description:     s.Description,
+		CoresPerNode:    cores,
+		NodesPerCluster: s.NodesPerCluster,
+		Proc: Processor{
+			Name:         s.Processor.Name,
+			ClockGHz:     s.Processor.ClockGHz,
+			Rates:        append([]RatePoint(nil), s.Processor.Rates...),
+			OpcodeCycles: s.Processor.OpcodeCycles,
+		},
+	}
+	if t := s.Truth; t != nil {
+		pl.Truth = Truth{ParallelRateBias: t.ParallelRateBias, NoiseFrac: t.NoiseFrac, LoadFrac: t.LoadFrac}
+	}
+	if len(s.Interconnect.Levels) == 1 {
+		lv := s.Interconnect.Levels[0]
+		name := s.Interconnect.Name
+		if name == "" {
+			name = lv.Name
+		}
+		pl.Net = Interconnect{
+			Name: name, Send: lv.Send, Recv: lv.Recv, PingPong: lv.PingPong, Jitter: lv.Jitter,
+		}
+	} else {
+		pl.Net = Interconnect{
+			Name:   s.Interconnect.Name,
+			Levels: append([]Level(nil), s.Interconnect.Levels...),
+		}
+	}
+	return pl, nil
+}
+
+// SpecOf is the inverse of Spec.Platform: the serialisable description of
+// a Platform (truth knobs included — specs are ground-truth descriptions).
+func SpecOf(pl Platform) Spec {
+	s := Spec{
+		Name:            pl.Name,
+		Description:     pl.Description,
+		CoresPerNode:    pl.CoresPerNode,
+		NodesPerCluster: pl.NodesPerCluster,
+		Processor: ProcSpec{
+			Name:         pl.Proc.Name,
+			ClockGHz:     pl.Proc.ClockGHz,
+			Rates:        append([]RatePoint(nil), pl.Proc.Rates...),
+			OpcodeCycles: pl.Proc.OpcodeCycles,
+		},
+		Interconnect: NetSpec{Name: pl.Net.Name},
+	}
+	if pl.Net.Hierarchical() {
+		s.Interconnect.Levels = append([]Level(nil), pl.Net.Levels...)
+	} else {
+		s.Interconnect.Levels = []Level{{
+			Name: pl.Net.Name, Send: pl.Net.Send, Recv: pl.Net.Recv,
+			PingPong: pl.Net.PingPong, Jitter: pl.Net.Jitter,
+		}}
+	}
+	if pl.Truth != (Truth{}) {
+		s.Truth = &TruthSpec{
+			ParallelRateBias: pl.Truth.ParallelRateBias,
+			NoiseFrac:        pl.Truth.NoiseFrac,
+			LoadFrac:         pl.Truth.LoadFrac,
+		}
+	}
+	return s
+}
+
+// --- fingerprinting ---
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type fnv struct{ h uint64 }
+
+func (f *fnv) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h ^= v & 0xff
+		f.h *= fnvPrime64
+		v >>= 8
+	}
+}
+func (f *fnv) float(v float64) { f.word(math.Float64bits(v)) }
+func (f *fnv) str(s string) {
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= fnvPrime64
+	}
+	f.word(uint64(len(s)))
+}
+func (f *fnv) curve(p Piecewise) {
+	f.word(uint64(p.A))
+	f.float(p.B)
+	f.float(p.C)
+	f.float(p.D)
+	f.float(p.E)
+}
+
+// Fingerprint is a stable 64-bit hash over every field of the spec that
+// can change a simulation or prediction. Equal fingerprints are treated as
+// equal specs by the serving layer's evaluator cache, singleflight and
+// ETags, so every semantic field is folded in a fixed order.
+func (s Spec) Fingerprint() uint64 {
+	f := fnv{h: fnvOffset64}
+	f.str(s.Name)
+	f.str(s.Description)
+	f.word(uint64(s.CoresPerNode))
+	f.word(uint64(s.NodesPerCluster))
+	f.str(s.Processor.Name)
+	f.float(s.Processor.ClockGHz)
+	f.word(uint64(len(s.Processor.Rates)))
+	for _, r := range s.Processor.Rates {
+		f.word(uint64(r.CellsPerProc))
+		f.float(r.MFLOPS)
+	}
+	ops := make([]string, 0, len(s.Processor.OpcodeCycles))
+	for op := range s.Processor.OpcodeCycles {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		f.str(op)
+		f.float(s.Processor.OpcodeCycles[op])
+	}
+	f.str(s.Interconnect.Name)
+	f.word(uint64(len(s.Interconnect.Levels)))
+	for _, lv := range s.Interconnect.Levels {
+		f.str(lv.Name)
+		f.curve(lv.Send)
+		f.curve(lv.Recv)
+		f.curve(lv.PingPong)
+		f.float(lv.Jitter)
+	}
+	// An all-zero Truth block means the same platform as no Truth block at
+	// all (Spec.Platform produces identical results), so both spellings
+	// must share a fingerprint — otherwise a client writing "truth":{}
+	// would fit, cache and ETag the identical platform twice.
+	if t := s.Truth; t != nil && *t != (TruthSpec{}) {
+		f.word(1)
+		f.float(t.ParallelRateBias)
+		f.float(t.NoiseFrac)
+		f.float(t.LoadFrac)
+	}
+	return f.h
+}
+
+// FingerprintHex renders the fingerprint as the fixed-width hex token used
+// in cache keys and response fingerprints.
+func (s Spec) FingerprintHex() string { return fmt.Sprintf("%016x", s.Fingerprint()) }
+
+// LoadSpecFile reads and validates a platform Spec from a JSON file — the
+// CLI side of the custom-platform path.
+func LoadSpecFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("platform spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// --- registry ---
+
+// Registry is a named collection of validated platform specs: the built-in
+// systems of the paper plus whatever custom systems have been registered
+// (paceserve -register, tests). It is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]Spec
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]Spec)}
+}
+
+// BuiltinRegistry returns a fresh registry seeded with the four predefined
+// systems of the paper.
+func BuiltinRegistry() *Registry {
+	r := NewRegistry()
+	for _, pl := range All() {
+		if err := r.Register(SpecOf(pl)); err != nil {
+			// The built-in constructors must always produce valid specs; a
+			// failure here is a programming error, not an input error.
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Register validates and adds a spec. Re-registering a name with an
+// identical fingerprint is a no-op; a different spec under an existing
+// name is rejected (names are cache identities downstream).
+func (r *Registry) Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.specs[s.Name]; ok {
+		if old.Fingerprint() == s.Fingerprint() {
+			return nil
+		}
+		return fmt.Errorf("platform registry: %q is already registered with a different spec", s.Name)
+	}
+	r.specs[s.Name] = s
+	r.order = append(r.order, s.Name)
+	return nil
+}
+
+// Get returns the named spec.
+func (r *Registry) Get(name string) (Spec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Platform materialises the named spec's ground-truth platform.
+func (r *Registry) Platform(name string) (Platform, error) {
+	s, ok := r.Get(name)
+	if !ok {
+		return Platform{}, fmt.Errorf("platform: unknown platform %q (have %v)", name, r.Names())
+	}
+	return s.Platform()
+}
+
+// Names lists the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Specs lists the registered specs in registration order.
+func (r *Registry) Specs() []Spec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Spec, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.specs[name])
+	}
+	return out
+}
+
+// defaultRegistry is the process-wide registry behind ByName and
+// DefaultRegistry, seeded lazily with the built-ins.
+var (
+	defaultRegistryOnce sync.Once
+	defaultRegistry     *Registry
+)
+
+// DefaultRegistry returns the process-wide registry, seeded with the four
+// predefined systems. CLIs register -platform-spec files into it so every
+// ByName lookup — the experiment drivers' included — resolves them.
+func DefaultRegistry() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = BuiltinRegistry() })
+	return defaultRegistry
+}

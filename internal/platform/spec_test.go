@@ -1,0 +1,332 @@
+package platform
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validSpec returns a minimal valid flat spec for mutation-based tests.
+func validSpec() Spec {
+	return Spec{
+		Name:         "Test-Flat",
+		CoresPerNode: 2,
+		Processor: ProcSpec{
+			Rates: []RatePoint{{2500, 200}, {125000, 180}},
+		},
+		Interconnect: NetSpec{
+			Levels: []Level{{
+				Name:     "net",
+				Send:     Piecewise{A: 512, B: 5, C: 0.01, D: 8, E: 0.005},
+				Recv:     Piecewise{A: 512, B: 6, C: 0.01, D: 9, E: 0.005},
+				PingPong: Piecewise{A: 512, B: 20, C: 0.02, D: 26, E: 0.01},
+			}},
+		},
+	}
+}
+
+// hierSpec returns a valid two-level (intra/inter-node) spec.
+func hierSpec() Spec {
+	s := validSpec()
+	s.Name = "Test-Hier"
+	s.CoresPerNode = 4
+	fast := Level{
+		Name:     "intra",
+		Send:     Piecewise{A: 1024, B: 0.8, C: 0.0008, D: 1.2, E: 0.0005},
+		Recv:     Piecewise{A: 1024, B: 0.9, C: 0.0008, D: 1.3, E: 0.0005},
+		PingPong: Piecewise{A: 1024, B: 2.2, C: 0.002, D: 3.2, E: 0.0012},
+	}
+	slow := Level{
+		Name:     "inter",
+		Send:     Piecewise{A: 512, B: 6, C: 0.008, D: 8, E: 0.0042},
+		Recv:     Piecewise{A: 512, B: 7, C: 0.008, D: 9, E: 0.0042},
+		PingPong: Piecewise{A: 512, B: 26, C: 0.02, D: 32, E: 0.0088},
+	}
+	s.Interconnect = NetSpec{Name: "hier", Levels: []Level{fast, slow}}
+	return s
+}
+
+// TestSpecValidateTable is the table-driven boundary-validation suite the
+// serving layer's 400 responses sit on: each mutation must be rejected
+// with a descriptive error.
+func TestSpecValidateTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty-name", func(s *Spec) { s.Name = "" }},
+		{"no-rates", func(s *Spec) { s.Processor.Rates = nil }},
+		{"non-positive-rate", func(s *Spec) { s.Processor.Rates[0].MFLOPS = 0 }},
+		{"nan-rate", func(s *Spec) { s.Processor.Rates[0].MFLOPS = math.NaN() }},
+		{"inf-rate", func(s *Spec) { s.Processor.Rates[1].MFLOPS = math.Inf(1) }},
+		{"unsorted-rates", func(s *Spec) { s.Processor.Rates[1].CellsPerProc = s.Processor.Rates[0].CellsPerProc }},
+		{"zero-cells", func(s *Spec) { s.Processor.Rates[0].CellsPerProc = 0 }},
+		{"negative-cores", func(s *Spec) { s.CoresPerNode = -1 }},
+		{"negative-clock", func(s *Spec) { s.Processor.ClockGHz = -2 }},
+		{"no-levels", func(s *Spec) { s.Interconnect.Levels = nil }},
+		{"too-many-levels", func(s *Spec) {
+			lv := s.Interconnect.Levels[0]
+			s.Interconnect.Levels = []Level{lv, lv, lv, lv}
+		}},
+		{"missing-curve", func(s *Spec) { s.Interconnect.Levels[0].PingPong = Piecewise{} }},
+		{"negative-slope", func(s *Spec) { s.Interconnect.Levels[0].Send.C = -0.1 }},
+		{"negative-intercept", func(s *Spec) { s.Interconnect.Levels[0].Recv.B = -1 }},
+		{"nan-coefficient", func(s *Spec) { s.Interconnect.Levels[0].Send.D = math.NaN() }},
+		{"inf-coefficient", func(s *Spec) { s.Interconnect.Levels[0].Recv.E = math.Inf(1) }},
+		{"negative-breakpoint", func(s *Spec) { s.Interconnect.Levels[0].Send.A = -5 }},
+		{"breakpoint-drop", func(s *Spec) {
+			// Value above the breakpoint undercuts the value at it.
+			s.Interconnect.Levels[0].Send = Piecewise{A: 1000, B: 10, C: 0.01, D: 1, E: 0.001}
+		}},
+		{"jitter-too-big", func(s *Spec) { s.Interconnect.Levels[0].Jitter = 1.5 }},
+		{"negative-jitter", func(s *Spec) { s.Interconnect.Levels[0].Jitter = -0.1 }},
+		{"hier-without-nodes", func(s *Spec) {
+			*s = hierSpec()
+			s.CoresPerNode = 1
+		}},
+		{"wan-without-clusters", func(s *Spec) {
+			*s = hierSpec()
+			s.Interconnect.Levels = append(s.Interconnect.Levels, s.Interconnect.Levels[1])
+			s.NodesPerCluster = 0
+		}},
+		{"bad-noise", func(s *Spec) { s.Truth = &TruthSpec{NoiseFrac: 1.2} }},
+		{"bad-load", func(s *Spec) { s.Truth = &TruthSpec{LoadFrac: -0.5} }},
+		{"bad-bias", func(s *Spec) { s.Truth = &TruthSpec{ParallelRateBias: -1.5} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec()
+			c.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("spec %+v validated, want error", s)
+			}
+		})
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("base spec must validate: %v", err)
+	}
+	if err := hierSpec().Validate(); err != nil {
+		t.Fatalf("hierarchical spec must validate: %v", err)
+	}
+}
+
+func TestSpecPlatformRoundTrip(t *testing.T) {
+	// Every built-in platform must survive Platform -> Spec -> Platform,
+	// and the spec form must validate (the gate built-ins share with
+	// custom submissions).
+	for _, pl := range All() {
+		s := SpecOf(pl)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: built-in spec invalid: %v", pl.Name, err)
+		}
+		back, err := s.Platform()
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name, err)
+		}
+		if back.Name != pl.Name || back.CoresPerNode != pl.CoresPerNode ||
+			back.Truth != pl.Truth || back.Net.Send != pl.Net.Send ||
+			back.Net.PingPong != pl.Net.PingPong {
+			t.Errorf("%s: round trip changed the platform:\n got %+v\nwant %+v", pl.Name, back, pl)
+		}
+		if back.Proc.MFLOPSAt(125000) != pl.Proc.MFLOPSAt(125000) {
+			t.Errorf("%s: round trip changed the rate curve", pl.Name)
+		}
+	}
+}
+
+func TestSpecFingerprint(t *testing.T) {
+	a, b := validSpec(), validSpec()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs must share a fingerprint")
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "other" },
+		func(s *Spec) { s.CoresPerNode = 8 },
+		func(s *Spec) { s.Processor.Rates[0].MFLOPS = 201 },
+		func(s *Spec) { s.Interconnect.Levels[0].Send.B = 5.001 },
+		func(s *Spec) { s.Interconnect.Levels[0].Jitter = 0.01 },
+		func(s *Spec) { s.Truth = &TruthSpec{NoiseFrac: 0.01} },
+		func(s *Spec) { *s = hierSpec() },
+	}
+	seen := map[uint64]string{a.Fingerprint(): "base"}
+	for i, m := range mutations {
+		s := validSpec()
+		m(&s)
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %d collides with %s", i, prev)
+		}
+		seen[fp] = s.Name
+	}
+	if len(a.FingerprintHex()) != 16 {
+		t.Errorf("hex fingerprint = %q, want 16 chars", a.FingerprintHex())
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := hierSpec()
+	s.Truth = &TruthSpec{ParallelRateBias: 0.05, NoiseFrac: 0.01, LoadFrac: 0.02}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != s.Fingerprint() {
+		t.Fatalf("JSON round trip changed the fingerprint:\n%s", data)
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, _ := json.Marshal(hierSpec())
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSpecFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "Test-Hier" || !s.Hierarchical() {
+		t.Errorf("loaded spec = %+v", s)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name":"x"}`), 0o644)
+	if _, err := LoadSpecFile(bad); err == nil {
+		t.Error("invalid spec file must fail to load")
+	}
+	if _, err := LoadSpecFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must fail to load")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := BuiltinRegistry()
+	if got, want := len(r.Names()), len(All()); got != want {
+		t.Fatalf("builtin registry holds %d specs, want %d", got, want)
+	}
+	for _, name := range Names() {
+		pl, err := r.Platform(name)
+		if err != nil {
+			t.Fatalf("registry lookup %q: %v", name, err)
+		}
+		if pl.Name != name {
+			t.Errorf("registry returned %q for %q", pl.Name, name)
+		}
+	}
+	custom := hierSpec()
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("Test-Hier"); !ok {
+		t.Fatal("registered spec not found")
+	}
+	// Idempotent re-registration of the identical spec.
+	if err := r.Register(custom); err != nil {
+		t.Fatalf("identical re-registration: %v", err)
+	}
+	// A different spec under the same name is rejected.
+	clash := custom
+	clash.CoresPerNode = 16
+	if err := r.Register(clash); err == nil {
+		t.Error("conflicting re-registration must fail")
+	}
+	invalid := custom
+	invalid.Name = ""
+	if err := r.Register(invalid); err == nil {
+		t.Error("invalid spec must not register")
+	}
+	if _, err := r.Platform("nope"); err == nil {
+		t.Error("unknown name must fail")
+	}
+}
+
+func TestTopologyClasses(t *testing.T) {
+	flat := Topology{}
+	if flat.ClassOf(0, 7) != 1 {
+		// 1 core per node: distinct ranks are always inter-node.
+		t.Errorf("default topology class = %d", flat.ClassOf(0, 7))
+	}
+	topo := Topology{CoresPerNode: 4, NodesPerCluster: 2}
+	cases := []struct{ src, dst, want int }{
+		{0, 3, 0},   // same node
+		{0, 4, 1},   // next node, same cluster
+		{4, 7, 0},   // same node
+		{0, 8, 2},   // different cluster
+		{7, 8, 2},   // adjacent ranks across the cluster boundary
+		{15, 12, 0}, // same node, reversed order
+	}
+	for _, c := range cases {
+		if got := topo.ClassOf(c.src, c.dst); got != c.want {
+			t.Errorf("ClassOf(%d, %d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+		if topo.ClassOf(c.src, c.dst) != topo.ClassOf(c.dst, c.src) {
+			t.Errorf("ClassOf(%d, %d) not symmetric", c.src, c.dst)
+		}
+	}
+	if topo.Classes() != 3 {
+		t.Errorf("clustered topology classes = %d, want 3", topo.Classes())
+	}
+	if (Topology{CoresPerNode: 4}).Classes() != 2 {
+		t.Error("node-only topology must report 2 classes")
+	}
+}
+
+func TestHierarchicalTruthNet(t *testing.T) {
+	s := hierSpec()
+	pl, err := s.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pl.NetModel(false)
+	if n.NetClasses() != 2 {
+		t.Fatalf("NetClasses = %d, want 2", n.NetClasses())
+	}
+	if n.ClassOf(0, 3) != 0 || n.ClassOf(0, 4) != 1 {
+		t.Fatalf("class resolution wrong: %d %d", n.ClassOf(0, 3), n.ClassOf(0, 4))
+	}
+	rng := rand.New(rand.NewSource(1))
+	intra := n.SendOverheadClass(0, 12000, rng)
+	inter := n.SendOverheadClass(1, 12000, rng)
+	if !(intra < inter) {
+		t.Errorf("intra-node send %v must be cheaper than inter-node %v", intra, inter)
+	}
+	if got := n.SendOverhead(12000, rng); got != intra {
+		t.Errorf("size-only SendOverhead = %v, want class-0 price %v", got, intra)
+	}
+	// Hierarchical reduction: more ranks cross more tiers, and the cost
+	// exceeds the pure intra-node tree of the same rank count.
+	rAll := n.ReduceCost(16, 8, rng)
+	rNode := n.ReduceCost(4, 8, rng)
+	if !(rAll > rNode && rNode > 0) {
+		t.Errorf("hierarchical reduce not growing: %v vs %v", rAll, rNode)
+	}
+	flatNet := pl.FlattenedAt(0).NetModel(false)
+	if flatNet.NetClasses() != 1 {
+		t.Errorf("flattened platform must be single-class, got %d", flatNet.NetClasses())
+	}
+	if rFlat := flatNet.ReduceCost(16, 8, rng); !(rAll > rFlat) {
+		t.Errorf("hierarchical reduce %v must exceed intra-only flat reduce %v", rAll, rFlat)
+	}
+}
+
+func TestFingerprintZeroTruthEqualsNil(t *testing.T) {
+	// "truth": {} and an omitted truth block describe the same platform
+	// and must share a fingerprint (one fit, one cache entry, one ETag).
+	a, b := validSpec(), validSpec()
+	b.Truth = &TruthSpec{}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("zero-valued truth block must fingerprint like an omitted one")
+	}
+	c := validSpec()
+	c.Truth = &TruthSpec{NoiseFrac: 0.01}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("non-zero truth block must change the fingerprint")
+	}
+}

@@ -21,6 +21,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.instrument(&s.st.predict, s.handlePredict))
 	s.mux.HandleFunc("/v1/sweep", s.instrument(&s.st.sweep, s.handleSweep))
+	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -81,7 +82,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return false
 	}
-	if _, known := s.evals[q.Platform]; !known {
+	if q.PlatformSpec != nil {
+		if s.customEvals == nil {
+			writeError(w, http.StatusBadRequest, "inline platform specs are disabled on this server")
+			return false
+		}
+	} else if _, known := s.evals[q.Platform]; !known {
 		writeError(w, http.StatusBadRequest, "unknown platform %q (serving %v)", q.Platform, s.cfg.Platforms)
 		return false
 	}
@@ -109,9 +115,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		}
 	}
 
-	ev, err := s.evaluator(q.Platform)
+	ev, err := s.evaluatorFor(&q)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "evaluator for %q: %v", q.Platform, err)
+		writeError(w, http.StatusInternalServerError, "evaluator for %q: %v", platformLabel(&q), err)
 		return false
 	}
 
@@ -162,6 +168,68 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 	}
 	writeCached(w, body, false, etag)
 	return true
+}
+
+// platformLabel names a request's platform for error messages: the
+// registered name, or the inline spec's name plus fingerprint.
+func platformLabel(q *PredictRequest) string {
+	if s := q.PlatformSpec; s != nil {
+		return s.Name + " (spec " + s.FingerprintHex() + ")"
+	}
+	return q.Platform
+}
+
+// PlatformInfo is one registry entry of the GET /v1/platforms listing.
+type PlatformInfo struct {
+	Name         string `json:"name"`
+	Description  string `json:"description,omitempty"`
+	CoresPerNode int    `json:"cores_per_node"`
+	Levels       int    `json:"levels"`
+	Hierarchical bool   `json:"hierarchical"`
+	Served       bool   `json:"served"`      // accepted by name on this server
+	Fingerprint  string `json:"fingerprint"` // spec identity (cache/ETag token)
+}
+
+// PlatformsResponse is the GET /v1/platforms body.
+type PlatformsResponse struct {
+	Platforms []PlatformInfo `json:"platforms"`
+	// InlineSpecs reports whether this server accepts platform_spec
+	// submissions on /v1/predict and /v1/sweep.
+	InlineSpecs bool `json:"inline_specs"`
+}
+
+// handlePlatforms is GET /v1/platforms: the platform registry as data —
+// every registered spec with its topology shape and fingerprint, plus
+// whether it is served by name here.
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	served := make(map[string]bool, len(s.cfg.Platforms))
+	for _, name := range s.cfg.Platforms {
+		served[name] = true
+	}
+	resp := PlatformsResponse{InlineSpecs: s.customEvals != nil}
+	for _, spec := range s.cfg.Registry.Specs() {
+		cores := spec.CoresPerNode
+		if cores <= 0 {
+			cores = 1
+		}
+		resp.Platforms = append(resp.Platforms, PlatformInfo{
+			Name:         spec.Name,
+			Description:  spec.Description,
+			CoresPerNode: cores,
+			Levels:       len(spec.Interconnect.Levels),
+			Hierarchical: spec.Hierarchical(),
+			Served:       served[spec.Name],
+			Fingerprint:  spec.FingerprintHex(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // etagFor derives the strong entity tag from the request fingerprint. The

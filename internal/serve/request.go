@@ -6,6 +6,7 @@ import (
 	"pacesweep/internal/grid"
 	"pacesweep/internal/lru"
 	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
 )
 
 // Evaluation method selectors accepted by the API.
@@ -31,23 +32,30 @@ type ArraySpec struct {
 // PredictRequest is the /v1/predict body. Grid and Array are required;
 // the remaining knobs default to the paper's benchmark configuration
 // (mk=10, mmi=3, 6 angles per octant, 12 iterations, auto method, the
-// server's first configured platform).
+// server's first configured platform). The platform is either a
+// registered name (Platform) or an inline custom description
+// (PlatformSpec) — a procurement what-if served by fitting the spec's
+// hardware model on demand, cached and singleflighted by the spec's
+// fingerprint.
 type PredictRequest struct {
-	Platform   string    `json:"platform,omitempty"`
-	Grid       GridSpec  `json:"grid"`
-	Array      ArraySpec `json:"array"`
-	MK         int       `json:"mk,omitempty"`
-	MMI        int       `json:"mmi,omitempty"`
-	Angles     int       `json:"angles,omitempty"`
-	Iterations int       `json:"iterations,omitempty"`
-	Method     string    `json:"method,omitempty"`
+	Platform     string         `json:"platform,omitempty"`
+	PlatformSpec *platform.Spec `json:"platform_spec,omitempty"`
+	Grid         GridSpec       `json:"grid"`
+	Array        ArraySpec      `json:"array"`
+	MK           int            `json:"mk,omitempty"`
+	MMI          int            `json:"mmi,omitempty"`
+	Angles       int            `json:"angles,omitempty"`
+	Iterations   int            `json:"iterations,omitempty"`
+	Method       string         `json:"method,omitempty"`
 }
 
 // normalize fills defaults in place; the result is the canonical request
 // the fingerprint is computed from, so two spellings of the same query
-// (explicit defaults versus omitted fields) share one cache entry.
+// (explicit defaults versus omitted fields) share one cache entry. An
+// inline spec leaves the name empty — the spec fingerprint is the
+// platform identity then.
 func (q *PredictRequest) normalize(defaultPlatform string) {
-	if q.Platform == "" {
+	if q.Platform == "" && q.PlatformSpec == nil {
 		q.Platform = defaultPlatform
 	}
 	if q.MK == 0 {
@@ -80,14 +88,25 @@ func (q *PredictRequest) toConfig() pace.Config {
 }
 
 // validate rejects malformed canonical requests: unknown method, invalid
-// model configuration, or a forced template evaluation beyond the engine's
-// rank ceiling (auto degrades to the closed form instead).
+// model configuration, a malformed inline platform spec (the
+// platform.Spec.Validate gate: monotone curves, breakpoint ordering,
+// finite coefficients, positive rates), or a forced template evaluation
+// beyond the engine's rank ceiling (auto degrades to the closed form
+// instead).
 func (q *PredictRequest) validate() error {
 	switch q.Method {
 	case MethodAuto, MethodTemplate, MethodClosedForm:
 	default:
 		return fmt.Errorf("unknown method %q (want %q, %q or %q)",
 			q.Method, MethodAuto, MethodTemplate, MethodClosedForm)
+	}
+	if q.PlatformSpec != nil {
+		if q.Platform != "" {
+			return fmt.Errorf("set either platform or platform_spec, not both")
+		}
+		if err := q.PlatformSpec.Validate(); err != nil {
+			return err
+		}
 	}
 	cfg := q.toConfig()
 	if err := cfg.Validate(); err != nil {
@@ -102,20 +121,30 @@ func (q *PredictRequest) validate() error {
 
 // reqKey is the request fingerprint: the canonical (platform,
 // configuration, method) triple. Map equality on the struct is the cache
-// identity; hash is only the shard/index fingerprint.
+// identity; hash is only the shard/index fingerprint. For inline-spec
+// requests the platform identity is the spec fingerprint (specFP != 0,
+// platform empty): two submissions of the same custom platform share
+// cache entries and ETags, while any field change produces a new
+// identity.
 type reqKey struct {
 	platform string
+	specFP   uint64
 	cfg      pace.Config
 	method   string
 }
 
 func (q *PredictRequest) key() reqKey {
-	return reqKey{platform: q.Platform, cfg: q.toConfig(), method: q.Method}
+	k := reqKey{platform: q.Platform, cfg: q.toConfig(), method: q.Method}
+	if q.PlatformSpec != nil {
+		k.specFP = q.PlatformSpec.Fingerprint()
+	}
+	return k
 }
 
 func (k reqKey) hash() uint64 {
 	h := lru.NewHasher()
 	h.String(k.platform)
+	h.Uint64(k.specFP)
 	h.Int(k.cfg.Grid.NX)
 	h.Int(k.cfg.Grid.NY)
 	h.Int(k.cfg.Grid.NZ)
@@ -145,33 +174,42 @@ type Breakdown struct {
 // PredictResponse is the /v1/predict body: the canonical request echoed
 // back plus the prediction. It is a deterministic function of the
 // fingerprint, so cached bytes and freshly marshalled bytes are
-// identical.
+// identical. For inline-spec requests Platform echoes the spec's name and
+// PlatformFingerprint its identity (the spec is a deterministic function
+// of the fingerprint, so the body stays a pure function of the request
+// fingerprint).
 type PredictResponse struct {
-	Platform         string    `json:"platform"`
-	Grid             GridSpec  `json:"grid"`
-	Array            ArraySpec `json:"array"`
-	MK               int       `json:"mk"`
-	MMI              int       `json:"mmi"`
-	Angles           int       `json:"angles"`
-	Iterations       int       `json:"iterations"`
-	PredictedSeconds float64   `json:"predicted_seconds"`
-	Method           string    `json:"method"` // method actually used ("template" or "closed-form")
-	Breakdown        Breakdown `json:"breakdown"`
+	Platform            string    `json:"platform"`
+	PlatformFingerprint string    `json:"platform_fingerprint,omitempty"`
+	Grid                GridSpec  `json:"grid"`
+	Array               ArraySpec `json:"array"`
+	MK                  int       `json:"mk"`
+	MMI                 int       `json:"mmi"`
+	Angles              int       `json:"angles"`
+	Iterations          int       `json:"iterations"`
+	PredictedSeconds    float64   `json:"predicted_seconds"`
+	Method              string    `json:"method"` // method actually used ("template" or "closed-form")
+	Breakdown           Breakdown `json:"breakdown"`
 }
 
 // buildPredictResponse assembles the response for a canonical request and
 // its evaluated prediction.
 func buildPredictResponse(q *PredictRequest, p *pace.Prediction) PredictResponse {
+	name, fp := q.Platform, ""
+	if s := q.PlatformSpec; s != nil {
+		name, fp = s.Name, s.FingerprintHex()
+	}
 	return PredictResponse{
-		Platform:         q.Platform,
-		Grid:             q.Grid,
-		Array:            q.Array,
-		MK:               q.MK,
-		MMI:              q.MMI,
-		Angles:           q.Angles,
-		Iterations:       q.Iterations,
-		PredictedSeconds: p.Total,
-		Method:           p.Method,
+		Platform:            name,
+		PlatformFingerprint: fp,
+		Grid:                q.Grid,
+		Array:               q.Array,
+		MK:                  q.MK,
+		MMI:                 q.MMI,
+		Angles:              q.Angles,
+		Iterations:          q.Iterations,
+		PredictedSeconds:    p.Total,
+		Method:              p.Method,
 		Breakdown: Breakdown{
 			SweepPerIter:   p.SweepPerIter,
 			SourcePerIter:  p.SourcePerIter,

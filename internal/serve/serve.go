@@ -68,6 +68,18 @@ type Config struct {
 	// else are rejected with 400.
 	Platforms []string
 
+	// Registry resolves named platforms and backs GET /v1/platforms;
+	// default: the process-wide registry (built-ins plus anything the
+	// binary registered). Served names must resolve in it when the default
+	// evaluator builder is used.
+	Registry *platform.Registry
+
+	// CustomEvaluators bounds the LRU of evaluators fitted for inline
+	// platform_spec submissions, keyed by spec fingerprint (default 16;
+	// <0 disables inline specs entirely). Each evaluator carries warmed
+	// world pools, so the bound is deliberately small.
+	CustomEvaluators int
+
 	// Seed drives the simulated benchmarking pipeline that fits each
 	// platform's hardware model. Default 1001 (the Table 1 seed).
 	Seed int64
@@ -117,19 +129,34 @@ type Config struct {
 	// BuildEvaluator overrides evaluator construction (tests inject cheap
 	// deterministic models here). The server attaches the memo, scheduler
 	// and pool cap to whatever it returns. Default: the experiments
-	// fitting pipeline on the named predefined platform.
+	// fitting pipeline on the registry-resolved platform.
 	BuildEvaluator func(name string) (*pace.Evaluator, error)
+
+	// BuildEvaluatorSpec builds the evaluator for an inline platform spec
+	// (already validated). Default: materialise the spec's platform and
+	// run the same simulated benchmarking pipeline the named platforms
+	// use. Tests inject cheap builders here.
+	BuildEvaluatorSpec func(spec platform.Spec) (*pace.Evaluator, error)
 
 	// Logf receives operational log lines; default discards them.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = platform.DefaultRegistry()
+	}
 	if len(c.Platforms) == 0 {
 		c.Platforms = platform.Names()
 	}
 	if c.Seed == 0 {
 		c.Seed = 1001
+	}
+	switch {
+	case c.CustomEvaluators == 0:
+		c.CustomEvaluators = 16
+	case c.CustomEvaluators < 0:
+		c.CustomEvaluators = 0 // inline specs disabled
 	}
 	if c.ResponseCacheEntries == 0 {
 		c.ResponseCacheEntries = 1 << 16
@@ -188,9 +215,15 @@ type Server struct {
 	mux       *http.ServeMux
 	evals     map[string]*evalSlot // fixed key set; slots built on demand
 	responses *lru.Cache[reqKey, []byte]
-	sem       chan struct{}
-	st        serverStats
-	started   time.Time
+	// customEvals holds evaluators fitted for inline platform specs,
+	// keyed by spec fingerprint. GetOrBuild gives the fit-once
+	// singleflight: N concurrent first-time requests for one custom
+	// platform trigger exactly one benchmarking pipeline; distinct specs
+	// never share an entry. nil when inline specs are disabled.
+	customEvals *lru.Cache[uint64, *pace.Evaluator]
+	sem         chan struct{}
+	st          serverStats
+	started     time.Time
 }
 
 // New validates the configuration and builds a Server. Evaluators are
@@ -212,10 +245,13 @@ func New(cfg Config) (*Server, error) {
 		// With the default builder every platform must resolve; surface
 		// typos at startup rather than on first request.
 		for _, name := range cfg.Platforms {
-			if _, err := platform.ByName(name); err != nil {
+			if _, err := cfg.Registry.Platform(name); err != nil {
 				return nil, err
 			}
 		}
+	}
+	if cfg.BuildEvaluatorSpec == nil {
+		cfg.BuildEvaluatorSpec = defaultSpecBuilder(cfg)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -227,6 +263,10 @@ func New(cfg Config) (*Server, error) {
 		s.responses = lru.New[reqKey, []byte](
 			cfg.ResponseCacheEntries, cfg.ResponseCacheShards, reqKey.hash)
 	}
+	if cfg.CustomEvaluators > 0 {
+		s.customEvals = lru.New[uint64, *pace.Evaluator](
+			cfg.CustomEvaluators, 4, func(fp uint64) uint64 { return fp })
+	}
 	for _, name := range cfg.Platforms {
 		s.evals[name] = &evalSlot{}
 	}
@@ -234,12 +274,26 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// defaultBuilder fits a hardware model for a predefined platform through
+// defaultBuilder fits a hardware model for a registered platform through
 // the simulated benchmarking pipeline and wires it to the capp-derived
 // SWEEP3D flows — the same construction the experiment drivers use.
 func defaultBuilder(cfg Config) func(name string) (*pace.Evaluator, error) {
 	return func(name string) (*pace.Evaluator, error) {
-		pl, err := platform.ByName(name)
+		pl, err := cfg.Registry.Platform(name)
+		if err != nil {
+			return nil, err
+		}
+		ev, _, err := experiments.BuildEvaluator(pl, cfg.ProfileGrid, cfg.Seed)
+		return ev, err
+	}
+}
+
+// defaultSpecBuilder runs the identical pipeline on an inline custom spec:
+// materialise the described ground-truth platform, simulate its benchmarks
+// (per interconnect level on hierarchical specs), fit the hardware model.
+func defaultSpecBuilder(cfg Config) func(spec platform.Spec) (*pace.Evaluator, error) {
+	return func(spec platform.Spec) (*pace.Evaluator, error) {
+		pl, err := spec.Platform()
 		if err != nil {
 			return nil, err
 		}
@@ -271,13 +325,52 @@ func (s *Server) evaluator(name string) (*pace.Evaluator, error) {
 		s.cfg.Logf("paceserve: fitting %s failed (will retry on next request): %v", name, err)
 		return nil, err
 	}
-	ev.Scheduler = s.cfg.Scheduler
-	ev.Memo = pace.NewPredictionMemoSize(s.cfg.MemoEntries, s.cfg.MemoShards)
-	ev.SetWorldPoolCap(s.cfg.WorldPoolCap)
-	slot.ev = ev
+	slot.ev = s.equip(ev)
 	slot.ready.Store(true)
 	s.cfg.Logf("paceserve: fitted evaluator for %s in %s", name, time.Since(start).Round(time.Millisecond))
 	return ev, nil
+}
+
+// equip attaches the server's serving configuration — scheduler backend,
+// bounded prediction memo, world-pool cap — to a freshly built evaluator.
+func (s *Server) equip(ev *pace.Evaluator) *pace.Evaluator {
+	ev.Scheduler = s.cfg.Scheduler
+	ev.Memo = pace.NewPredictionMemoSize(s.cfg.MemoEntries, s.cfg.MemoShards)
+	ev.SetWorldPoolCap(s.cfg.WorldPoolCap)
+	return ev
+}
+
+// customEvaluator returns the fitted evaluator for an inline platform
+// spec. The cache's GetOrBuild is the fit-once singleflight: concurrent
+// first-time requests for one fingerprint coalesce onto a single
+// benchmarking pipeline run, and a build failure is returned to every
+// waiter but not cached (the next request retries). Distinct fingerprints
+// are distinct entries by construction.
+func (s *Server) customEvaluator(spec *platform.Spec) (*pace.Evaluator, error) {
+	if s.customEvals == nil {
+		return nil, fmt.Errorf("inline platform specs are disabled on this server")
+	}
+	fp := spec.Fingerprint()
+	return s.customEvals.GetOrBuild(fp, func() (*pace.Evaluator, error) {
+		start := time.Now()
+		ev, err := s.cfg.BuildEvaluatorSpec(*spec)
+		if err != nil {
+			s.cfg.Logf("paceserve: fitting custom platform %s (%016x) failed: %v", spec.Name, fp, err)
+			return nil, err
+		}
+		s.cfg.Logf("paceserve: fitted custom platform %s (%016x) in %s",
+			spec.Name, fp, time.Since(start).Round(time.Millisecond))
+		return s.equip(ev), nil
+	})
+}
+
+// evaluatorFor resolves the canonical request's evaluator: the inline
+// spec's fingerprint-keyed cache, or the named platform's slot.
+func (s *Server) evaluatorFor(q *PredictRequest) (*pace.Evaluator, error) {
+	if q.PlatformSpec != nil {
+		return s.customEvaluator(q.PlatformSpec)
+	}
+	return s.evaluator(q.Platform)
 }
 
 // Warm fits the named platform's evaluator now instead of on first

@@ -130,14 +130,18 @@ type SweepBatchSnapshot struct {
 
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	Inflight      int64                        `json:"inflight"`
-	Endpoints     map[string]EndpointSnapshot  `json:"endpoints"`
-	ResponseCache *lru.Stats                   `json:"response_cache,omitempty"`
-	TraceCache    lru.Stats                    `json:"trace_cache"`
-	TraceReplays  uint64                       `json:"trace_replays"`
-	SweepBatching SweepBatchSnapshot           `json:"sweep_batching"`
-	Evaluators    map[string]EvaluatorSnapshot `json:"evaluators"`
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Inflight      int64                       `json:"inflight"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	ResponseCache *lru.Stats                  `json:"response_cache,omitempty"`
+	// CustomEvaluators is the inline platform_spec evaluator cache: hits
+	// are requests served by an already-fitted custom platform, misses are
+	// on-demand fitting pipeline runs (singleflighted per fingerprint).
+	CustomEvaluators *lru.Stats                   `json:"custom_evaluators,omitempty"`
+	TraceCache       lru.Stats                    `json:"trace_cache"`
+	TraceReplays     uint64                       `json:"trace_replays"`
+	SweepBatching    SweepBatchSnapshot           `json:"sweep_batching"`
+	Evaluators       map[string]EvaluatorSnapshot `json:"evaluators"`
 }
 
 // statsResponse assembles the full snapshot. Only evaluators that have
@@ -163,6 +167,10 @@ func (s *Server) statsResponse() StatsResponse {
 	if s.responses != nil {
 		st := s.responses.Stats()
 		out.ResponseCache = &st
+	}
+	if s.customEvals != nil {
+		st := s.customEvals.Stats()
+		out.CustomEvaluators = &st
 	}
 	for name, slot := range s.evals {
 		if !slot.ready.Load() {
@@ -230,6 +238,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	if st.ResponseCache != nil {
 		writeCacheMetrics(w, "paceserve_response_cache", []string{""}, []lru.Stats{*st.ResponseCache})
+	}
+	if st.CustomEvaluators != nil {
+		writeCacheMetrics(w, "paceserve_custom_evaluators", []string{""}, []lru.Stats{*st.CustomEvaluators})
 	}
 	// Trace-tier telemetry: compiled shapes resident (entries), replays
 	// served off a compiled shape (hits), compilations (misses).

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
 )
 
 // SweepRequest is the /v1/sweep body: the cross product of platforms ×
@@ -17,16 +18,20 @@ import (
 // paper's weak-scaling convention, the default — CellsPerProc (50x50x50
 // when omitted) scaled by the point's processor array.
 type SweepRequest struct {
-	Platforms    []string    `json:"platforms,omitempty"`
-	Platform     string      `json:"platform,omitempty"` // single-platform convenience
-	Arrays       []ArraySpec `json:"arrays"`
-	MK           []int       `json:"mk,omitempty"`
-	MMI          []int       `json:"mmi,omitempty"`
-	Grid         *GridSpec   `json:"grid,omitempty"`
-	CellsPerProc *GridSpec   `json:"cells_per_proc,omitempty"`
-	Angles       int         `json:"angles,omitempty"`
-	Iterations   int         `json:"iterations,omitempty"`
-	Method       string      `json:"method,omitempty"`
+	Platforms []string `json:"platforms,omitempty"`
+	Platform  string   `json:"platform,omitempty"` // single-platform convenience
+	// PlatformSpec sweeps an inline custom platform (mutually exclusive
+	// with the name fields): every point evaluates on the evaluator fitted
+	// once for the spec's fingerprint.
+	PlatformSpec *platform.Spec `json:"platform_spec,omitempty"`
+	Arrays       []ArraySpec    `json:"arrays"`
+	MK           []int          `json:"mk,omitempty"`
+	MMI          []int          `json:"mmi,omitempty"`
+	Grid         *GridSpec      `json:"grid,omitempty"`
+	CellsPerProc *GridSpec      `json:"cells_per_proc,omitempty"`
+	Angles       int            `json:"angles,omitempty"`
+	Iterations   int            `json:"iterations,omitempty"`
+	Method       string         `json:"method,omitempty"`
 	// Stream selects NDJSON streaming: one SweepPoint per line in index
 	// order, flushed as each becomes available. Default: one aggregated
 	// SweepResponse document.
@@ -62,7 +67,18 @@ type SweepResponse struct {
 // evaluation time so one degenerate point doesn't reject the grid.
 func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 	platforms := q.Platforms
-	if len(platforms) == 0 {
+	if q.PlatformSpec != nil {
+		if len(platforms) > 0 || q.Platform != "" {
+			return nil, errRequest("set either platform_spec or platform name(s), not both")
+		}
+		if s.customEvals == nil {
+			return nil, errRequest("inline platform specs are disabled on this server")
+		}
+		if err := q.PlatformSpec.Validate(); err != nil {
+			return nil, errRequest("%v", err)
+		}
+		platforms = []string{""} // the spec rides on every point below
+	} else if len(platforms) == 0 {
 		name := q.Platform
 		if name == "" {
 			name = s.cfg.Platforms[0]
@@ -71,9 +87,11 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 	} else if q.Platform != "" {
 		return nil, errRequest("set either platform or platforms, not both")
 	}
-	for _, name := range platforms {
-		if _, known := s.evals[name]; !known {
-			return nil, errRequest("unknown platform %q (serving %v)", name, s.cfg.Platforms)
+	if q.PlatformSpec == nil {
+		for _, name := range platforms {
+			if _, known := s.evals[name]; !known {
+				return nil, errRequest("unknown platform %q (serving %v)", name, s.cfg.Platforms)
+			}
 		}
 	}
 	if len(q.Arrays) == 0 {
@@ -142,7 +160,8 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 			for _, mk := range mks {
 				for _, mmi := range mmis {
 					p := PredictRequest{
-						Platform: name, Grid: g, Array: arr,
+						Platform: name, PlatformSpec: q.PlatformSpec,
+						Grid: g, Array: arr,
 						MK: mk, MMI: mmi,
 						Angles: q.Angles, Iterations: q.Iterations, Method: q.Method,
 					}
@@ -174,8 +193,12 @@ func errRequest(format string, args ...any) error {
 // response cache on the way out, so the next repeat — and /v1/predict
 // itself — hits bytes), then the cold singleflight evaluation.
 func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepPoint {
+	name := q.Platform
+	if q.PlatformSpec != nil {
+		name = q.PlatformSpec.Name
+	}
 	pt := SweepPoint{
-		Index: i, Platform: q.Platform, Grid: q.Grid, Array: q.Array,
+		Index: i, Platform: name, Grid: q.Grid, Array: q.Array,
 		MK: q.MK, MMI: q.MMI,
 	}
 	if err := q.validate(); err != nil {
@@ -188,7 +211,7 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 			return pointFromBody(pt, body)
 		}
 	}
-	ev, err := s.evaluator(q.Platform)
+	ev, err := s.evaluatorFor(q)
 	if err != nil {
 		pt.Error = err.Error()
 		return pt
@@ -260,6 +283,7 @@ func pointFromBody(pt SweepPoint, body []byte) SweepPoint {
 // shares the compiled trace, the warmed replayer and the kernel cache.
 type sweepGroupKey struct {
 	platform   string
+	specFP     uint64 // inline-spec identity (0 for named platforms)
 	px, py     int
 	nab, nkb   int
 	iterations int
@@ -272,8 +296,13 @@ func sweepGroupOf(q *PredictRequest) sweepGroupKey {
 	// what actually shares a compiled script. expand has already rejected
 	// non-positive MK/MMI.
 	cfg := q.toConfig()
+	var fp uint64
+	if q.PlatformSpec != nil {
+		fp = q.PlatformSpec.Fingerprint()
+	}
 	return sweepGroupKey{
 		platform:   q.Platform,
+		specFP:     fp,
 		px:         q.Array.PX,
 		py:         q.Array.PY,
 		nab:        cfg.AngleBlocks(),
