@@ -1,8 +1,9 @@
 // Command paceserve runs the PACE prediction-serving subsystem: an
 // HTTP/JSON service answering SWEEP3D performance-model queries
-// (/v1/predict), design-space sweeps (/v1/sweep) and operational
-// telemetry (/v1/stats, /metrics). See README.md beside this file for a
-// quickstart and internal/serve for the serving architecture.
+// (/v1/predict), design-space sweeps (/v1/sweep), fault-injection
+// idle-wave studies (/v1/perturb) and operational telemetry (/v1/stats,
+// /metrics). See README.md beside this file for a quickstart and
+// internal/serve for the serving architecture.
 package main
 
 import (
@@ -48,6 +49,11 @@ func main() {
 		sweepWorkers = flag.Int("sweep-workers", 0,
 			"worker pool per sweep request (0 = GOMAXPROCS)")
 		maxSweepPoints = flag.Int("max-sweep-points", 4096, "largest accepted sweep expansion")
+		maxQueueDepth  = flag.Int("max-queue-depth", 0,
+			"shed new evaluation work with 503 + Retry-After once this many requests are queued "+
+				"for an evaluation slot (0 = 8*max-concurrent, -1 disables shedding)")
+		requestTimeout = flag.Duration("request-timeout", 0,
+			"per-request deadline; expired requests answer 504 + Retry-After (0 disables)")
 
 		warmup = flag.Bool("warmup", false,
 			"fit every configured platform's evaluator before accepting traffic")
@@ -81,6 +87,8 @@ func main() {
 		MaxConcurrent:        *maxConcurrent,
 		SweepWorkers:         *sweepWorkers,
 		MaxSweepPoints:       *maxSweepPoints,
+		MaxQueueDepth:        *maxQueueDepth,
+		RequestTimeout:       *requestTimeout,
 		Logf: func(format string, args ...any) {
 			logger.Printf(strings.TrimPrefix(format, "paceserve: "), args...)
 		},

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"pacesweep/internal/experiments"
 	"pacesweep/internal/grid"
 	"pacesweep/internal/pace"
+	"pacesweep/internal/perturb"
 	"pacesweep/internal/platform"
 	"pacesweep/internal/psl"
 	"pacesweep/internal/sweep"
@@ -44,8 +46,11 @@ func main() {
 		hmcl     = flag.String("hardware", "", "HMCL hardware object name for PSL evaluation")
 		specFile = flag.String("platform-spec", "",
 			"JSON platform spec file: registers a custom platform and selects it (overrides -platform)")
-		closed = flag.Bool("closed-form", false, "use the closed-form fast path")
-		seed   = flag.Int64("seed", 42, "benchmarking seed")
+		closed      = flag.Bool("closed-form", false, "use the closed-form fast path")
+		perturbSpec = flag.String("perturb-spec", "",
+			"JSON fault-injection scenario file: inject its delays/noise into the run and print the idle-wave report instead of a prediction")
+		perturbRank = flag.Bool("perturb-per-rank", false, "include the final per-rank damage vector in the perturbation report")
+		seed        = flag.Int64("seed", 42, "benchmarking seed")
 	)
 	flag.Parse()
 
@@ -88,6 +93,10 @@ func main() {
 		Decomp: grid.Decomp{PX: *px, PY: *py},
 		MK:     *mk, MMI: *mmi, Angles: *mm, Iterations: *iters,
 	}
+	if *perturbSpec != "" {
+		runPerturbation(ev, cfg, *perturbSpec, *perturbRank)
+		return
+	}
 	var pred *pace.Prediction
 	if *closed {
 		pred, err = ev.PredictClosedForm(cfg)
@@ -103,6 +112,30 @@ func main() {
 		model.Name, model.MFLOPS,
 		eq3(model.Send), eq3(model.Recv), eq3(model.PingPong))
 	fmt.Printf("prediction: %s\n", pred)
+}
+
+// runPerturbation loads a fault-injection scenario file, runs it against
+// the configuration and prints the idle-wave report as indented JSON.
+func runPerturbation(ev *pace.Evaluator, cfg pace.Config, specFile string, perRank bool) {
+	data, err := os.ReadFile(specFile)
+	if err != nil {
+		fatal(err)
+	}
+	var sc perturb.Scenario
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", specFile, err))
+	}
+	rep, err := perturb.Run(ev, cfg, sc, perRank)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
 }
 
 func eq3(p platform.Piecewise) string {

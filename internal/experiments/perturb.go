@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"pacesweep/internal/grid"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/perturb"
+	"pacesweep/internal/platform"
+)
+
+// PerturbStudy runs one fault-injection scenario against a configuration
+// on a freshly calibrated platform model: the standard benchmarking
+// pipeline fits the hardware model, then the scenario is injected into the
+// configuration's compiled communication script and the idle wave is
+// analysed against a matched baseline. cmd/paceval's -perturb-spec flag is
+// a thin wrapper over this.
+func PerturbStudy(pl platform.Platform, profileGrid grid.Global, seed int64,
+	cfg pace.Config, sc perturb.Scenario, perRank bool) (*perturb.Report, error) {
+	ev, _, err := BuildEvaluator(pl, profileGrid, seed)
+	if err != nil {
+		return nil, err
+	}
+	return perturb.Run(ev, cfg, sc, perRank)
+}

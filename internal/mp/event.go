@@ -152,6 +152,7 @@ type evRank struct {
 type evColl struct {
 	n       int
 	arrived int
+	gen     int // completed generations; the probe's row index
 	op      int
 	acc     []float64
 	maxTime float64
@@ -203,6 +204,7 @@ func (ev *evWorld) reset() {
 	ev.aborting = false
 	ev.heap.e = ev.heap.e[:0]
 	ev.coll.arrived = 0
+	ev.coll.gen = 0
 	ev.coll.acc = ev.coll.acc[:0]
 	ev.coll.waiters = ev.coll.waiters[:0]
 	ev.coll.rng.Seed(ev.w.opts.Seed ^ 0x1F3D5B79)
@@ -422,6 +424,10 @@ func (ev *evWorld) receive(c *Comm, src, tag int) ([]float64, int, float64) {
 // the closer keeps running immediately.
 func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 	cl := &ev.coll
+	if p := ev.w.opts.Probe; p != nil {
+		p.record(cl.gen, c.rank, c.clock, c.idle)
+	}
+	entry := c.clock
 	if cl.arrived == 0 {
 		cl.op = op
 		cl.maxTime = c.clock
@@ -453,6 +459,7 @@ func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 			done += net.ReduceCost(cl.n, 8*len(cl.acc), cl.rng)
 		}
 		cl.arrived = 0
+		cl.gen++
 		for _, id := range cl.waiters {
 			wr := &ev.ranks[id]
 			wr.collRes = result
@@ -460,6 +467,9 @@ func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 			ev.wake(id, &ev.inbox[id])
 		}
 		cl.waiters = cl.waiters[:0]
+		if ev.w.opts.Probe != nil {
+			c.idle += done - entry
+		}
 		c.clock = done
 		return result
 	}
@@ -470,6 +480,9 @@ func (ev *evWorld) reduce(c *Comm, data []float64, op int) []float64 {
 	ev.inbox[c.rank].inColl = false
 	res := r.collRes
 	r.collRes = nil
+	if ev.w.opts.Probe != nil {
+		c.idle += r.collDone - entry
+	}
 	c.clock = r.collDone
 	return res
 }

@@ -156,6 +156,13 @@ type Options struct {
 	// Scheduler selects the execution backend: SchedulerGoroutine (the
 	// default when empty) or SchedulerEvent. See the package comment.
 	Scheduler string
+	// Delays are injected one-off delays (fault injection); each charges
+	// extra virtual time to one rank immediately before one of its
+	// recordable operations. All backends apply them identically.
+	Delays []Delay
+	// Probe, when non-nil, records per-rank clock and idle-time timelines
+	// at every collective generation during the run (reset by Run/Replay).
+	Probe *RunProbe
 }
 
 // message is one in-flight point-to-point message.
@@ -206,6 +213,11 @@ type World struct {
 	paramSizes   []int
 	marks        [MaxMarks]float64
 
+	// rkDelays are Options.Delays partitioned into per-rank op-ordered
+	// queues; Comms consume private cursors into them, so the partition
+	// survives Reset without rebuilding.
+	rkDelays [][]Delay
+
 	// Goroutine-backend pooled per-run state, allocated once in NewWorld
 	// and reused across Reset+Run cycles so pooled worlds on this backend
 	// stop paying per-rank Comm (and retained-RNG) allocations per Run.
@@ -229,9 +241,13 @@ func NewWorld(n int, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mp: unknown scheduler %q (want %q, %q or %q)",
 			opts.Scheduler, SchedulerGoroutine, SchedulerEvent, SchedulerTrace)
 	}
+	if err := validDelays(n, opts.Delays); err != nil {
+		return nil, err
+	}
 	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
 	w.detNet = netIsDeterministic(opts.Net)
 	w.cnet, _ = classesOf(opts.Net)
+	w.rkDelays = rankDelays(n, opts.Delays)
 	if opts.Scheduler == SchedulerEvent || opts.Scheduler == SchedulerTrace {
 		// The event backend has its own per-rank streams and lock-free
 		// collective; it is built once here and pooled across Runs. The
@@ -305,6 +321,13 @@ func (w *World) initComm(c *Comm, rank int) {
 	c.recvC = sizeCost{bytes: -1}
 	c.transC = sizeCost{bytes: -1}
 	c.bcastRoot = false
+	c.opn = 0
+	c.idle = 0
+	c.dq = nil
+	if w.rkDelays != nil {
+		c.dq = w.rkDelays[rank]
+	}
+	c.inj = len(c.dq) > 0
 }
 
 // Size returns the number of ranks in the world.
@@ -341,6 +364,9 @@ func (w *World) Run(f func(c *Comm) error) error {
 		return errors.New("mp: world already run; call Reset before reusing it")
 	}
 	w.ran = true
+	if p := w.opts.Probe; p != nil {
+		p.reset(w.n)
+	}
 	switch w.opts.Scheduler {
 	case SchedulerEvent:
 		return w.runEvent(f)
@@ -405,6 +431,9 @@ func (w *World) RunRecorded(f func(c *Comm) error) (*Trace, error) {
 		return nil, errors.New("mp: RunRecorded requires the event or trace scheduler backend")
 	}
 	w.ran = true
+	if p := w.opts.Probe; p != nil {
+		p.reset(w.n)
+	}
 	return w.recordRun(f)
 }
 
@@ -529,6 +558,26 @@ type Comm struct {
 
 	// Per-curve single-size memos for the DeterministicCosts fast path.
 	sendC, recvC, transC sizeCost
+
+	// Fault-injection cursor (Options.Delays) and probe idle accumulator:
+	// opn counts recordable operations, dq is the rank's pending delays,
+	// inj gates the whole machinery behind one predictable branch per op.
+	opn  int32
+	dq   []Delay
+	idle float64
+	inj  bool
+}
+
+// injectDelays charges every injected delay scheduled at the rank's
+// current operation index and advances the counter. Each recordable
+// operation calls it exactly once, mirroring what a trace records, so op
+// indices mean the same instant on every backend.
+func (c *Comm) injectDelays() {
+	for len(c.dq) > 0 && c.dq[0].Op == int(c.opn) {
+		c.clock += c.dq[0].Seconds
+		c.dq = c.dq[1:]
+	}
+	c.opn++
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -572,6 +621,9 @@ func (c *Comm) Charge(seconds float64) {
 		// the draw order (and every later draw) matches the live run.
 		rec.chargeLit(c.rank, seconds, c.w.opts.Noise != nil)
 	}
+	if c.inj {
+		c.injectDelays()
+	}
 	if n := c.w.opts.Noise; n != nil {
 		seconds = n.Perturb(seconds, c.rand())
 	}
@@ -586,19 +638,30 @@ func (c *Comm) ChargeExact(seconds float64) {
 		if rec := c.w.rec; rec != nil {
 			rec.chargeLit(c.rank, seconds, false)
 		}
+		if c.inj {
+			c.injectDelays()
+		}
 		c.clock += seconds
 	}
 }
 
 // ChargeParam advances the clock by entry i of the world's charge
-// parameter table (World.SetParams), without noise. Unlike ChargeExact the
-// table *index* — not the value — is what a trace records, so a recorded
-// program replays correctly under swapped tables.
+// parameter table (World.SetParams), applying the world's noise model if
+// any (model evaluation runs with no noise configured, so its charges
+// stay exact). Unlike ChargeExact the table *index* — not the value — is
+// what a trace records, so a recorded program replays correctly under
+// swapped tables.
 func (c *Comm) ChargeParam(i int) {
 	if rec := c.w.rec; rec != nil {
 		rec.chargeParam(c.rank, i)
 	}
+	if c.inj {
+		c.injectDelays()
+	}
 	if s := c.w.paramCharges[i]; s > 0 {
+		if n := c.w.opts.Noise; n != nil {
+			s = n.Perturb(s, c.rand())
+		}
 		c.clock += s
 	}
 }
@@ -615,6 +678,9 @@ func (c *Comm) SendParam(dst, tag, i int) {
 func (c *Comm) Mark(slot int) {
 	if rec := c.w.rec; rec != nil {
 		rec.mark(c.rank, slot)
+	}
+	if c.inj {
+		c.injectDelays()
 	}
 	c.w.marks[slot] = c.clock
 }
@@ -644,6 +710,9 @@ func (c *Comm) sendN(dst, tag, bytes int, data []float64, paramIdx int32) {
 	}
 	if rec := c.w.rec; rec != nil {
 		rec.send(c.rank, dst, tag, bytes, paramIdx)
+	}
+	if c.inj {
+		c.injectDelays()
 	}
 	start := c.clock
 	avail := start
@@ -726,6 +795,9 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 	if rec := c.w.rec; rec != nil {
 		rec.recv(c.rank, src, tag)
 	}
+	if c.inj {
+		c.injectDelays()
+	}
 	var (
 		data  []float64
 		bytes int
@@ -763,6 +835,9 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 	// Causality holds regardless of the cost model: the receive cannot
 	// complete before the message is available.
 	if avail > c.clock {
+		if c.w.opts.Probe != nil {
+			c.idle += avail - c.clock
+		}
 		c.clock = avail
 	}
 	if net := c.w.opts.Net; net != nil {
@@ -897,6 +972,9 @@ func (c *Comm) reduce(data []float64, op int) []float64 {
 	if rec := c.w.rec; rec != nil {
 		rec.reduce(c.rank, len(data))
 	}
+	if c.inj {
+		c.injectDelays()
+	}
 	if ev := c.w.ev; ev != nil {
 		return ev.reduce(c, data, op)
 	}
@@ -907,6 +985,12 @@ func (c *Comm) reduce(data []float64, op int) []float64 {
 		panic(errAborted)
 	}
 	myGen := cl.gen
+	if p := c.w.opts.Probe; p != nil {
+		// Serialized by cl.mu; the generation index makes rows identical
+		// across backends even though arrival order is nondeterministic.
+		p.record(myGen, c.rank, c.clock, c.idle)
+	}
+	entry := c.clock
 	if cl.arrived == 0 {
 		cl.op = op
 		cl.maxTime = c.clock
@@ -951,7 +1035,13 @@ func (c *Comm) reduce(data []float64, op int) []float64 {
 		}
 	}
 	res := cl.result
-	// A collective is a synchronisation point under any cost model.
+	// A collective is a synchronisation point under any cost model. The
+	// idle delta reads cl.done, not cl.maxTime: a woken waiter may observe
+	// the *next* generation's partially-updated maxTime, but done is not
+	// rewritten until this waiter has participated again.
+	if c.w.opts.Probe != nil {
+		c.idle += cl.done - entry
+	}
 	c.clock = cl.done
 	cl.mu.Unlock()
 	c.w.ops.Add(1)

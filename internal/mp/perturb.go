@@ -1,0 +1,131 @@
+package mp
+
+// Fault injection: one-off per-rank delays and run probes.
+//
+// A Delay pins extra seconds to one recordable operation of one rank; the
+// injector advances a per-rank operation counter that counts exactly the
+// operations a trace records (charges with positive cost, parametric
+// charges, sends, receives, collectives, marks), so an op index means the
+// same instant on the goroutine backend, the event backend, and a trace
+// replay — the bit-identical-clock guarantee extends to perturbed runs. A
+// RunProbe captures per-rank timelines (virtual clock and accumulated
+// idle time at every collective generation) that the perturb package
+// turns into idle-wave reports.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Delay is one injected one-off delay: Seconds of extra virtual time
+// charged to Rank immediately before its Op-th recordable operation.
+// Several delays may target the same (rank, op) slot; they stack.
+type Delay struct {
+	Rank    int
+	Op      int
+	Seconds float64
+}
+
+// validDelays rejects out-of-range or non-finite delays up front, so a
+// malformed scenario fails loudly instead of silently never firing.
+func validDelays(n int, delays []Delay) error {
+	for _, d := range delays {
+		if d.Rank < 0 || d.Rank >= n {
+			return fmt.Errorf("mp: delay rank %d out of range [0,%d)", d.Rank, n)
+		}
+		if d.Op < 0 {
+			return fmt.Errorf("mp: delay op %d negative (rank %d)", d.Op, d.Rank)
+		}
+		if d.Seconds < 0 || math.IsNaN(d.Seconds) || math.IsInf(d.Seconds, 0) {
+			return fmt.Errorf("mp: delay seconds %v invalid (rank %d op %d)", d.Seconds, d.Rank, d.Op)
+		}
+	}
+	return nil
+}
+
+// rankDelays partitions delays into per-rank queues ordered by op index.
+// The returned slices are private copies; callers hand them out as
+// consumable cursors without mutating the caller's spec.
+func rankDelays(n int, delays []Delay) [][]Delay {
+	if len(delays) == 0 {
+		return nil
+	}
+	sorted := make([]Delay, len(delays))
+	copy(sorted, delays)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Rank != sorted[j].Rank {
+			return sorted[i].Rank < sorted[j].Rank
+		}
+		return sorted[i].Op < sorted[j].Op
+	})
+	per := make([][]Delay, n)
+	lo := 0
+	for hi := 1; hi <= len(sorted); hi++ {
+		if hi == len(sorted) || sorted[hi].Rank != sorted[lo].Rank {
+			per[sorted[lo].Rank] = sorted[lo:hi:hi]
+			lo = hi
+		}
+	}
+	return per
+}
+
+// RunProbe records per-rank timelines during a run: at every collective
+// generation g, each rank's virtual clock on entry (after any injected
+// delay at that op) and its accumulated idle time so far. Idle time is
+// receive wait (message availability minus the receiver's clock when it
+// arrives early) plus collective wait (the collective's completion time
+// minus the rank's entry). Rows are dense [generation][rank] matrices;
+// identical runs on any backend produce bit-identical rows.
+//
+// A probe is owned by one run at a time: Run/Replay reset it, and the
+// recording is single-writer per (generation, rank) cell, so reads are
+// safe once the run returns.
+type RunProbe struct {
+	n      int
+	clocks []float64
+	idle   []float64
+}
+
+func (p *RunProbe) reset(n int) {
+	p.n = n
+	p.clocks = p.clocks[:0]
+	p.idle = p.idle[:0]
+}
+
+// record writes rank's entry state for collective generation gen, growing
+// the matrices on first touch of a generation. On the goroutine backend
+// calls are serialized by the collective's mutex; the other backends are
+// single-threaded.
+func (p *RunProbe) record(gen, rank int, clock, idle float64) {
+	need := (gen + 1) * p.n
+	for len(p.clocks) < need {
+		p.clocks = append(p.clocks, 0)
+		p.idle = append(p.idle, 0)
+	}
+	p.clocks[gen*p.n+rank] = clock
+	p.idle[gen*p.n+rank] = idle
+}
+
+// Ranks returns the probed world size.
+func (p *RunProbe) Ranks() int { return p.n }
+
+// Generations returns how many collective generations were recorded.
+func (p *RunProbe) Generations() int {
+	if p.n == 0 {
+		return 0
+	}
+	return len(p.clocks) / p.n
+}
+
+// ClockRow returns the per-rank entry clocks of generation g, aliasing
+// the probe's storage.
+func (p *RunProbe) ClockRow(g int) []float64 {
+	return p.clocks[g*p.n : (g+1)*p.n]
+}
+
+// IdleRow returns the per-rank accumulated idle seconds on entry to
+// generation g, aliasing the probe's storage.
+func (p *RunProbe) IdleRow(g int) []float64 {
+	return p.idle[g*p.n : (g+1)*p.n]
+}

@@ -1,0 +1,268 @@
+package mp
+
+import (
+	"math"
+	"testing"
+)
+
+// testDelays is a small scenario touching an interior rank, rank 0's very
+// first op, and a late op of the last rank; two delays stack on one slot.
+func testDelays() []Delay {
+	return []Delay{
+		{Rank: 5, Op: 7, Seconds: 2e-3},
+		{Rank: 0, Op: 0, Seconds: 1e-3},
+		{Rank: 11, Op: 40, Seconds: 5e-4},
+		{Rank: 5, Op: 7, Seconds: 3e-4},
+	}
+}
+
+// runPerturbedWavefront runs the standard equivalence wavefront with
+// injected delays and a probe attached.
+func runPerturbedWavefront(t *testing.T, sched string, net NetworkModel, seed int64, delays []Delay) (*World, *RunProbe) {
+	t.Helper()
+	probe := &RunProbe{}
+	w, err := NewWorld(12, Options{
+		Net:       net,
+		Noise:     jitterNoise{0.04},
+		Seed:      seed,
+		Scheduler: sched,
+		Delays:    delays,
+		Probe:     probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(wavefrontProgram(4, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	return w, probe
+}
+
+// requireSameProbe asserts two probes recorded bit-identical clock and
+// idle timelines.
+func requireSameProbe(t *testing.T, name, scheds string, a, b *RunProbe) {
+	t.Helper()
+	if a.Generations() != b.Generations() || a.Ranks() != b.Ranks() {
+		t.Fatalf("%s: probe shape %dx%d vs %dx%d (%s)",
+			name, a.Generations(), a.Ranks(), b.Generations(), b.Ranks(), scheds)
+	}
+	for g := 0; g < a.Generations(); g++ {
+		ac, bc := a.ClockRow(g), b.ClockRow(g)
+		ai, bi := a.IdleRow(g), b.IdleRow(g)
+		for r := range ac {
+			if ac[r] != bc[r] {
+				t.Fatalf("%s gen %d rank %d: clock %v vs %v (%s)", name, g, r, ac[r], bc[r], scheds)
+			}
+			if ai[r] != bi[r] {
+				t.Fatalf("%s gen %d rank %d: idle %v vs %v (%s)", name, g, r, ai[r], bi[r], scheds)
+			}
+		}
+	}
+}
+
+// TestSchedulerEquivalenceInjectedDelays extends the cross-backend
+// equivalence harness to fault injection: with the same injected-delay
+// scenario (plus compute noise), goroutine, event and trace replay must
+// agree bit for bit on every rank's clock and on the probe's clock/idle
+// timelines — including the replay of an already-recorded trace.
+func TestSchedulerEquivalenceInjectedDelays(t *testing.T) {
+	nets := map[string]NetworkModel{"flat": alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	for name, net := range testHierNets() {
+		nets[name] = net
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{3, 77} {
+				g, gp := runPerturbedWavefront(t, SchedulerGoroutine, net, seed, testDelays())
+				gc := g.SortedClocks()
+				for _, sched := range []string{SchedulerEvent, SchedulerTrace} {
+					e, ep := runPerturbedWavefront(t, sched, net, seed, testDelays())
+					if sched == SchedulerTrace {
+						// Replay the recorded trace; nothing may move a bit.
+						e.Reset()
+						if err := e.Run(wavefrontProgram(4, 3, 4)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if g.Makespan() != e.Makespan() {
+						t.Fatalf("seed %d: makespan goroutine %v != %s %v",
+							seed, g.Makespan(), sched, e.Makespan())
+					}
+					for i := 0; i < 12; i++ {
+						if g.Clock(i) != e.Clock(i) {
+							t.Fatalf("seed %d: rank %d clock goroutine %v != %s %v",
+								seed, i, g.Clock(i), sched, e.Clock(i))
+						}
+					}
+					ec := e.SortedClocks()
+					for i := range gc {
+						if gc[i] != ec[i] {
+							t.Fatalf("seed %d: clock[%d] goroutine %v != %s %v",
+								seed, i, gc[i], sched, ec[i])
+						}
+					}
+					requireSameProbe(t, name, "goroutine vs "+sched, gp, ep)
+				}
+			}
+		})
+	}
+}
+
+// TestDelayInjectionShiftsClocks pins the injector's semantics: a delayed
+// run can only be slower, the injected rank is damaged by at least its own
+// (unabsorbed) delay budget's effect, and a delay-free Delays slice is a
+// true no-op (bit-identical to the baseline).
+func TestDelayInjectionShiftsClocks(t *testing.T) {
+	net := alphaBeta{alpha: 2e-5, beta: 1e-8}
+	run := func(delays []Delay) *World {
+		w, err := NewWorld(12, Options{Net: net, Seed: 9, Scheduler: SchedulerEvent, Delays: delays})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(wavefrontProgram(4, 3, 4)); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	base := run(nil)
+	empty := run([]Delay{})
+	for i := 0; i < 12; i++ {
+		if base.Clock(i) != empty.Clock(i) {
+			t.Fatalf("empty delay slice moved rank %d: %v vs %v", i, empty.Clock(i), base.Clock(i))
+		}
+	}
+	const d = 5e-3
+	pert := run([]Delay{{Rank: 5, Op: 0, Seconds: d}})
+	if pert.Makespan() < base.Makespan() {
+		t.Fatalf("perturbed makespan %v < baseline %v", pert.Makespan(), base.Makespan())
+	}
+	if pert.Makespan() > base.Makespan()+d+1e-12 {
+		t.Fatalf("damage %v exceeds injected %v", pert.Makespan()-base.Makespan(), d)
+	}
+	// A delay at op 0 lands before the rank's first collective, so it must
+	// damage the rank's clock at least until the next synchronisation point
+	// absorbs it; with d far above the program's total slack, global damage
+	// must be visible.
+	if pert.Makespan()-base.Makespan() < d/2 {
+		t.Fatalf("a %vs delay produced only %vs damage", d, pert.Makespan()-base.Makespan())
+	}
+}
+
+// TestDelayValidation checks both entry points reject malformed delays.
+func TestDelayValidation(t *testing.T) {
+	bad := [][]Delay{
+		{{Rank: -1, Op: 0, Seconds: 1}},
+		{{Rank: 12, Op: 0, Seconds: 1}},
+		{{Rank: 0, Op: -3, Seconds: 1}},
+		{{Rank: 0, Op: 0, Seconds: -1}},
+		{{Rank: 0, Op: 0, Seconds: math.NaN()}},
+		{{Rank: 0, Op: 0, Seconds: math.Inf(1)}},
+	}
+	for i, delays := range bad {
+		if _, err := NewWorld(12, Options{Delays: delays}); err == nil {
+			t.Errorf("case %d: NewWorld accepted invalid delay %+v", i, delays[0])
+		}
+	}
+
+	w, err := NewWorld(4, Options{Scheduler: SchedulerTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) error { c.Barrier(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplayer()
+	for i, delays := range bad {
+		if err := rp.Replay(w.Trace(), Options{Delays: delays}, ReplayParams{}); err == nil {
+			t.Errorf("case %d: Replay accepted invalid delay %+v", i, delays[0])
+		}
+	}
+}
+
+// TestOpIndexOfReduce checks the iteration->op-index mapping on a recorded
+// wavefront trace: the k-th collective of each rank is found at an op whose
+// kind is topReduce, indices are strictly increasing per rank, and asking
+// past the recorded collectives returns -1.
+func TestOpIndexOfReduce(t *testing.T) {
+	const iters = 4
+	w, err := NewWorld(12, Options{Scheduler: SchedulerTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(wavefrontProgram(4, 3, iters)); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	for rank := 0; rank < 12; rank++ {
+		nops := tr.RankOps(rank)
+		if nops == 0 {
+			t.Fatalf("rank %d: empty script", rank)
+		}
+		prev := -1
+		// wavefrontProgram runs one AllreduceMax per iteration plus a
+		// final AllreduceSum.
+		for k := 0; k < iters+1; k++ {
+			idx := tr.OpIndexOfReduce(rank, k)
+			if idx <= prev || idx >= nops {
+				t.Fatalf("rank %d: reduce %d at op %d (prev %d, rank ops %d)", rank, k, idx, prev, nops)
+			}
+			prev = idx
+		}
+		if idx := tr.OpIndexOfReduce(rank, iters+1); idx != -1 {
+			t.Fatalf("rank %d: phantom collective at op %d", rank, idx)
+		}
+	}
+	// The final op of every rank must be the closing AllreduceSum.
+	for rank := 0; rank < 12; rank++ {
+		if got, want := tr.OpIndexOfReduce(rank, iters), tr.RankOps(rank)-1; got != want {
+			t.Fatalf("rank %d: final collective at op %d, want %d", rank, got, want)
+		}
+	}
+}
+
+// TestRunProbeTimelines pins the probe's shape and basic physics on an
+// unperturbed run: one row per collective generation, monotone per-rank
+// clocks across generations, non-negative non-decreasing idle.
+func TestRunProbeTimelines(t *testing.T) {
+	const iters = 5
+	probe := &RunProbe{}
+	w, err := NewWorld(12, Options{
+		Net:       alphaBeta{alpha: 2e-5, beta: 1e-8},
+		Seed:      1,
+		Scheduler: SchedulerEvent,
+		Probe:     probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(wavefrontProgram(4, 3, iters)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := probe.Generations(), iters+1; got != want {
+		t.Fatalf("generations = %d, want %d", got, want)
+	}
+	if probe.Ranks() != 12 {
+		t.Fatalf("ranks = %d, want 12", probe.Ranks())
+	}
+	for r := 0; r < 12; r++ {
+		prevClock, prevIdle := -1.0, 0.0
+		for g := 0; g < probe.Generations(); g++ {
+			c, id := probe.ClockRow(g)[r], probe.IdleRow(g)[r]
+			if c <= prevClock {
+				t.Fatalf("rank %d gen %d: clock %v not increasing (prev %v)", r, g, c, prevClock)
+			}
+			if id < prevIdle {
+				t.Fatalf("rank %d gen %d: idle %v decreased (prev %v)", r, g, id, prevIdle)
+			}
+			prevClock, prevIdle = c, id
+		}
+	}
+	// Rerunning with the probe must reset it, not append.
+	w.Reset()
+	if err := w.Run(wavefrontProgram(4, 3, iters)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := probe.Generations(), iters+1; got != want {
+		t.Fatalf("after rerun: generations = %d, want %d", got, want)
+	}
+}

@@ -118,6 +118,40 @@ type Trace struct {
 // Ranks returns the world size the trace was recorded on.
 func (t *Trace) Ranks() int { return t.n }
 
+// RankOps returns the number of recorded operations in one rank's script —
+// the exclusive upper bound of the Delay.Op coordinate for that rank.
+func (t *Trace) RankOps(rank int) int {
+	n := 0
+	for _, c := range t.script[t.sstart[rank]:t.sstart[rank+1]] {
+		n += int(t.cstart[c+1] - t.cstart[c])
+	}
+	return n
+}
+
+// OpIndexOfReduce returns the op index (the position in the rank's
+// recorded op stream — the coordinate Delay.Op uses) of the rank's k-th
+// collective, 0-based, or -1 if the rank records fewer than k+1
+// collectives. It converts iteration-structured injection points into
+// exact op indices: for a program that ends every iteration with one
+// collective, iteration i starts at op 0 when i == 0 and at
+// OpIndexOfReduce(rank, i-1)+1 otherwise.
+func (t *Trace) OpIndexOfReduce(rank, k int) int {
+	idx := 0
+	for _, c := range t.script[t.sstart[rank]:t.sstart[rank+1]] {
+		ops := t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+		for i := range ops {
+			if ops[i].kind == topReduce {
+				if k == 0 {
+					return idx
+				}
+				k--
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
 // Ops returns the total recorded op count (before chunk interning).
 func (t *Trace) Ops() int { return t.ops }
 
@@ -398,6 +432,19 @@ type Replayer struct {
 	redMemo     sizeCost // reduce-cost memo keyed by payload bytes (det nets)
 
 	marks []float64
+
+	// Fault-injection cursors and probe state (Options.Delays/Probe), in
+	// parallel slices rather than rrank so the unperturbed hot path — and
+	// its zero-allocation guarantee — is untouched. collGen mirrors the
+	// live backends' collective generation counter for probe rows.
+	// perturbed routes replay through the instrumented loop; the plain
+	// hot loop never looks at any of this state.
+	perturbed bool
+	injecting bool
+	dqs       [][]Delay
+	opns      []int32
+	idles     []float64
+	collGen   int
 }
 
 // rsInline is the per-rank inline stream capacity; the wavefront needs at
@@ -485,6 +532,9 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	if int(t.maxSzPar) >= len(p.Sizes) {
 		return fmt.Errorf("mp: trace references size param %d, table holds %d", t.maxSzPar, len(p.Sizes))
 	}
+	if err := validDelays(t.n, opts.Delays); err != nil {
+		return err
+	}
 	sameTrace := r.t == t
 	r.opts = opts
 	r.det = opts.Net == nil || netIsDeterministic(opts.Net)
@@ -570,6 +620,24 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	r.collWaiters = r.collWaiters[:0]
 	r.collRngOK = false
 	r.redMemo = sizeCost{bytes: -1}
+	r.collGen = 0
+	r.injecting = len(opts.Delays) > 0
+	r.perturbed = r.injecting || opts.Probe != nil || opts.Noise != nil
+	r.dqs = nil
+	if r.injecting {
+		r.dqs = rankDelays(n, opts.Delays)
+	}
+	if r.injecting || opts.Probe != nil {
+		r.opns = resizeI32(r.opns, n)
+		r.idles = resizeF(r.idles, n)
+		for i := 0; i < n; i++ {
+			r.opns[i] = 0
+			r.idles[i] = 0
+		}
+	}
+	if p := opts.Probe; p != nil {
+		p.reset(n)
+	}
 	r.marks = resizeF(r.marks, t.nmarks)
 	for i := range r.marks {
 		r.marks[i] = 0
@@ -710,8 +778,13 @@ func (r *Replayer) deliver(dst int, k uint64, avail, aux float64) {
 // runRank executes one rank's script ops until the rank blocks or
 // finishes. It is the replay engine's hot loop: every arm is straight
 // array arithmetic; with a deterministic net no arm makes an interface
-// call.
+// call. Perturbed replays (delays, noise, probes) take the separate
+// instrumented loop so this one carries no fault-injection state at all.
 func (r *Replayer) runRank(id int) {
+	if r.perturbed {
+		r.runRankPerturbed(id)
+		return
+	}
 	t := r.t
 	net := r.opts.Net
 	det := r.det
@@ -879,4 +952,245 @@ func (r *Replayer) runRank(id int) {
 	self.spos, self.opos = sp, 0
 	self.status = evDone
 	r.doneCount++
+}
+
+// runRankPerturbed is runRank with fault injection, compute noise and
+// probe accounting woven into every arm. It is deliberately a separate
+// copy of the hot loop: keeping the cursor/accumulator bookkeeping out
+// of the plain path keeps unperturbed replays at their recorded cost,
+// while this loop pays for exactly what a perturbation study uses.
+// Clocks follow the same schedule law, so a perturbed replay is still
+// bit-identical to the live backends under the same options.
+func (r *Replayer) runRankPerturbed(id int) {
+	t := r.t
+	net := r.opts.Net
+	noise := r.opts.Noise
+	det := r.det
+	cnet, ns := r.cnet, r.ns
+	lits, charges := t.lits, r.charges
+	sendSec, availSec, recvSec := r.sendSec, r.availSec, r.recvSec
+	self := &r.rk[id]
+	clock := self.clock
+	sp, op := self.spos, self.opos
+	sEnd := t.sstart[id+1]
+	// Fault-injection cursor and probe accumulator, in registers for the
+	// loop and written back on park/finish. Delays for an op index are
+	// consumed in full at its first execution, so the park-and-re-execute
+	// paths (receive, collective) cannot double-apply them.
+	probe := r.opts.Probe
+	inj := r.injecting
+	var (
+		dq   []Delay
+		opn  int32
+		idle float64
+	)
+	if inj {
+		dq, opn = r.dqs[id], r.opns[id]
+	}
+	if probe != nil {
+		idle = r.idles[id]
+	}
+	var chunk []top
+	if sp < sEnd {
+		c := t.script[sp]
+		chunk = t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+	}
+	for {
+		if int(op) >= len(chunk) {
+			if sp >= sEnd {
+				break
+			}
+			sp++
+			op = 0
+			if sp >= sEnd {
+				break
+			}
+			c := t.script[sp]
+			chunk = t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+			continue
+		}
+		o := &chunk[op]
+		if inj {
+			for len(dq) > 0 && dq[0].Op == int(opn) {
+				clock += dq[0].Seconds
+				dq = dq[1:]
+			}
+		}
+		switch o.kind {
+		case topChargeParam:
+			if s := charges[o.arg0]; s > 0 {
+				if noise != nil {
+					s = noise.Perturb(s, r.rng(id))
+				}
+				clock += s
+			}
+		case topChargeLit:
+			clock += lits[o.arg0]
+		case topChargeNoisy:
+			s := lits[o.arg0]
+			if noise != nil {
+				s = noise.Perturb(s, r.rng(id))
+			}
+			clock += s
+		case topSendLit, topSendParam:
+			u := int(o.arg2)
+			if o.kind == topSendParam {
+				u += len(t.sizes)
+			}
+			dst := id + int(o.arg0)
+			start := clock
+			avail := start
+			var aux float64 // unread when net == nil
+			if net != nil {
+				ui := u // class-resolved table index: cls*ns + size index
+				if cnet != nil {
+					ui += cnet.ClassOf(id, dst) * ns
+				}
+				if det {
+					clock = start + sendSec[ui]
+					avail = start + availSec[ui]
+					aux = recvSec[ui]
+				} else {
+					rng := r.rng(id)
+					b := int(r.bytes[u])
+					if cnet != nil {
+						cls := ui / ns
+						clock = start + cnet.SendOverheadClass(cls, b, rng)
+						avail = start + cnet.TransitClass(cls, b, rng)
+					} else {
+						clock = start + net.SendOverhead(b, rng)
+						avail = start + net.Transit(b, rng)
+					}
+					aux = float64(ui)
+				}
+			}
+			r.deliver(dst, qkey(id, int(o.arg1)), avail, aux)
+		case topRecv:
+			k := qkey(id+int(o.arg0), int(o.arg1))
+			st := r.streamFast(id, self, k)
+			if st == nil {
+				st = r.streamSlow(id, k)
+			}
+			if st.head >= int32(len(st.msgs)) {
+				// Park: save the cursor at this op; when woken, the outer
+				// loop re-enters runRank and the receive re-executes with
+				// the message queued.
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = evBlocked
+				self.wantKey = k
+				if inj {
+					r.dqs[id], r.opns[id] = dq, opn
+				}
+				if probe != nil {
+					r.idles[id] = idle
+				}
+				return
+			}
+			m := st.msgs[st.head]
+			st.head++
+			if st.head == int32(len(st.msgs)) {
+				st.head = 0
+				st.msgs = st.msgs[:0]
+			}
+			if m.avail > clock {
+				if probe != nil {
+					idle += m.avail - clock
+				}
+				clock = m.avail
+			}
+			if net != nil {
+				if det {
+					clock += m.aux
+				} else {
+					ui := int(m.aux)
+					if cnet != nil {
+						clock += cnet.RecvOverheadClass(ui/ns, int(r.bytes[ui%ns]), r.rng(id))
+					} else {
+						clock += net.RecvOverhead(int(r.bytes[ui]), r.rng(id))
+					}
+				}
+			}
+		case topReduce:
+			if self.collResolved {
+				// Resume after the closer resolved the generation; the
+				// entry clock was frozen at park, so the idle delta matches
+				// the live backends' done-minus-entry accounting.
+				self.collResolved = false
+				if probe != nil {
+					idle += self.collDone - clock
+				}
+				clock = self.collDone
+				break
+			}
+			if probe != nil {
+				probe.record(r.collGen, id, clock, idle)
+			}
+			if r.collArrived == 0 {
+				r.collMax = clock
+			} else if clock > r.collMax {
+				r.collMax = clock
+			}
+			r.collArrived++
+			if r.collArrived < t.n {
+				// Park inside the collective; the closing rank resolves the
+				// generation into collDone/collResolved, and the re-executed
+				// op consumes it on resume.
+				r.collWaiters = append(r.collWaiters, int32(id))
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = rBlockedColl
+				if inj {
+					r.dqs[id], r.opns[id] = dq, opn
+				}
+				if probe != nil {
+					r.idles[id] = idle
+				}
+				return
+			}
+			// Last participant closes the generation and prices the
+			// collective exactly as the live backends do.
+			done := r.collMax
+			if net != nil {
+				bytes := 8 * int(o.arg0)
+				if det {
+					if r.redMemo.bytes != bytes {
+						r.redMemo = sizeCost{bytes: bytes, sec: net.ReduceCost(t.n, bytes, nil)}
+					}
+					done += r.redMemo.sec
+				} else {
+					done += net.ReduceCost(t.n, bytes, r.collRngStream())
+				}
+			}
+			r.collArrived = 0
+			r.collGen++
+			for _, wid := range r.collWaiters {
+				wr := &r.rk[wid]
+				wr.collDone = done
+				wr.collResolved = true
+				r.wake(int(wid))
+			}
+			r.collWaiters = r.collWaiters[:0]
+			if probe != nil {
+				idle += done - clock
+			}
+			clock = done
+		case topMark:
+			r.marks[o.arg0] = clock
+		}
+		op++
+		if inj {
+			opn++
+		}
+	}
+	self.clock = clock
+	self.spos, self.opos = sp, 0
+	self.status = evDone
+	r.doneCount++
+	if inj {
+		r.dqs[id], r.opns[id] = dq, opn
+	}
+	if probe != nil {
+		r.idles[id] = idle
+	}
 }

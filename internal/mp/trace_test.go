@@ -288,6 +288,57 @@ func TestTraceReplayZeroAllocsDetNet(t *testing.T) {
 	}
 }
 
+// TestTraceReplayZeroAllocsPerturbationDisabled guards the serving fast
+// path against the fault-injection machinery: a warmed replayer that has
+// just executed a *perturbed* replay (delays + probe, which allocate
+// cursor state) must return to zero allocations per Reset+Run cycle the
+// moment perturbation is disabled again.
+func TestTraceReplayZeroAllocsPerturbationDisabled(t *testing.T) {
+	net := alphaBeta{alpha: 1e-6, beta: 1e-9}
+	w, err := NewWorld(8, Options{Net: net, Seed: 7, Scheduler: SchedulerEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ringProgram(50)
+	tr, err := w.RunRecorded(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplayer()
+	plain := Options{Net: net, Seed: 7}
+	perturbed := Options{
+		Net:    net,
+		Seed:   7,
+		Delays: []Delay{{Rank: 3, Op: 10, Seconds: 1e-3}},
+		Probe:  &RunProbe{},
+	}
+	// Warm the replayer, run a perturbed replay in the middle, and confirm
+	// the perturbed makespan moved.
+	for i := 0; i < 3; i++ {
+		if err := rp.Replay(tr, plain, ReplayParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := rp.Makespan()
+	if err := rp.Replay(tr, perturbed, ReplayParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Makespan() < base {
+		t.Fatalf("perturbed makespan %v < baseline %v", rp.Makespan(), base)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if err := rp.Replay(tr, plain, ReplayParams{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("perturbation-disabled replay allocations = %v per cycle, want 0", avg)
+	}
+	if rp.Makespan() != base {
+		t.Errorf("perturbation-disabled makespan %v != baseline %v", rp.Makespan(), base)
+	}
+}
+
 // TestTraceNonDeterministicNetBitIdentical drives the faithful (RNG
 // drawing) replay path with a jittering cost model: replays must still be
 // bit-identical to the event backend because per-rank draw order is the

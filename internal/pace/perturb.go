@@ -1,0 +1,87 @@
+package pace
+
+// Fault-injection entry points of the evaluator: expose the compiled
+// communication script of a configuration (so callers can convert
+// iteration-structured injection points into exact per-rank op indices)
+// and replay it under injected delays, compute noise and a run probe.
+// Perturbed evaluations always run on the trace tier and bypass the
+// prediction memo entirely — a perturbed makespan must never poison the
+// unperturbed caches.
+
+import (
+	"fmt"
+
+	"pacesweep/internal/mp"
+)
+
+// PerturbedRun is the outcome of one perturbed (or baseline) replay.
+type PerturbedRun struct {
+	Makespan float64   // maximum final rank clock, seconds
+	Clocks   []float64 // final per-rank clocks
+}
+
+// traceAndKernel resolves a template-path configuration to its cost
+// kernel and compiled communication script (compiling and caching the
+// script on first use).
+func (e *Evaluator) traceAndKernel(cfg Config) (*mp.Trace, *costKernel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !UsesTemplate(cfg) {
+		return nil, nil, fmt.Errorf("pace: perturbation requires the template path (%d ranks > %d)",
+			cfg.Decomp.Size(), TemplateMaxRanks)
+	}
+	k, err := e.kernelFor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := cfg.Decomp
+	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations}
+	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
+		return e.compileTrace(d, k, cfg.Iterations)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, k, nil
+}
+
+// TraceFor returns the compiled communication script of a template-path
+// configuration. The trace is immutable and shared; callers use it to map
+// iteration-based injection points onto op indices (Trace.OpIndexOfReduce
+// — the template ends every iteration with one collective).
+func (e *Evaluator) TraceFor(cfg Config) (*mp.Trace, error) {
+	t, _, err := e.traceAndKernel(cfg)
+	return t, err
+}
+
+// RunPerturbed replays the configuration's compiled script under injected
+// delays and compute noise, recording per-generation timelines into probe
+// when non-nil. A nil delays slice with the same noise and seed is the
+// matched baseline: noise draws per rank are in program order on every
+// backend, so baseline and perturbed runs see identical draw sequences
+// and their clock difference is exactly the injected damage.
+func (e *Evaluator) RunPerturbed(cfg Config, delays []mp.Delay, noise mp.ComputeNoise, seed int64, probe *mp.RunProbe) (PerturbedRun, error) {
+	t, k, err := e.traceAndKernel(cfg)
+	if err != nil {
+		return PerturbedRun{}, err
+	}
+	rp, release := e.acquireReplayer()
+	defer release()
+	err = rp.Replay(t, mp.Options{
+		Net:    e.HW.Net(),
+		Noise:  noise,
+		Seed:   seed,
+		Delays: delays,
+		Probe:  probe,
+	}, mp.ReplayParams{Charges: k.charges, Sizes: k.sizes})
+	if err != nil {
+		return PerturbedRun{}, err
+	}
+	traceReplays.Add(1)
+	clocks := make([]float64, t.Ranks())
+	for i := range clocks {
+		clocks[i] = rp.Clock(i)
+	}
+	return PerturbedRun{Makespan: rp.Makespan(), Clocks: clocks}, nil
+}

@@ -1,0 +1,97 @@
+package pace
+
+import (
+	"testing"
+
+	"pacesweep/internal/grid"
+	"pacesweep/internal/mp"
+)
+
+// TestRunPerturbedBaselineMatchesPredict pins the perturbation tier to the
+// prediction tier: an unperturbed RunPerturbed (no delays, no noise) must
+// reproduce Predict's template total bit for bit, and its probe must hold
+// one generation per iteration plus the closing collective.
+func TestRunPerturbedBaselineMatchesPredict(t *testing.T) {
+	ev := testEvaluator(t)
+	cfg := paperConfig(2, 3)
+	p, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &mp.RunProbe{}
+	run, err := ev.RunPerturbed(cfg, nil, nil, 0, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Makespan != p.Total {
+		t.Fatalf("baseline makespan %v != Predict total %v", run.Makespan, p.Total)
+	}
+	if len(run.Clocks) != cfg.Decomp.Size() {
+		t.Fatalf("clocks len %d, want %d", len(run.Clocks), cfg.Decomp.Size())
+	}
+	if got, want := probe.Generations(), cfg.Iterations+1; got != want {
+		t.Fatalf("probe generations %d, want %d", got, want)
+	}
+}
+
+// TestRunPerturbedInjectsDamage checks delays flow through the pace tier:
+// a delayed run is slower, damage never exceeds the injection, and the
+// unperturbed memoised prediction is not poisoned by perturbed runs.
+func TestRunPerturbedInjectsDamage(t *testing.T) {
+	ev := testEvaluator(t)
+	cfg := paperConfig(2, 2)
+	tr, err := ev.TraceFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ev.RunPerturbed(cfg, nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 0.05
+	op := 0 // iteration 0 starts at the rank's first op
+	pert, err := ev.RunPerturbed(cfg, []mp.Delay{{Rank: 1, Op: op, Seconds: d}}, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := pert.Makespan - base.Makespan
+	if damage <= 0 || damage > d+1e-12 {
+		t.Fatalf("damage %v out of (0, %v]", damage, d)
+	}
+	// Injecting at the start of a later iteration uses the op after the
+	// previous iteration's collective.
+	op2 := tr.OpIndexOfReduce(1, 2) + 1
+	if op2 <= 0 {
+		t.Fatalf("OpIndexOfReduce gave %d", op2-1)
+	}
+	pert2, err := ev.RunPerturbed(cfg, []mp.Delay{{Rank: 1, Op: op2, Seconds: d}}, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pert2.Makespan <= base.Makespan {
+		t.Fatalf("mid-run delay produced no damage (%v <= %v)", pert2.Makespan, base.Makespan)
+	}
+	// The memoised unperturbed prediction must still be the baseline.
+	p, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != base.Makespan {
+		t.Fatalf("memo poisoned: Predict %v != baseline %v", p.Total, base.Makespan)
+	}
+}
+
+// TestRunPerturbedRequiresTemplate pins the error contract for
+// configurations beyond the template rank ceiling.
+func TestRunPerturbedRequiresTemplate(t *testing.T) {
+	ev := testEvaluator(t)
+	cfg := paperConfig(2, 2)
+	cfg.Decomp = grid.Decomp{PX: 100, PY: 100}
+	cfg.Grid = grid.Global{NX: 500, NY: 500, NZ: 50}
+	if _, err := ev.RunPerturbed(cfg, nil, nil, 0, nil); err == nil {
+		t.Fatal("expected template-path error for 10000 ranks")
+	}
+	if _, err := ev.TraceFor(cfg); err == nil {
+		t.Fatal("expected template-path error from TraceFor")
+	}
+}

@@ -21,24 +21,66 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.instrument(&s.st.predict, s.handlePredict))
 	s.mux.HandleFunc("/v1/sweep", s.instrument(&s.st.sweep, s.handleSweep))
+	s.mux.HandleFunc("/v1/perturb", s.instrument(&s.st.perturb, s.handlePerturb))
 	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// /healthz is pure liveness: the process is up and serving. It never
+	// degrades — load problems are /readyz's job.
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
 	})
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+}
+
+// handleReadyz is GET /readyz: readiness for new evaluation work. While
+// admission control is shedding, it answers 503 so load balancers rotate
+// traffic away; the process is still live (/healthz stays 200).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.shedding() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"status\":\"degraded\",\"reason\":\"shedding\",\"queued\":%d}\n", s.st.queued.Load())
+		return
+	}
+	io.WriteString(w, "{\"status\":\"ready\"}\n")
 }
 
 // instrument wraps a handler with the inflight gauge, latency histogram
-// and error counter of its endpoint.
+// and error counter of its endpoint, and arms the configured request
+// deadline on the request context — every downstream wait (semaphore
+// queueing, sweep/perturb worker loops) inherits it.
 func (s *Server) instrument(ep *endpointStats, h func(http.ResponseWriter, *http.Request) (ok bool)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if d := s.cfg.RequestTimeout; d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		s.st.inflight.Add(1)
 		start := time.Now()
 		ok := h(w, r)
 		s.st.inflight.Add(-1)
 		ep.observe(time.Since(start), !ok)
+	}
+}
+
+// writeEvalError classifies an evaluation failure: deadline expiry is a
+// retryable 504, cancellation a retryable 503, anything else a 500. The
+// Retry-After on the retryable classes pairs with admission control — the
+// client should back off, not hammer.
+func writeEvalError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(r.Context().Err(), context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+	case r.Context().Err() != nil || errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "evaluation failed: %v", err)
 	}
 }
 
@@ -137,9 +179,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		return true
 	}
 
-	// Cold path. Identical concurrent requests coalesce on the response
-	// cache's singleflight: one evaluation serves every waiter. (A waiter
-	// can receive the builder's cancellation error — the rare cost of
+	// Cold path — real evaluation work, so admission control applies.
+	if !s.admit(w, &s.st.predict) {
+		return false
+	}
+	// Identical concurrent requests coalesce on the response cache's
+	// singleflight: one evaluation serves every waiter. (A waiter can
+	// receive the builder's cancellation error — the rare cost of
 	// coalescing; it surfaces as a retryable 503.)
 	build := func() ([]byte, error) {
 		if err := s.acquire(r); err != nil {
@@ -159,11 +205,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		body, err = build()
 	}
 	if err != nil {
-		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		} else {
-			writeError(w, http.StatusInternalServerError, "evaluation failed: %v", err)
-		}
+		writeEvalError(w, r, err)
 		return false
 	}
 	writeCached(w, body, false, etag)

@@ -9,10 +9,14 @@
 //	POST /v1/sweep   — a grid of processor-array × blocking-factor ×
 //	                   platform variations fanned out on a bounded worker
 //	                   pool; aggregated JSON or streaming NDJSON
+//	POST /v1/perturb — fault-injection scenarios (per-rank delays, compute
+//	                   noise) → idle-wave damage reports; scenario grids
+//	                   stream NDJSON
 //	GET  /v1/stats   — cache hit/miss/eviction counters, pool occupancy,
 //	                   per-endpoint latency histograms (JSON)
 //	GET  /metrics    — the same counters in Prometheus text format
 //	GET  /healthz    — liveness
+//	GET  /readyz     — readiness; 503 while the server is shedding load
 //
 // Serving architecture, bottom to top:
 //
@@ -114,6 +118,19 @@ type Config struct {
 	// requests (default 2*GOMAXPROCS).
 	MaxConcurrent int
 
+	// MaxQueueDepth sheds load: when more than this many requests are
+	// already waiting for an evaluation slot, new evaluation work is
+	// refused immediately with 503 + Retry-After instead of queueing
+	// behind them (default 8*MaxConcurrent; <0 disables shedding). Cache
+	// hits are never shed — they take no slot.
+	MaxQueueDepth int
+
+	// RequestTimeout bounds one request's total wall time: the request
+	// context is cancelled at the deadline, which aborts queueing for the
+	// evaluation semaphore and stops sweep/perturb workers between points.
+	// Expired requests answer 504 + Retry-After. 0 disables the deadline.
+	RequestTimeout time.Duration
+
 	// SweepWorkers bounds one sweep's fan-out (default GOMAXPROCS; also
 	// clamped by MaxConcurrent at evaluation time).
 	SweepWorkers int
@@ -181,6 +198,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueueDepth == 0:
+		c.MaxQueueDepth = 8 * c.MaxConcurrent
+	case c.MaxQueueDepth < 0:
+		c.MaxQueueDepth = 0 // shedding disabled
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
 	}
 	if c.SweepWorkers <= 0 {
 		c.SweepWorkers = runtime.GOMAXPROCS(0)
@@ -385,8 +411,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// acquire takes one evaluation slot, honouring request cancellation.
+// acquire takes one evaluation slot, honouring request cancellation and
+// deadlines. Waiters are counted in the queued gauge that drives admission
+// control and /readyz.
 func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	s.st.queued.Add(1)
+	defer s.st.queued.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -396,3 +431,26 @@ func (s *Server) acquire(r *http.Request) error {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// shedding reports whether the evaluation queue is beyond the configured
+// depth: new evaluation work should be refused rather than queued.
+func (s *Server) shedding() bool {
+	return s.cfg.MaxQueueDepth > 0 && s.st.queued.Load() >= int64(s.cfg.MaxQueueDepth)
+}
+
+// admit applies admission control before evaluation work: when the server
+// is shedding, it answers 503 + Retry-After and reports false. Cache-hit
+// paths bypass it — they take no evaluation slot.
+func (s *Server) admit(w http.ResponseWriter, ep *endpointStats) bool {
+	if !s.shedding() {
+		return true
+	}
+	if ep != nil {
+		ep.shed.Add(1)
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable,
+		"evaluation queue full (%d waiting, limit %d); retry later",
+		s.st.queued.Load(), s.cfg.MaxQueueDepth)
+	return false
+}

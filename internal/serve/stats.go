@@ -25,6 +25,7 @@ type endpointStats struct {
 	errors       atomic.Uint64
 	cacheHits    atomic.Uint64 // responses served from the response cache
 	notModified  atomic.Uint64 // empty 304s served off If-None-Match
+	shed         atomic.Uint64 // 503s from admission control (queue full)
 	latencyNanos atomic.Uint64
 	buckets      [len(latencyBounds) + 1]atomic.Uint64
 }
@@ -48,8 +49,12 @@ func (e *endpointStats) observe(d time.Duration, isErr bool) {
 // serverStats aggregates the server's operational counters.
 type serverStats struct {
 	inflight atomic.Int64
-	predict  endpointStats
-	sweep    endpointStats
+	// queued counts requests currently waiting for an evaluation slot; it
+	// drives admission control (Config.MaxQueueDepth) and /readyz.
+	queued  atomic.Int64
+	predict endpointStats
+	sweep   endpointStats
+	perturb endpointStats
 
 	// Sweep shape-batching telemetry (see sweep.go batchSweep).
 	sweepBatchGroups atomic.Uint64 // shape groups dispatched, cumulative
@@ -83,6 +88,7 @@ type EndpointSnapshot struct {
 	Errors              uint64        `json:"errors"`
 	CacheHits           uint64        `json:"cache_hits"`
 	NotModified         uint64        `json:"not_modified,omitempty"`
+	Shed                uint64        `json:"shed,omitempty"`
 	AvgLatencySeconds   float64       `json:"avg_latency_seconds"`
 	TotalLatencySeconds float64       `json:"total_latency_seconds"`
 	Latency             []BucketCount `json:"latency"`
@@ -94,6 +100,7 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 		Errors:      e.errors.Load(),
 		CacheHits:   e.cacheHits.Load(),
 		NotModified: e.notModified.Load(),
+		Shed:        e.shed.Load(),
 	}
 	out.TotalLatencySeconds = float64(e.latencyNanos.Load()) / 1e9
 	if out.Requests > 0 {
@@ -130,8 +137,13 @@ type SweepBatchSnapshot struct {
 
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Inflight      int64                       `json:"inflight"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Inflight      int64   `json:"inflight"`
+	// Queued is the number of requests waiting for an evaluation slot;
+	// Shedding reports whether admission control is currently refusing new
+	// evaluation work (queued >= MaxQueueDepth).
+	Queued        int64                       `json:"queued"`
+	Shedding      bool                        `json:"shedding"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	ResponseCache *lru.Stats                  `json:"response_cache,omitempty"`
 	// CustomEvaluators is the inline platform_spec evaluator cache: hits
@@ -151,9 +163,12 @@ func (s *Server) statsResponse() StatsResponse {
 	out := StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Inflight:      s.st.inflight.Load(),
+		Queued:        s.st.queued.Load(),
+		Shedding:      s.shedding(),
 		Endpoints: map[string]EndpointSnapshot{
 			"predict": s.st.predict.snapshot(),
 			"sweep":   s.st.sweep.snapshot(),
+			"perturb": s.st.perturb.snapshot(),
 		},
 		TraceCache:   pace.TraceCacheStats(),
 		TraceReplays: pace.TraceReplays(),
@@ -207,6 +222,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(w, "# TYPE paceserve_uptime_seconds gauge\npaceserve_uptime_seconds %g\n", st.UptimeSeconds)
 	fmt.Fprintf(w, "# TYPE paceserve_inflight_requests gauge\npaceserve_inflight_requests %d\n", st.Inflight)
+	fmt.Fprintf(w, "# TYPE paceserve_queued_requests gauge\npaceserve_queued_requests %d\n", st.Queued)
+	shedding := 0
+	if st.Shedding {
+		shedding = 1
+	}
+	fmt.Fprintf(w, "# TYPE paceserve_shedding gauge\npaceserve_shedding %d\n", shedding)
 
 	fmt.Fprintf(w, "# TYPE paceserve_requests_total counter\n")
 	for _, ep := range sortedKeys(st.Endpoints) {
@@ -219,6 +240,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE paceserve_not_modified_total counter\n")
 	for _, ep := range sortedKeys(st.Endpoints) {
 		fmt.Fprintf(w, "paceserve_not_modified_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].NotModified)
+	}
+	fmt.Fprintf(w, "# TYPE paceserve_shed_total counter\n")
+	for _, ep := range sortedKeys(st.Endpoints) {
+		fmt.Fprintf(w, "paceserve_shed_total{endpoint=%q} %d\n", ep, st.Endpoints[ep].Shed)
 	}
 	// Full Prometheus histogram convention: _bucket series plus the _sum
 	// and _count series that rate()/avg queries depend on.

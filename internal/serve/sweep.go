@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pacesweep/internal/pace"
+	"pacesweep/internal/perturb"
 	"pacesweep/internal/platform"
 )
 
@@ -32,6 +33,14 @@ type SweepRequest struct {
 	Angles       int            `json:"angles,omitempty"`
 	Iterations   int            `json:"iterations,omitempty"`
 	Method       string         `json:"method,omitempty"`
+	// Scenario makes robustness a sweep axis: every point additionally
+	// runs this fault-injection scenario (template method only) and
+	// reports a perturbation digest beside its clean prediction, so a
+	// procurement sweep can rank platforms by noise tolerance. Points
+	// whose array cannot host the scenario's ranks error individually.
+	// Perturbed points always evaluate live — never from the response
+	// cache.
+	Scenario *perturb.Scenario `json:"scenario,omitempty"`
 	// Stream selects NDJSON streaming: one SweepPoint per line in index
 	// order, flushed as each becomes available. Default: one aggregated
 	// SweepResponse document.
@@ -50,7 +59,21 @@ type SweepPoint struct {
 	MMI              int       `json:"mmi"`
 	PredictedSeconds float64   `json:"predicted_seconds,omitempty"`
 	Method           string    `json:"method,omitempty"`
-	Error            string    `json:"error,omitempty"`
+	// Perturbation digests the point's fault-injection run when the sweep
+	// carries a scenario; PredictedSeconds is then the matched baseline.
+	Perturbation *PerturbSummary `json:"perturbation,omitempty"`
+	Error        string          `json:"error,omitempty"`
+}
+
+// PerturbSummary is the per-point digest of a perturbation report: the
+// headline damage numbers without the per-generation wavefront detail
+// (use /v1/perturb for the full report on a single configuration).
+type PerturbSummary struct {
+	PerturbedSeconds      float64 `json:"perturbed_seconds"`
+	DamageSeconds         float64 `json:"damage_seconds"`
+	AbsorbedSeconds       float64 `json:"absorbed_seconds"`
+	AnalyticDamageSeconds float64 `json:"analytic_damage_seconds"`
+	DecayGeneration       int     `json:"decay_generation"`
 }
 
 // SweepResponse is the aggregated (non-streaming) sweep document.
@@ -130,6 +153,9 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 		return nil, errRequest("unknown method %q (want %q, %q or %q)",
 			q.Method, MethodAuto, MethodTemplate, MethodClosedForm)
 	}
+	if q.Scenario != nil && q.Method == MethodClosedForm {
+		return nil, errRequest("scenario requires template evaluation; method %q cannot inject faults", MethodClosedForm)
+	}
 	if q.Angles < 0 || q.Iterations < 0 {
 		return nil, errRequest("angles and iterations must be non-negative")
 	}
@@ -171,6 +197,21 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 			}
 		}
 	}
+	if q.Scenario != nil {
+		// Scenario knobs uniform across the grid (iteration index, delay
+		// sign, noise kind) fail the request; rank bounds are checked
+		// against the largest array so only genuinely per-point rank
+		// overflow falls through to per-point errors.
+		maxRanks := 0
+		for _, arr := range q.Arrays {
+			if n := arr.PX * arr.PY; n > maxRanks {
+				maxRanks = n
+			}
+		}
+		if err := q.Scenario.Validate(maxRanks, points[0].Iterations); err != nil {
+			return nil, errRequest("scenario: %v", err)
+		}
+	}
 	return points, nil
 }
 
@@ -192,7 +233,7 @@ func errRequest(format string, args ...any) error {
 // unmarshal), then the evaluator's prediction memo (marshalled into the
 // response cache on the way out, so the next repeat — and /v1/predict
 // itself — hits bytes), then the cold singleflight evaluation.
-func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepPoint {
+func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest, sc *perturb.Scenario) SweepPoint {
 	name := q.Platform
 	if q.PlatformSpec != nil {
 		name = q.PlatformSpec.Name
@@ -204,6 +245,13 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 	if err := q.validate(); err != nil {
 		pt.Error = err.Error()
 		return pt
+	}
+	if sc != nil {
+		// Perturbed points never touch the response cache in either
+		// direction: the report is a live baseline+perturbed replay pair,
+		// and the clean predict bytes under this fingerprint must not be
+		// confused with a perturbation result.
+		return s.perturbPoint(r, pt, q, sc)
 	}
 	if s.responses != nil {
 		if body, hit := s.responses.Peek(q.key()); hit {
@@ -263,6 +311,53 @@ func (s *Server) evaluatePoint(r *http.Request, i int, q *PredictRequest) SweepP
 		return pt
 	}
 	return pointFromBody(pt, body)
+}
+
+// perturbPoint runs a sweep point's fault-injection scenario and digests
+// the report: PredictedSeconds is the matched baseline (bit-equal to the
+// clean template prediction), Perturbation carries the damage numbers.
+// Rank bounds are validated per point here — expand only guaranteed the
+// scenario fits the largest array in the sweep.
+func (s *Server) perturbPoint(r *http.Request, pt SweepPoint, q *PredictRequest, sc *perturb.Scenario) SweepPoint {
+	ev, err := s.evaluatorFor(q)
+	if err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	if err := s.acquire(r); err != nil {
+		pt.Error = "cancelled while queued: " + err.Error()
+		return pt
+	}
+	defer s.release()
+	rep, err := perturb.Run(ev, q.toConfig(), *sc, false)
+	if err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	pt.PredictedSeconds = rep.BaselineSeconds
+	pt.Method = MethodTemplate
+	pt.Perturbation = &PerturbSummary{
+		PerturbedSeconds:      rep.PerturbedSeconds,
+		DamageSeconds:         rep.DamageSeconds,
+		AbsorbedSeconds:       rep.AbsorbedSeconds,
+		AnalyticDamageSeconds: rep.AnalyticDamageSeconds,
+		DecayGeneration:       rep.DecayGeneration,
+	}
+	return pt
+}
+
+// cancelledPoint fills a sweep point abandoned because the request's
+// context ended before the point was evaluated.
+func cancelledPoint(i int, q *PredictRequest, err error) SweepPoint {
+	name := q.Platform
+	if q.PlatformSpec != nil {
+		name = q.PlatformSpec.Name
+	}
+	return SweepPoint{
+		Index: i, Platform: name, Grid: q.Grid, Array: q.Array,
+		MK: q.MK, MMI: q.MMI,
+		Error: "cancelled: " + err.Error(),
+	}
 }
 
 // pointFromBody fills a sweep point from canonical cached response bytes.
@@ -364,7 +459,7 @@ func (s *Server) batchSweep(points []PredictRequest, workers int) (order []int, 
 // only wall-clock, never values — each point is an independent
 // deterministic evaluation, so results are identical to a sequential pass
 // regardless of completion order or grouping.
-func (s *Server) runSweep(r *http.Request, points []PredictRequest) (results []SweepPoint, ready []chan struct{}, finished chan struct{}) {
+func (s *Server) runSweep(r *http.Request, points []PredictRequest, sc *perturb.Scenario) (results []SweepPoint, ready []chan struct{}, finished chan struct{}) {
 	n := len(points)
 	results = make([]SweepPoint, n)
 	ready = make([]chan struct{}, n)
@@ -379,12 +474,21 @@ func (s *Server) runSweep(r *http.Request, points []PredictRequest) (results []S
 	next := make(chan batchSpan)
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	ctx := r.Context()
 	for wkr := 0; wkr < workers; wkr++ {
 		go func() {
 			defer wg.Done()
 			for sp := range next {
 				for _, i := range order[sp.lo:sp.hi] {
-					results[i] = s.evaluatePoint(r, i, &points[i])
+					// A disconnected or expired client aborts the remaining
+					// points instead of burning evaluation slots on a response
+					// nobody reads; the already-claimed spans drain as cheap
+					// per-point error fills.
+					if err := ctx.Err(); err != nil {
+						results[i] = cancelledPoint(i, &points[i], err)
+					} else {
+						results[i] = s.evaluatePoint(r, i, &points[i], sc)
+					}
 					close(ready[i])
 				}
 			}
@@ -418,8 +522,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return false
 	}
+	if !s.admit(w, &s.st.sweep) {
+		return false
+	}
 
-	results, ready, finished := s.runSweep(r, points)
+	results, ready, finished := s.runSweep(r, points, q.Scenario)
 	defer func() { <-finished }() // never leave workers writing after return
 
 	if q.Stream {
