@@ -24,6 +24,7 @@ import (
 	"pacesweep/internal/perturb"
 	"pacesweep/internal/platform"
 	"pacesweep/internal/psl"
+	"pacesweep/internal/resilience"
 	"pacesweep/internal/sweep"
 )
 
@@ -49,8 +50,10 @@ func main() {
 		closed      = flag.Bool("closed-form", false, "use the closed-form fast path")
 		perturbSpec = flag.String("perturb-spec", "",
 			"JSON fault-injection scenario file: inject its delays/noise into the run and print the idle-wave report instead of a prediction")
-		perturbRank = flag.Bool("perturb-per-rank", false, "include the final per-rank damage vector in the perturbation report")
-		seed        = flag.Int64("seed", 42, "benchmarking seed")
+		perturbRank    = flag.Bool("perturb-per-rank", false, "include the final per-rank damage vector in the perturbation report")
+		resilienceSpec = flag.String("resilience-spec", "",
+			"JSON resilience study file (MTBF, checkpoint/restart costs): print the expected-makespan report with interval sweep, Young/Daly comparison and noise curve instead of a prediction")
+		seed = flag.Int64("seed", 42, "benchmarking seed")
 	)
 	flag.Parse()
 
@@ -97,6 +100,10 @@ func main() {
 		runPerturbation(ev, cfg, *perturbSpec, *perturbRank)
 		return
 	}
+	if *resilienceSpec != "" {
+		runResilience(ev, cfg, *resilienceSpec)
+		return
+	}
 	var pred *pace.Prediction
 	if *closed {
 		pred, err = ev.PredictClosedForm(cfg)
@@ -128,6 +135,30 @@ func runPerturbation(ev *pace.Evaluator, cfg pace.Config, specFile string, perRa
 		fatal(fmt.Errorf("parsing %s: %w", specFile, err))
 	}
 	rep, err := perturb.Run(ev, cfg, sc, perRank)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// runResilience loads a resilience study file, runs it against the
+// configuration and prints the expected-makespan report as indented JSON.
+func runResilience(ev *pace.Evaluator, cfg pace.Config, specFile string) {
+	data, err := os.ReadFile(specFile)
+	if err != nil {
+		fatal(err)
+	}
+	var st resilience.Study
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", specFile, err))
+	}
+	rep, err := resilience.Run(ev, cfg, st)
 	if err != nil {
 		fatal(err)
 	}

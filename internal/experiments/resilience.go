@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"pacesweep/internal/grid"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+	"pacesweep/internal/resilience"
+)
+
+// ResilienceStudy runs one resilience study against a configuration on a
+// freshly calibrated platform model: the standard benchmarking pipeline
+// fits the hardware model, then the study's failure scenarios, interval
+// sweep and noise curve are evaluated on the configuration's checkpointed
+// communication script. cmd/paceval's -resilience-spec flag is a thin
+// wrapper over this.
+func ResilienceStudy(pl platform.Platform, profileGrid grid.Global, seed int64,
+	cfg pace.Config, st resilience.Study) (*resilience.Report, error) {
+	ev, _, err := BuildEvaluator(pl, profileGrid, seed)
+	if err != nil {
+		return nil, err
+	}
+	return resilience.Run(ev, cfg, st)
+}

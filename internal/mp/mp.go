@@ -160,6 +160,14 @@ type Options struct {
 	// extra virtual time to one rank immediately before one of its
 	// recordable operations. All backends apply them identically.
 	Delays []Delay
+	// Fails are injected fail-stop failures; each kills one rank
+	// immediately before one of its recordable operations and recovers it
+	// from its last checkpoint (Comm.Checkpoint) with a restart charge.
+	// All backends apply them identically; see failstop.go.
+	Fails []FailStop
+	// FailLog, when non-nil, records every applied failure of the run
+	// (reset by Run/Replay), one slot per Fails entry.
+	FailLog *FailLog
 	// Probe, when non-nil, records per-rank clock and idle-time timelines
 	// at every collective generation during the run (reset by Run/Replay).
 	Probe *RunProbe
@@ -213,10 +221,11 @@ type World struct {
 	paramSizes   []int
 	marks        [MaxMarks]float64
 
-	// rkDelays are Options.Delays partitioned into per-rank op-ordered
-	// queues; Comms consume private cursors into them, so the partition
-	// survives Reset without rebuilding.
+	// rkDelays and rkFails are Options.Delays / Options.Fails partitioned
+	// into per-rank op-ordered queues; Comms consume private cursors into
+	// them, so the partitions survive Reset without rebuilding.
 	rkDelays [][]Delay
+	rkFails  [][]failCursor
 
 	// Goroutine-backend pooled per-run state, allocated once in NewWorld
 	// and reused across Reset+Run cycles so pooled worlds on this backend
@@ -244,10 +253,14 @@ func NewWorld(n int, opts Options) (*World, error) {
 	if err := validDelays(n, opts.Delays); err != nil {
 		return nil, err
 	}
+	if err := validFailStops(n, opts.Fails); err != nil {
+		return nil, err
+	}
 	w := &World{n: n, opts: opts, clocks: make([]float64, n)}
 	w.detNet = netIsDeterministic(opts.Net)
 	w.cnet, _ = classesOf(opts.Net)
 	w.rkDelays = rankDelays(n, opts.Delays)
+	w.rkFails = rankFails(n, opts.Fails)
 	if opts.Scheduler == SchedulerEvent || opts.Scheduler == SchedulerTrace {
 		// The event backend has its own per-rank streams and lock-free
 		// collective; it is built once here and pooled across Runs. The
@@ -327,7 +340,12 @@ func (w *World) initComm(c *Comm, rank int) {
 	if w.rkDelays != nil {
 		c.dq = w.rkDelays[rank]
 	}
-	c.inj = len(c.dq) > 0
+	c.fq = nil
+	if w.rkFails != nil {
+		c.fq = w.rkFails[rank]
+	}
+	c.lastCkpt = 0
+	c.inj = len(c.dq) > 0 || len(c.fq) > 0
 }
 
 // Size returns the number of ranks in the world.
@@ -366,6 +384,9 @@ func (w *World) Run(f func(c *Comm) error) error {
 	w.ran = true
 	if p := w.opts.Probe; p != nil {
 		p.reset(w.n)
+	}
+	if l := w.opts.FailLog; l != nil {
+		l.reset(len(w.opts.Fails))
 	}
 	switch w.opts.Scheduler {
 	case SchedulerEvent:
@@ -433,6 +454,9 @@ func (w *World) RunRecorded(f func(c *Comm) error) (*Trace, error) {
 	w.ran = true
 	if p := w.opts.Probe; p != nil {
 		p.reset(w.n)
+	}
+	if l := w.opts.FailLog; l != nil {
+		l.reset(len(w.opts.Fails))
 	}
 	return w.recordRun(f)
 }
@@ -559,23 +583,42 @@ type Comm struct {
 	// Per-curve single-size memos for the DeterministicCosts fast path.
 	sendC, recvC, transC sizeCost
 
-	// Fault-injection cursor (Options.Delays) and probe idle accumulator:
-	// opn counts recordable operations, dq is the rank's pending delays,
-	// inj gates the whole machinery behind one predictable branch per op.
-	opn  int32
-	dq   []Delay
-	idle float64
-	inj  bool
+	// Fault-injection cursors (Options.Delays / Options.Fails) and probe
+	// idle accumulator: opn counts recordable operations, dq/fq are the
+	// rank's pending delays and failures, lastCkpt is the clock of the
+	// most recent Comm.Checkpoint (the failure rewind target), and inj
+	// gates the whole machinery behind one predictable branch per op.
+	opn      int32
+	dq       []Delay
+	fq       []failCursor
+	lastCkpt float64
+	idle     float64
+	inj      bool
 }
 
-// injectDelays charges every injected delay scheduled at the rank's
-// current operation index and advances the counter. Each recordable
-// operation calls it exactly once, mirroring what a trace records, so op
-// indices mean the same instant on every backend.
-func (c *Comm) injectDelays() {
+// injectFaults charges every injected delay and fail-stop failure
+// scheduled at the rank's current operation index and advances the
+// counter. Each recordable operation calls it exactly once, mirroring
+// what a trace records, so op indices mean the same instant on every
+// backend. Delays land first: their damage is part of the segment a
+// co-located failure re-executes.
+func (c *Comm) injectFaults() {
 	for len(c.dq) > 0 && c.dq[0].Op == int(c.opn) {
 		c.clock += c.dq[0].Seconds
 		c.dq = c.dq[1:]
+	}
+	for len(c.fq) > 0 && c.fq[0].op == c.opn {
+		f := c.fq[0]
+		c.fq = c.fq[1:]
+		rework := c.clock - c.lastCkpt
+		if l := c.w.opts.FailLog; l != nil {
+			l.events[f.slot] = FailEvent{
+				Rank: c.rank, Op: int(f.op), At: c.clock,
+				LastCkpt: c.lastCkpt, Rework: rework, Restart: f.restart,
+				Applied: true,
+			}
+		}
+		c.clock += rework + f.restart
 	}
 	c.opn++
 }
@@ -622,7 +665,7 @@ func (c *Comm) Charge(seconds float64) {
 		rec.chargeLit(c.rank, seconds, c.w.opts.Noise != nil)
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	if n := c.w.opts.Noise; n != nil {
 		seconds = n.Perturb(seconds, c.rand())
@@ -639,7 +682,7 @@ func (c *Comm) ChargeExact(seconds float64) {
 			rec.chargeLit(c.rank, seconds, false)
 		}
 		if c.inj {
-			c.injectDelays()
+			c.injectFaults()
 		}
 		c.clock += seconds
 	}
@@ -656,7 +699,7 @@ func (c *Comm) ChargeParam(i int) {
 		rec.chargeParam(c.rank, i)
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	if s := c.w.paramCharges[i]; s > 0 {
 		if n := c.w.opts.Noise; n != nil {
@@ -680,9 +723,28 @@ func (c *Comm) Mark(slot int) {
 		rec.mark(c.rank, slot)
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	c.w.marks[slot] = c.clock
+}
+
+// Checkpoint is a recordable operation marking a recovery point: it
+// charges entry i of the world's charge parameter table as checkpoint
+// write cost — exactly, since checkpoint I/O is not subject to compute
+// noise — and then pins the rank's clock as the rewind target of any later
+// fail-stop failure (Options.Fails). Traces record the table index, so a
+// recorded program replays correctly under swapped checkpoint costs.
+func (c *Comm) Checkpoint(i int) {
+	if rec := c.w.rec; rec != nil {
+		rec.ckpt(c.rank, i)
+	}
+	if c.inj {
+		c.injectFaults()
+	}
+	if s := c.w.paramCharges[i]; s > 0 {
+		c.clock += s
+	}
+	c.lastCkpt = c.clock
 }
 
 // Send delivers data to dst under tag. It blocks only for the (virtual) send
@@ -712,7 +774,7 @@ func (c *Comm) sendN(dst, tag, bytes int, data []float64, paramIdx int32) {
 		rec.send(c.rank, dst, tag, bytes, paramIdx)
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	start := c.clock
 	avail := start
@@ -796,7 +858,7 @@ func (c *Comm) RecvN(src, tag int) ([]float64, int) {
 		rec.recv(c.rank, src, tag)
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	var (
 		data  []float64
@@ -973,7 +1035,7 @@ func (c *Comm) reduce(data []float64, op int) []float64 {
 		rec.reduce(c.rank, len(data))
 	}
 	if c.inj {
-		c.injectDelays()
+		c.injectFaults()
 	}
 	if ev := c.w.ev; ev != nil {
 		return ev.reduce(c, data, op)

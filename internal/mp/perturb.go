@@ -5,9 +5,11 @@ package mp
 // A Delay pins extra seconds to one recordable operation of one rank; the
 // injector advances a per-rank operation counter that counts exactly the
 // operations a trace records (charges with positive cost, parametric
-// charges, sends, receives, collectives, marks), so an op index means the
-// same instant on the goroutine backend, the event backend, and a trace
-// replay — the bit-identical-clock guarantee extends to perturbed runs. A
+// charges, sends, receives, collectives, marks, checkpoints), so an op
+// index means the same instant on the goroutine backend, the event
+// backend, and a trace replay — the bit-identical-clock guarantee extends
+// to perturbed runs. Fail-stop failures ride the same counter; see
+// failstop.go. A
 // RunProbe captures per-rank timelines (virtual clock and accumulated
 // idle time at every collective generation) that the perturb package
 // turns into idle-wave reports.

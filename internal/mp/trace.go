@@ -79,6 +79,7 @@ const (
 	topRecv                     // receive from rank+arg0, tag arg1
 	topReduce                   // collective of payload length arg0
 	topMark                     // marks[arg0] = clock
+	topCkpt                     // clock += params.Charges[arg0] if positive; sets the failure rewind point
 )
 
 // top is one recorded operation. Partners are delta-encoded (arg0 holds
@@ -319,6 +320,13 @@ func (r *traceRec) mark(rank, slot int) {
 	r.push(rank, top{kind: topMark, arg0: int32(slot)})
 }
 
+func (r *traceRec) ckpt(rank, i int) {
+	if int32(i) > r.maxChPar {
+		r.maxChPar = int32(i)
+	}
+	r.push(rank, top{kind: topCkpt, arg0: int32(i)})
+}
+
 // build finalises the trace: tail chunks are flushed and per-rank scripts
 // concatenated into the flat script/sstart layout.
 func (r *traceRec) build() *Trace {
@@ -433,15 +441,19 @@ type Replayer struct {
 
 	marks []float64
 
-	// Fault-injection cursors and probe state (Options.Delays/Probe), in
-	// parallel slices rather than rrank so the unperturbed hot path — and
-	// its zero-allocation guarantee — is untouched. collGen mirrors the
-	// live backends' collective generation counter for probe rows.
-	// perturbed routes replay through the instrumented loop; the plain
-	// hot loop never looks at any of this state.
+	// Fault-injection cursors and probe state (Options.Delays/Fails/
+	// Probe), in parallel slices rather than rrank so the unperturbed hot
+	// path — and its zero-allocation guarantee — is untouched. collGen
+	// mirrors the live backends' collective generation counter for probe
+	// rows. perturbed routes replay through the instrumented loop; the
+	// plain hot loop never looks at any of this state. failing gates the
+	// fail-stop machinery (fqs cursors, ckpts rewind targets) within it.
 	perturbed bool
 	injecting bool
+	failing   bool
 	dqs       [][]Delay
+	fqs       [][]failCursor
+	ckpts     []float64
 	opns      []int32
 	idles     []float64
 	collGen   int
@@ -535,6 +547,9 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	if err := validDelays(t.n, opts.Delays); err != nil {
 		return err
 	}
+	if err := validFailStops(t.n, opts.Fails); err != nil {
+		return err
+	}
 	sameTrace := r.t == t
 	r.opts = opts
 	r.det = opts.Net == nil || netIsDeterministic(opts.Net)
@@ -621,11 +636,26 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	r.collRngOK = false
 	r.redMemo = sizeCost{bytes: -1}
 	r.collGen = 0
-	r.injecting = len(opts.Delays) > 0
+	r.injecting = len(opts.Delays) > 0 || len(opts.Fails) > 0
+	r.failing = len(opts.Fails) > 0
 	r.perturbed = r.injecting || opts.Probe != nil || opts.Noise != nil
 	r.dqs = nil
+	r.fqs = nil
 	if r.injecting {
 		r.dqs = rankDelays(n, opts.Delays)
+		if r.dqs == nil {
+			r.dqs = make([][]Delay, n)
+		}
+	}
+	if r.failing {
+		r.fqs = rankFails(n, opts.Fails)
+		r.ckpts = resizeF(r.ckpts, n)
+		for i := 0; i < n; i++ {
+			r.ckpts[i] = 0
+		}
+	}
+	if l := opts.FailLog; l != nil {
+		l.reset(len(opts.Fails))
 	}
 	if r.injecting || opts.Probe != nil {
 		r.opns = resizeI32(r.opns, n)
@@ -816,7 +846,10 @@ func (r *Replayer) runRank(id int) {
 		}
 		o := &chunk[op]
 		switch o.kind {
-		case topChargeParam:
+		case topChargeParam, topCkpt:
+			// Checkpoints charge like exact parametric ops here: failures
+			// are impossible on the unperturbed path, so the rewind point
+			// needs no tracking and the loop stays allocation-free.
 			if s := charges[o.arg0]; s > 0 {
 				clock += s
 			}
@@ -979,13 +1012,20 @@ func (r *Replayer) runRankPerturbed(id int) {
 	// paths (receive, collective) cannot double-apply them.
 	probe := r.opts.Probe
 	inj := r.injecting
+	failing := r.failing
+	flog := r.opts.FailLog
 	var (
-		dq   []Delay
-		opn  int32
-		idle float64
+		dq       []Delay
+		fq       []failCursor
+		lastCkpt float64
+		opn      int32
+		idle     float64
 	)
 	if inj {
 		dq, opn = r.dqs[id], r.opns[id]
+	}
+	if failing {
+		fq, lastCkpt = r.fqs[id], r.ckpts[id]
 	}
 	if probe != nil {
 		idle = r.idles[id]
@@ -1015,6 +1055,22 @@ func (r *Replayer) runRankPerturbed(id int) {
 				clock += dq[0].Seconds
 				dq = dq[1:]
 			}
+			// Failures land after co-located delays, mirroring
+			// Comm.injectFaults: the delay's damage is part of the rework a
+			// failure at the same op re-executes.
+			for len(fq) > 0 && fq[0].op == opn {
+				f := fq[0]
+				fq = fq[1:]
+				rework := clock - lastCkpt
+				if flog != nil {
+					flog.events[f.slot] = FailEvent{
+						Rank: id, Op: int(f.op), At: clock,
+						LastCkpt: lastCkpt, Rework: rework, Restart: f.restart,
+						Applied: true,
+					}
+				}
+				clock += rework + f.restart
+			}
 		}
 		switch o.kind {
 		case topChargeParam:
@@ -1024,6 +1080,13 @@ func (r *Replayer) runRankPerturbed(id int) {
 				}
 				clock += s
 			}
+		case topCkpt:
+			// Exact charge — checkpoint I/O is not subject to compute noise
+			// — then pin the rewind target, as Comm.Checkpoint does.
+			if s := charges[o.arg0]; s > 0 {
+				clock += s
+			}
+			lastCkpt = clock
 		case topChargeLit:
 			clock += lits[o.arg0]
 		case topChargeNoisy:
@@ -1081,6 +1144,9 @@ func (r *Replayer) runRankPerturbed(id int) {
 				self.wantKey = k
 				if inj {
 					r.dqs[id], r.opns[id] = dq, opn
+				}
+				if failing {
+					r.fqs[id], r.ckpts[id] = fq, lastCkpt
 				}
 				if probe != nil {
 					r.idles[id] = idle
@@ -1143,6 +1209,9 @@ func (r *Replayer) runRankPerturbed(id int) {
 				if inj {
 					r.dqs[id], r.opns[id] = dq, opn
 				}
+				if failing {
+					r.fqs[id], r.ckpts[id] = fq, lastCkpt
+				}
 				if probe != nil {
 					r.idles[id] = idle
 				}
@@ -1189,6 +1258,9 @@ func (r *Replayer) runRankPerturbed(id int) {
 	r.doneCount++
 	if inj {
 		r.dqs[id], r.opns[id] = dq, opn
+	}
+	if failing {
+		r.fqs[id], r.ckpts[id] = fq, lastCkpt
 	}
 	if probe != nil {
 		r.idles[id] = idle

@@ -1,0 +1,129 @@
+package pace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pacesweep/internal/mp"
+)
+
+// uniformTestNoise mirrors perturb.UniformNoise without importing
+// internal/perturb (which imports this package).
+type uniformTestNoise struct{ frac float64 }
+
+func (u uniformTestNoise) Perturb(s float64, rng *rand.Rand) float64 {
+	return s * (1 + u.frac*rng.Float64())
+}
+
+// TestRunResilientBaselineAndDamage pins the resilient tier to the
+// perturbation tier: with no checkpoints and no failures it reproduces
+// RunPerturbed's baseline bit for bit; checkpoints add exactly their
+// charges; and a fail-stop failure slows the run by at least its rework.
+func TestRunResilientBaselineAndDamage(t *testing.T) {
+	ev := testEvaluator(t)
+	cfg := paperConfig(2, 2)
+	base, err := ev.RunPerturbed(cfg, nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ev.RunResilient(cfg, ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != base.Makespan {
+		t.Fatalf("uncheckpointed resilient baseline %v != perturbed baseline %v",
+			plain.Makespan, base.Makespan)
+	}
+	const ckpt = 0.01
+	ckpted, err := ev.RunResilient(cfg, ResilientOptions{CkptEvery: 3, CkptSeconds: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 iterations, checkpoint after every 3rd except the last: 3 ops.
+	want := base.Makespan + 3*ckpt
+	if diff := ckpted.Makespan - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("checkpointed baseline %v, want %v", ckpted.Makespan, want)
+	}
+	tr, err := ev.TraceForCkpt(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := tr.OpIndexOfReduce(1, 5) + 1
+	const restart = 0.02
+	failed, err := ev.RunResilient(cfg, ResilientOptions{
+		CkptEvery: 3, CkptSeconds: ckpt,
+		Fails: []mp.FailStop{{Rank: 1, Op: op, Restart: restart}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Makespan < ckpted.Makespan+restart {
+		t.Fatalf("failure damage too small: %v < %v + %v",
+			failed.Makespan, ckpted.Makespan, restart)
+	}
+}
+
+// TestRunResilientConcurrent hammers one shared evaluator with identical
+// resilient replays from many goroutines: every run must agree bit for
+// bit on makespan and per-rank clocks (the checkpointed trace-cache
+// entries and pooled replayers are shared), and the unperturbed memo
+// must stay unpoisoned. Run under -race by the CI scheduler matrix.
+func TestRunResilientConcurrent(t *testing.T) {
+	ev := testEvaluator(t)
+	cfg := paperConfig(2, 3)
+	tr, err := ev.TraceForCkpt(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ResilientOptions{
+		CkptEvery: 2, CkptSeconds: 0.01,
+		Fails: []mp.FailStop{{Rank: 2, Op: tr.OpIndexOfReduce(2, 3) + 1, Restart: 0.05}},
+		Noise: uniformTestNoise{frac: 0.02},
+		Seed:  11,
+	}
+	ref, err := ev.RunResilient(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grinders = 8
+	errs := make(chan error, grinders)
+	for g := 0; g < grinders; g++ {
+		go func() {
+			for round := 0; round < 4; round++ {
+				run, err := ev.RunResilient(cfg, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if run.Makespan != ref.Makespan {
+					errs <- fmt.Errorf("makespan %v != reference %v", run.Makespan, ref.Makespan)
+					return
+				}
+				for i := range run.Clocks {
+					if run.Clocks[i] != ref.Clocks[i] {
+						errs <- fmt.Errorf("rank %d clock %v != reference %v", i, run.Clocks[i], ref.Clocks[i])
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < grinders; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := ev.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != clean.Total {
+		t.Fatalf("memo poisoned by resilient replays: %v != %v", p.Total, clean.Total)
+	}
+}

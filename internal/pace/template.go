@@ -17,7 +17,13 @@ import (
 // replayable under any platform's tables (internal/pace trace tier).
 // Marks 0 and 1 bracket the first iteration's sweep on rank 0 (the
 // SweepPerIter breakdown).
-func templateBody(d grid.Decomp, nab, nkb, iterations int) func(c *mp.Comm) error {
+//
+// ckptEvery > 0 inserts a checkpoint op (charge index base+2, the rewind
+// target of fail-stop failures) after every ckptEvery-th iteration's
+// collective — skipping the final iteration, where a checkpoint protects
+// nothing. The shape of the recorded script depends on it, so it is part
+// of traceKey.
+func templateBody(d grid.Decomp, nab, nkb, iterations, ckptEvery int) func(c *mp.Comm) error {
 	base := nab * nkb // charges[base]=source, charges[base+1]=flux_err; sizes base offset = north/south
 	return func(c *mp.Comm) error {
 		ix, iy := d.Coords(c.Rank())
@@ -57,6 +63,9 @@ func templateBody(d grid.Decomp, nab, nkb, iterations int) func(c *mp.Comm) erro
 			}
 			c.ChargeParam(base + 1) // flux_err subtask
 			c.AllreduceMax(0)
+			if ckptEvery > 0 && (it+1)%ckptEvery == 0 && it != iterations-1 {
+				c.Checkpoint(base + 2)
+			}
 		}
 		c.AllreduceSum(0) // the closing "last" subtask reduction
 		return nil
@@ -136,7 +145,7 @@ func (e *Evaluator) evalWorld(cfg Config, k *costKernel, sched string) (total, s
 	}
 	defer release()
 	w.SetParams(k.charges, k.sizes)
-	if err := w.Run(templateBody(d, k.nab, k.nkb, cfg.Iterations)); err != nil {
+	if err := w.Run(templateBody(d, k.nab, k.nkb, cfg.Iterations, 0)); err != nil {
 		return 0, 0, err
 	}
 	marks := w.Marks()

@@ -27,11 +27,15 @@ import (
 
 // traceKey is the configuration shape that determines the communication
 // script. Message sizes and compute costs are parameters of replay, so
-// mk/mmi/angles/grid enter only through the block counts.
+// mk/mmi/angles/grid enter only through the block counts. ckptEvery is
+// the checkpoint period (0: no checkpoint ops): checkpoints add ops to
+// the script, but their *cost* stays a replay parameter, so one
+// checkpointed trace serves every checkpoint-seconds value.
 type traceKey struct {
 	px, py     int
 	nab, nkb   int
 	iterations int
+	ckptEvery  int
 }
 
 func (k traceKey) hash() uint64 {
@@ -41,6 +45,7 @@ func (k traceKey) hash() uint64 {
 	h.Int(k.nab)
 	h.Int(k.nkb)
 	h.Int(k.iterations)
+	h.Int(k.ckptEvery)
 	return h.Sum()
 }
 
@@ -71,7 +76,7 @@ func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float
 	d := cfg.Decomp
 	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations}
 	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
-		return e.compileTrace(d, k, cfg.Iterations)
+		return e.compileTrace(d, k, cfg.Iterations, 0)
 	})
 	if err != nil {
 		return 0, 0, err
@@ -92,14 +97,23 @@ func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float
 // once on a pooled event world. The recorded ops carry only table indices
 // and delta-encoded partners, so the trace is valid for every evaluator
 // sharing the shape.
-func (e *Evaluator) compileTrace(d grid.Decomp, k *costKernel, iterations int) (*mp.Trace, error) {
+func (e *Evaluator) compileTrace(d grid.Decomp, k *costKernel, iterations, ckptEvery int) (*mp.Trace, error) {
 	w, release, err := e.acquireWorld(d.Size(), mp.SchedulerEvent)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	w.SetParams(k.charges, k.sizes)
-	return w.RunRecorded(templateBody(d, k.nab, k.nkb, iterations))
+	charges := k.charges
+	if ckptEvery > 0 {
+		// The recording run needs a slot for the checkpoint charge index;
+		// its value is irrelevant here (replays re-price the recorded
+		// index), so record against zero cost.
+		ext := make([]float64, len(k.charges)+1)
+		copy(ext, k.charges)
+		charges = ext
+	}
+	w.SetParams(charges, k.sizes)
+	return w.RunRecorded(templateBody(d, k.nab, k.nkb, iterations, ckptEvery))
 }
 
 // replayerPoolCap bounds idle pooled replayers per evaluator family; a

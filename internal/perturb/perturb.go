@@ -80,6 +80,11 @@ func (e ExponentialNoise) Perturb(s float64, rng *rand.Rand) float64 {
 	return s * (1 + e.Frac*rng.ExpFloat64())
 }
 
+// Model resolves the spec to its noise generator (nil receiver: no
+// noise). Exposed so other analysis layers (internal/resilience's
+// noise-sensitivity curves) reuse exactly these generators.
+func (n *NoiseSpec) Model() (mp.ComputeNoise, error) { return noiseModel(n) }
+
 // noiseModel resolves a NoiseSpec to its generator.
 func noiseModel(n *NoiseSpec) (mp.ComputeNoise, error) {
 	if n == nil {

@@ -22,6 +22,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/predict", s.instrument(&s.st.predict, s.handlePredict))
 	s.mux.HandleFunc("/v1/sweep", s.instrument(&s.st.sweep, s.handleSweep))
 	s.mux.HandleFunc("/v1/perturb", s.instrument(&s.st.perturb, s.handlePerturb))
+	s.mux.HandleFunc("/v1/resilience", s.instrument(&s.st.resilience, s.handleResilience))
 	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -199,6 +199,7 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) (ok bool)
 	}()
 	defer func() { <-finished }() // never leave workers writing after return
 
+	announceRetryTrailer(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
@@ -211,6 +212,7 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) (ok bool)
 			flusher.Flush()
 		}
 	}
+	finishRetryTrailer(w, r)
 	return true
 }
 

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pacesweep/internal/platform"
+	"pacesweep/internal/resilience"
+)
+
+// ResilienceRequest is the /v1/resilience body: one configuration plus
+// either a single resilience study (one JSON report) or a study grid
+// (NDJSON, one ResiliencePoint per line in index order). Studies run on
+// the template path — failures inject into the checkpointed compiled
+// communication script — so the rank count is bounded by the template
+// ceiling, like /v1/perturb.
+type ResilienceRequest struct {
+	Platform     string         `json:"platform,omitempty"`
+	PlatformSpec *platform.Spec `json:"platform_spec,omitempty"`
+	Grid         GridSpec       `json:"grid"`
+	Array        ArraySpec      `json:"array,omitempty"`
+	// Arrays crosses the studies with a configuration grid (mutually
+	// exclusive with Array): the stream carries one line per
+	// (array, study) pair in row-major order, arrays outermost —
+	// index = array_index*len(studies) + study_index. Every array shares
+	// the request's Grid (strong scaling; use /v1/sweep for weak-scaling
+	// expansion).
+	Arrays     []ArraySpec `json:"arrays,omitempty"`
+	MK         int         `json:"mk,omitempty"`
+	MMI        int         `json:"mmi,omitempty"`
+	Angles     int         `json:"angles,omitempty"`
+	Iterations int         `json:"iterations,omitempty"`
+
+	// Study is the single-shot form; Studies streams a grid. Exactly one
+	// of the two must be set. A single Study combined with Arrays also
+	// streams (one line per array).
+	Study   *resilience.Study  `json:"study,omitempty"`
+	Studies []resilience.Study `json:"studies,omitempty"`
+}
+
+// predictRequest lowers the resilience request onto the canonical predict
+// request so platform resolution, normalisation and configuration
+// validation are shared with /v1/predict.
+func (q *ResilienceRequest) predictRequest() PredictRequest {
+	return PredictRequest{
+		Platform: q.Platform, PlatformSpec: q.PlatformSpec,
+		Grid: q.Grid, Array: q.Array,
+		MK: q.MK, MMI: q.MMI,
+		Angles: q.Angles, Iterations: q.Iterations,
+		Method: MethodTemplate,
+	}
+}
+
+// ResilienceResponse is the single-study /v1/resilience body.
+type ResilienceResponse struct {
+	Platform            string             `json:"platform"`
+	PlatformFingerprint string             `json:"platform_fingerprint,omitempty"`
+	Grid                GridSpec           `json:"grid"`
+	Array               ArraySpec          `json:"array"`
+	MK                  int                `json:"mk"`
+	MMI                 int                `json:"mmi"`
+	Angles              int                `json:"angles"`
+	Iterations          int                `json:"iterations"`
+	Report              *resilience.Report `json:"report"`
+}
+
+// ResiliencePoint is one line of a streamed study grid: the report of
+// study Study run on configuration Array. Error is set (and Report nil)
+// for points whose run failed; one bad point never aborts the grid.
+type ResiliencePoint struct {
+	Index  int                `json:"index"`
+	Array  ArraySpec          `json:"array"`
+	Study  int                `json:"study"`
+	Report *resilience.Report `json:"report,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// handleResilience is POST /v1/resilience. Reports are recomputed per
+// request — never served from the response caches — so a report is always
+// the product of live replays under the study's seed; the determinism
+// tests rely on that.
+func (s *Server) handleResilience(w http.ResponseWriter, r *http.Request) (ok bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	var q ResilienceRequest
+	if err := decodeJSON(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if (q.Study == nil) == (len(q.Studies) == 0) {
+		writeError(w, http.StatusBadRequest, "set exactly one of study or studies")
+		return false
+	}
+	arrays := q.Arrays
+	if len(arrays) == 0 {
+		arrays = []ArraySpec{q.Array}
+	} else if q.Array != (ArraySpec{}) {
+		writeError(w, http.StatusBadRequest, "set either array or arrays, not both")
+		return false
+	}
+	// One canonical predict request per array; every configuration of the
+	// cross product must be valid before any evaluation, like the studies
+	// below.
+	pqs := make([]PredictRequest, len(arrays))
+	for i, arr := range arrays {
+		pq := q.predictRequest()
+		pq.Array = arr
+		pq.normalize(s.cfg.Platforms[0])
+		if err := pq.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "array %d: %v", i, err)
+			return false
+		}
+		pqs[i] = pq
+	}
+	pq0 := &pqs[0]
+	if pq0.PlatformSpec != nil {
+		if s.customEvals == nil {
+			writeError(w, http.StatusBadRequest, "inline platform specs are disabled on this server")
+			return false
+		}
+	} else if _, known := s.evals[pq0.Platform]; !known {
+		writeError(w, http.StatusBadRequest, "unknown platform %q (serving %v)", pq0.Platform, s.cfg.Platforms)
+		return false
+	}
+	// Every study must be well-formed before any evaluation: a malformed
+	// MTBF in study 40 of a grid is a 400, not 39 reports and one error
+	// line. Studies are rank-independent (failures sample ranks at run
+	// time), so one validation pass covers every array of the cross
+	// product.
+	studies := q.Studies
+	if q.Study != nil {
+		studies = []resilience.Study{*q.Study}
+	}
+	for i, st := range studies {
+		if err := st.Validate(pq0.Iterations); err != nil {
+			writeError(w, http.StatusBadRequest, "study %d: %v", i, err)
+			return false
+		}
+	}
+	if !s.admit(w, &s.st.resilience) {
+		return false
+	}
+	ev, err := s.evaluatorFor(pq0)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "evaluator for %q: %v", platformLabel(pq0), err)
+		return false
+	}
+
+	// run executes one (configuration, study) pair under an evaluation
+	// slot, honouring the request deadline while queued.
+	run := func(pq *PredictRequest, st resilience.Study) (*resilience.Report, error) {
+		if err := s.acquire(r); err != nil {
+			return nil, fmt.Errorf("cancelled while queued: %w", err)
+		}
+		defer s.release()
+		return resilience.Run(ev, pq.toConfig(), st)
+	}
+
+	if q.Study != nil && len(q.Arrays) == 0 {
+		rep, err := run(pq0, *q.Study)
+		if err != nil {
+			writeEvalError(w, r, err)
+			return false
+		}
+		resp := ResilienceResponse{
+			Platform: platformName(pq0), Grid: pq0.Grid, Array: pq0.Array,
+			MK: pq0.MK, MMI: pq0.MMI, Angles: pq0.Angles, Iterations: pq0.Iterations,
+			Report: rep,
+		}
+		if pq0.PlatformSpec != nil {
+			resp.PlatformFingerprint = pq0.PlatformSpec.FingerprintHex()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&resp) == nil
+	}
+
+	// Cross product: fan out on a bounded pool, stream NDJSON in index
+	// order as each report lands (arrays outermost).
+	n := len(arrays) * len(studies)
+	results := make([]ResiliencePoint, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	workers := s.cfg.SweepWorkers
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	ctx := r.Context()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ai, si := i/len(studies), i%len(studies)
+				pt := ResiliencePoint{Index: i, Array: arrays[ai], Study: si}
+				if err := ctx.Err(); err != nil {
+					pt.Error = "cancelled: " + err.Error()
+				} else if rep, err := run(&pqs[ai], studies[si]); err != nil {
+					pt.Error = err.Error()
+				} else {
+					pt.Report = rep
+				}
+				results[i] = pt
+				close(ready[i])
+			}
+		}()
+	}
+	finished := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		close(finished)
+	}()
+	defer func() { <-finished }() // never leave workers writing after return
+
+	announceRetryTrailer(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range results {
+		<-ready[i]
+		if err := enc.Encode(&results[i]); err != nil {
+			return false // client went away; workers drain via ctx
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	finishRetryTrailer(w, r)
+	return true
+}
+
+// NDJSON mid-stream failure contract (see cmd/paceserve/README.md): once
+// streaming has begun the status line is long gone, so a deadline or
+// cancellation mid-grid cannot turn into a 503/504. Instead the remaining
+// lines carry "cancelled: ..." errors and the response announces a
+// Retry-After trailer up front, set to "1" after the stream if any work
+// was abandoned — the streaming analogue of the 503/504 Retry-After
+// header.
+
+// announceRetryTrailer declares the Retry-After trailer before the body
+// starts (trailers must be announced ahead of the status line to be
+// emitted at all).
+func announceRetryTrailer(w http.ResponseWriter) {
+	w.Header().Set("Trailer", "Retry-After")
+}
+
+// finishRetryTrailer sets the announced trailer when the request's
+// context ended mid-stream (deadline or cancellation): remaining lines
+// were marked cancelled rather than evaluated, so the client should
+// re-issue the request.
+func finishRetryTrailer(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		w.Header().Set("Retry-After", "1")
+	}
+}

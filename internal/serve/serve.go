@@ -12,6 +12,10 @@
 //	POST /v1/perturb — fault-injection scenarios (per-rank delays, compute
 //	                   noise) → idle-wave damage reports; scenario grids
 //	                   stream NDJSON
+//	POST /v1/resilience — fail-stop failure studies (MTBF, checkpoint/
+//	                   restart costs) → expected-makespan reports with
+//	                   interval sweeps, Young/Daly comparison and noise
+//	                   curves; study grids stream NDJSON
 //	GET  /v1/stats   — cache hit/miss/eviction counters, pool occupancy,
 //	                   per-endpoint latency histograms (JSON)
 //	GET  /metrics    — the same counters in Prometheus text format

@@ -51,10 +51,11 @@ type serverStats struct {
 	inflight atomic.Int64
 	// queued counts requests currently waiting for an evaluation slot; it
 	// drives admission control (Config.MaxQueueDepth) and /readyz.
-	queued  atomic.Int64
-	predict endpointStats
-	sweep   endpointStats
-	perturb endpointStats
+	queued     atomic.Int64
+	predict    endpointStats
+	sweep      endpointStats
+	perturb    endpointStats
+	resilience endpointStats
 
 	// Sweep shape-batching telemetry (see sweep.go batchSweep).
 	sweepBatchGroups atomic.Uint64 // shape groups dispatched, cumulative
@@ -166,9 +167,10 @@ func (s *Server) statsResponse() StatsResponse {
 		Queued:        s.st.queued.Load(),
 		Shedding:      s.shedding(),
 		Endpoints: map[string]EndpointSnapshot{
-			"predict": s.st.predict.snapshot(),
-			"sweep":   s.st.sweep.snapshot(),
-			"perturb": s.st.perturb.snapshot(),
+			"predict":    s.st.predict.snapshot(),
+			"sweep":      s.st.sweep.snapshot(),
+			"perturb":    s.st.perturb.snapshot(),
+			"resilience": s.st.resilience.snapshot(),
 		},
 		TraceCache:   pace.TraceCacheStats(),
 		TraceReplays: pace.TraceReplays(),

@@ -3,12 +3,14 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 
 	"pacesweep/internal/pace"
 	"pacesweep/internal/perturb"
 	"pacesweep/internal/platform"
+	"pacesweep/internal/resilience"
 )
 
 // SweepRequest is the /v1/sweep body: the cross product of platforms ×
@@ -41,6 +43,16 @@ type SweepRequest struct {
 	// Perturbed points always evaluate live — never from the response
 	// cache.
 	Scenario *perturb.Scenario `json:"scenario,omitempty"`
+	// NoiseFracs attaches a noise-sensitivity verdict to the aggregated
+	// response: after the sweep picks its best clean point, the compute-
+	// noise fraction is swept over that configuration and the response
+	// carries the damage-vs-noise curve plus the noise_tolerance score
+	// beside best (template method only; streaming responses have no best
+	// point and skip it). NoiseKind picks the noise model (default
+	// "uniform"), NoiseSeed the draw stream.
+	NoiseFracs []float64 `json:"noise_fracs,omitempty"`
+	NoiseKind  string    `json:"noise_kind,omitempty"`
+	NoiseSeed  int64     `json:"noise_seed,omitempty"`
 	// Stream selects NDJSON streaming: one SweepPoint per line in index
 	// order, flushed as each becomes available. Default: one aggregated
 	// SweepResponse document.
@@ -78,10 +90,57 @@ type PerturbSummary struct {
 
 // SweepResponse is the aggregated (non-streaming) sweep document.
 type SweepResponse struct {
-	Count  int          `json:"count"`
-	Errors int          `json:"errors"`
-	Best   *SweepPoint  `json:"best,omitempty"` // minimum predicted time among clean points
-	Points []SweepPoint `json:"points"`
+	Count  int         `json:"count"`
+	Errors int         `json:"errors"`
+	Best   *SweepPoint `json:"best,omitempty"` // minimum predicted time among clean points
+	// NoiseTolerance is the best point's noise-sensitivity verdict when
+	// the request swept noise_fracs.
+	NoiseTolerance *NoiseToleranceBlock `json:"noise_tolerance,omitempty"`
+	Points         []SweepPoint         `json:"points"`
+}
+
+// NoiseToleranceBlock is the noise-sensitivity verdict attached beside
+// best: the damage-vs-noise-fraction curve of the winning configuration
+// and the interpolated fraction at which its makespan inflation crosses
+// resilience.NoiseToleranceThresholdPct. Capped marks curves that never
+// cross (the score is then the largest swept fraction — a lower bound).
+type NoiseToleranceBlock struct {
+	Platform  string                  `json:"platform"`
+	Array     ArraySpec               `json:"array"`
+	Tolerance float64                 `json:"tolerance"`
+	Capped    bool                    `json:"capped,omitempty"`
+	Curve     []resilience.NoisePoint `json:"curve,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+}
+
+// noiseToleranceFor computes the aggregated sweep's noise-tolerance block
+// on the best point's configuration. Failure modes land in the block's
+// Error field — a noise-curve problem must not retract an already
+// computed sweep.
+func (s *Server) noiseToleranceFor(r *http.Request, q *PredictRequest, sw *SweepRequest) *NoiseToleranceBlock {
+	blk := &NoiseToleranceBlock{Platform: platformName(q), Array: q.Array}
+	if !pace.UsesTemplate(q.toConfig()) {
+		blk.Error = fmt.Sprintf("noise curve requires the template path (%d ranks > %d)",
+			q.Array.PX*q.Array.PY, pace.TemplateMaxRanks)
+		return blk
+	}
+	ev, err := s.evaluatorFor(q)
+	if err != nil {
+		blk.Error = err.Error()
+		return blk
+	}
+	if err := s.acquire(r); err != nil {
+		blk.Error = "cancelled while queued: " + err.Error()
+		return blk
+	}
+	defer s.release()
+	curve, tol, capped, err := resilience.NoiseCurve(ev, q.toConfig(), sw.NoiseKind, sw.NoiseSeed, sw.NoiseFracs)
+	if err != nil {
+		blk.Error = err.Error()
+		return blk
+	}
+	blk.Curve, blk.Tolerance, blk.Capped = curve, tol, capped
+	return blk
 }
 
 // expand builds the canonical per-point predict requests. Structural
@@ -155,6 +214,21 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 	}
 	if q.Scenario != nil && q.Method == MethodClosedForm {
 		return nil, errRequest("scenario requires template evaluation; method %q cannot inject faults", MethodClosedForm)
+	}
+	// Noise-sweep knobs are uniform across the grid: reject bad ones at
+	// request level, like method typos above.
+	if len(q.NoiseFracs) > resilience.MaxNoiseFracs {
+		return nil, errRequest("%d noise fractions exceed the %d limit", len(q.NoiseFracs), resilience.MaxNoiseFracs)
+	}
+	for _, f := range q.NoiseFracs {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, errRequest("noise fraction %v must be finite and non-negative", f)
+		}
+	}
+	if q.NoiseKind != "" {
+		if _, err := (&perturb.NoiseSpec{Kind: q.NoiseKind}).Model(); err != nil {
+			return nil, errRequest("%v", err)
+		}
 	}
 	if q.Angles < 0 || q.Iterations < 0 {
 		return nil, errRequest("angles and iterations must be non-negative")
@@ -530,6 +604,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 	defer func() { <-finished }() // never leave workers writing after return
 
 	if q.Stream {
+		announceRetryTrailer(w)
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
@@ -542,6 +617,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 				flusher.Flush()
 			}
 		}
+		finishRetryTrailer(w, r)
 		return true
 	}
 
@@ -556,6 +632,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 		if resp.Best == nil || pt.PredictedSeconds < resp.Best.PredictedSeconds {
 			resp.Best = pt
 		}
+	}
+	if len(q.NoiseFracs) > 0 && resp.Best != nil {
+		resp.NoiseTolerance = s.noiseToleranceFor(r, &points[resp.Best.Index], &q)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
