@@ -14,10 +14,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"pacesweep/internal/artifact"
 	"pacesweep/internal/mp"
 	"pacesweep/internal/platform"
 	"pacesweep/internal/serve"
@@ -30,7 +33,17 @@ func main() {
 		platforms = flag.String("platforms", strings.Join(platform.Names(), ","),
 			"comma-separated platform names to serve")
 		register = flag.String("register", "",
-			"comma-separated JSON platform spec files to register and serve alongside -platforms")
+			"comma-separated JSON platform spec files — or directories of *.json spec files — "+
+				"to register and serve alongside -platforms")
+		artifactDir = flag.String("artifact-dir", "",
+			"content-addressed artifact store directory: fitted models, compiled traces, cost "+
+				"kernels and POSTed platform registrations persist here and are loaded on restart "+
+				"(empty = fully in-memory)")
+		peers = flag.String("peers", "",
+			"comma-separated base URLs of the full serving fleet; enables consistent-hash shard "+
+				"routing of /v1/predict and /v1/sweep by platform fingerprint (requires -self-url)")
+		selfURL = flag.String("self-url", "",
+			"this replica's own base URL as it appears in -peers")
 		seed  = flag.Int64("seed", 1001, "seed for the simulated benchmark-fitting pipeline")
 		sched = flag.String("scheduler", mp.SchedulerTrace,
 			"mp backend for template evaluation (trace|event|goroutine; trace compiles each "+
@@ -64,16 +77,25 @@ func main() {
 	logger := log.New(os.Stderr, "paceserve: ", log.LstdFlags)
 
 	served := splitNonEmpty(*platforms)
-	for _, path := range splitNonEmpty(*register) {
+	for _, path := range registerPaths(logger, splitNonEmpty(*register)) {
 		spec, err := platform.LoadSpecFile(path)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		if err := platform.DefaultRegistry().Register(spec); err != nil {
-			logger.Fatal(err)
+			logger.Fatalf("%s: %v", path, err)
 		}
 		served = append(served, spec.Name)
 		logger.Printf("registered custom platform %s (%s) from %s", spec.Name, spec.FingerprintHex(), path)
+	}
+
+	var store *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		if store, err = artifact.Open(*artifactDir); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("artifact store at %s", *artifactDir)
 	}
 
 	cfg := serve.Config{
@@ -89,6 +111,9 @@ func main() {
 		MaxSweepPoints:       *maxSweepPoints,
 		MaxQueueDepth:        *maxQueueDepth,
 		RequestTimeout:       *requestTimeout,
+		ArtifactStore:        store,
+		Peers:                splitNonEmpty(*peers),
+		SelfURL:              *selfURL,
 		Logf: func(format string, args ...any) {
 			logger.Printf(strings.TrimPrefix(format, "paceserve: "), args...)
 		},
@@ -132,6 +157,35 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("bye")
+}
+
+// registerPaths expands -register entries: a directory means every *.json
+// file inside it (a registration fleet's spec drop directory), sorted for
+// deterministic registration order; anything else passes through as a
+// file path. A directory with no specs is fatal — a misspelt path must
+// not silently register nothing.
+func registerPaths(logger *log.Logger, entries []string) []string {
+	var out []string
+	for _, entry := range entries {
+		info, err := os.Stat(entry)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if !info.IsDir() {
+			out = append(out, entry)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(entry, "*.json"))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if len(matches) == 0 {
+			logger.Fatalf("-register directory %s holds no *.json spec files", entry)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out
 }
 
 // schedulerOpt maps the flag onto the serve config convention (empty =

@@ -1,0 +1,283 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("fitted model bytes")
+	if err := s.Put(KindModel, "00ab", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(KindModel, "00ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	if _, err := s.Get(KindModel, "ffff"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: err = %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 write", st)
+	}
+	if st.BytesOnDisk != int64(len(payload)) {
+		t.Fatalf("BytesOnDisk = %d, want %d", st.BytesOnDisk, len(payload))
+	}
+	if st.Load.Count != 1 {
+		t.Fatalf("load histogram count = %d, want 1", st.Load.Count)
+	}
+}
+
+func TestStoreReopenSeesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(KindTrace, "px2-py2", []byte("trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(KindSpec, "11", []byte("spec-one")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store on the same root — the restart — sees the artifacts
+	// and starts with an accurate bytes-on-disk gauge.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(KindTrace, "px2-py2")
+	if err != nil || string(got) != "trace" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+	if st := s2.Stats(); st.BytesOnDisk != int64(len("trace")+len("spec-one")) {
+		t.Fatalf("reopened BytesOnDisk = %d, want %d", st.BytesOnDisk, len("trace")+len("spec-one"))
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, err := s.Keys(KindSpec); err != nil || len(keys) != 0 {
+		t.Fatalf("empty kind: keys = %v, err = %v", keys, err)
+	}
+	for _, k := range []string{"b2", "a1", "c3"} {
+		if err := s.Put(KindSpec, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys(KindSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if fmt.Sprint(keys) != "[a1 b2 c3]" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStoreRejectsUnsafeKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", "a b", "k\x00"} {
+		if err := s.Put(KindModel, bad, []byte("x")); err == nil {
+			t.Errorf("Put accepted unsafe key %q", bad)
+		}
+		if _, err := s.Get(KindModel, bad); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get of unsafe key %q = %v, want validation error", bad, err)
+		}
+	}
+}
+
+func TestGetOrFillSingleflight(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func() ([]byte, error) {
+		builds.Add(1)
+		<-gate
+		return []byte("built"), nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// fromStore may be true for late arrivals (the leader's Put wins
+			// the race with their initial probe) — only the build count and
+			// the bytes are deterministic here.
+			data, _, err := s.GetOrFill(KindModel, "deadbeef", build)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = data
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1 (singleflight)", got)
+	}
+	for i := range results {
+		if string(results[i]) != "built" {
+			t.Fatalf("waiter %d got %q", i, results[i])
+		}
+	}
+
+	// The fill persisted; the next call is a pure load.
+	data, fromStore, err := s.GetOrFill(KindModel, "deadbeef", func() ([]byte, error) {
+		t.Fatal("build ran on a warm key")
+		return nil, nil
+	})
+	if err != nil || !fromStore || string(data) != "built" {
+		t.Fatalf("warm GetOrFill = %q, fromStore=%v, err=%v", data, fromStore, err)
+	}
+}
+
+func TestGetOrFillBuildErrorNotCached(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, err := s.GetOrFill(KindTrace, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	data, fromStore, err := s.GetOrFill(KindTrace, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || fromStore || string(data) != "ok" {
+		t.Fatalf("retry = %q, fromStore=%v, err=%v", data, fromStore, err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	const magic = "ARTTEST\x00"
+	e := NewEncoder(magic, 3)
+	e.U8(7)
+	e.U32(1 << 20)
+	e.I32(-5)
+	e.U64(1 << 40)
+	e.I64(-1 << 40)
+	e.F64(3.14159)
+	e.String("hello")
+	e.Bytes([]byte{0, 1, 2})
+	data := e.Finish()
+
+	// Deterministic: identical field sequences produce identical bytes.
+	e2 := NewEncoder(magic, 3)
+	e2.U8(7)
+	e2.U32(1 << 20)
+	e2.I32(-5)
+	e2.U64(1 << 40)
+	e2.I64(-1 << 40)
+	e2.F64(3.14159)
+	e2.String("hello")
+	e2.Bytes([]byte{0, 1, 2})
+	if !bytes.Equal(data, e2.Finish()) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	d, err := NewDecoder(data, magic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U32(); v != 1<<20 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.I32(); v != -5 {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := d.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -1<<40 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte{0, 1, 2}) {
+		t.Fatalf("Bytes = %v", v)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRefusals(t *testing.T) {
+	const magic = "ARTTEST\x00"
+	e := NewEncoder(magic, 1)
+	e.String("payload")
+	good := e.Finish()
+
+	if _, err := NewDecoder(good, "WRONGMG\x00", 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("wrong magic: err = %v, want ErrFormat", err)
+	}
+	if _, err := NewDecoder(good, magic, 2); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("wrong version: err = %v, want ErrVersionMismatch", err)
+	}
+	if _, err := NewDecoder(good[:len(good)-3], magic, 1); err == nil {
+		t.Fatal("truncated artifact decoded")
+	}
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, err := NewDecoder(bad, magic, 1); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+	if _, err := NewDecoder(nil, magic, 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("empty: err = %v, want ErrFormat", err)
+	}
+
+	// Trailing payload bytes the codec did not read are refused at Close.
+	d, err := NewDecoder(good, magic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unread payload: Close = %v, want ErrFormat", err)
+	}
+
+	// A length prefix promising more bytes than remain is ErrTruncated,
+	// not a giant allocation.
+	e2 := NewEncoder(magic, 1)
+	e2.U32(1 << 30)
+	d2, err := NewDecoder(e2.Finish(), magic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Bytes()
+	if !errors.Is(d2.Err(), ErrTruncated) {
+		t.Fatalf("oversized length: err = %v, want ErrTruncated", d2.Err())
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+// Artifact-store entry points: the fit and rebuild halves of BuildEvaluator
+// split apart, so a serving process with a warm artifact store can run only
+// the cheap half. FitModel is the expensive side (the simulated
+// benchmarking pipeline); EvaluatorFromModel is the cheap side (capp flows
+// plus evaluator wiring) that a persisted, decoded model re-enters through.
+
+import (
+	"pacesweep/internal/bench"
+	"pacesweep/internal/capp"
+	"pacesweep/internal/grid"
+	"pacesweep/internal/hwmodel"
+	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
+)
+
+// FitModel materialises a platform spec's ground-truth system and fits its
+// hardware model through the simulated benchmarking pipeline — the seconds
+// of work a warm start skips.
+func FitModel(spec platform.Spec, profileGrid grid.Global, seed int64) (*hwmodel.Model, error) {
+	pl, err := spec.Platform()
+	if err != nil {
+		return nil, err
+	}
+	return bench.BuildModel(pl, profileGrid, problemFor(profileGrid), seed)
+}
+
+// EvaluatorFromModel wires an already-fitted hardware model to the
+// capp-derived SWEEP3D subtask flows: the part of BuildEvaluator that runs
+// on every start, warm or cold.
+func EvaluatorFromModel(m *hwmodel.Model) (*pace.Evaluator, error) {
+	analysis, err := capp.SweepKernelAnalysis()
+	if err != nil {
+		return nil, err
+	}
+	return pace.NewEvaluator(m, analysis)
+}

@@ -1,0 +1,108 @@
+package hwmodel
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pacesweep/internal/artifact"
+	"pacesweep/internal/clc"
+	"pacesweep/internal/platform"
+)
+
+func testModels() map[string]*Model {
+	flat := &Model{
+		Name:   "flat-test",
+		MFLOPS: 123.5,
+		OpcodeCosts: clc.CostTable{
+			"FLML": 3.1e-9, "FLAD": 2.2e-9, "LFOR": 1.5e-9,
+		},
+		Send:     platform.Piecewise{A: 512, B: 6, C: 0.008, D: 8, E: 0.0042},
+		Recv:     platform.Piecewise{A: 512, B: 7, C: 0.008, D: 9, E: 0.0042},
+		PingPong: platform.Piecewise{A: 512, B: 26, C: 0.02, D: 32, E: 0.0088},
+	}
+	hier := &Model{
+		Name:     "hier-test",
+		MFLOPS:   300,
+		Send:     platform.Piecewise{A: 256, B: 2, C: 0.004, D: 3, E: 0.002},
+		Recv:     platform.Piecewise{A: 256, B: 2, C: 0.004, D: 3, E: 0.002},
+		PingPong: platform.Piecewise{A: 256, B: 9, C: 0.01, D: 12, E: 0.005},
+		Levels: []NetLevel{
+			{
+				Send:     platform.Piecewise{A: 256, B: 2, C: 0.004, D: 3, E: 0.002},
+				Recv:     platform.Piecewise{A: 256, B: 2, C: 0.004, D: 3, E: 0.002},
+				PingPong: platform.Piecewise{A: 256, B: 9, C: 0.01, D: 12, E: 0.005},
+			},
+			{
+				Send:     platform.Piecewise{A: 1024, B: 20, C: 0.02, D: 28, E: 0.009},
+				Recv:     platform.Piecewise{A: 1024, B: 22, C: 0.02, D: 30, E: 0.009},
+				PingPong: platform.Piecewise{A: 1024, B: 80, C: 0.05, D: 95, E: 0.02},
+			},
+		},
+		Topology: platform.Topology{CoresPerNode: 4, NodesPerCluster: 8},
+	}
+	return map[string]*Model{"flat": flat, "hierarchical": hier}
+}
+
+// TestModelCodecRoundTrip pins the codec contract on flat and hierarchical
+// models: encode→decode→encode byte-identical, structural equality, and —
+// the property serving identity rests on — fingerprint equality.
+func TestModelCodecRoundTrip(t *testing.T) {
+	for name, m := range testModels() {
+		t.Run(name, func(t *testing.T) {
+			data := m.EncodeBinary()
+			got, err := DecodeModel(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("decoded model differs:\n got %+v\nwant %+v", got, m)
+			}
+			if !bytes.Equal(got.EncodeBinary(), data) {
+				t.Fatal("encode→decode→encode is not byte-identical")
+			}
+			if m.Fingerprint() != got.Fingerprint() {
+				t.Fatalf("fingerprint moved across the codec: %016x != %016x",
+					got.Fingerprint(), m.Fingerprint())
+			}
+			// Determinism: re-encoding the source is also byte-identical
+			// (the opcode table is map-ordered in memory, sorted on disk).
+			if !bytes.Equal(m.EncodeBinary(), data) {
+				t.Fatal("re-encoding the source is not deterministic")
+			}
+		})
+	}
+}
+
+// TestModelCodecRefusesCorruption flips and truncates a valid artifact;
+// decode must fail every time and never return a partial model.
+func TestModelCodecRefusesCorruption(t *testing.T) {
+	data := testModels()["hierarchical"].EncodeBinary()
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x10
+		if m, err := DecodeModel(bad); err == nil {
+			t.Fatalf("bit flip at byte %d decoded: %+v", i, m)
+		}
+	}
+	for _, cut := range []int{0, 7, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeModel(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	if _, err := DecodeModel(data[:len(data)-2]); !errors.Is(err, artifact.ErrChecksum) {
+		t.Fatalf("truncated artifact: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestModelCodecRefusesInvalidModel pins that a well-formed artifact
+// holding a semantically invalid model (here: a zero achieved rate) is
+// refused by the same validation gate live fitting goes through.
+func TestModelCodecRefusesInvalidModel(t *testing.T) {
+	m := *testModels()["flat"]
+	m.MFLOPS = 0
+	if _, err := DecodeModel(m.EncodeBinary()); err == nil {
+		t.Fatal("invalid model decoded")
+	}
+}

@@ -1,0 +1,188 @@
+package mp
+
+// Binary codec for compiled traces, the artifact-store side of the trace
+// tier: a recorded communication script serialises to a versioned,
+// checksummed artifact and loads back into a Trace that replays
+// bit-identically to its source. Traces record only table indices and
+// delta-encoded partners — no platform, cost or class information — so one
+// persisted trace artifact serves every platform of the same shape.
+//
+// The codec lives in package mp because every Trace field is unexported by
+// design (a Trace is immutable after recording); the encoding is a direct
+// image of the struct, field by field, in fixed little-endian layout, so
+// encode→decode→encode is byte-identical.
+
+import (
+	"fmt"
+
+	"pacesweep/internal/artifact"
+)
+
+const (
+	// traceMagic identifies a compiled-trace artifact.
+	traceMagic = "PACETRC\x00"
+	// TraceCodecVersion is the current trace artifact version. Bump it on
+	// any change to the op kind table, the chunk layout or the replay
+	// parameter conventions; decoders refuse other versions.
+	TraceCodecVersion uint16 = 1
+)
+
+// EncodeBinary serialises the trace into a self-describing, checksummed
+// artifact. The encoding is deterministic: one trace always produces
+// identical bytes.
+func (t *Trace) EncodeBinary() []byte {
+	e := artifact.NewEncoder(traceMagic, TraceCodecVersion)
+	e.U32(uint32(t.n))
+	e.U32(uint32(t.nmarks))
+	e.I32(t.maxChPar)
+	e.I32(t.maxSzPar)
+	e.U64(uint64(t.ops))
+	e.U32(uint32(len(t.chunkOps)))
+	for _, o := range t.chunkOps {
+		e.I32(o.arg0)
+		e.I32(o.arg1)
+		e.I32(o.arg2)
+		e.U8(o.kind)
+	}
+	e.U32(uint32(len(t.cstart)))
+	for _, v := range t.cstart {
+		e.I32(v)
+	}
+	e.U32(uint32(len(t.script)))
+	for _, v := range t.script {
+		e.I32(v)
+	}
+	e.U32(uint32(len(t.sstart)))
+	for _, v := range t.sstart {
+		e.I32(v)
+	}
+	e.U32(uint32(len(t.lits)))
+	for _, v := range t.lits {
+		e.F64(v)
+	}
+	e.U32(uint32(len(t.sizes)))
+	for _, v := range t.sizes {
+		e.I32(v)
+	}
+	return e.Finish()
+}
+
+// DecodeTrace loads a trace artifact encoded by EncodeBinary. The envelope
+// (magic, version, checksum) is verified before any field is read, and the
+// decoded structure is validated — chunk table monotone, chunk ids and op
+// kinds in range — so a decoded trace can never drive the replayer out of
+// bounds. Corruption fails with artifact.ErrChecksum (or ErrTruncated /
+// ErrFormat); a partial Trace is never returned.
+func DecodeTrace(data []byte) (*Trace, error) {
+	d, err := artifact.NewDecoder(data, traceMagic, TraceCodecVersion)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		n:        int(d.U32()),
+		nmarks:   int(d.U32()),
+		maxChPar: d.I32(),
+		maxSzPar: d.I32(),
+		ops:      int(d.U64()),
+	}
+	// Zero-length tables decode to nil, matching what recording leaves
+	// (e.g. no literal sizes when every send is parameterised), so
+	// decode→encode and structural comparisons are exact.
+	if n := d.Len(); n > 0 {
+		t.chunkOps = make([]top, n)
+		for i := range t.chunkOps {
+			t.chunkOps[i] = top{arg0: d.I32(), arg1: d.I32(), arg2: d.I32(), kind: d.U8()}
+		}
+	}
+	if n := d.Len(); n > 0 {
+		t.cstart = make([]int32, n)
+		for i := range t.cstart {
+			t.cstart[i] = d.I32()
+		}
+	}
+	if n := d.Len(); n > 0 {
+		t.script = make([]int32, n)
+		for i := range t.script {
+			t.script[i] = d.I32()
+		}
+	}
+	if n := d.Len(); n > 0 {
+		t.sstart = make([]int32, n)
+		for i := range t.sstart {
+			t.sstart[i] = d.I32()
+		}
+	}
+	if n := d.Len(); n > 0 {
+		t.lits = make([]float64, n)
+		for i := range t.lits {
+			t.lits[i] = d.F64()
+		}
+	}
+	if n := d.Len(); n > 0 {
+		t.sizes = make([]int32, n)
+		for i := range t.sizes {
+			t.sizes[i] = d.I32()
+		}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	if err := t.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", artifact.ErrFormat, err)
+	}
+	return t, nil
+}
+
+// validate checks the structural invariants recording guarantees, so a
+// decoded trace drives the replayer exactly like a recorded one: monotone
+// chunk and script tables, chunk ids, op kinds and table indices in range.
+func (t *Trace) validate() error {
+	if t.n <= 0 {
+		return fmt.Errorf("trace: non-positive world size %d", t.n)
+	}
+	if t.nmarks < 0 || t.ops < 0 || t.maxChPar < -1 || t.maxSzPar < -1 {
+		return fmt.Errorf("trace: negative counters")
+	}
+	nchunks := len(t.cstart) - 1
+	if nchunks < 0 || t.cstart[0] != 0 || int(t.cstart[nchunks]) != len(t.chunkOps) {
+		return fmt.Errorf("trace: malformed chunk table")
+	}
+	for i := 0; i < nchunks; i++ {
+		if t.cstart[i] > t.cstart[i+1] {
+			return fmt.Errorf("trace: chunk table not monotone at %d", i)
+		}
+	}
+	if len(t.sstart) != t.n+1 || t.sstart[0] != 0 || int(t.sstart[t.n]) != len(t.script) {
+		return fmt.Errorf("trace: malformed script table")
+	}
+	for r := 0; r < t.n; r++ {
+		if t.sstart[r] > t.sstart[r+1] {
+			return fmt.Errorf("trace: script table not monotone at rank %d", r)
+		}
+	}
+	for i, c := range t.script {
+		if c < 0 || int(c) >= nchunks {
+			return fmt.Errorf("trace: script entry %d references chunk %d of %d", i, c, nchunks)
+		}
+	}
+	for i, o := range t.chunkOps {
+		if o.kind > topCkpt {
+			return fmt.Errorf("trace: op %d has unknown kind %d", i, o.kind)
+		}
+		switch o.kind {
+		case topChargeLit, topChargeNoisy:
+			if int(o.arg0) >= len(t.lits) || o.arg0 < 0 {
+				return fmt.Errorf("trace: op %d charge index %d out of range", i, o.arg0)
+			}
+		case topSendLit:
+			if int(o.arg2) >= len(t.sizes) || o.arg2 < 0 {
+				return fmt.Errorf("trace: op %d size index %d out of range", i, o.arg2)
+			}
+		case topMark:
+			if int(o.arg0) >= t.nmarks || o.arg0 < 0 {
+				return fmt.Errorf("trace: op %d mark slot %d out of range", i, o.arg0)
+			}
+		}
+	}
+	return nil
+}

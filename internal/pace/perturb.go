@@ -43,7 +43,9 @@ func (e *Evaluator) traceAndKernel(cfg Config, ckptEvery int) (*mp.Trace, *costK
 	d := cfg.Decomp
 	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations, ckptEvery: ckptEvery}
 	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
-		return e.compileTrace(d, k, cfg.Iterations, ckptEvery)
+		return loadOrCompileTrace(key, func() (*mp.Trace, error) {
+			return e.compileTrace(d, k, cfg.Iterations, ckptEvery)
+		})
 	})
 	if err != nil {
 		return nil, nil, err

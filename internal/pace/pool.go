@@ -370,7 +370,7 @@ func (e *Evaluator) kernelFor(cfg Config) (*costKernel, error) {
 	if k, ok := e.shared.kernels.Get(key); ok {
 		return k, nil
 	}
-	k, err := e.buildKernel(cfg)
+	k, err := e.loadOrBuildKernel(key, cfg)
 	if err != nil {
 		return nil, err
 	}

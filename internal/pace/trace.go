@@ -76,7 +76,9 @@ func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float
 	d := cfg.Decomp
 	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations}
 	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
-		return e.compileTrace(d, k, cfg.Iterations, 0)
+		return loadOrCompileTrace(key, func() (*mp.Trace, error) {
+			return e.compileTrace(d, k, cfg.Iterations, 0)
+		})
 	})
 	if err != nil {
 		return 0, 0, err

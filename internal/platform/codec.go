@@ -1,0 +1,55 @@
+package platform
+
+// Artifact codec for platform specs — the persistence side of POST
+// /v1/platforms. Specs are already a JSON serialisation format, so the
+// artifact wraps the canonical JSON in the shared checksummed container:
+// the envelope gives registrations the same torn-write and
+// version-mismatch protection as the binary model/trace codecs, while the
+// payload stays the human-auditable spec document.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pacesweep/internal/artifact"
+)
+
+const (
+	// specMagic identifies a platform-spec artifact.
+	specMagic = "PACESPC\x00"
+	// SpecCodecVersion is the current spec artifact version; decoders
+	// refuse other versions.
+	SpecCodecVersion uint16 = 1
+)
+
+// EncodeBinary serialises the spec into a checksummed artifact wrapping
+// its canonical JSON document.
+func (s Spec) EncodeBinary() ([]byte, error) {
+	doc, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	e := artifact.NewEncoder(specMagic, SpecCodecVersion)
+	e.Bytes(doc)
+	return e.Finish(), nil
+}
+
+// DecodeSpec loads and validates a spec artifact encoded by EncodeBinary.
+func DecodeSpec(data []byte) (Spec, error) {
+	d, err := artifact.NewDecoder(data, specMagic, SpecCodecVersion)
+	if err != nil {
+		return Spec{}, err
+	}
+	doc := d.Bytes()
+	if err := d.Close(); err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(doc, &s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", artifact.ErrFormat, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", artifact.ErrFormat, err)
+	}
+	return s, nil
+}

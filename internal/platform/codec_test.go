@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"pacesweep/internal/artifact"
+)
+
+// TestSpecCodecRoundTrip pins spec persistence: a registration survives the
+// artifact round trip with its fingerprint — the content address customs
+// are served under — unchanged.
+func TestSpecCodecRoundTrip(t *testing.T) {
+	s := validSpec()
+	data, err := s.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != s.Fingerprint() {
+		t.Fatalf("fingerprint moved across the codec: %016x != %016x",
+			got.Fingerprint(), s.Fingerprint())
+	}
+	if got.Name != s.Name {
+		t.Fatalf("name %q != %q", got.Name, s.Name)
+	}
+	// Determinism: the same spec always produces the same artifact bytes.
+	again, err := got.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(first) {
+		t.Fatal("encode→decode→encode is not byte-identical")
+	}
+}
+
+// TestSpecCodecRefusesCorruption flips and truncates a valid spec artifact;
+// decode must fail every time and never return a partial spec.
+func TestSpecCodecRefusesCorruption(t *testing.T) {
+	data, err := validSpec().EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x20
+		if s, err := DecodeSpec(bad); err == nil {
+			t.Fatalf("bit flip at byte %d decoded: %+v", i, s)
+		}
+	}
+	if _, err := DecodeSpec(data[:len(data)-4]); !errors.Is(err, artifact.ErrChecksum) {
+		t.Fatalf("truncated artifact: err = %v, want ErrChecksum", err)
+	}
+	if _, err := DecodeSpec(nil); err == nil {
+		t.Fatal("empty artifact decoded")
+	}
+}
+
+// TestSpecCodecRefusesInvalidSpec pins that a well-formed artifact holding
+// a spec that fails validation is refused at decode time.
+func TestSpecCodecRefusesInvalidSpec(t *testing.T) {
+	s := validSpec()
+	s.Name = ""
+	data, err := s.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSpec(data); !errors.Is(err, artifact.ErrFormat) {
+		t.Fatalf("invalid spec: err = %v, want ErrFormat", err)
+	}
+}

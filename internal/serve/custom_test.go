@@ -427,8 +427,9 @@ func TestPlatformsEndpoint(t *testing.T) {
 			t.Errorf("built-in %s missing fingerprint", name)
 		}
 	}
-	if post := postJSON(t, s, "/v1/platforms", "{}"); post.Code != http.StatusMethodNotAllowed {
-		t.Errorf("POST status %d, want 405", post.Code)
+	// POST is the registration endpoint now; an empty spec is invalid.
+	if post := postJSON(t, s, "/v1/platforms", "{}"); post.Code != http.StatusBadRequest {
+		t.Errorf("POST status %d, want 400", post.Code)
 	}
 }
 

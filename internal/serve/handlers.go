@@ -10,7 +10,9 @@ import (
 	"strings"
 	"time"
 
+	"pacesweep/internal/artifact"
 	"pacesweep/internal/pace"
+	"pacesweep/internal/platform"
 )
 
 // maxBodyBytes bounds request bodies; even the largest sweep grid is a few
@@ -24,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/perturb", s.instrument(&s.st.perturb, s.handlePerturb))
 	s.mux.HandleFunc("/v1/resilience", s.instrument(&s.st.resilience, s.handleResilience))
 	s.mux.HandleFunc("/v1/platforms", s.handlePlatforms)
+	s.mux.HandleFunc("/v1/platforms/", s.handlePlatformGet)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	// /healthz is pure liveness: the process is up and serving. It never
@@ -130,9 +133,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 			writeError(w, http.StatusBadRequest, "inline platform specs are disabled on this server")
 			return false
 		}
-	} else if _, known := s.evals[q.Platform]; !known {
+	} else if !s.servesPlatform(q.Platform) {
 		writeError(w, http.StatusBadRequest, "unknown platform %q (serving %v)", q.Platform, s.cfg.Platforms)
 		return false
+	}
+	if done, ok := s.maybeProxy(w, r, []uint64{routeFingerprint(s, &q)}, &q); done {
+		return ok
 	}
 
 	key := q.key()
@@ -241,12 +247,18 @@ type PlatformsResponse struct {
 	InlineSpecs bool `json:"inline_specs"`
 }
 
-// handlePlatforms is GET /v1/platforms: the platform registry as data —
-// every registered spec with its topology shape and fingerprint, plus
-// whether it is served by name here.
+// handlePlatforms serves /v1/platforms: GET lists the platform registry as
+// data — every registered spec with its topology shape and fingerprint,
+// plus whether it is served by name here — and POST registers a new spec
+// at runtime, persisting it to the artifact store (when one is attached)
+// so it survives restarts.
 func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handlePlatformRegister(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
 		return
 	}
 	served := make(map[string]bool, len(s.cfg.Platforms))
@@ -273,6 +285,81 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
+}
+
+// PlatformRegisterResponse is the POST /v1/platforms body: the accepted
+// spec's identity and whether it was persisted to the artifact store.
+type PlatformRegisterResponse struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Persisted   bool   `json:"persisted"`
+}
+
+// handlePlatformRegister is POST /v1/platforms: register a platform spec
+// at runtime. The spec is validated, added to the registry (a conflicting
+// spec under an existing name is a 409), persisted to the artifact store
+// when one is attached, and immediately servable by name on /v1/predict
+// and /v1/sweep.
+func (s *Server) handlePlatformRegister(w http.ResponseWriter, r *http.Request) {
+	var spec platform.Spec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad platform spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid platform spec: %v", err)
+		return
+	}
+	if err := s.cfg.Registry.Register(spec); err != nil {
+		// The only post-validation failure is a name collision with a
+		// different fingerprint: a conflict, not a bad request.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	resp := PlatformRegisterResponse{Name: spec.Name, Fingerprint: spec.FingerprintHex()}
+	if st := s.cfg.ArtifactStore; st != nil {
+		data, err := spec.EncodeBinary()
+		if err == nil {
+			err = st.Put(artifact.KindSpec, spec.FingerprintHex(), data)
+		}
+		if err != nil {
+			// Registration stands; only durability is degraded.
+			s.cfg.Logf("paceserve: persisting platform %s failed: %v", spec.Name, err)
+		} else {
+			resp.Persisted = true
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// handlePlatformGet is GET /v1/platforms/{fingerprint}: the full spec of a
+// registered platform, addressed by its content fingerprint — the reverse
+// of POST /v1/platforms, and the warm-restart check that a registration
+// survived.
+func (s *Server) handlePlatformGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	fp := strings.TrimPrefix(r.URL.Path, "/v1/platforms/")
+	if fp == "" || strings.Contains(fp, "/") {
+		writeError(w, http.StatusNotFound, "no platform at %q", r.URL.Path)
+		return
+	}
+	for _, spec := range s.cfg.Registry.Specs() {
+		if spec.FingerprintHex() == fp {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(spec)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no registered platform with fingerprint %q", fp)
 }
 
 // etagFor derives the strong entity tag from the request fingerprint. The

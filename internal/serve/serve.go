@@ -61,11 +61,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pacesweep/internal/artifact"
 	"pacesweep/internal/experiments"
 	"pacesweep/internal/grid"
+	"pacesweep/internal/hwmodel"
 	"pacesweep/internal/lru"
 	"pacesweep/internal/pace"
 	"pacesweep/internal/platform"
+	"pacesweep/internal/shard"
 )
 
 // Config parameterises a Server. The zero value of any field selects the
@@ -158,6 +161,41 @@ type Config struct {
 	// run the same simulated benchmarking pipeline the named platforms
 	// use. Tests inject cheap builders here.
 	BuildEvaluatorSpec func(spec platform.Spec) (*pace.Evaluator, error)
+
+	// ArtifactStore attaches the content-addressed on-disk artifact store
+	// (internal/artifact): fitted models persist under their spec
+	// fingerprint, compiled traces and cost kernels under their shape keys
+	// (via pace.SetArtifactStore — process-global, like the trace cache),
+	// and POST /v1/platforms registrations under the spec kind so they
+	// survive restarts. nil (the default) serves fully in-memory.
+	ArtifactStore *artifact.Store
+
+	// FitModel fits a hardware model for a platform spec — the expensive
+	// half of evaluator construction, skipped entirely on a warm start.
+	// Used whenever ArtifactStore is set and the platform resolves to a
+	// spec (named platforms through the Registry, inline/registered specs
+	// directly). Default: the experiments benchmarking pipeline on
+	// ProfileGrid/Seed. Tests inject cheap deterministic fits.
+	FitModel func(spec platform.Spec) (*hwmodel.Model, error)
+
+	// EvaluatorFromModel builds an evaluator from an already-fitted (or
+	// artifact-decoded) model — the cheap half that runs on every start.
+	// Default: the capp-derived SWEEP3D flows.
+	EvaluatorFromModel func(m *hwmodel.Model) (*pace.Evaluator, error)
+
+	// Peers enables the consistent-hash shard router: the full fleet
+	// member list as base URLs (e.g. "http://host:8080"). Requests whose
+	// platform fingerprint another member owns are proxied there once and
+	// annotated with X-Paceserve-Shard. Empty disables routing.
+	Peers []string
+
+	// SelfURL is this replica's own base URL as it appears in Peers;
+	// required when Peers is set (appended to the ring if absent).
+	SelfURL string
+
+	// VirtualNodes is the ring's per-member virtual node count (default
+	// shard.DefaultVirtualNodes).
+	VirtualNodes int
 
 	// Logf receives operational log lines; default discards them.
 	Logf func(format string, args ...any)
@@ -254,6 +292,12 @@ type Server struct {
 	sem         chan struct{}
 	st          serverStats
 	started     time.Time
+
+	// ring routes requests across the fleet when Config.Peers is set;
+	// self is this replica's ring member name. Both nil/empty otherwise.
+	ring        *shard.Ring
+	self        string
+	proxyClient *http.Client
 }
 
 // New validates the configuration and builds a Server. Evaluators are
@@ -283,6 +327,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BuildEvaluatorSpec == nil {
 		cfg.BuildEvaluatorSpec = defaultSpecBuilder(cfg)
 	}
+	if cfg.FitModel == nil {
+		cfg.FitModel = func(spec platform.Spec) (*hwmodel.Model, error) {
+			return experiments.FitModel(spec, cfg.ProfileGrid, cfg.Seed)
+		}
+	}
+	if cfg.EvaluatorFromModel == nil {
+		cfg.EvaluatorFromModel = experiments.EvaluatorFromModel
+	}
 	s := &Server{
 		cfg:     cfg,
 		evals:   make(map[string]*evalSlot, len(cfg.Platforms)),
@@ -300,8 +352,66 @@ func New(cfg Config) (*Server, error) {
 	for _, name := range cfg.Platforms {
 		s.evals[name] = &evalSlot{}
 	}
+	if cfg.ArtifactStore != nil {
+		// Trace and kernel load-through is process-global (the trace cache
+		// is too); the last server to attach a store wins, matching the
+		// one-store-per-process deployment model.
+		pace.SetArtifactStore(cfg.ArtifactStore)
+		s.loadPersistedSpecs()
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.SelfURL == "" {
+			return nil, fmt.Errorf("serve: Peers set without SelfURL")
+		}
+		members := append([]string(nil), cfg.Peers...)
+		found := false
+		for _, m := range members {
+			if m == cfg.SelfURL {
+				found = true
+				break
+			}
+		}
+		if !found {
+			members = append(members, cfg.SelfURL)
+		}
+		ring, err := shard.New(members, cfg.VirtualNodes)
+		if err != nil {
+			return nil, err
+		}
+		s.ring, s.self = ring, cfg.SelfURL
+		s.proxyClient = &http.Client{} // per-request contexts bound the proxy
+	}
 	s.routes()
 	return s, nil
+}
+
+// loadPersistedSpecs replays the artifact store's spec directory into the
+// registry at startup — the restart half of POST /v1/platforms
+// persistence. A corrupt or conflicting artifact is logged and skipped:
+// one bad registration must not take the server down.
+func (s *Server) loadPersistedSpecs() {
+	keys, err := s.cfg.ArtifactStore.Keys(artifact.KindSpec)
+	if err != nil {
+		s.cfg.Logf("paceserve: listing persisted specs: %v", err)
+		return
+	}
+	for _, key := range keys {
+		data, err := s.cfg.ArtifactStore.Get(artifact.KindSpec, key)
+		if err != nil {
+			s.cfg.Logf("paceserve: loading spec artifact %s: %v", key, err)
+			continue
+		}
+		spec, err := platform.DecodeSpec(data)
+		if err != nil {
+			s.cfg.Logf("paceserve: decoding spec artifact %s: %v", key, err)
+			continue
+		}
+		if err := s.cfg.Registry.Register(spec); err != nil {
+			s.cfg.Logf("paceserve: registering persisted spec %s (%s): %v", spec.Name, key, err)
+			continue
+		}
+		s.cfg.Logf("paceserve: restored platform %s (%s) from the artifact store", spec.Name, key)
+	}
 }
 
 // defaultBuilder fits a hardware model for a registered platform through
@@ -350,7 +460,7 @@ func (s *Server) evaluator(name string) (*pace.Evaluator, error) {
 		return slot.ev, nil
 	}
 	start := time.Now()
-	ev, err := s.cfg.BuildEvaluator(name)
+	ev, err := s.buildNamed(name)
 	if err != nil {
 		s.cfg.Logf("paceserve: fitting %s failed (will retry on next request): %v", name, err)
 		return nil, err
@@ -359,6 +469,51 @@ func (s *Server) evaluator(name string) (*pace.Evaluator, error) {
 	slot.ready.Store(true)
 	s.cfg.Logf("paceserve: fitted evaluator for %s in %s", name, time.Since(start).Round(time.Millisecond))
 	return ev, nil
+}
+
+// buildNamed constructs a named platform's evaluator. With an artifact
+// store attached and the name resolvable to a spec, the fitted model goes
+// through the store (fit once per fleet, load thereafter); any trouble on
+// that path degrades to the configured live builder.
+func (s *Server) buildNamed(name string) (*pace.Evaluator, error) {
+	if s.cfg.ArtifactStore != nil {
+		if spec, ok := s.cfg.Registry.Get(name); ok {
+			ev, err := s.modelEvaluator(spec)
+			if err == nil {
+				return ev, nil
+			}
+			s.cfg.Logf("paceserve: artifact model path for %s failed (%v); fitting live", name, err)
+		}
+	}
+	return s.cfg.BuildEvaluator(name)
+}
+
+// modelEvaluator is the model-artifact load-through: the spec's fitted
+// model is fetched from (or fitted into) the store under the spec
+// fingerprint, then wired to an evaluator. Both warm and cold paths build
+// the evaluator from the *decoded* artifact bytes, so a restarted replica
+// answers bit-identically to the process that fitted the model.
+func (s *Server) modelEvaluator(spec platform.Spec) (*pace.Evaluator, error) {
+	st := s.cfg.ArtifactStore
+	data, fromStore, err := st.GetOrFill(artifact.KindModel, spec.FingerprintHex(), func() ([]byte, error) {
+		m, err := s.cfg.FitModel(spec)
+		if err != nil {
+			return nil, err
+		}
+		return m.EncodeBinary(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := hwmodel.DecodeModel(data)
+	if err != nil {
+		return nil, err
+	}
+	if fromStore {
+		st.ObserveDecode(time.Since(start))
+	}
+	return s.cfg.EvaluatorFromModel(m)
 }
 
 // equip attaches the server's serving configuration — scheduler backend,
@@ -383,6 +538,19 @@ func (s *Server) customEvaluator(spec *platform.Spec) (*pace.Evaluator, error) {
 	fp := spec.Fingerprint()
 	return s.customEvals.GetOrBuild(fp, func() (*pace.Evaluator, error) {
 		start := time.Now()
+		if s.cfg.ArtifactStore != nil {
+			// Same model load-through as named platforms: a custom platform
+			// fitted by any replica (or a previous process life) loads from
+			// the store instead of refitting.
+			if ev, err := s.modelEvaluator(*spec); err == nil {
+				s.cfg.Logf("paceserve: custom platform %s (%016x) ready in %s via artifact store",
+					spec.Name, fp, time.Since(start).Round(time.Millisecond))
+				return s.equip(ev), nil
+			} else {
+				s.cfg.Logf("paceserve: artifact model path for custom %s (%016x) failed (%v); fitting live",
+					spec.Name, fp, err)
+			}
+		}
 		ev, err := s.cfg.BuildEvaluatorSpec(*spec)
 		if err != nil {
 			s.cfg.Logf("paceserve: fitting custom platform %s (%016x) failed: %v", spec.Name, fp, err)
@@ -395,12 +563,34 @@ func (s *Server) customEvaluator(spec *platform.Spec) (*pace.Evaluator, error) {
 }
 
 // evaluatorFor resolves the canonical request's evaluator: the inline
-// spec's fingerprint-keyed cache, or the named platform's slot.
+// spec's fingerprint-keyed cache, the named platform's slot, or — for
+// names registered via POST /v1/platforms rather than configured at
+// startup — the registered spec through the same fingerprint-keyed cache.
 func (s *Server) evaluatorFor(q *PredictRequest) (*pace.Evaluator, error) {
 	if q.PlatformSpec != nil {
 		return s.customEvaluator(q.PlatformSpec)
 	}
+	if _, configured := s.evals[q.Platform]; !configured && s.customEvals != nil {
+		if spec, ok := s.cfg.Registry.Get(q.Platform); ok {
+			return s.customEvaluator(&spec)
+		}
+	}
 	return s.evaluator(q.Platform)
+}
+
+// servesPlatform reports whether a platform name is acceptable on this
+// server: a configured slot, or (when inline specs are enabled) any
+// registered spec — which is how POST /v1/platforms registrations become
+// servable by name without a restart.
+func (s *Server) servesPlatform(name string) bool {
+	if _, ok := s.evals[name]; ok {
+		return true
+	}
+	if s.customEvals == nil {
+		return false
+	}
+	_, ok := s.cfg.Registry.Get(name)
+	return ok
 }
 
 // Warm fits the named platform's evaluator now instead of on first

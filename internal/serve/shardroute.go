@@ -1,0 +1,149 @@
+package serve
+
+// The shard router: with Config.Peers set, every /v1/predict and /v1/sweep
+// request is routed by platform fingerprint on the fleet's consistent-hash
+// ring (internal/shard). The owning replica's caches — fitted evaluator,
+// prediction memo, response bytes — are hot for that platform, so a
+// request landing anywhere else is proxied to the owner once (the
+// X-Paceserve-Forwarded header breaks loops when fleets disagree on
+// membership) and every response is annotated with the owner in
+// X-Paceserve-Shard. Responses are deterministic functions of the request
+// fingerprint, so proxied and local answers are byte-identical; routing is
+// purely a cache-locality optimisation, and any proxy failure degrades to
+// serving locally.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"pacesweep/internal/lru"
+)
+
+const (
+	// shardHeader carries the ring owner of the request's platform
+	// fingerprint on every routed response.
+	shardHeader = "X-Paceserve-Shard"
+	// forwardedHeader marks a proxied request with the forwarding
+	// replica; its presence pins the request to the receiving replica.
+	forwardedHeader = "X-Paceserve-Forwarded"
+)
+
+// routeFingerprint is a predict request's routing key: the platform
+// identity as a fingerprint — the inline spec's, the registered spec's,
+// or (for names with no spec, e.g. injected test builders) a hash of the
+// name itself.
+func routeFingerprint(s *Server, q *PredictRequest) uint64 {
+	if q.PlatformSpec != nil {
+		return q.PlatformSpec.Fingerprint()
+	}
+	if spec, ok := s.cfg.Registry.Get(q.Platform); ok {
+		return spec.Fingerprint()
+	}
+	return lru.HashString(q.Platform)
+}
+
+// sweepRouteFingerprints collects the distinct routing keys of a sweep's
+// expanded points: one per platform identity in the grid.
+func sweepRouteFingerprints(s *Server, points []PredictRequest) []uint64 {
+	seen := make(map[uint64]bool, 2)
+	var fps []uint64
+	for i := range points {
+		fp := routeFingerprint(s, &points[i])
+		if !seen[fp] {
+			seen[fp] = true
+			fps = append(fps, fp)
+		}
+	}
+	return fps
+}
+
+// maybeProxy applies shard routing to a request covering the given
+// fingerprints. It reports done=true when the response has been fully
+// written (a completed proxy round trip); otherwise the caller serves
+// locally — because routing is disabled, this replica owns the keys, the
+// request was already forwarded once, the fingerprints span several
+// owners (mixed-platform sweeps), or the proxy attempt failed.
+func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, fps []uint64, payload any) (done, ok bool) {
+	if s.ring == nil || len(fps) == 0 {
+		return false, false
+	}
+	owner := s.ring.Owner(fps[0])
+	for _, fp := range fps[1:] {
+		if s.ring.Owner(fp) != owner {
+			// A multi-owner sweep is served where it landed; each point
+			// still warms this replica's caches under singleflight.
+			w.Header().Set(shardHeader, s.self)
+			s.st.shardLocal.Add(1)
+			return false, false
+		}
+	}
+	w.Header().Set(shardHeader, owner)
+	if owner == s.self || r.Header.Get(forwardedHeader) != "" {
+		s.st.shardLocal.Add(1)
+		return false, false
+	}
+	return s.proxyTo(w, r, owner, payload)
+}
+
+// proxyTo replays the canonical request against the owning replica and
+// streams its response through. The canonical payload is re-marshalled
+// rather than the raw body buffered: normalize() has already run, so the
+// two spell the same fingerprint, and the proxied body is guaranteed
+// well-formed. Any transport failure falls back to local serving.
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string, payload any) (done, ok bool) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		s.cfg.Logf("paceserve: shard proxy marshal failed: %v", err)
+		s.st.shardProxyErrors.Add(1)
+		return false, false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		s.cfg.Logf("paceserve: shard proxy request for %s failed: %v", owner, err)
+		s.st.shardProxyErrors.Add(1)
+		return false, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, s.self)
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		// The owner is unreachable: serve locally rather than failing the
+		// request — the fleet degrades to unrouted behaviour.
+		s.cfg.Logf("paceserve: shard proxy to %s failed (serving locally): %v", owner, err)
+		s.st.shardProxyErrors.Add(1)
+		return false, false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "ETag", "X-Paceserve-Cache", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				break
+			}
+			if flusher != nil {
+				flusher.Flush() // keep proxied NDJSON streaming point by point
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	s.st.shardProxied.Add(1)
+	return true, resp.StatusCode < http.StatusBadRequest
+}

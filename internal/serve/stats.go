@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pacesweep/internal/artifact"
 	"pacesweep/internal/lru"
 	"pacesweep/internal/pace"
 )
@@ -61,6 +62,11 @@ type serverStats struct {
 	sweepBatchGroups atomic.Uint64 // shape groups dispatched, cumulative
 	sweepBatchPoints atomic.Uint64 // points routed through batching
 	sweepMaxGroup    atomic.Uint64 // largest single shape group ever seen
+
+	// Shard-routing telemetry (see shardroute.go).
+	shardLocal       atomic.Uint64 // routed requests this replica owned (or was forwarded)
+	shardProxied     atomic.Uint64 // requests proxied to the owning peer
+	shardProxyErrors atomic.Uint64 // proxy failures that fell back to local serving
 }
 
 // observeSweepBatch records one sweep's grouping outcome.
@@ -136,6 +142,18 @@ type SweepBatchSnapshot struct {
 	MaxGroupSize uint64 `json:"max_group_size"`
 }
 
+// ShardSnapshot is the shard-routing block of the stats JSON: the ring
+// shape plus how routed traffic split between local serving and proxying.
+type ShardSnapshot struct {
+	Self          string   `json:"self"`
+	Members       []string `json:"members"`
+	RingSize      int      `json:"ring_size"` // virtual nodes on the ring
+	OwnedFraction float64  `json:"owned_fraction"`
+	Local         uint64   `json:"local"`
+	Proxied       uint64   `json:"proxied"`
+	ProxyErrors   uint64   `json:"proxy_errors,omitempty"`
+}
+
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -150,11 +168,16 @@ type StatsResponse struct {
 	// CustomEvaluators is the inline platform_spec evaluator cache: hits
 	// are requests served by an already-fitted custom platform, misses are
 	// on-demand fitting pipeline runs (singleflighted per fingerprint).
-	CustomEvaluators *lru.Stats                   `json:"custom_evaluators,omitempty"`
-	TraceCache       lru.Stats                    `json:"trace_cache"`
-	TraceReplays     uint64                       `json:"trace_replays"`
-	SweepBatching    SweepBatchSnapshot           `json:"sweep_batching"`
-	Evaluators       map[string]EvaluatorSnapshot `json:"evaluators"`
+	CustomEvaluators *lru.Stats         `json:"custom_evaluators,omitempty"`
+	TraceCache       lru.Stats          `json:"trace_cache"`
+	TraceReplays     uint64             `json:"trace_replays"`
+	SweepBatching    SweepBatchSnapshot `json:"sweep_batching"`
+	// Artifacts is the persistent artifact store's counter block (only
+	// with -artifact-dir): hits are cache fills served from disk instead
+	// of refitting/recompiling.
+	Artifacts  *artifact.Stats              `json:"artifacts,omitempty"`
+	Shard      *ShardSnapshot               `json:"shard,omitempty"`
+	Evaluators map[string]EvaluatorSnapshot `json:"evaluators"`
 }
 
 // statsResponse assembles the full snapshot. Only evaluators that have
@@ -188,6 +211,21 @@ func (s *Server) statsResponse() StatsResponse {
 	if s.customEvals != nil {
 		st := s.customEvals.Stats()
 		out.CustomEvaluators = &st
+	}
+	if store := s.cfg.ArtifactStore; store != nil {
+		st := store.Stats()
+		out.Artifacts = &st
+	}
+	if s.ring != nil {
+		out.Shard = &ShardSnapshot{
+			Self:          s.self,
+			Members:       s.ring.Members(),
+			RingSize:      s.ring.Size(),
+			OwnedFraction: s.ring.OwnedFraction(s.self),
+			Local:         s.st.shardLocal.Load(),
+			Proxied:       s.st.shardProxied.Load(),
+			ProxyErrors:   s.st.shardProxyErrors.Load(),
+		}
 	}
 	for name, slot := range s.evals {
 		if !slot.ready.Load() {
@@ -276,6 +314,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_groups_total counter\npaceserve_sweep_batch_groups_total %d\n", st.SweepBatching.GroupsTotal)
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_points_total counter\npaceserve_sweep_batch_points_total %d\n", st.SweepBatching.PointsTotal)
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_max_group_size gauge\npaceserve_sweep_batch_max_group_size %d\n", st.SweepBatching.MaxGroupSize)
+	if a := st.Artifacts; a != nil {
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_hits_total counter\npaceserve_artifact_hits_total %d\n", a.Hits)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_misses_total counter\npaceserve_artifact_misses_total %d\n", a.Misses)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_writes_total counter\npaceserve_artifact_writes_total %d\n", a.Writes)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_errors_total counter\npaceserve_artifact_errors_total %d\n", a.Errors)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_bytes_on_disk gauge\npaceserve_artifact_bytes_on_disk %d\n", a.BytesOnDisk)
+		writeArtifactHistogram(w, "paceserve_artifact_load_seconds", a.Load)
+		writeArtifactHistogram(w, "paceserve_artifact_decode_seconds", a.Decode)
+	}
+	if sh := st.Shard; sh != nil {
+		fmt.Fprintf(w, "# TYPE paceserve_shard_members gauge\npaceserve_shard_members %d\n", len(sh.Members))
+		fmt.Fprintf(w, "# TYPE paceserve_shard_ring_size gauge\npaceserve_shard_ring_size %d\n", sh.RingSize)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_owned_fraction gauge\npaceserve_shard_owned_fraction %g\n", sh.OwnedFraction)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_local_total counter\npaceserve_shard_local_total %d\n", sh.Local)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_proxied_total counter\npaceserve_shard_proxied_total %d\n", sh.Proxied)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_proxy_errors_total counter\npaceserve_shard_proxy_errors_total %d\n", sh.ProxyErrors)
+	}
 	platforms := sortedKeys(st.Evaluators)
 	if len(platforms) > 0 {
 		labels := make([]string, len(platforms))
@@ -301,6 +356,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "paceserve_pool_world_evictions_total%s %d\n", labels[i], st.Evaluators[name].Pool.WorldEvictions)
 		}
 	}
+}
+
+// writeArtifactHistogram renders one artifact-store latency histogram in
+// full Prometheus convention (_bucket, _sum, _count).
+func writeArtifactHistogram(w http.ResponseWriter, name string, h artifact.HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, b := range h.Buckets {
+		le := fmt.Sprintf("%g", b.LeSeconds)
+		if b.Inf {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.TotalSeconds)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // writeCacheMetrics renders one sharded-LRU counter block over parallel

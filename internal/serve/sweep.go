@@ -171,7 +171,7 @@ func (s *Server) expand(q *SweepRequest) ([]PredictRequest, error) {
 	}
 	if q.PlatformSpec == nil {
 		for _, name := range platforms {
-			if _, known := s.evals[name]; !known {
+			if !s.servesPlatform(name) {
 				return nil, errRequest("unknown platform %q (serving %v)", name, s.cfg.Platforms)
 			}
 		}
@@ -595,6 +595,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return false
+	}
+	// A sweep proxies only when every platform in the grid routes to the
+	// same peer; mixed-owner sweeps are served where they landed.
+	if done, ok := s.maybeProxy(w, r, sweepRouteFingerprints(s, points), &q); done {
+		return ok
 	}
 	if !s.admit(w, &s.st.sweep) {
 		return false

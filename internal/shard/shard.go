@@ -1,0 +1,133 @@
+// Package shard is the consistent-hash ring behind paceserve -peers: a
+// fleet of replicas agrees, with no coordination beyond a shared member
+// list, on which replica owns which platform fingerprint, so each
+// replica's caches stay hot for its shard of the key space and a request
+// landing on the wrong replica is proxied once to the right one.
+//
+// The ring is the classic virtual-node construction: every member is
+// hashed onto the uint64 circle at VirtualNodes points (FNV-1a of
+// "member#i"), and a key is owned by the member whose virtual node is the
+// key's clockwise successor. Placement depends only on (member, i), never
+// on the member list as a whole, so adding or removing one replica moves
+// only the keys adjacent to its virtual nodes — on average 1/n of the
+// space — and every other key keeps its owner. The ring is immutable
+// after construction; membership changes build a new ring.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"pacesweep/internal/lru"
+)
+
+// DefaultVirtualNodes is the per-member virtual node count. 128 points
+// per member keeps the ownership imbalance of small fleets (2–16
+// replicas) within a few percent, at a lookup cost of one binary search
+// over a few KB.
+const DefaultVirtualNodes = 128
+
+type vnode struct {
+	point uint64
+	owner int // index into members
+}
+
+// Ring is an immutable consistent-hash ring over a member list. The
+// zero-value Ring is not valid; use New.
+type Ring struct {
+	members []string
+	vnodes  []vnode // sorted by point
+}
+
+// New builds a ring over the given members (any non-empty strings,
+// conventionally base URLs) with vnodes virtual nodes per member
+// (0 selects DefaultVirtualNodes). Member order is irrelevant to
+// placement; duplicates are rejected.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: empty member list")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("shard: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("shard: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		vnodes:  make([]vnode, 0, len(sorted)*vnodes),
+	}
+	for mi, m := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.vnodes = append(r.vnodes, vnode{
+				point: lru.HashString(fmt.Sprintf("%s#%d", m, i)),
+				owner: mi,
+			})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		va, vb := r.vnodes[a], r.vnodes[b]
+		if va.point != vb.point {
+			return va.point < vb.point
+		}
+		// Identical points (vanishingly rare) tie-break on owner so
+		// every replica sorts the ring identically.
+		return va.owner < vb.owner
+	})
+	return r, nil
+}
+
+// Owner returns the member owning the key: the clockwise successor of the
+// key's point on the circle.
+func (r *Ring) Owner(key uint64) string {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].point >= key })
+	if i == len(r.vnodes) {
+		i = 0 // wrap past the highest point to the circle's first vnode
+	}
+	return r.members[r.vnodes[i].owner]
+}
+
+// OwnerString is Owner for a string key, hashed with the package's FNV-1a.
+func (r *Ring) OwnerString(key string) string {
+	return r.Owner(lru.HashString(key))
+}
+
+// Members returns the member list in sorted order. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// OwnedFraction estimates the fraction of the key space owned by the
+// member: the total arc length of the circle whose successor vnode is
+// theirs. Exact (not sampled) — useful for balance tests and the shard
+// stats block.
+func (r *Ring) OwnedFraction(member string) float64 {
+	mi := sort.SearchStrings(r.members, member)
+	if mi == len(r.members) || r.members[mi] != member {
+		return 0
+	}
+	var owned uint64
+	for i, v := range r.vnodes {
+		if v.owner != mi {
+			continue
+		}
+		var prev uint64
+		if i > 0 {
+			prev = r.vnodes[i-1].point
+		} else {
+			prev = r.vnodes[len(r.vnodes)-1].point
+		}
+		// Arc (prev, point]: wraps when this is the first vnode.
+		owned += v.point - prev // uint64 arithmetic wraps correctly
+	}
+	return float64(owned) / (1 << 63) / 2
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pacesweep/internal/lru"
+)
+
+func keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = lru.HashString(fmt.Sprintf("fingerprint-%d", i))
+	}
+	return out
+}
+
+// TestRingDeterministic pins the fleet-agreement property: every replica
+// building a ring from the same member list — in any order — must route
+// every key identically.
+func TestRingDeterministic(t *testing.T) {
+	a, err := New([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"http://n3", "http://n1", "http://n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on key %x: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingValidation pins constructor refusals.
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestRingBalance checks virtual nodes spread ownership: with the default
+// vnode count no member of a 4-replica fleet should own a wildly
+// disproportionate share of 10k keys.
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ks := keys(10000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / float64(len(ks))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys", m, 100*frac)
+		}
+		// The analytic arc fraction should roughly agree with the sample.
+		if of := r.OwnedFraction(m); math.Abs(of-frac) > 0.05 {
+			t.Errorf("member %s arc fraction %.3f vs sampled %.3f", m, of, frac)
+		}
+	}
+	var total float64
+	for _, m := range members {
+		total += r.OwnedFraction(m)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("arc fractions sum to %v, want 1", total)
+	}
+}
+
+// TestRingMembershipStability pins the consistent-hashing property: when
+// one member leaves a 4-replica fleet, only the departed member's keys
+// move — every key owned by a surviving member keeps its owner.
+func TestRingMembershipStability(t *testing.T) {
+	before, err := New([]string{"http://n1", "http://n2", "http://n3", "http://n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for _, k := range keys(10000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "http://n4" {
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %x moved %q → %q though its owner survived", k, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved %d kept %d", moved, kept)
+	}
+}
+
+// TestOwnerStringMatchesOwner pins the string convenience wrapper.
+func TestOwnerStringMatchesOwner(t *testing.T) {
+	r, err := New([]string{"a", "b"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OwnerString("abc") != r.Owner(lru.HashString("abc")) {
+		t.Fatal("OwnerString disagrees with Owner")
+	}
+	if r.Size() != 2 || len(r.Members()) != 2 {
+		t.Fatal("size/members wrong")
+	}
+	if r.OwnedFraction("absent") != 0 {
+		t.Fatal("unknown member owns a fraction")
+	}
+}
