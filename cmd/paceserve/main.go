@@ -44,6 +44,14 @@ func main() {
 				"routing of /v1/predict and /v1/sweep by platform fingerprint (requires -self-url)")
 		selfURL = flag.String("self-url", "",
 			"this replica's own base URL as it appears in -peers")
+		probeInterval = flag.Duration("probe-interval", 0,
+			"period of the active /healthz probes each replica sends its peers, feeding the "+
+				"per-peer circuit breakers (0 = 2s default, negative disables active probing)")
+		breakerThreshold = flag.Float64("breaker-threshold", 0,
+			"failure-rate fraction at which a peer's circuit breaker opens (0 = 0.5 default)")
+		proxyTimeout = flag.Duration("proxy-timeout", 0,
+			"per-attempt bound on proxying a request to a peer, layered under -request-timeout "+
+				"(0 = 3s default, negative disables)")
 		seed  = flag.Int64("seed", 1001, "seed for the simulated benchmark-fitting pipeline")
 		sched = flag.String("scheduler", mp.SchedulerTrace,
 			"mp backend for template evaluation (trace|event|goroutine; trace compiles each "+
@@ -114,6 +122,9 @@ func main() {
 		ArtifactStore:        store,
 		Peers:                splitNonEmpty(*peers),
 		SelfURL:              *selfURL,
+		ProbeInterval:        *probeInterval,
+		BreakerThreshold:     *breakerThreshold,
+		ProxyTimeout:         *proxyTimeout,
 		Logf: func(format string, args ...any) {
 			logger.Printf(strings.TrimPrefix(format, "paceserve: "), args...)
 		},
@@ -122,6 +133,7 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	defer srv.Close() // stops the peer probe loop
 	if *warmup {
 		for _, name := range cfg.Platforms {
 			if err := srv.Warm(name); err != nil {

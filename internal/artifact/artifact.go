@@ -42,7 +42,17 @@ const (
 // ErrNotFound marks a Get of a key the store has no artifact for.
 var ErrNotFound = errors.New("artifact: not found")
 
-const fileExt = ".art"
+const (
+	fileExt = ".art"
+	// badExt marks a quarantined artifact: one whose decode failed after a
+	// clean read. Quarantine renames the file aside rather than deleting
+	// it, so the corrupt bytes stay available for a post-mortem while every
+	// later Get is a clean miss that refills through the build path.
+	badExt = ".bad"
+	// tmpMark is the infix os.CreateTemp stamps into in-flight write files
+	// (`<key>.tmp-<random>`); Open sweeps any left behind by a crash.
+	tmpMark = ".tmp-"
+)
 
 // Store is a content-addressed artifact directory. It is safe for
 // concurrent use; several processes may share one root (writes are
@@ -53,11 +63,13 @@ type Store struct {
 	mu     sync.Mutex
 	flight map[string]*fill // in-process singleflight per kind/key
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	writes atomic.Uint64
-	errors atomic.Uint64
-	bytes  atomic.Int64 // bytes on disk (initial scan + write deltas)
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	errors      atomic.Uint64
+	quarantined atomic.Uint64
+	tempsSwept  atomic.Uint64
+	bytes       atomic.Int64 // bytes on disk (initial scan + write deltas)
 
 	load   histogram // Get file-read latency
 	decode histogram // caller-reported decode latency (ObserveDecode)
@@ -71,7 +83,13 @@ type fill struct {
 }
 
 // Open creates (if needed) and opens a store rooted at dir, scanning it
-// once so the bytes-on-disk gauge starts accurate.
+// once so the bytes-on-disk gauge starts accurate. The scan also sweeps
+// temp files orphaned by a crashed writer (`<key>.tmp-<random>`): a
+// process that died between CreateTemp and Rename leaves one behind, and
+// nothing else ever reclaims it. The rename into place is atomic, so any
+// temp file observed at Open belongs to a dead writer or to a concurrent
+// live one; sweeping a live writer's file only fails its Put, which the
+// load-through paths already tolerate by building live.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("artifact: empty store directory")
@@ -82,8 +100,17 @@ func Open(dir string) (*Store, error) {
 	s := &Store{root: dir, flight: make(map[string]*fill)}
 	var total int64
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), fileExt) {
+		if err != nil || d.IsDir() {
 			return err
+		}
+		if strings.Contains(d.Name(), tmpMark) {
+			if os.Remove(path) == nil {
+				s.tempsSwept.Add(1)
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), fileExt) {
+			return nil
 		}
 		if info, err := d.Info(); err == nil {
 			total += info.Size()
@@ -191,6 +218,39 @@ func (s *Store) Put(kind, key string, data []byte) error {
 	}
 	s.writes.Add(1)
 	s.bytes.Add(int64(len(data)) - prev)
+	return nil
+}
+
+// Quarantine moves a corrupt artifact aside, renaming `<key>.art` to
+// `<key>.bad` so every later Get of the key is a clean miss (and so a
+// load-through rebuild re-publishes a good artifact) instead of the same
+// decode failure repeating on every load. Callers invoke it exactly when
+// a cleanly-read artifact fails to decode — the one state Get's own error
+// handling can't see. The corrupt bytes are kept under the .bad name for
+// inspection; a later quarantine of the same key overwrites them.
+// Quarantining a key with no artifact on disk is a no-op (another replica
+// sharing the root may have quarantined it first).
+func (s *Store) Quarantine(kind, key string) error {
+	path, err := s.path(kind, key)
+	if err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	var size int64
+	if info, err := os.Stat(path); err == nil {
+		size = info.Size()
+	} else if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err := os.Rename(path, strings.TrimSuffix(path, fileExt)+badExt); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		s.errors.Add(1)
+		return fmt.Errorf("artifact: quarantining %s/%s: %w", kind, key, err)
+	}
+	s.quarantined.Add(1)
+	s.bytes.Add(-size)
 	return nil
 }
 
@@ -338,6 +398,8 @@ type Stats struct {
 	Misses      uint64            `json:"misses"`
 	Writes      uint64            `json:"writes"`
 	Errors      uint64            `json:"errors,omitempty"`
+	Quarantined uint64            `json:"quarantined,omitempty"`
+	TempsSwept  uint64            `json:"temps_swept,omitempty"`
 	BytesOnDisk int64             `json:"bytes_on_disk"`
 	Load        HistogramSnapshot `json:"load"`
 	Decode      HistogramSnapshot `json:"decode"`
@@ -350,6 +412,8 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses.Load(),
 		Writes:      s.writes.Load(),
 		Errors:      s.errors.Load(),
+		Quarantined: s.quarantined.Load(),
+		TempsSwept:  s.tempsSwept.Load(),
 		BytesOnDisk: s.bytes.Load(),
 		Load:        s.load.snapshot(),
 		Decode:      s.decode.snapshot(),

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -279,5 +282,118 @@ func TestCodecRefusals(t *testing.T) {
 	d2.Bytes()
 	if !errors.Is(d2.Err(), ErrTruncated) {
 		t.Fatalf("oversized length: err = %v, want ErrTruncated", d2.Err())
+	}
+}
+
+func TestStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindModel, "deadbeef", []byte("corrupt bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(KindModel, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	// The artifact is gone from the Get path but kept on disk as .bad.
+	if _, err := s.Get(KindModel, "deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine: err = %v, want ErrNotFound", err)
+	}
+	bad := filepath.Join(dir, KindModel, "deadbeef.bad")
+	if got, err := os.ReadFile(bad); err != nil || string(got) != "corrupt bytes" {
+		t.Fatalf("quarantined file = %q, %v; want original bytes", got, err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.BytesOnDisk != 0 {
+		t.Fatalf("BytesOnDisk = %d, want 0 after quarantine", st.BytesOnDisk)
+	}
+	if keys, err := s.Keys(KindModel); err != nil || len(keys) != 0 {
+		t.Fatalf("Keys after quarantine = %v, %v; want none", keys, err)
+	}
+
+	// Quarantining a missing key is a no-op, not an error (a peer replica
+	// sharing the root may have moved it first).
+	if err := s.Quarantine(KindModel, "deadbeef"); err != nil {
+		t.Fatalf("double quarantine: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined after no-op = %d, want 1", st.Quarantined)
+	}
+
+	// A refill under the same key works and a later quarantine overwrites
+	// the stale .bad file.
+	if err := s.Put(KindModel, "deadbeef", []byte("rebuilt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(KindModel, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(bad); string(got) != "rebuilt" {
+		t.Fatalf("overwritten .bad = %q, want %q", got, "rebuilt")
+	}
+}
+
+func TestStoreQuarantinedKeyRefills(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindTrace, "px1-py1", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(KindTrace, "px1-py1"); err != nil {
+		t.Fatal(err)
+	}
+	// The load-through pattern after a quarantine: the fill path runs the
+	// build and re-publishes a good artifact under the original key.
+	data, fromStore, err := s.GetOrFill(KindTrace, "px1-py1", func() ([]byte, error) {
+		return []byte("good"), nil
+	})
+	if err != nil || fromStore || string(data) != "good" {
+		t.Fatalf("GetOrFill after quarantine = %q, fromStore=%v, err=%v", data, fromStore, err)
+	}
+	if got, err := s.Get(KindTrace, "px1-py1"); err != nil || string(got) != "good" {
+		t.Fatalf("re-published artifact = %q, %v", got, err)
+	}
+}
+
+func TestStoreOpenSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	kindDir := filepath.Join(dir, KindKernel)
+	if err := os.MkdirAll(kindDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer's leftovers, plus a real artifact that must survive.
+	orphan := filepath.Join(kindDir, "abc123.tmp-9981734")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(kindDir, "abc123.art")
+	if err := os.WriteFile(keep, []byte("published"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("orphan temp still on disk after Open: %v", err)
+	}
+	if got, err := s.Get(KindKernel, "abc123"); err != nil || string(got) != "published" {
+		t.Fatalf("published artifact = %q, %v; must survive the sweep", got, err)
+	}
+	st := s.Stats()
+	if st.TempsSwept != 1 {
+		t.Fatalf("TempsSwept = %d, want 1", st.TempsSwept)
+	}
+	// The gauge counts only published artifacts, never swept temps.
+	if st.BytesOnDisk != int64(len("published")) {
+		t.Fatalf("BytesOnDisk = %d, want %d", st.BytesOnDisk, len("published"))
 	}
 }

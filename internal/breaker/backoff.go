@@ -1,0 +1,71 @@
+package breaker
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces decorrelated-jitter exponential delays (the AWS
+// architecture blog's "decorrelated jitter": each delay is drawn
+// uniformly from [Base, 3*previous], capped at Cap). Compared to plain
+// exponential backoff with full jitter it spreads concurrent retriers
+// apart faster while keeping the expected delay growth exponential.
+//
+// A Backoff is safe for concurrent use; a deterministic seed makes the
+// delay sequence reproducible for tests.
+type Backoff struct {
+	base, cap time.Duration
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prev time.Duration
+}
+
+// NewBackoff builds a Backoff over [base, cap] with a seeded RNG.
+// Non-positive base defaults to 50ms, non-positive cap to 100×base.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 100 * base
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{
+		base: base,
+		cap:  cap,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the next delay: uniform in [base, 3*previous] (first call:
+// [base, 3*base]), capped at cap.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := b.prev
+	if prev < b.base {
+		prev = b.base
+	}
+	hi := 3 * prev
+	if hi > b.cap {
+		hi = b.cap
+	}
+	d := b.base
+	if span := hi - b.base; span > 0 {
+		d += time.Duration(b.rng.Int63n(int64(span) + 1))
+	}
+	b.prev = d
+	return d
+}
+
+// Reset returns the sequence to its initial range; the next Next draws
+// from [base, 3*base] again.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.prev = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,314 @@
+// Package breaker is the fleet-health primitive behind paceserve's shard
+// router: a circuit breaker that stops a replica from burning proxy
+// round-trips on a peer that keeps failing, plus the retry backoff that
+// paces the attempts it does make.
+//
+// The breaker is the classic three-state machine over a sliding
+// failure-rate window:
+//
+//	closed    — requests flow; outcomes fill the window. When the window
+//	            holds at least MinSamples observations and the failure
+//	            rate reaches Threshold, the breaker opens.
+//	open      — Allow refuses everything (the caller skips the doomed
+//	            round-trip entirely) until Cooldown has elapsed since the
+//	            breaker opened.
+//	half-open — after the cooldown, Allow admits exactly one trial
+//	            request (or active probe); its success closes the breaker
+//	            and resets the window, its failure re-opens it for
+//	            another full cooldown. A trial that never reports is
+//	            abandoned after Cooldown so a crashed trial cannot wedge
+//	            the breaker half-open forever.
+//
+// Everything is clock-injectable (Config.Now) and takes one mutex per
+// operation, so tests drive exact, deterministic state transitions with a
+// fake clock and the serving hot path pays a few nanoseconds.
+package breaker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int32
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Config parameterises a Breaker. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Window is the sliding failure-rate window width (default 10s).
+	// Outcomes older than Window no longer count against the peer.
+	Window time.Duration
+	// Buckets is the window's granularity (default 10): the window is a
+	// ring of Window/Buckets slices, so expiry resolution is one slice.
+	Buckets int
+	// Threshold is the failure rate in [0,1] at which a closed breaker
+	// opens (default 0.5).
+	Threshold float64
+	// MinSamples is the minimum number of windowed observations before
+	// the threshold applies (default 4): one unlucky first request must
+	// not open a breaker.
+	MinSamples int
+	// Cooldown is both the open→half-open delay and the half-open trial
+	// abandonment timeout (default 5s).
+	Cooldown time.Duration
+	// Now injects the clock (default time.Now). Tests drive transitions
+	// deterministically through a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket is one slice of the sliding window.
+type bucket struct {
+	start     time.Time // slice start; zero = empty
+	successes uint32
+	failures  uint32
+}
+
+// Breaker is a circuit breaker over one dependency (for paceserve, one
+// peer replica). Safe for concurrent use.
+type Breaker struct {
+	cfg   Config
+	slice time.Duration // Window / Buckets
+
+	mu      sync.Mutex
+	state   State
+	buckets []bucket
+	cur     int       // index of the newest bucket
+	openAt  time.Time // when the breaker last opened
+	trialAt time.Time // when the half-open trial was admitted; zero = none
+
+	opens       uint64 // cumulative closed/half-open → open transitions
+	closes      uint64 // cumulative half-open → closed recoveries
+	rejected    uint64 // Allow() == false
+	lastChange  time.Time
+	lastFailure time.Time
+}
+
+// New builds a Breaker; see Config for the knobs.
+func New(cfg Config) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:     cfg,
+		slice:   cfg.Window / time.Duration(cfg.Buckets),
+		buckets: make([]bucket, cfg.Buckets),
+	}
+}
+
+// advance rotates the bucket ring up to now, clearing slices that fell out
+// of the window. Must hold mu.
+func (b *Breaker) advance(now time.Time) {
+	cur := &b.buckets[b.cur]
+	if cur.start.IsZero() {
+		cur.start = now
+		return
+	}
+	for !now.Before(cur.start.Add(b.slice)) {
+		next := cur.start.Add(b.slice)
+		if now.Sub(next) >= b.cfg.Window {
+			// The whole ring has expired; reset rather than spin through
+			// an unbounded number of empty rotations.
+			for i := range b.buckets {
+				b.buckets[i] = bucket{}
+			}
+			b.cur = 0
+			b.buckets[0].start = now
+			return
+		}
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = bucket{start: next}
+		cur = &b.buckets[b.cur]
+	}
+}
+
+// windowCounts sums the live slices. Must hold mu (after advance).
+func (b *Breaker) windowCounts(now time.Time) (successes, failures int) {
+	for i := range b.buckets {
+		bk := &b.buckets[i]
+		if bk.start.IsZero() || now.Sub(bk.start) >= b.cfg.Window {
+			continue
+		}
+		successes += int(bk.successes)
+		failures += int(bk.failures)
+	}
+	return successes, failures
+}
+
+// Allow reports whether an attempt against the dependency may proceed.
+// Closed admits everything; open admits nothing until the cooldown has
+// elapsed, then transitions to half-open and admits exactly one trial;
+// half-open refuses everything while the trial is in flight (and admits a
+// fresh trial if the previous one was abandoned for a full cooldown).
+// Every admitted attempt MUST report its outcome via Record.
+func (b *Breaker) Allow() bool {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.openAt) < b.cfg.Cooldown {
+			b.rejected++
+			return false
+		}
+		b.state = HalfOpen
+		b.trialAt = now
+		b.lastChange = now
+		return true
+	default: // HalfOpen
+		if !b.trialAt.IsZero() && now.Sub(b.trialAt) < b.cfg.Cooldown {
+			b.rejected++
+			return false
+		}
+		b.trialAt = now
+		return true
+	}
+}
+
+// Record reports an attempt's outcome. In the closed state it feeds the
+// sliding window (and may open the breaker); in half-open it resolves the
+// trial — success closes the breaker and resets the window, failure
+// re-opens it. Outcomes arriving while open (stragglers from attempts
+// admitted before the breaker tripped, or probe results recorded without
+// admission) only feed the window; open-state recovery goes through the
+// half-open trial, never around it.
+func (b *Breaker) Record(ok bool) {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	bk := &b.buckets[b.cur]
+	if ok {
+		bk.successes++
+	} else {
+		bk.failures++
+		b.lastFailure = now
+	}
+	switch b.state {
+	case Closed:
+		if !ok {
+			succ, fail := b.windowCounts(now)
+			if total := succ + fail; total >= b.cfg.MinSamples &&
+				float64(fail) >= b.cfg.Threshold*float64(total) {
+				b.trip(now)
+			}
+		}
+	case HalfOpen:
+		if ok {
+			b.state = Closed
+			b.trialAt = time.Time{}
+			b.lastChange = now
+			b.closes++
+			// A recovered peer starts with a clean slate: stale failures
+			// from the outage must not instantly re-trip the breaker.
+			for i := range b.buckets {
+				b.buckets[i] = bucket{}
+			}
+			b.cur = 0
+		} else {
+			b.trip(now)
+		}
+	}
+}
+
+// trip moves to open. Must hold mu.
+func (b *Breaker) trip(now time.Time) {
+	b.state = Open
+	b.openAt = now
+	b.trialAt = time.Time{}
+	b.lastChange = now
+	b.opens++
+}
+
+// State returns the current state, applying the open→half-open time
+// transition (so an observer never reads a stale "open" after the
+// cooldown has passed — the next Allow would be admitted).
+func (b *Breaker) State() State {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && now.Sub(b.openAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Snapshot is a point-in-time view of a breaker for stats/metrics.
+type Snapshot struct {
+	State       string  `json:"state"`
+	FailureRate float64 `json:"failure_rate"` // over the live window
+	Samples     int     `json:"samples"`      // windowed observations
+	Opens       uint64  `json:"opens"`        // cumulative trips
+	Closes      uint64  `json:"closes"`       // cumulative recoveries
+	Rejected    uint64  `json:"rejected"`     // attempts refused by Allow
+	// SecondsSinceChange is the age of the last state transition (0 when
+	// the breaker has never left closed).
+	SecondsSinceChange float64 `json:"seconds_since_change,omitempty"`
+}
+
+// Snapshot captures the breaker's current state and window counters.
+func (b *Breaker) Snapshot() Snapshot {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := b.state
+	if state == Open && now.Sub(b.openAt) >= b.cfg.Cooldown {
+		state = HalfOpen
+	}
+	succ, fail := b.windowCounts(now)
+	s := Snapshot{
+		State:    state.String(),
+		Samples:  succ + fail,
+		Opens:    b.opens,
+		Closes:   b.closes,
+		Rejected: b.rejected,
+	}
+	if s.Samples > 0 {
+		s.FailureRate = float64(fail) / float64(s.Samples)
+	}
+	if !b.lastChange.IsZero() {
+		s.SecondsSinceChange = now.Sub(b.lastChange).Seconds()
+	}
+	return s
+}

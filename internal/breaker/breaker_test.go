@@ -1,0 +1,321 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock; the zero value starts at a
+// fixed epoch so failures print readable offsets.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	return New(Config{
+		Window:     10 * time.Second,
+		Buckets:    10,
+		Threshold:  0.5,
+		MinSamples: 4,
+		Cooldown:   5 * time.Second,
+		Now:        clk.Now,
+	})
+}
+
+// TestBreakerLifecycle drives the full closed → open → half-open → closed
+// cycle on a fake clock and checks every transition happens exactly when
+// the configuration says it must.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+
+	if got := b.State(); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Three failures: under MinSamples, stays closed.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 3 failures = %v, want closed (MinSamples=4)", got)
+	}
+	// Fourth failure reaches MinSamples at 100% failure rate: opens.
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+
+	// One nanosecond short of the cooldown: still open.
+	clk.Advance(5*time.Second - time.Nanosecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt 1ns before cooldown")
+	}
+	// At the cooldown: half-open, exactly one trial admitted.
+	clk.Advance(time.Nanosecond)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state at cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the trial")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Trial fails: re-open for another full cooldown.
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second trial after re-cooldown")
+	}
+	// Trial succeeds: closed, window reset (a single failure right after
+	// recovery must not re-trip off stale outage samples).
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("one failure after recovery re-tripped: state = %v", got)
+	}
+
+	snap := b.Snapshot()
+	if snap.Opens != 2 || snap.Closes != 1 {
+		t.Errorf("snapshot opens/closes = %d/%d, want 2/1", snap.Opens, snap.Closes)
+	}
+	if snap.Rejected == 0 {
+		t.Errorf("snapshot rejected = 0, want > 0")
+	}
+}
+
+// TestBreakerFailureRateWindow checks the sliding window: mixed outcomes
+// below threshold stay closed, old failures expire out of the window.
+func TestBreakerFailureRateWindow(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+
+	// Alternating fail/ok reaches exactly the 50% threshold once enough
+	// samples accumulate: opens (the threshold is inclusive).
+	for i := 0; i < 10 && b.State() == Closed; i++ {
+		b.Allow()
+		b.Record(i%2 == 1)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("50%% failure rate left breaker %v, want open", got)
+	}
+
+	// Fresh breaker: 25% failures (ok,ok,ok,fail repeating — the rate
+	// never exceeds 1/3 at any prefix past MinSamples) stays closed.
+	b = newTestBreaker(clk)
+	for i := 0; i < 12; i++ {
+		b.Allow()
+		b.Record(i%4 != 3)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("25%% failure rate tripped breaker to %v", got)
+	}
+
+	// Failures expire: 4 failures now, then the window slides past them;
+	// a lone new failure joins an empty window (1 sample < MinSamples).
+	b = newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	clk.Advance(11 * time.Second) // everything expires
+	b.Allow()
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("expired failures still counted: state = %v", got)
+	}
+}
+
+// TestBreakerAbandonedTrial checks a half-open trial that never reports is
+// abandoned after a cooldown, so a crashed trial cannot wedge the breaker.
+func TestBreakerAbandonedTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("trial refused at cooldown")
+	}
+	// The trial never records. Within the cooldown no second trial runs...
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("second trial admitted while the first was live")
+	}
+	// ...after it, the trial is presumed lost and a fresh one is admitted.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("abandoned trial blocked the breaker")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after recovered trial = %v, want closed", got)
+	}
+}
+
+// TestBreakerStragglerRecordWhileOpen checks outcomes recorded while open
+// (in-flight attempts admitted before the trip, probe results) never close
+// the breaker around the half-open trial.
+func TestBreakerStragglerRecordWhileOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+	b.Record(true) // straggler success
+	if got := b.State(); got != Open {
+		t.Fatalf("straggler success closed an open breaker: %v", got)
+	}
+}
+
+// TestBreakerConcurrentHalfOpenSingleTrial hammers Allow from many
+// goroutines at the half-open instant: exactly one wins.
+func TestBreakerConcurrentHalfOpenSingleTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	clk.Advance(5 * time.Second)
+
+	const n = 64
+	var admitted, wg sync.WaitGroup
+	wins := make(chan struct{}, n)
+	admitted.Add(0)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("half-open admitted %d concurrent trials, want exactly 1", count)
+	}
+}
+
+// TestBackoffDeterministicAndBounded pins the decorrelated-jitter
+// invariants: every delay is within [base, cap], the sequence is
+// reproducible for one seed, and Reset restarts the range.
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	base, cap := 10*time.Millisecond, 400*time.Millisecond
+	a := NewBackoff(base, cap, 7)
+	b := NewBackoff(base, cap, 7)
+	prev := base
+	for i := 0; i < 50; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < base || da > cap {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, da, base, cap)
+		}
+		if max := 3 * prev; max < cap && da > max {
+			t.Fatalf("step %d: delay %v exceeds 3*prev = %v", i, da, max)
+		}
+		prev = da
+	}
+	// Growth is real: within 50 draws the delays reach at least half the
+	// cap (expected growth is exponential, so this is far past certain).
+	var max time.Duration
+	c := NewBackoff(base, cap, 7)
+	for i := 0; i < 50; i++ {
+		if d := c.Next(); d > max {
+			max = d
+		}
+	}
+	if max < cap/2 {
+		t.Errorf("max delay over 50 draws = %v, want ≥ %v; growth looks broken", max, cap/2)
+	}
+
+	a.Reset()
+	if d := a.Next(); d > 3*base {
+		t.Errorf("post-Reset delay %v exceeds first-step range [%v, %v]", d, base, 3*base)
+	}
+
+	// Different seeds should diverge (jitter is real).
+	x, y := NewBackoff(base, cap, 1), NewBackoff(base, cap, 2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if x.Next() != y.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestBreakerConcurrentRecord is the -race exercise: concurrent
+// Allow/Record/Snapshot on a live clock must be data-race free and leave
+// coherent counters.
+func TestBreakerConcurrentRecord(t *testing.T) {
+	b := New(Config{Window: 50 * time.Millisecond, Cooldown: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+				if i%50 == 0 {
+					_ = b.Snapshot()
+					_ = b.State()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := b.Snapshot()
+	if snap.State == "" {
+		t.Fatal("empty snapshot state")
+	}
+}

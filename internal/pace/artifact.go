@@ -83,9 +83,10 @@ func loadOrCompileTrace(key traceKey, compile func() (*mp.Trace, error)) (*mp.Tr
 	start := time.Now()
 	t, derr := mp.DecodeTrace(data)
 	if derr != nil {
-		// Corrupt or stale-version artifact: compile live; the compile path
-		// re-publishes a good artifact only via a fresh GetOrFill miss, so
-		// just serve this request.
+		// Corrupt or stale-version artifact: quarantine it (so the next
+		// GetOrFill is a clean miss that re-publishes a good artifact
+		// instead of re-failing this decode forever) and compile live.
+		_ = s.Quarantine(artifact.KindTrace, key.artifactKey())
 		return compile()
 	}
 	s.ObserveDecode(time.Since(start))
@@ -205,6 +206,7 @@ func (e *Evaluator) loadOrBuildKernel(key kernelKey, cfg Config) (*costKernel, e
 	start := time.Now()
 	k, derr := decodeKernel(data)
 	if derr != nil {
+		_ = s.Quarantine(artifact.KindKernel, kernelArtifactKey(key, e.HW.Fingerprint()))
 		return e.buildKernel(cfg)
 	}
 	s.ObserveDecode(time.Since(start))

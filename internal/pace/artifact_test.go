@@ -68,7 +68,9 @@ func TestArtifactWarmPredict(t *testing.T) {
 }
 
 // TestArtifactCorruptionFallsBack pins that a poisoned artifact directory
-// degrades to live compilation instead of failing the prediction.
+// degrades to live compilation instead of failing the prediction — and
+// that the corrupt trace is quarantined, so the key refills with a good
+// artifact instead of re-failing the decode on every restart.
 func TestArtifactCorruptionFallsBack(t *testing.T) {
 	s := withStore(t)
 	cfg := paperConfig(2, 2)
@@ -91,6 +93,30 @@ func TestArtifactCorruptionFallsBack(t *testing.T) {
 	}
 	if *warm != *cold {
 		t.Fatalf("fallback prediction differs: %+v != %+v", warm, cold)
+	}
+	// The corrupt artifact was moved aside, not left to poison every load.
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if _, err := s.Get(artifact.KindTrace, keys[0]); !errors.Is(err, artifact.ErrNotFound) {
+		t.Fatalf("corrupt trace still served after quarantine: err = %v", err)
+	}
+
+	// The next restart's miss re-publishes a good artifact under the key
+	// and decodes it cleanly — the store healed itself.
+	FlushTraceCache()
+	again, err := testEvaluator(t).Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *cold {
+		t.Fatalf("post-heal prediction differs: %+v != %+v", again, cold)
+	}
+	if _, err := s.Get(artifact.KindTrace, keys[0]); err != nil {
+		t.Fatalf("healed trace artifact missing: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined after heal = %d, want still 1", st.Quarantined)
 	}
 }
 

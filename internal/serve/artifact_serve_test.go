@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -143,6 +145,81 @@ func TestWarmRestartBitIdentical(t *testing.T) {
 	}
 }
 
+// TestQuarantineCorruptModelArtifact restarts a server onto a store whose
+// persisted model artifact has been corrupted on disk: the server must
+// quarantine the corrupt file, refit through a fresh fill, and answer
+// byte-identically to the cold run — one corrupt artifact costs one
+// refit, never a broken platform.
+func TestQuarantineCorruptModelArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var fits atomic.Int64
+	newServer := func() *Server {
+		store := openStore(t, dir)
+		s, err := New(Config{
+			Platforms:      []string{"Custom-Flat"},
+			Registry:       registryWith(t, flatSpec()),
+			ArtifactStore:  store,
+			FitModel:       countingFitModel(t, &fits),
+			BuildEvaluator: failingBuilder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	body := `{"platform":"Custom-Flat","grid":{"nx":100,"ny":100,"nz":50},"array":{"px":2,"py":2}}`
+
+	cold := newServer()
+	coldRec := postJSON(t, cold, "/v1/predict", body)
+	if coldRec.Code != http.StatusOK {
+		t.Fatalf("cold predict: status %d: %s", coldRec.Code, coldRec.Body.String())
+	}
+
+	// Corrupt the persisted model in place (valid file, garbage bytes).
+	fp := flatSpec().FingerprintHex()
+	modelPath := filepath.Join(dir, artifact.KindModel, fp+".art")
+	if err := os.WriteFile(modelPath, []byte("bit rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := newServer()
+	warmRec := postJSON(t, warm, "/v1/predict", body)
+	if warmRec.Code != http.StatusOK {
+		t.Fatalf("predict over corrupt model: status %d: %s", warmRec.Code, warmRec.Body.String())
+	}
+	if warmRec.Body.String() != coldRec.Body.String() {
+		t.Errorf("refitted response differs from cold:\ncold: %s\nwarm: %s",
+			coldRec.Body.String(), warmRec.Body.String())
+	}
+	if got := fits.Load(); got != 2 {
+		t.Errorf("fits = %d, want 2 (cold fit + refit after quarantine)", got)
+	}
+	st := warm.cfg.ArtifactStore.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	// The corrupt bytes were moved aside for post-mortem, and a good
+	// artifact now lives under the original key.
+	if got, err := os.ReadFile(filepath.Join(dir, artifact.KindModel, fp+".bad")); err != nil || string(got) != "bit rot" {
+		t.Errorf(".bad file = %q, %v; want the corrupt bytes", got, err)
+	}
+	if _, err := warm.cfg.ArtifactStore.Get(artifact.KindModel, fp); err != nil {
+		t.Errorf("re-published model artifact missing: %v", err)
+	}
+
+	// The counter surfaces in /v1/stats and /metrics.
+	var stats StatsResponse
+	if err := json.Unmarshal(getPath(t, warm, "/v1/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Artifacts == nil || stats.Artifacts.Quarantined != 1 {
+		t.Errorf("/v1/stats artifacts.quarantined missing: %+v", stats.Artifacts)
+	}
+	if m := getPath(t, warm, "/metrics").Body.String(); !strings.Contains(m, "paceserve_artifact_quarantined_total 1") {
+		t.Errorf("/metrics missing quarantined counter:\n%s", m)
+	}
+}
+
 // TestPlatformPersistence covers the POST → restart → GET-by-fingerprint
 // loop: a runtime registration lands in the artifact store, a fresh server
 // on the same store restores it, serves it by name without a new fit
@@ -246,10 +323,16 @@ func TestShardProxy(t *testing.T) {
 			BuildEvaluator: testBuilder(t),
 			Peers:          peers,
 			SelfURL:        self,
+			// No background probes: the replicas are bound to sA/sB after
+			// New returns, so an immediate probe round could hit a handler
+			// whose server variable is still nil. chaos_test.go covers
+			// probing.
+			ProbeInterval: -1,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(s.Close)
 		return s
 	}
 	sA, sB = mk(hA.URL), mk(hB.URL)

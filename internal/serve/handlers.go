@@ -40,7 +40,11 @@ func (s *Server) routes() {
 
 // handleReadyz is GET /readyz: readiness for new evaluation work. While
 // admission control is shedding, it answers 503 so load balancers rotate
-// traffic away; the process is still live (/healthz stays 200).
+// traffic away; the process is still live (/healthz stays 200). With the
+// shard router enabled the body also reports fleet health: peers whose
+// circuit breakers are open appear under "fleet", still at 200 — this
+// replica serves their traffic itself, a degraded fleet is not a reason
+// to stop sending requests here.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.shedding() {
@@ -48,6 +52,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "{\"status\":\"degraded\",\"reason\":\"shedding\",\"queued\":%d}\n", s.st.queued.Load())
 		return
+	}
+	if s.health != nil {
+		if down := s.health.down(); len(down) > 0 {
+			body, _ := json.Marshal(map[string]any{
+				"status": "ready",
+				"fleet": map[string]any{
+					"status":  "degraded",
+					"members": s.ring.Size(),
+					"down":    down,
+				},
+			})
+			w.Write(append(body, '\n'))
+			return
+		}
 	}
 	io.WriteString(w, "{\"status\":\"ready\"}\n")
 }
@@ -137,7 +155,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) (ok bool)
 		writeError(w, http.StatusBadRequest, "unknown platform %q (serving %v)", q.Platform, s.cfg.Platforms)
 		return false
 	}
-	if done, ok := s.maybeProxy(w, r, []uint64{routeFingerprint(s, &q)}, &q); done {
+	if done, ok := s.maybeProxy(w, r, []uint64{routeFingerprint(s, &q)}, &q, false); done {
 		return ok
 	}
 

@@ -1,0 +1,210 @@
+package serve
+
+// The fleet health registry: one circuit breaker per peer replica, fed by
+// two signal streams — passive proxy outcomes from the shard router
+// (shardroute.go) and active async /healthz probes (probeLoop) — so a
+// dead or sick peer is detected even on shards that receive no client
+// traffic, and a recovered one is readmitted without waiting for a
+// request to gamble on it. The router consults the registry before every
+// proxy hop: an open breaker means the doomed round-trip is skipped
+// entirely and the request moves to the next healthy owner on the ring
+// (shard.Ring.Successors), falling back to local serving only when no
+// healthy peer precedes this replica in the key's preference order.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacesweep/internal/breaker"
+)
+
+// drain discards a bounded amount of an HTTP response body and closes it,
+// letting the transport reuse the connection.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// peerHealth is one peer's health cell: its breaker plus probe and proxy
+// telemetry. All counters are atomics — the router must not serialise on
+// bookkeeping.
+type peerHealth struct {
+	url string
+	br  *breaker.Breaker
+
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	// lastProbeNanos is the latency of the most recent completed probe;
+	// lastProbeUnixNano its completion time (0 = never probed).
+	lastProbeNanos    atomic.Int64
+	lastProbeUnixNano atomic.Int64
+
+	proxied       atomic.Uint64 // proxy attempts sent to this peer
+	proxyFailures atomic.Uint64 // attempts that failed (transport, 5xx, truncation)
+}
+
+// fleetHealth is the registry over every peer (never self). Built once at
+// server construction; the peer set is immutable, matching the static
+// ring membership.
+type fleetHealth struct {
+	peers map[string]*peerHealth
+	order []string // sorted peer URLs, for deterministic stats/metrics
+
+	// Router outcome counters (see shardroute.go for the decision tree).
+	retries      atomic.Uint64 // second attempts against one peer after backoff
+	reroutes     atomic.Uint64 // requests served by a non-owner peer
+	fallbacks    atomic.Uint64 // requests meant for a peer that ended served locally
+	skippedOpen  atomic.Uint64 // proxy hops skipped because the peer's breaker was open
+	streamBroken atomic.Uint64 // streaming proxies that died mid-body (not recoverable)
+
+	backoff *breaker.Backoff
+}
+
+// newFleetHealth builds the registry for a configured fleet. members is
+// the full ring member list; self is excluded.
+func newFleetHealth(cfg Config, members []string, self string) *fleetHealth {
+	f := &fleetHealth{
+		peers: make(map[string]*peerHealth, len(members)),
+		backoff: breaker.NewBackoff(cfg.ProxyRetryBackoff, 20*cfg.ProxyRetryBackoff,
+			cfg.Seed),
+	}
+	for _, m := range members {
+		if m == self {
+			continue
+		}
+		f.peers[m] = &peerHealth{
+			url: m,
+			br: breaker.New(breaker.Config{
+				Window:     cfg.BreakerWindow,
+				Threshold:  cfg.BreakerThreshold,
+				MinSamples: cfg.BreakerMinSamples,
+				Cooldown:   cfg.BreakerCooldown,
+				Now:        cfg.clock,
+			}),
+		}
+		f.order = append(f.order, m)
+	}
+	sort.Strings(f.order)
+	return f
+}
+
+// peer returns the peer's health cell, or nil for self/unknown members.
+func (f *fleetHealth) peer(url string) *peerHealth {
+	return f.peers[url]
+}
+
+// down lists the peers whose breakers currently refuse traffic (open, or
+// half-open with the trial in flight counts as open for reporting — the
+// peer is not generally admitting requests). Sorted.
+func (f *fleetHealth) down() []string {
+	var out []string
+	for _, url := range f.order {
+		if f.peers[url].br.State() == breaker.Open {
+			out = append(out, url)
+		}
+	}
+	return out
+}
+
+// --- active probing ---
+
+// startProbes launches the async probe loop; stopped by Server.Close.
+func (s *Server) startProbes() {
+	s.probeStop = make(chan struct{})
+	s.probeDone = make(chan struct{})
+	go func() {
+		defer close(s.probeDone)
+		t := time.NewTicker(s.cfg.ProbeInterval)
+		defer t.Stop()
+		s.probePeers()
+		for {
+			select {
+			case <-s.probeStop:
+				return
+			case <-t.C:
+				s.probePeers()
+			}
+		}
+	}()
+}
+
+// probePeers probes every peer once, concurrently, and waits for the
+// round to finish. Exported to the test package (same package) so chaos
+// tests drive probe rounds deterministically with the loop disabled.
+func (s *Server) probePeers() {
+	var wg sync.WaitGroup
+	for _, url := range s.health.order {
+		p := s.health.peers[url]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.probeOne(p)
+		}()
+	}
+	wg.Wait()
+}
+
+// probeOne sends one GET /healthz to the peer and feeds the outcome into
+// its breaker. The probe respects the breaker's admission protocol: while
+// the breaker is open nothing is sent (the peer gets its cooldown), and
+// after the cooldown the probe is a natural half-open trial — a healthy
+// answer closes the breaker before any client request has to gamble on
+// the peer. Probe latency is bounded by the probe timeout so one hung
+// peer cannot stall the probe round.
+func (s *Server) probeOne(p *peerHealth) {
+	if !p.br.Allow() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.probeTimeout())
+	defer cancel()
+	start := time.Now()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/healthz", nil)
+	if err == nil {
+		resp, derr := s.proxyClient.Do(req)
+		if derr == nil {
+			ok = resp.StatusCode == http.StatusOK
+			drain(resp)
+		}
+	}
+	p.probes.Add(1)
+	if !ok {
+		p.probeFailures.Add(1)
+	}
+	p.lastProbeNanos.Store(time.Since(start).Nanoseconds())
+	p.lastProbeUnixNano.Store(time.Now().UnixNano())
+	p.br.Record(ok)
+}
+
+// probeTimeout bounds one probe: the proxy timeout, clamped to the probe
+// interval so a slow peer cannot make rounds overlap.
+func (s *Server) probeTimeout() time.Duration {
+	d := s.cfg.ProxyTimeout
+	if d <= 0 || (s.cfg.ProbeInterval > 0 && s.cfg.ProbeInterval < d) {
+		d = s.cfg.ProbeInterval
+	}
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// Close stops the background probe loop (idempotent; safe on servers that
+// never started one). The server remains servable — Close only quiesces
+// fleet probing, it is the shutdown hook cmd/paceserve and tests use.
+func (s *Server) Close() {
+	if s.probeStop == nil {
+		return
+	}
+	select {
+	case <-s.probeStop:
+	default:
+		close(s.probeStop)
+		<-s.probeDone
+	}
+}

@@ -197,8 +197,43 @@ type Config struct {
 	// shard.DefaultVirtualNodes).
 	VirtualNodes int
 
+	// ProxyTimeout bounds one proxy attempt to a peer (connect, request,
+	// and — for buffered responses — the full body read), layered under the
+	// request deadline so a hung peer costs a bounded slice of the client's
+	// budget instead of all of it. Streaming NDJSON proxies are bounded
+	// only through the response headers. Default 3s; <0 disables.
+	ProxyTimeout time.Duration
+
+	// ProbeInterval is the period of the active health probes each replica
+	// sends to every peer's /healthz, feeding the same per-peer circuit
+	// breakers as passive proxy outcomes. Default 2s; <0 disables active
+	// probing (breakers then learn from proxy traffic alone).
+	ProbeInterval time.Duration
+
+	// BreakerThreshold is the failure-rate fraction at or above which a
+	// peer's breaker opens, over BreakerWindow with at least
+	// BreakerMinSamples outcomes. Default 0.5.
+	BreakerThreshold float64
+	// BreakerWindow is the sliding failure-rate window (default 10s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// admitting one half-open trial (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerMinSamples is the minimum outcomes in the window before the
+	// failure rate can trip the breaker (default 4).
+	BreakerMinSamples int
+
+	// ProxyRetryBackoff is the base delay of the decorrelated-jitter
+	// backoff taken before the single retry of a failed proxy attempt
+	// (default 25ms; the cap is 20× the base).
+	ProxyRetryBackoff time.Duration
+
 	// Logf receives operational log lines; default discards them.
 	Logf func(format string, args ...any)
+
+	// clock overrides the breakers' time source; tests inject a fake clock
+	// here to drive breaker transitions deterministically. nil = time.Now.
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -259,6 +294,36 @@ func (c Config) withDefaults() Config {
 	if (c.ProfileGrid == grid.Global{}) {
 		c.ProfileGrid = grid.Global{NX: 50, NY: 50, NZ: 50}
 	}
+	switch {
+	case c.ProxyTimeout == 0:
+		c.ProxyTimeout = 3 * time.Second
+	case c.ProxyTimeout < 0:
+		c.ProxyTimeout = 0 // unbounded attempts (request deadline still applies)
+	}
+	switch {
+	case c.ProbeInterval == 0:
+		c.ProbeInterval = 2 * time.Second
+	case c.ProbeInterval < 0:
+		c.ProbeInterval = 0 // active probing disabled
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerThreshold > 1 {
+		c.BreakerThreshold = 1
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 4
+	}
+	if c.ProxyRetryBackoff <= 0 {
+		c.ProxyRetryBackoff = 25 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -298,6 +363,13 @@ type Server struct {
 	ring        *shard.Ring
 	self        string
 	proxyClient *http.Client
+
+	// health tracks per-peer circuit breakers and probe telemetry; set
+	// whenever ring is. probeStop/probeDone bracket the async probe loop
+	// (nil when probing is disabled); Close stops it.
+	health    *fleetHealth
+	probeStop chan struct{}
+	probeDone chan struct{}
 }
 
 // New validates the configuration and builds a Server. Evaluators are
@@ -379,7 +451,22 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.ring, s.self = ring, cfg.SelfURL
-		s.proxyClient = &http.Client{} // per-request contexts bound the proxy
+		// Per-attempt contexts bound buffered proxies end to end; the
+		// header timeout additionally bounds streaming proxies and probes
+		// so a peer that accepts connections but never answers cannot hang
+		// either path.
+		tr, _ := http.DefaultTransport.(*http.Transport)
+		if tr != nil {
+			tr = tr.Clone()
+			tr.ResponseHeaderTimeout = cfg.ProxyTimeout
+			s.proxyClient = &http.Client{Transport: tr}
+		} else {
+			s.proxyClient = &http.Client{}
+		}
+		s.health = newFleetHealth(cfg, members, cfg.SelfURL)
+		if cfg.ProbeInterval > 0 {
+			s.startProbes()
+		}
 	}
 	s.routes()
 	return s, nil
@@ -387,8 +474,9 @@ func New(cfg Config) (*Server, error) {
 
 // loadPersistedSpecs replays the artifact store's spec directory into the
 // registry at startup — the restart half of POST /v1/platforms
-// persistence. A corrupt or conflicting artifact is logged and skipped:
-// one bad registration must not take the server down.
+// persistence. A corrupt artifact is quarantined and skipped, a
+// conflicting one logged and skipped: one bad registration must not take
+// the server down.
 func (s *Server) loadPersistedSpecs() {
 	keys, err := s.cfg.ArtifactStore.Keys(artifact.KindSpec)
 	if err != nil {
@@ -403,7 +491,8 @@ func (s *Server) loadPersistedSpecs() {
 		}
 		spec, err := platform.DecodeSpec(data)
 		if err != nil {
-			s.cfg.Logf("paceserve: decoding spec artifact %s: %v", key, err)
+			s.cfg.Logf("paceserve: quarantining spec artifact %s: %v", key, err)
+			_ = s.cfg.ArtifactStore.Quarantine(artifact.KindSpec, key)
 			continue
 		}
 		if err := s.cfg.Registry.Register(spec); err != nil {
@@ -492,26 +581,39 @@ func (s *Server) buildNamed(name string) (*pace.Evaluator, error) {
 // model is fetched from (or fitted into) the store under the spec
 // fingerprint, then wired to an evaluator. Both warm and cold paths build
 // the evaluator from the *decoded* artifact bytes, so a restarted replica
-// answers bit-identically to the process that fitted the model.
+// answers bit-identically to the process that fitted the model. A
+// persisted model that fails to decode is quarantined and refitted
+// through a fresh fill, so one corrupt file costs one refit — not a
+// permanently broken platform.
 func (s *Server) modelEvaluator(spec platform.Spec) (*pace.Evaluator, error) {
 	st := s.cfg.ArtifactStore
-	data, fromStore, err := st.GetOrFill(artifact.KindModel, spec.FingerprintHex(), func() ([]byte, error) {
+	key := spec.FingerprintHex()
+	build := func() ([]byte, error) {
 		m, err := s.cfg.FitModel(spec)
 		if err != nil {
 			return nil, err
 		}
 		return m.EncodeBinary(), nil
-	})
+	}
+	data, fromStore, err := st.GetOrFill(artifact.KindModel, key, build)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	m, err := hwmodel.DecodeModel(data)
-	if err != nil {
-		return nil, err
-	}
-	if fromStore {
+	m, derr := hwmodel.DecodeModel(data)
+	if derr == nil && fromStore {
 		st.ObserveDecode(time.Since(start))
+	}
+	if derr != nil && fromStore {
+		s.cfg.Logf("paceserve: quarantining model artifact %s: %v", key, derr)
+		_ = st.Quarantine(artifact.KindModel, key)
+		if data, _, err = st.GetOrFill(artifact.KindModel, key, build); err != nil {
+			return nil, err
+		}
+		m, derr = hwmodel.DecodeModel(data)
+	}
+	if derr != nil {
+		return nil, derr
 	}
 	return s.cfg.EvaluatorFromModel(m)
 }

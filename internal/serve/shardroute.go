@@ -4,26 +4,51 @@ package serve
 // request is routed by platform fingerprint on the fleet's consistent-hash
 // ring (internal/shard). The owning replica's caches — fitted evaluator,
 // prediction memo, response bytes — are hot for that platform, so a
-// request landing anywhere else is proxied to the owner once (the
+// request landing anywhere else is proxied to the owner (the
 // X-Paceserve-Forwarded header breaks loops when fleets disagree on
-// membership) and every response is annotated with the owner in
-// X-Paceserve-Shard. Responses are deterministic functions of the request
-// fingerprint, so proxied and local answers are byte-identical; routing is
-// purely a cache-locality optimisation, and any proxy failure degrades to
-// serving locally.
+// membership) and every response is annotated with the replica that served
+// it in X-Paceserve-Shard. Responses are deterministic functions of the
+// request fingerprint, so proxied and local answers are byte-identical;
+// routing is purely a cache-locality optimisation and can always degrade
+// to serving locally.
+//
+// The routing decision tree, per request (fleet health lives in health.go):
+//
+//  1. Walk the key's preference order (shard.Ring.Successors): the owner
+//     first, then the member that would inherit the key if the owner left.
+//  2. A peer whose circuit breaker is open is skipped without a round
+//     trip (skippedOpen); a half-open breaker admits exactly one trial.
+//  3. A transient proxy failure — transport error, timeout, HTTP 5xx, or
+//     a truncated buffered body — gets one retry against the same peer
+//     after a decorrelated-jitter backoff, abandoned early if the request
+//     deadline would expire first (retries).
+//  4. Still failing: move to the next member in the preference order. A
+//     success on a non-owner peer counts as a reroute.
+//  5. Reaching this replica's own position in the order — or exhausting
+//     it — serves locally (fallbacks): the fleet degrades to unrouted
+//     behaviour, never to an error the client can see.
+//
+// Buffered (non-streaming) proxy responses are fully read and verified
+// against Content-Length before a byte reaches the client, so a peer dying
+// mid-response is retryable and clients only ever observe complete bodies.
+// Streaming NDJSON proxies commit once the headers arrive; a mid-stream
+// death is counted (streamBroken) but cannot be replayed.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"pacesweep/internal/lru"
 )
 
 const (
-	// shardHeader carries the ring owner of the request's platform
-	// fingerprint on every routed response.
+	// shardHeader names the replica that served a routed response (the
+	// ring owner, or the reroute target when the owner was unhealthy).
 	shardHeader = "X-Paceserve-Shard"
 	// forwardedHeader marks a proxied request with the forwarding
 	// replica; its presence pins the request to the receiving replica.
@@ -64,8 +89,10 @@ func sweepRouteFingerprints(s *Server, points []PredictRequest) []uint64 {
 // written (a completed proxy round trip); otherwise the caller serves
 // locally — because routing is disabled, this replica owns the keys, the
 // request was already forwarded once, the fingerprints span several
-// owners (mixed-platform sweeps), or the proxy attempt failed.
-func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, fps []uint64, payload any) (done, ok bool) {
+// owners (mixed-platform sweeps), or no healthy peer preceded this
+// replica in the key's preference order. streaming marks requests whose
+// response is NDJSON, which is passed through rather than buffered.
+func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, fps []uint64, payload any, streaming bool) (done, ok bool) {
 	if s.ring == nil || len(fps) == 0 {
 		return false, false
 	}
@@ -84,54 +111,140 @@ func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, fps []uint64
 		s.st.shardLocal.Add(1)
 		return false, false
 	}
-	return s.proxyTo(w, r, owner, payload)
-}
-
-// proxyTo replays the canonical request against the owning replica and
-// streams its response through. The canonical payload is re-marshalled
-// rather than the raw body buffered: normalize() has already run, so the
-// two spell the same fingerprint, and the proxied body is guaranteed
-// well-formed. Any transport failure falls back to local serving.
-func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string, payload any) (done, ok bool) {
+	// The canonical payload is re-marshalled rather than the raw body
+	// buffered: normalize() has already run, so the two spell the same
+	// fingerprint and the proxied body is guaranteed well-formed.
 	body, err := json.Marshal(payload)
 	if err != nil {
 		s.cfg.Logf("paceserve: shard proxy marshal failed: %v", err)
 		s.st.shardProxyErrors.Add(1)
+		s.st.shardLocal.Add(1)
 		return false, false
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+r.URL.Path, bytes.NewReader(body))
+	for _, member := range s.ring.Successors(fps[0]) {
+		if member == s.self {
+			// Our own position in the preference order: every peer that
+			// would serve this key better than us is down or failing, so
+			// this replica is the correct reroute target.
+			break
+		}
+		ph := s.health.peer(member)
+		if ph != nil && !ph.br.Allow() {
+			s.health.skippedOpen.Add(1)
+			continue
+		}
+		if done, ok := s.proxyVia(w, r, member, body, streaming, ph); done {
+			if member != owner {
+				s.health.reroutes.Add(1)
+				w.Header().Set(shardHeader, member)
+			}
+			return done, ok
+		}
+	}
+	s.health.fallbacks.Add(1)
+	s.st.shardLocal.Add(1)
+	w.Header().Set(shardHeader, s.self)
+	return false, false
+}
+
+// proxyVia sends the request to one peer, retrying once after a backoff on
+// a transient failure. The retry is deadline-aware: if the client's
+// deadline expires during the backoff, or the peer's breaker trips
+// meanwhile, the retry is abandoned and the caller moves on.
+func (s *Server) proxyVia(w http.ResponseWriter, r *http.Request, member string, body []byte, streaming bool, ph *peerHealth) (done, ok bool) {
+	for attempt := 0; ; attempt++ {
+		done, ok, retryable := s.proxyAttempt(w, r, member, body, streaming, ph)
+		if done {
+			return done, ok
+		}
+		if !retryable || attempt > 0 {
+			return false, false
+		}
+		if !sleepCtx(r.Context(), s.health.backoff.Next()) {
+			return false, false
+		}
+		if ph != nil && !ph.br.Allow() {
+			return false, false
+		}
+		s.health.retries.Add(1)
+	}
+}
+
+// proxyAttempt is one round trip to one peer. done means the response was
+// written to the client (success, or an unrecoverable mid-stream death);
+// retryable marks failures that left the client untouched and are worth
+// one backoff retry.
+func (s *Server) proxyAttempt(w http.ResponseWriter, r *http.Request, member string, body []byte, streaming bool, ph *peerHealth) (done, ok, retryable bool) {
+	ctx := r.Context()
+	cancel := func() {}
+	if !streaming && s.cfg.ProxyTimeout > 0 {
+		// Buffered attempts are bounded end to end; streaming attempts are
+		// bounded through the response headers by the transport.
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ProxyTimeout)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, member+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
-		s.cfg.Logf("paceserve: shard proxy request for %s failed: %v", owner, err)
+		s.cfg.Logf("paceserve: shard proxy request for %s failed: %v", member, err)
 		s.st.shardProxyErrors.Add(1)
-		return false, false
+		return false, false, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, s.self)
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		req.Header.Set("If-None-Match", inm)
 	}
+	if ph != nil {
+		ph.proxied.Add(1)
+	}
 	resp, err := s.proxyClient.Do(req)
 	if err != nil {
-		// The owner is unreachable: serve locally rather than failing the
-		// request — the fleet degrades to unrouted behaviour.
-		s.cfg.Logf("paceserve: shard proxy to %s failed (serving locally): %v", owner, err)
-		s.st.shardProxyErrors.Add(1)
-		return false, false
+		s.peerFailure(ph, member, "transport: %v", err)
+		return false, false, true
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		drain(resp)
+		s.peerFailure(ph, member, "status %d", resp.StatusCode)
+		return false, false, true
+	}
+	if streaming && strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson") {
+		return s.streamProxyBody(w, resp, member, ph)
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "ETag", "X-Paceserve-Cache", "Retry-After"} {
-		if v := resp.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
-		}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.peerFailure(ph, member, "reading body: %v", err)
+		return false, false, true
 	}
+	if resp.ContentLength >= 0 && int64(len(data)) != resp.ContentLength {
+		s.peerFailure(ph, member, "truncated body: %d of %d bytes", len(data), resp.ContentLength)
+		return false, false, true
+	}
+	s.peerSuccess(ph)
+	copyProxyHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data)
+	s.st.shardProxied.Add(1)
+	return true, resp.StatusCode < http.StatusBadRequest, false
+}
+
+// streamProxyBody passes an NDJSON proxy response through point by point.
+// The headers have arrived, so the attempt already counts as a peer
+// success (the peer is up and answering); a death mid-stream is recorded
+// against the peer but the response cannot be replayed — the client sees
+// the truncation, exactly as it would talking to the peer directly.
+func (s *Server) streamProxyBody(w http.ResponseWriter, resp *http.Response, member string, ph *peerHealth) (done, ok, retryable bool) {
+	defer resp.Body.Close()
+	copyProxyHeaders(w, resp)
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
 	buf := make([]byte, 32<<10)
+	broken := false
 	for {
 		n, rerr := resp.Body.Read(buf)
 		if n > 0 {
 			if _, werr := w.Write(buf[:n]); werr != nil {
-				break
+				break // client went away; not the peer's fault
 			}
 			if flusher != nil {
 				flusher.Flush() // keep proxied NDJSON streaming point by point
@@ -141,9 +254,59 @@ func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string, p
 			break
 		}
 		if rerr != nil {
+			broken = true
 			break
 		}
 	}
+	if broken {
+		s.health.streamBroken.Add(1)
+		s.peerFailure(ph, member, "stream broke mid-body")
+	} else {
+		s.peerSuccess(ph)
+	}
 	s.st.shardProxied.Add(1)
-	return true, resp.StatusCode < http.StatusBadRequest
+	return true, !broken && resp.StatusCode < http.StatusBadRequest, false
+}
+
+// copyProxyHeaders forwards the response headers the serving stack sets.
+func copyProxyHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "ETag", "X-Paceserve-Cache", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// peerFailure feeds a failed proxy attempt into the peer's breaker and the
+// fleet counters.
+func (s *Server) peerFailure(ph *peerHealth, member, format string, args ...any) {
+	s.st.shardProxyErrors.Add(1)
+	if ph != nil {
+		ph.proxyFailures.Add(1)
+		ph.br.Record(false)
+	}
+	s.cfg.Logf("paceserve: shard proxy to %s failed: "+format, append([]any{member}, args...)...)
+}
+
+// peerSuccess feeds a completed proxy round trip into the peer's breaker.
+func (s *Server) peerSuccess(ph *peerHealth) {
+	if ph != nil {
+		ph.br.Record(true)
+	}
+}
+
+// sleepCtx sleeps d, abandoning early (reporting false) when the context
+// is done first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

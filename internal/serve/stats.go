@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pacesweep/internal/artifact"
+	"pacesweep/internal/breaker"
 	"pacesweep/internal/lru"
 	"pacesweep/internal/pace"
 )
@@ -143,7 +144,8 @@ type SweepBatchSnapshot struct {
 }
 
 // ShardSnapshot is the shard-routing block of the stats JSON: the ring
-// shape plus how routed traffic split between local serving and proxying.
+// shape, how routed traffic split between local serving and proxying, and
+// the fleet-health outcome counters (see shardroute.go's decision tree).
 type ShardSnapshot struct {
 	Self          string   `json:"self"`
 	Members       []string `json:"members"`
@@ -152,6 +154,55 @@ type ShardSnapshot struct {
 	Local         uint64   `json:"local"`
 	Proxied       uint64   `json:"proxied"`
 	ProxyErrors   uint64   `json:"proxy_errors,omitempty"`
+
+	Retries      uint64 `json:"retries,omitempty"`       // backoff retries against one peer
+	Reroutes     uint64 `json:"reroutes,omitempty"`      // requests served by a non-owner peer
+	Fallbacks    uint64 `json:"fallbacks,omitempty"`     // proxy-intended requests served locally
+	SkippedOpen  uint64 `json:"skipped_open,omitempty"`  // proxy hops skipped on an open breaker
+	StreamBroken uint64 `json:"stream_broken,omitempty"` // NDJSON proxies that died mid-stream
+
+	// Peers is the per-peer health block, sorted by URL.
+	Peers []PeerSnapshot `json:"peers,omitempty"`
+}
+
+// PeerSnapshot is one peer's fleet-health block: its circuit breaker and
+// the active-probe and passive-proxy telemetry feeding it.
+type PeerSnapshot struct {
+	URL     string           `json:"url"`
+	Breaker breaker.Snapshot `json:"breaker"`
+
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures,omitempty"`
+	// LastProbeSeconds is the latency of the most recent probe;
+	// LastProbeAgeSeconds how long ago it completed. Both 0 before the
+	// first probe.
+	LastProbeSeconds    float64 `json:"last_probe_seconds,omitempty"`
+	LastProbeAgeSeconds float64 `json:"last_probe_age_seconds,omitempty"`
+
+	Proxied       uint64 `json:"proxied"`
+	ProxyFailures uint64 `json:"proxy_failures,omitempty"`
+}
+
+// peerSnapshots assembles the sorted per-peer health blocks.
+func (f *fleetHealth) peerSnapshots() []PeerSnapshot {
+	out := make([]PeerSnapshot, 0, len(f.order))
+	for _, url := range f.order {
+		p := f.peers[url]
+		snap := PeerSnapshot{
+			URL:           url,
+			Breaker:       p.br.Snapshot(),
+			Probes:        p.probes.Load(),
+			ProbeFailures: p.probeFailures.Load(),
+			Proxied:       p.proxied.Load(),
+			ProxyFailures: p.proxyFailures.Load(),
+		}
+		if at := p.lastProbeUnixNano.Load(); at > 0 {
+			snap.LastProbeSeconds = float64(p.lastProbeNanos.Load()) / 1e9
+			snap.LastProbeAgeSeconds = time.Since(time.Unix(0, at)).Seconds()
+		}
+		out = append(out, snap)
+	}
+	return out
 }
 
 // StatsResponse is the /v1/stats body.
@@ -225,6 +276,12 @@ func (s *Server) statsResponse() StatsResponse {
 			Local:         s.st.shardLocal.Load(),
 			Proxied:       s.st.shardProxied.Load(),
 			ProxyErrors:   s.st.shardProxyErrors.Load(),
+			Retries:       s.health.retries.Load(),
+			Reroutes:      s.health.reroutes.Load(),
+			Fallbacks:     s.health.fallbacks.Load(),
+			SkippedOpen:   s.health.skippedOpen.Load(),
+			StreamBroken:  s.health.streamBroken.Load(),
+			Peers:         s.health.peerSnapshots(),
 		}
 	}
 	for name, slot := range s.evals {
@@ -319,6 +376,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE paceserve_artifact_misses_total counter\npaceserve_artifact_misses_total %d\n", a.Misses)
 		fmt.Fprintf(w, "# TYPE paceserve_artifact_writes_total counter\npaceserve_artifact_writes_total %d\n", a.Writes)
 		fmt.Fprintf(w, "# TYPE paceserve_artifact_errors_total counter\npaceserve_artifact_errors_total %d\n", a.Errors)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_quarantined_total counter\npaceserve_artifact_quarantined_total %d\n", a.Quarantined)
+		fmt.Fprintf(w, "# TYPE paceserve_artifact_temps_swept_total counter\npaceserve_artifact_temps_swept_total %d\n", a.TempsSwept)
 		fmt.Fprintf(w, "# TYPE paceserve_artifact_bytes_on_disk gauge\npaceserve_artifact_bytes_on_disk %d\n", a.BytesOnDisk)
 		writeArtifactHistogram(w, "paceserve_artifact_load_seconds", a.Load)
 		writeArtifactHistogram(w, "paceserve_artifact_decode_seconds", a.Decode)
@@ -330,6 +389,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE paceserve_shard_local_total counter\npaceserve_shard_local_total %d\n", sh.Local)
 		fmt.Fprintf(w, "# TYPE paceserve_shard_proxied_total counter\npaceserve_shard_proxied_total %d\n", sh.Proxied)
 		fmt.Fprintf(w, "# TYPE paceserve_shard_proxy_errors_total counter\npaceserve_shard_proxy_errors_total %d\n", sh.ProxyErrors)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_retries_total counter\npaceserve_shard_retries_total %d\n", sh.Retries)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_reroutes_total counter\npaceserve_shard_reroutes_total %d\n", sh.Reroutes)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_fallbacks_total counter\npaceserve_shard_fallbacks_total %d\n", sh.Fallbacks)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_skipped_open_total counter\npaceserve_shard_skipped_open_total %d\n", sh.SkippedOpen)
+		fmt.Fprintf(w, "# TYPE paceserve_shard_stream_broken_total counter\npaceserve_shard_stream_broken_total %d\n", sh.StreamBroken)
+		if len(sh.Peers) > 0 {
+			writePeerMetrics(w, sh.Peers)
+		}
 	}
 	platforms := sortedKeys(st.Evaluators)
 	if len(platforms) > 0 {
@@ -354,6 +421,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE paceserve_pool_world_evictions_total counter\n")
 		for i, name := range platforms {
 			fmt.Fprintf(w, "paceserve_pool_world_evictions_total%s %d\n", labels[i], st.Evaluators[name].Pool.WorldEvictions)
+		}
+	}
+}
+
+// writePeerMetrics renders the per-peer fleet-health series: breaker state
+// (0 closed / 1 open / 2 half-open), cumulative trips, probe and proxy
+// outcome counters, and the latest probe latency.
+func writePeerMetrics(w http.ResponseWriter, peers []PeerSnapshot) {
+	kinds := [...]struct {
+		name, typ string
+		value     func(PeerSnapshot) string
+	}{
+		{"paceserve_peer_breaker_state", "gauge", func(p PeerSnapshot) string {
+			switch p.Breaker.State {
+			case "open":
+				return "1"
+			case "half-open":
+				return "2"
+			default:
+				return "0"
+			}
+		}},
+		{"paceserve_peer_breaker_opens_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.Breaker.Opens)
+		}},
+		{"paceserve_peer_breaker_rejected_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.Breaker.Rejected)
+		}},
+		{"paceserve_peer_probes_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.Probes)
+		}},
+		{"paceserve_peer_probe_failures_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.ProbeFailures)
+		}},
+		{"paceserve_peer_probe_latency_seconds", "gauge", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%g", p.LastProbeSeconds)
+		}},
+		{"paceserve_peer_proxied_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.Proxied)
+		}},
+		{"paceserve_peer_proxy_failures_total", "counter", func(p PeerSnapshot) string {
+			return fmt.Sprintf("%d", p.ProxyFailures)
+		}},
+	}
+	for _, k := range kinds {
+		fmt.Fprintf(w, "# TYPE %s %s\n", k.name, k.typ)
+		for _, p := range peers {
+			fmt.Fprintf(w, "%s{peer=%q} %s\n", k.name, p.URL, k.value(p))
 		}
 	}
 }

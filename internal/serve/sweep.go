@@ -598,7 +598,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (ok bool) {
 	}
 	// A sweep proxies only when every platform in the grid routes to the
 	// same peer; mixed-owner sweeps are served where they landed.
-	if done, ok := s.maybeProxy(w, r, sweepRouteFingerprints(s, points), &q); done {
+	if done, ok := s.maybeProxy(w, r, sweepRouteFingerprints(s, points), &q, q.Stream); done {
 		return ok
 	}
 	if !s.admit(w, &s.st.sweep) {

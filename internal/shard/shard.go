@@ -99,6 +99,39 @@ func (r *Ring) OwnerString(key string) string {
 	return r.Owner(lru.HashString(key))
 }
 
+// Successors returns every member in the key's preference order: the
+// owner first, then each further distinct member walking clockwise from
+// the key's point. This is the fleet-health reroute order — when the
+// owner is down, the key's traffic moves to Successors[1], which is the
+// same replacement every replica computes and the replica that inherits
+// the key's whole arc if the owner actually leaves the ring, so the
+// rerouted shard's caches warm exactly where a membership change would
+// land the keys anyway. The slice is freshly allocated; callers may keep
+// it. See AppendSuccessors to reuse a buffer on hot paths.
+func (r *Ring) Successors(key uint64) []string {
+	return r.AppendSuccessors(make([]string, 0, len(r.members)), key)
+}
+
+// AppendSuccessors appends the key's preference order (see Successors) to
+// dst and returns it.
+func (r *Ring) AppendSuccessors(dst []string, key uint64) []string {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].point >= key })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	seen := make([]bool, len(r.members))
+	found := 0
+	for n := 0; n < len(r.vnodes) && found < len(r.members); n++ {
+		owner := r.vnodes[(i+n)%len(r.vnodes)].owner
+		if !seen[owner] {
+			seen[owner] = true
+			found++
+			dst = append(dst, r.members[owner])
+		}
+	}
+	return dst
+}
+
 // Members returns the member list in sorted order. The slice is shared;
 // callers must not mutate it.
 func (r *Ring) Members() []string { return r.members }

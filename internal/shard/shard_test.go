@@ -110,6 +110,59 @@ func TestRingMembershipStability(t *testing.T) {
 	}
 }
 
+// TestRingSuccessors pins the reroute order: the preference list starts at
+// the owner, covers every member exactly once, and its second entry is the
+// member that would inherit the key if the owner left the ring — so
+// failing over to Successors[1] lands keys exactly where a membership
+// change would put them (caches stay hot on the surviving shard).
+func TestRingSuccessors(t *testing.T) {
+	members := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		seq := r.Successors(k)
+		if len(seq) != len(members) {
+			t.Fatalf("key %x: %d successors, want %d", k, len(seq), len(members))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("key %x: successors[0] = %q, owner = %q", k, seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("key %x: member %q repeated in %v", k, m, seq)
+			}
+			seen[m] = true
+		}
+
+		// Remove the owner: the shrunk ring's owner must be successors[1].
+		var rest []string
+		for _, m := range members {
+			if m != seq[0] {
+				rest = append(rest, m)
+			}
+		}
+		shrunk, err := New(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.Owner(k); got != seq[1] {
+			t.Fatalf("key %x: without owner %q the ring routes to %q, successors[1] = %q",
+				k, seq[0], got, seq[1])
+		}
+	}
+
+	// AppendSuccessors reuses the buffer.
+	buf := make([]string, 0, len(members))
+	k := keys(1)[0]
+	got := r.AppendSuccessors(buf, k)
+	if len(got) != len(members) || got[0] != r.Owner(k) {
+		t.Fatalf("AppendSuccessors = %v", got)
+	}
+}
+
 // TestOwnerStringMatchesOwner pins the string convenience wrapper.
 func TestOwnerStringMatchesOwner(t *testing.T) {
 	r, err := New([]string{"a", "b"}, 16)
