@@ -254,6 +254,39 @@ func BenchmarkPredictTrace(b *testing.B) {
 			}
 		})
 	}
+
+	// Iteration axis at the largest array: steady-state cycle
+	// extrapolation must make the horizon nearly free — the PR 10
+	// acceptance is iters=10000 within 2x of iters=100 (vs ~100x work
+	// replayed op by op).
+	const itersP = 4000
+	d, err := grid.FactorNearSquare(itersP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, iters := range []int{100, 1000, 10000} {
+		cfg := pace.Config{
+			Grid:   grid.Global{NX: 5 * d.PX, NY: 5 * d.PY, NZ: 100},
+			Decomp: d,
+			MK:     10, MMI: 3, Angles: 6, Iterations: iters,
+		}
+		b.Run("sched=trace/P="+strconv.Itoa(itersP)+"/iters="+strconv.Itoa(iters), func(b *testing.B) {
+			evS := *ev
+			evS.Scheduler = mp.SchedulerTrace
+			p, err := evS.Predict(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(p.ExtrapolatedIterations), "extrapolated_iters")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evS.Predict(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- substrate micro-benchmarks ---

@@ -114,6 +114,16 @@ type Trace struct {
 	maxChPar int32     // largest ChargeParam index referenced; -1 none
 	maxSzPar int32     // largest SendParam size index referenced; -1 none
 	ops      int       // total (pre-interning) op count
+
+	// Derived replay acceleration state, built by finalize() in both
+	// constructors (recording and decoding); immutable like the rest.
+	fops         []fop      // fused programs, per chunk (see tracecycle.go)
+	fstart       []int32    // chunk c's fused ops are fops[fstart[c]:fstart[c+1]]
+	nmacroUnique int        // interned fused macro count
+	fopsTotal    int        // fused dispatches per full replay
+	macroTotal   int        // macro dispatches per full replay
+	redSizes     []int      // distinct collective payload byte counts
+	cyc          traceCycle // detected steady-state cycle (tracecycle.go)
 }
 
 // Ranks returns the world size the trace was recorded on.
@@ -166,6 +176,15 @@ func (t *Trace) UniqueOps() int { return len(t.chunkOps) }
 type ReplayParams struct {
 	Charges []float64
 	Sizes   []int
+
+	// ExtraCycles extends the replay's virtual horizon by that many
+	// repetitions of the trace's detected steady-state cycle beyond the
+	// recorded count: the replayer loops the recorded cycle bodies (and
+	// extrapolates across them when validated), so a short recorded trace
+	// serves arbitrarily long iteration counts. Requires a detected cycle
+	// and the deterministic unperturbed replay path; Replay returns
+	// ErrCannotExtrapolate otherwise. 0 replays exactly as recorded.
+	ExtraCycles int
 }
 
 // --- recording ---
@@ -353,6 +372,7 @@ func (r *traceRec) build() *Trace {
 		t.script = append(t.script, r.scripts[rank]...)
 	}
 	t.sstart[r.n] = int32(len(t.script))
+	t.finalize()
 	return t
 }
 
@@ -457,6 +477,32 @@ type Replayer struct {
 	opns      []int32
 	idles     []float64
 	collGen   int
+
+	// Steady-state cycle state (tracecycle.go). fusedPath selects the
+	// fused hot loop (deterministic costs, no perturbation); cycOn tracks
+	// a detected cycle through its boundaries; the stat counters feed
+	// Stats(). The plan memo fields cache last-cycle boundary clocks of
+	// completed replays keyed by their exact inputs.
+	fusedPath bool
+	cycOn     bool
+	cycErr    error
+	cycVirt   int // virtual steady cycles this replay must cover
+	cycDone   int // virtual cycles completed (replayed + extrapolated)
+	cycRec    int // recorded cycle index the current cycle runs from
+	cycGen    int // collective generations closed so far
+	cycPrevD  float64
+	cycDelta  float64
+	cycStreak int // consecutive bitwise-equal deltas observed
+
+	statReplayed     int
+	statExtrapolated int
+
+	plans    [planSlots]steadyPlan
+	planNext int
+	planHit  int // matching plan slot for this replay; -1 none
+	planD    float64
+	planGot  bool
+	planRed  []float64 // scratch: priced collective costs for fingerprints
 }
 
 // rsInline is the per-rank inline stream capacity; the wavefront needs at
@@ -472,10 +518,11 @@ type rrank struct {
 	collDone     float64          // resolved collective completion clock
 	skey         [rsInline]uint64 // inline stream keys (first nstreams valid)
 	spos         int32            // cursor into Trace.script
-	opos         int32            // cursor within the current chunk
+	opos         int32            // cursor within the current chunk (fused index on the fused path)
 	nstreams     uint16           // streams in use (inline + overflow)
 	status       uint8
-	collResolved bool // collDone is pending consumption by the reduce op
+	fsub         uint8 // receives consumed by a parked fused macro (resume sub-step)
+	collResolved bool  // collDone is pending consumption by the reduce op
 }
 
 // NewReplayer returns an empty replayer ready for Replay.
@@ -510,6 +557,9 @@ func (r *Replayer) Replay(t *Trace, opts Options, p ReplayParams) error {
 		id := r.next()
 		if id < 0 {
 			if r.doneCount == t.n {
+				if r.planGot && r.planHit < 0 {
+					r.planStore()
+				}
 				return nil
 			}
 			// Unreachable for traces built by a completed recording run;
@@ -517,6 +567,9 @@ func (r *Replayer) Replay(t *Trace, opts Options, p ReplayParams) error {
 			return errors.New("mp: trace replay stalled (incomplete trace)")
 		}
 		r.runRank(id)
+		if r.cycErr != nil {
+			return r.cycErr
+		}
 	}
 }
 
@@ -672,6 +725,29 @@ func (r *Replayer) prepare(t *Trace, opts Options, p ReplayParams) error {
 	for i := range r.marks {
 		r.marks[i] = 0
 	}
+	// Steady-state cycle gating: the fused loop (and with it extrapolation)
+	// runs only when costs are deterministic and nothing perturbs the
+	// replay; every other combination replays exactly as before.
+	r.fusedPath = r.det && !r.perturbed
+	r.cycOn = false
+	r.cycErr = nil
+	r.cycVirt, r.cycDone, r.cycRec, r.cycGen = 0, 0, 0, 0
+	r.cycPrevD, r.cycDelta = 0, 0
+	r.cycStreak = 0
+	r.statReplayed, r.statExtrapolated = 0, 0
+	r.planHit = -1
+	r.planGot = false
+	if p.ExtraCycles < 0 {
+		return fmt.Errorf("mp: negative ExtraCycles %d", p.ExtraCycles)
+	}
+	if p.ExtraCycles > 0 && (!t.cyc.detected || !r.fusedPath) {
+		return ErrCannotExtrapolate
+	}
+	if t.cyc.detected && r.fusedPath {
+		r.cycOn = true
+		r.cycVirt = t.cyc.cycles + p.ExtraCycles
+		r.planScan()
+	}
 	return nil
 }
 
@@ -805,16 +881,28 @@ func (r *Replayer) deliver(dst int, k uint64, avail, aux float64) {
 	}
 }
 
-// runRank executes one rank's script ops until the rank blocks or
-// finishes. It is the replay engine's hot loop: every arm is straight
-// array arithmetic; with a deterministic net no arm makes an interface
-// call. Perturbed replays (delays, noise, probes) take the separate
-// instrumented loop so this one carries no fault-injection state at all.
+// runRank dispatches one rank to the loop its replay mode needs:
+// perturbed replays (delays, noise, fail-stop, probes) take the
+// instrumented loop; deterministic-cost unperturbed replays take the
+// fused loop (macro dispatch + steady-state extrapolation, tracecycle.go);
+// RNG-drawing unperturbed replays keep the scalar loop, whose per-op draw
+// order is the recorded program order.
 func (r *Replayer) runRank(id int) {
 	if r.perturbed {
 		r.runRankPerturbed(id)
 		return
 	}
+	if r.fusedPath {
+		r.runRankFused(id)
+		return
+	}
+	r.runRankScalar(id)
+}
+
+// runRankScalar executes one rank's script ops until the rank blocks or
+// finishes: the replay hot loop for RNG-drawing cost models, every arm
+// straight array arithmetic.
+func (r *Replayer) runRankScalar(id int) {
 	t := r.t
 	net := r.opts.Net
 	det := r.det

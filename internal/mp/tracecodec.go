@@ -13,6 +13,7 @@ package mp
 // encode→decode→encode is byte-identical.
 
 import (
+	"errors"
 	"fmt"
 
 	"pacesweep/internal/artifact"
@@ -23,15 +24,31 @@ const (
 	traceMagic = "PACETRC\x00"
 	// TraceCodecVersion is the current trace artifact version. Bump it on
 	// any change to the op kind table, the chunk layout or the replay
-	// parameter conventions; decoders refuse other versions.
-	TraceCodecVersion uint16 = 1
+	// parameter conventions; decoders refuse other versions except the
+	// explicit back-compat set below.
+	//
+	// v2 appends optional steady-state cycle metadata (detection results;
+	// see tracecycle.go) after the v1 fields. v1 artifacts still decode:
+	// the cycle is recomputed live, and replays are bit-identical either
+	// way — the metadata only saves the detection pass.
+	TraceCodecVersion uint16 = 2
+	// traceCodecV1 is the pre-cycle-metadata version, decoded for
+	// backwards compatibility with persisted artifacts.
+	traceCodecV1 uint16 = 1
 )
 
 // EncodeBinary serialises the trace into a self-describing, checksummed
 // artifact. The encoding is deterministic: one trace always produces
 // identical bytes.
 func (t *Trace) EncodeBinary() []byte {
-	e := artifact.NewEncoder(traceMagic, TraceCodecVersion)
+	return t.encodeBinary(TraceCodecVersion)
+}
+
+// encodeBinary writes the requested codec version; v1 stops before the
+// cycle block. Kept separate so the round-trip tests can produce genuine
+// legacy payloads.
+func (t *Trace) encodeBinary(version uint16) []byte {
+	e := artifact.NewEncoder(traceMagic, version)
 	e.U32(uint32(t.n))
 	e.U32(uint32(t.nmarks))
 	e.I32(t.maxChPar)
@@ -64,6 +81,32 @@ func (t *Trace) EncodeBinary() []byte {
 	for _, v := range t.sizes {
 		e.I32(v)
 	}
+	// v2 cycle metadata: the scalar detection results. Fused programs and
+	// cursor fused-indices are always recomputed locally (they are pure
+	// functions of the scalar tables), so the artifact stays
+	// layout-independent of the fusion scheme.
+	if version < TraceCodecVersion {
+		return e.Finish()
+	}
+	if !t.cyc.detected {
+		e.U8(0)
+		return e.Finish()
+	}
+	e.U8(1)
+	e.U32(uint32(t.cyc.period))
+	e.U32(uint32(t.cyc.prefix))
+	e.U32(uint32(t.cyc.cycles))
+	e.U32(uint32(t.cyc.gens))
+	e.U32(uint32(len(t.cyc.first)))
+	for _, c := range t.cyc.classOf {
+		e.I32(c)
+	}
+	for i := range t.cyc.first {
+		e.I32(t.cyc.first[i].srel)
+		e.I32(t.cyc.first[i].sop)
+		e.I32(t.cyc.last[i].srel)
+		e.I32(t.cyc.last[i].sop)
+	}
 	return e.Finish()
 }
 
@@ -73,8 +116,19 @@ func (t *Trace) EncodeBinary() []byte {
 // kinds in range — so a decoded trace can never drive the replayer out of
 // bounds. Corruption fails with artifact.ErrChecksum (or ErrTruncated /
 // ErrFormat); a partial Trace is never returned.
+//
+// Both codec versions decode: v2 carries optional cycle metadata (itself
+// validated before use — corrupt metadata is ErrFormat, never a bad
+// cursor), v1 artifacts recompute the detection live. Either way the
+// decoded trace replays bit-identically to its source.
 func DecodeTrace(data []byte) (*Trace, error) {
+	legacy := false
 	d, err := artifact.NewDecoder(data, traceMagic, TraceCodecVersion)
+	if errors.Is(err, artifact.ErrVersionMismatch) {
+		if d1, err1 := artifact.NewDecoder(data, traceMagic, traceCodecV1); err1 == nil {
+			d, err, legacy = d1, nil, true
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +178,109 @@ func DecodeTrace(data []byte) (*Trace, error) {
 			t.sizes[i] = d.I32()
 		}
 	}
+	var meta *traceCycleMeta
+	if !legacy {
+		if d.U8() != 0 {
+			m := traceCycleMeta{
+				period: int(d.U32()), prefix: int(d.U32()),
+				cycles: int(d.U32()), gens: int(d.U32()),
+				nclass: int(d.U32()),
+			}
+			if m.nclass > 0 && m.nclass <= t.n {
+				m.classOf = make([]int32, t.n)
+				for i := range m.classOf {
+					m.classOf[i] = d.I32()
+				}
+				m.cursors = make([]int32, 4*m.nclass)
+				for i := range m.cursors {
+					m.cursors[i] = d.I32()
+				}
+				meta = &m
+			} else {
+				return nil, fmt.Errorf("%w: trace cycle metadata declares %d classes of %d ranks",
+					artifact.ErrFormat, m.nclass, t.n)
+			}
+		}
+	}
 	if err := d.Close(); err != nil {
 		return nil, err
 	}
 	if err := t.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", artifact.ErrFormat, err)
 	}
+	t.buildFused()
+	t.collectReduceSizes()
+	if meta != nil {
+		if err := t.installCycle(meta); err != nil {
+			return nil, fmt.Errorf("%w: %v", artifact.ErrFormat, err)
+		}
+	} else {
+		// v1 artifact, or v2 recorded before detection succeeded:
+		// recompute the cycle live.
+		t.detectCycle()
+	}
 	return t, nil
+}
+
+// traceCycleMeta is the raw v2 cycle block, held apart from the trace
+// until installCycle validates it against the decoded tables.
+type traceCycleMeta struct {
+	period, prefix, cycles, gens int
+	nclass                       int
+	classOf                      []int32
+	cursors                      []int32 // per class: first.srel, first.sop, last.srel, last.sop
+}
+
+// installCycle validates decoded cycle metadata and installs it: class
+// ids in range, every class populated, cursors inside their class's
+// script on fused-op boundaries, and the generation arithmetic coherent.
+// Any inconsistency is an error (the caller maps it to ErrFormat and the
+// pace layer quarantines the artifact); the replayer never sees an
+// unvalidated cursor.
+func (t *Trace) installCycle(m *traceCycleMeta) error {
+	if m.period < 1 || m.prefix < 1 || m.cycles < cycMinCycles ||
+		m.gens < m.prefix+m.cycles*m.period+1 {
+		return fmt.Errorf("trace: cycle geometry %d/%d/%d/%d inconsistent",
+			m.period, m.prefix, m.cycles, m.gens)
+	}
+	rep := make([]int32, m.nclass)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for r, c := range m.classOf {
+		if c < 0 || int(c) >= m.nclass {
+			return fmt.Errorf("trace: rank %d cycle class %d of %d", r, c, m.nclass)
+		}
+		if rep[c] < 0 {
+			rep[c] = int32(r)
+		} else if !i32SliceEqual(
+			t.script[t.sstart[r]:t.sstart[r+1]],
+			t.script[t.sstart[rep[c]]:t.sstart[rep[c]+1]]) {
+			return fmt.Errorf("trace: rank %d script differs from its cycle class", r)
+		}
+	}
+	cyc := traceCycle{
+		detected: true, period: m.period, prefix: m.prefix,
+		cycles: m.cycles, gens: m.gens, classOf: m.classOf,
+		first: make([]cycCursor, m.nclass),
+		last:  make([]cycCursor, m.nclass),
+	}
+	for c := 0; c < m.nclass; c++ {
+		if rep[c] < 0 {
+			return fmt.Errorf("trace: cycle class %d has no ranks", c)
+		}
+		fs, fo := m.cursors[4*c], m.cursors[4*c+1]
+		ls, lo := m.cursors[4*c+2], m.cursors[4*c+3]
+		ff, okf := t.fusedIndexAt(rep[c], fs, fo)
+		lf, okl := t.fusedIndexAt(rep[c], ls, lo)
+		if !okf || !okl {
+			return fmt.Errorf("trace: cycle class %d cursor off fused-op boundary", c)
+		}
+		cyc.first[c] = cycCursor{srel: fs, sop: fo, fpos: ff}
+		cyc.last[c] = cycCursor{srel: ls, sop: lo, fpos: lf}
+	}
+	t.cyc = cyc
+	return nil
 }
 
 // validate checks the structural invariants recording guarantees, so a

@@ -1,0 +1,1111 @@
+package mp
+
+// Steady-state cycle detection and macro-op fusion for the trace backend.
+//
+// The wavefront schedule is periodic once the pipeline fills: after the
+// fill/drain transients every rank repeats the same
+// recv/recv/charge/send/send step with identical costs, so replaying all N
+// iterations is redundant work. This file makes long-horizon replays cost
+// nearly independent of the iteration count, in three layers:
+//
+//   - Macro-op fusion (build time): each interned chunk is compiled into a
+//     fused program where the canonical steady-state step — up to two
+//     receives, one parametric charge, up to two sends — becomes a single
+//     fused op with sub-step resume state (rrank.fsub) for mid-macro
+//     blocking. The non-extrapolated prefix/suffix sheds per-op dispatch
+//     cost; scalar ops pass through with their send size index pre-unified.
+//   - Cycle detection (build time): ranks are grouped into script-identity
+//     classes, each class's op stream is segmented at collectives, and the
+//     segment sequence is scanned for the longest periodic run. A detected
+//     cycle records period, prefix length, cycle count and the per-class
+//     cursors of the first and last recorded cycle bodies.
+//   - Analytic extrapolation (replay time): at each cycle boundary the
+//     replayer compares the per-cycle clock delta with the previous one.
+//     Two consecutive bitwise-equal deltas whose basis endpoints share a
+//     floating-point binade validate the cycle, and the replayer then jumps
+//     clocks forward by an exact multiple of the delta instead of replaying
+//     — clamped so every extrapolated value stays inside the current
+//     binade, where iterated addition of the delta is exact (all clock
+//     values in a binade are multiples of its ulp, and a same-binade
+//     difference is one too). Binade crossings are replayed for real and
+//     re-validated on the far side.
+//
+// Correctness envelope: extrapolation runs only on the deterministic-cost,
+// unperturbed replay path (jitter nets, noise, injected delays, fail-stop
+// events and probes all force the full-replay paths, bit-identical to
+// before). Jumps additionally require every message stream to be empty at
+// the boundary — the transplant moves only the uniform post-collective
+// clock, never in-flight state — and the final steady cycle is always
+// replayed for real so marks written inside the cycle body carry their
+// last-execution values. Under those rules extrapolated clocks and marks
+// are bit-identical to the event backend.
+//
+// ReplayParams.ExtraCycles extends the virtual horizon beyond the recorded
+// script: the replayer loops the recorded steady cycle bodies (rewinding
+// cursors between repetitions) so a short recorded trace serves arbitrarily
+// long iteration counts. internal/pace uses this to canonicalise long
+// predictions onto one short compiled shape.
+//
+// A warmed replayer also keeps a small steady-state plan memo: a completed
+// cycle-tracked replay records the last-cycle boundary clock keyed by the
+// exact replay inputs (trace, virtual horizon, parameter tables, priced
+// cost tables). A later replay with bitwise-identical inputs jumps straight
+// from the first boundary to the final cycle — the memoised value came from
+// a genuine replay of the same pure function, so the result is still
+// bit-identical — making warmed long-horizon replays near-O(1).
+
+import (
+	"errors"
+	"math"
+	"reflect"
+)
+
+// ErrCannotExtrapolate is returned by Replay when ReplayParams.ExtraCycles
+// is positive but the trace has no detected steady-state cycle, the replay
+// options force a full-replay path (jitter, noise, delays, fail-stop,
+// probes), or periodicity breaks mid-replay (in-flight messages across a
+// cycle boundary). Callers fall back to a full-length trace.
+var ErrCannotExtrapolate = errors.New("mp: trace replay cannot extrapolate (no usable steady-state cycle)")
+
+// Fused op kinds, continuing the top kind space. Scalar ops keep their top
+// kind except sends, which are normalised to fSend with the unified size
+// index pre-resolved.
+const (
+	fSend  uint8 = 32 // send to rank+arg0, tag arg1, unified size index arg2
+	fMacro uint8 = 33 // nr recvs, one charge (literal or param), ns sends
+)
+
+// fop is one fused-program operation. For fMacro: recv 0 is (arg0, arg1),
+// recv 1 is (r1src, r1tag), the charge index is arg2, and the sends are
+// (s0dst, s0tag, s0u) and (s1dst, s1tag, s1u) with pre-unified size
+// indices. Scalar kinds use arg0/arg1/arg2 exactly like top.
+type fop struct {
+	arg0, arg1, arg2 int32
+	r1src, r1tag     int32
+	s0dst, s0tag     int32
+	s1dst, s1tag     int32
+	s0u, s1u         int32
+	kind             uint8
+	nr, ns           uint8
+	clit             uint8 // 1: charge index arg2 is a literal (lits), else a param (charges)
+}
+
+// fopWidth is the number of recorded scalar ops a fused op covers.
+func fopWidth(f *fop) int32 {
+	if f.kind == fMacro {
+		return int32(f.nr) + 1 + int32(f.ns)
+	}
+	return 1
+}
+
+// cycCursor addresses a cycle-body start inside a rank's script: srel is
+// the chunk position relative to the rank's script slice, sop the scalar
+// op index within that chunk, fpos the corresponding fused-program index
+// (recomputed locally, never serialised).
+type cycCursor struct {
+	srel, sop, fpos int32
+}
+
+// traceCycle is the detected steady-state structure of a trace. Cursors
+// are per script-identity class; classOf maps ranks to classes.
+type traceCycle struct {
+	detected bool
+	period   int // generations per cycle
+	prefix   int // generations before the first cycle (>= 1)
+	cycles   int // recorded cycle count (>= 3)
+	gens     int // total collective generations in the script
+	classOf  []int32
+	first    []cycCursor // per class: start of the first recorded cycle
+	last     []cycCursor // per class: start of the last recorded cycle
+}
+
+// finalize derives the replay acceleration structures after the scalar
+// tables are in place: the fused programs, the distinct collective payload
+// sizes, and the steady-state cycle. Both trace constructors (recording
+// and decoding) call it, so every Trace carries them.
+func (t *Trace) finalize() {
+	t.buildFused()
+	t.collectReduceSizes()
+	t.detectCycle()
+}
+
+// --- macro-op fusion ---
+
+// buildFused compiles every interned chunk into its fused program. Fusion
+// is a greedy per-chunk scan (macros never span chunks or collectives):
+// up to two receives, exactly one charge (literal or parametric), up to
+// two sends fuse into one fMacro; everything else passes through as a
+// width-1 fused op.
+func (t *Trace) buildFused() {
+	nlit := int32(len(t.sizes))
+	nchunks := len(t.cstart) - 1
+	t.fstart = make([]int32, nchunks+1)
+	fops := make([]fop, 0, len(t.chunkOps))
+	t.nmacroUnique = 0
+	for c := 0; c < nchunks; c++ {
+		ops := t.chunkOps[t.cstart[c]:t.cstart[c+1]]
+		for i := 0; i < len(ops); {
+			if f, n := fuseMacro(ops[i:], nlit); n > 0 {
+				fops = append(fops, f)
+				t.nmacroUnique++
+				i += n
+				continue
+			}
+			fops = append(fops, scalarFop(&ops[i], nlit))
+			i++
+		}
+		t.fstart[c+1] = int32(len(fops))
+	}
+	t.fops = fops
+	// Per-replay dispatch totals, summed over each rank's chunk sequence.
+	t.fopsTotal, t.macroTotal = 0, 0
+	for _, c := range t.script {
+		for i := t.fstart[c]; i < t.fstart[c+1]; i++ {
+			t.fopsTotal++
+			if t.fops[i].kind == fMacro {
+				t.macroTotal++
+			}
+		}
+	}
+}
+
+// fuseMacro tries to fuse a macro step at the head of ops, returning the
+// fused op and the number of scalar ops consumed (0: no macro here). A
+// macro needs at least one communication op around its charge; a lone
+// charge stays scalar.
+func fuseMacro(ops []top, nlit int32) (fop, int) {
+	var f fop
+	i := 0
+	for i < len(ops) && ops[i].kind == topRecv && f.nr < 2 {
+		if f.nr == 0 {
+			f.arg0, f.arg1 = ops[i].arg0, ops[i].arg1
+		} else {
+			f.r1src, f.r1tag = ops[i].arg0, ops[i].arg1
+		}
+		f.nr++
+		i++
+	}
+	if i >= len(ops) || (ops[i].kind != topChargeParam && ops[i].kind != topChargeLit) {
+		return fop{}, 0
+	}
+	if ops[i].kind == topChargeLit {
+		f.clit = 1
+	}
+	f.arg2 = ops[i].arg0
+	i++
+	for i < len(ops) && (ops[i].kind == topSendLit || ops[i].kind == topSendParam) && f.ns < 2 {
+		u := ops[i].arg2
+		if ops[i].kind == topSendParam {
+			u += nlit
+		}
+		if f.ns == 0 {
+			f.s0dst, f.s0tag, f.s0u = ops[i].arg0, ops[i].arg1, u
+		} else {
+			f.s1dst, f.s1tag, f.s1u = ops[i].arg0, ops[i].arg1, u
+		}
+		f.ns++
+		i++
+	}
+	if f.nr == 0 && f.ns == 0 {
+		return fop{}, 0
+	}
+	f.kind = fMacro
+	return f, i
+}
+
+// scalarFop lowers one scalar op into the fused program, pre-resolving
+// send size indices into the unified table.
+func scalarFop(o *top, nlit int32) fop {
+	f := fop{kind: o.kind, arg0: o.arg0, arg1: o.arg1, arg2: o.arg2}
+	switch o.kind {
+	case topSendLit:
+		f.kind = fSend
+	case topSendParam:
+		f.kind = fSend
+		f.arg2 += nlit
+	}
+	return f
+}
+
+// collectReduceSizes records the distinct collective payload byte counts
+// referenced by the script, for replay-time plan fingerprinting.
+func (t *Trace) collectReduceSizes() {
+	t.redSizes = t.redSizes[:0]
+	for i := range t.chunkOps {
+		if t.chunkOps[i].kind != topReduce {
+			continue
+		}
+		b := 8 * int(t.chunkOps[i].arg0)
+		seen := false
+		for _, v := range t.redSizes {
+			if v == b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			t.redSizes = append(t.redSizes, b)
+		}
+	}
+}
+
+// --- cycle detection ---
+
+const (
+	// cycMaxPeriod bounds the period scan; the modelled workloads are
+	// period 1 (one collective generation per iteration), the headroom
+	// covers multi-collective iteration bodies.
+	cycMaxPeriod = 64
+	// cycMinCycles is the minimum recorded cycle count worth detecting:
+	// replay-time validation consumes two deltas and the last cycle is
+	// always replayed for real.
+	cycMinCycles = 3
+)
+
+// opCursor walks one rank's recorded scalar ops from a (srel, sop) cursor.
+type opCursor struct {
+	t   *Trace
+	s   []int32
+	ops []top
+	sr  int32
+	oi  int32
+}
+
+func (c *opCursor) init(t *Trace, rank int32, srel, sop int32) {
+	c.t = t
+	c.s = t.script[t.sstart[rank]:t.sstart[rank+1]]
+	c.sr = srel
+	c.oi = sop
+	c.ops = nil
+	if int(srel) < len(c.s) {
+		ch := c.s[srel]
+		c.ops = t.chunkOps[t.cstart[ch]:t.cstart[ch+1]]
+	}
+}
+
+func (c *opCursor) next() *top {
+	for int(c.oi) >= len(c.ops) {
+		c.sr++
+		c.oi = 0
+		if int(c.sr) >= len(c.s) {
+			return nil
+		}
+		ch := c.s[c.sr]
+		c.ops = c.t.chunkOps[c.t.cstart[ch]:c.t.cstart[ch+1]]
+	}
+	o := &c.ops[c.oi]
+	c.oi++
+	return o
+}
+
+// cycSeg is one collective generation of a class's op stream: a content
+// hash for the period scan (verified by full comparison before accepting a
+// cycle), the op count, and the start cursor.
+type cycSeg struct {
+	hash      uint64
+	nops      int32
+	srel, sop int32
+}
+
+// detectCycle finds the steady-state cycle of the recorded script, if any:
+// ranks grouped into script-identity classes, class streams segmented at
+// collectives, segment sequences scanned for the longest trailing periodic
+// run (excluding the final generation, which becomes the suffix). The
+// scan accepts the smallest period whose run covers at least cycMinCycles
+// cycles with at least one prefix generation.
+func (t *Trace) detectCycle() {
+	t.cyc = traceCycle{}
+	n := t.n
+	classOf := make([]int32, n)
+	var reps []int32
+	idx := make(map[uint64][]int32)
+	scriptOf := func(r int32) []int32 { return t.script[t.sstart[r]:t.sstart[r+1]] }
+	for r := 0; r < n; r++ {
+		s := scriptOf(int32(r))
+		h := uint64(1469598103934665603) ^ uint64(len(s))
+		for _, v := range s {
+			h ^= uint64(uint32(v))
+			h *= 1099511628211
+		}
+		cid := int32(-1)
+		for _, cand := range idx[h] {
+			if i32SliceEqual(scriptOf(reps[cand]), s) {
+				cid = cand
+				break
+			}
+		}
+		if cid < 0 {
+			cid = int32(len(reps))
+			reps = append(reps, int32(r))
+			idx[h] = append(idx[h], cid)
+		}
+		classOf[r] = cid
+	}
+
+	nclass := len(reps)
+	segs := make([][]cycSeg, nclass)
+	G := -1
+	for c := 0; c < nclass; c++ {
+		var out []cycSeg
+		cur := cycSeg{}
+		h := uint64(1469598103934665603)
+		nops := int32(0)
+		s := scriptOf(reps[c])
+		for si, ch := range s {
+			ops := t.chunkOps[t.cstart[ch]:t.cstart[ch+1]]
+			for oi := range ops {
+				o := &ops[oi]
+				h ^= uint64(uint32(o.arg0))
+				h *= 1099511628211
+				h ^= uint64(uint32(o.arg1))
+				h *= 1099511628211
+				h ^= uint64(uint32(o.arg2))
+				h *= 1099511628211
+				h ^= uint64(o.kind)
+				h *= 1099511628211
+				nops++
+				if o.kind == topReduce {
+					cur.hash, cur.nops = h, nops
+					out = append(out, cur)
+					nsrel, nsop := int32(si), int32(oi+1)
+					if int(nsop) == len(ops) {
+						nsrel, nsop = int32(si+1), 0
+					}
+					cur = cycSeg{srel: nsrel, sop: nsop}
+					h = uint64(1469598103934665603)
+					nops = 0
+				}
+			}
+		}
+		segs[c] = out
+		if c == 0 {
+			G = len(out)
+		} else if len(out) != G {
+			return // ranks disagree on generation count: no global cycle
+		}
+	}
+	// Minimum viable script: one prefix generation, cycMinCycles cycles,
+	// one suffix generation.
+	if G < cycMinCycles+2 {
+		return
+	}
+	end := G - 1 // the final generation is always suffix
+	match := func(g, p int) bool {
+		for c := 0; c < nclass; c++ {
+			a, b := &segs[c][g], &segs[c][g+p]
+			if a.hash != b.hash || a.nops != b.nops {
+				return false
+			}
+		}
+		return true
+	}
+	maxP := cycMaxPeriod
+	if lim := (end - 1) / cycMinCycles; lim < maxP {
+		maxP = lim
+	}
+	for p := 1; p <= maxP; p++ {
+		lo := end
+		for g := end - 1 - p; g >= 1; g-- {
+			if !match(g, p) {
+				break
+			}
+			lo = g
+		}
+		if lo == end {
+			continue
+		}
+		m := (end - lo) / p
+		g0 := end - m*p
+		if g0 < 1 {
+			m--
+			g0 += p
+		}
+		if m < cycMinCycles {
+			continue
+		}
+		// Hashes matched; verify content before trusting the cycle.
+		if !t.verifyCycle(reps, segs, g0, p, end) {
+			continue
+		}
+		cyc := traceCycle{
+			detected: true, period: p, prefix: g0, cycles: m, gens: G,
+			classOf: classOf,
+			first:   make([]cycCursor, nclass),
+			last:    make([]cycCursor, nclass),
+		}
+		ok := true
+		for c := 0; c < nclass; c++ {
+			f := segs[c][g0]
+			l := segs[c][g0+(m-1)*p]
+			ff, okf := t.fusedIndexAt(reps[c], f.srel, f.sop)
+			lf, okl := t.fusedIndexAt(reps[c], l.srel, l.sop)
+			if !okf || !okl {
+				ok = false
+				break
+			}
+			cyc.first[c] = cycCursor{srel: f.srel, sop: f.sop, fpos: ff}
+			cyc.last[c] = cycCursor{srel: l.srel, sop: l.sop, fpos: lf}
+		}
+		if !ok {
+			return
+		}
+		t.cyc = cyc
+		return
+	}
+}
+
+// verifyCycle confirms segment-level periodicity by full op comparison
+// (the scan above only compared hashes): every steady segment must equal
+// the segment one period later, for every class.
+func (t *Trace) verifyCycle(reps []int32, segs [][]cycSeg, g0, p, end int) bool {
+	var a, b opCursor
+	for c := range reps {
+		for g := g0; g+p < end; g++ {
+			sa, sb := &segs[c][g], &segs[c][g+p]
+			if sa.nops != sb.nops {
+				return false
+			}
+			a.init(t, reps[c], sa.srel, sa.sop)
+			b.init(t, reps[c], sb.srel, sb.sop)
+			for i := int32(0); i < sa.nops; i++ {
+				oa, ob := a.next(), b.next()
+				if oa == nil || ob == nil || *oa != *ob {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// fusedIndexAt maps a scalar op index within a rank's chunk to its fused
+// program index. Cycle starts always land on fused-op boundaries (the op
+// after a collective can never be mid-macro: macros do not span chunks or
+// collectives), so a miss means the cursor is corrupt.
+func (t *Trace) fusedIndexAt(rank, srel, sop int32) (int32, bool) {
+	s := t.script[t.sstart[rank]:t.sstart[rank+1]]
+	if srel < 0 || int(srel) >= len(s) {
+		return 0, false
+	}
+	ch := s[srel]
+	fo := t.fops[t.fstart[ch]:t.fstart[ch+1]]
+	scal := int32(0)
+	for i := range fo {
+		if scal == sop {
+			return int32(i), true
+		}
+		if scal > sop {
+			return 0, false
+		}
+		scal += fopWidth(&fo[i])
+	}
+	return 0, false
+}
+
+func i32SliceEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- trace accessors ---
+
+// CycleDetected reports whether the trace carries a steady-state cycle
+// usable for replay-time extrapolation.
+func (t *Trace) CycleDetected() bool { return t.cyc.detected }
+
+// CyclePeriod returns the detected cycle's period in collective
+// generations (0 when no cycle was detected).
+func (t *Trace) CyclePeriod() int { return t.cyc.period }
+
+// CycleCount returns the number of recorded steady cycles (0 when no
+// cycle was detected).
+func (t *Trace) CycleCount() int { return t.cyc.cycles }
+
+// CyclePrefixGens returns the number of collective generations before the
+// first steady cycle (0 when no cycle was detected).
+func (t *Trace) CyclePrefixGens() int { return t.cyc.prefix }
+
+// FusedUniqueOps returns the fused-program op count after chunk interning
+// and macro fusion — the dispatch footprint actually resident in memory.
+// Compare UniqueOps (interned scalar ops) and Ops (recorded scalar ops).
+func (t *Trace) FusedUniqueOps() int { return len(t.fops) }
+
+// MacroUniqueOps returns how many of the interned fused ops are fused
+// macro steps.
+func (t *Trace) MacroUniqueOps() int { return t.nmacroUnique }
+
+// FusedOps returns the total fused-op dispatch count of one full
+// (non-extrapolated) replay, the fused analogue of Ops.
+func (t *Trace) FusedOps() int { return t.fopsTotal }
+
+// MacroOps returns how many of one full replay's fused dispatches are
+// macro steps.
+func (t *Trace) MacroOps() int { return t.macroTotal }
+
+// --- replay-time extrapolation ---
+
+// ReplayStats reports the cycle bookkeeping of the last Replay call.
+type ReplayStats struct {
+	// CycleDetected mirrors Trace.CycleDetected for the replayed trace.
+	CycleDetected bool
+	// ReplayedCycles counts steady cycles executed op by op.
+	ReplayedCycles int
+	// ExtrapolatedCycles counts steady cycles skipped analytically (or via
+	// the steady-state plan memo) instead of replayed.
+	ExtrapolatedCycles int
+}
+
+// Stats returns the cycle/extrapolation counters of the last Replay.
+func (r *Replayer) Stats() ReplayStats {
+	return ReplayStats{
+		CycleDetected:      r.t != nil && r.t.cyc.detected,
+		ReplayedCycles:     r.statReplayed,
+		ExtrapolatedCycles: r.statExtrapolated,
+	}
+}
+
+// sameBinade reports whether two non-negative floats share an exponent —
+// the region where the representable values form a uniform grid and
+// same-grid differences and iterated additions are exact.
+func sameBinade(a, b float64) bool {
+	const expMask = 0x7FF0000000000000
+	return math.Float64bits(a)&expMask == math.Float64bits(b)&expMask
+}
+
+// binadeRoom bounds how many delta steps fit strictly inside d's binade
+// with a safety margin: the margin keeps the cycle replayed after the jump
+// (and its validation successor) inside the same uniform grid.
+func binadeRoom(d, delta float64) int {
+	_, e := math.Frexp(d)
+	hi := math.Ldexp(1, e)
+	room := (hi - d) / delta
+	if room > 1<<40 {
+		return 1 << 40
+	}
+	k := int(room) - 3
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// streamsIdle reports whether no replay message is in flight — the
+// precondition for any cursor transplant: a jump moves clocks and cursors,
+// never queued messages.
+func (r *Replayer) streamsIdle() bool {
+	for i := range r.rk {
+		cnt := int(r.rk[i].nstreams)
+		inl := cnt
+		if inl > rsInline {
+			inl = rsInline
+		}
+		base := i * rsInline
+		for j := 0; j < inl; j++ {
+			st := &r.streamFlat[base+j]
+			if st.head < int32(len(st.msgs)) {
+				return false
+			}
+		}
+		if cnt > rsInline {
+			for j := range r.overStreams[i] {
+				st := &r.overStreams[i][j]
+				if st.head < int32(len(st.msgs)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// cycReposition transplants every rank to the start of a recorded cycle
+// body (the first, or the last when last is set) at the uniform boundary
+// clock D. Valid only when streamsIdle held: the state is then exactly
+// what natural flow produces at that cycle's opening boundary.
+func (r *Replayer) cycReposition(D float64, last bool) {
+	t := r.t
+	cy := &t.cyc
+	cur := cy.first
+	r.cycRec = 0
+	if last {
+		cur = cy.last
+		r.cycRec = cy.cycles - 1
+	}
+	for i := 0; i < t.n; i++ {
+		c := &cur[cy.classOf[i]]
+		k := &r.rk[i]
+		k.clock = D
+		k.spos = t.sstart[i] + c.srel
+		k.opos = c.fpos
+		k.fsub = 0
+		k.status = evReady
+		k.collResolved = false
+	}
+	r.collWaiters = r.collWaiters[:0]
+	r.slot = -1
+	r.heap.e = r.heap.e[:0]
+	for i := 0; i < t.n; i++ {
+		r.heap.e = append(r.heap.e, heapEntry{clock: D, id: i})
+	}
+}
+
+// cycBoundary is the steady-state engine, called by the fused loop's
+// collective-close arm (after the generation is priced into done, before
+// waiters are woken). It returns true when it repositioned every rank —
+// the closer then returns without waking or writing back its own state.
+func (r *Replayer) cycBoundary(done float64) bool {
+	cy := &r.t.cyc
+	g := r.cycGen
+	r.cycGen++
+	d := g - (cy.prefix - 1)
+	if d < 0 || d%cy.period != 0 {
+		return false
+	}
+	if d == 0 {
+		// End of the prefix: the first steady cycle opens here.
+		r.cycPrevD = done
+		r.cycStreak = 0
+		if r.planHit >= 0 && r.cycVirt > 1 && r.streamsIdle() {
+			// Steady-state plan memo: an identical earlier replay recorded
+			// the last-cycle boundary clock; jump straight to the final
+			// cycle body.
+			skip := r.cycVirt - 1
+			r.cycDone += skip
+			r.statExtrapolated += skip
+			D := r.plans[r.planHit].dLast
+			r.planGot, r.planD = true, D
+			r.cycReposition(D, true)
+			r.cycPrevD = D
+			return true
+		}
+		return false
+	}
+	// A full steady cycle just completed.
+	r.cycDone++
+	r.cycRec++
+	r.statReplayed++
+	delta := done - r.cycPrevD
+	prev := r.cycPrevD
+	r.cycPrevD = done
+	if r.cycStreak > 0 && delta == r.cycDelta {
+		r.cycStreak++
+	} else {
+		r.cycDelta = delta
+		r.cycStreak = 1
+	}
+	remaining := r.cycVirt - r.cycDone
+	if remaining <= 0 {
+		r.cycOn = false // suffix follows naturally
+		return false
+	}
+	// Analytic jump: validated delta, same-binade basis, clean streams.
+	if r.cycStreak >= 2 && remaining >= 2 && delta >= 0 {
+		k := remaining - 1 // the final cycle is always replayed for real
+		if delta > 0 {
+			if !sameBinade(prev, done) {
+				k = 0
+			} else if hb := binadeRoom(done, delta); hb < k {
+				k = hb
+			}
+		}
+		if k >= 1 && r.streamsIdle() {
+			D := done
+			for j := 0; j < k; j++ {
+				D += delta // exact: D and delta are same-binade grid multiples
+			}
+			r.cycDone += k
+			r.statExtrapolated += k
+			remaining -= k
+			last := remaining == 1
+			if last {
+				r.planGot, r.planD = true, D
+			}
+			r.cycReposition(D, last)
+			r.cycPrevD = D
+			return true
+		}
+	}
+	if remaining == 1 {
+		// The next cycle is the final one: it must run from the last
+		// recorded body so the suffix follows it.
+		if r.cycRec == cy.cycles-1 {
+			if r.streamsIdle() {
+				r.planGot, r.planD = true, done
+			}
+			return false
+		}
+		if !r.streamsIdle() {
+			r.cycErr = ErrCannotExtrapolate
+			return false
+		}
+		r.planGot, r.planD = true, done
+		r.cycReposition(done, true)
+		return true
+	}
+	if r.cycRec >= cy.cycles {
+		// Recorded steady cycles exhausted with virtual cycles left:
+		// rewind to the first recorded body.
+		if !r.streamsIdle() {
+			r.cycErr = ErrCannotExtrapolate
+			return false
+		}
+		r.cycReposition(done, false)
+		return true
+	}
+	return false
+}
+
+// --- steady-state plan memo ---
+
+// planSlots bounds the per-replayer steady-state plan memo; entries are
+// replaced round-robin. Replayers are pooled per evaluator family, so a
+// handful of slots covers a family's distinct (shape, horizon, table)
+// combinations.
+const planSlots = 8
+
+// steadyPlan memoises one completed cycle-tracked replay: the last-cycle
+// boundary clock, keyed by every input the deterministic fused path reads.
+// The tables are compared bitwise against the *current* replay's tables
+// (which prepare re-prices from the live net every call), so model or
+// parameter drift can never resurrect a stale plan.
+type steadyPlan struct {
+	t        *Trace
+	virt     int
+	hasNet   bool
+	cnet     ClassNetworkModel
+	dLast    float64
+	charges  []float64
+	bytes    []int32
+	sendSec  []float64
+	availSec []float64
+	recvSec  []float64
+	red      []float64
+}
+
+// cnetFingerprintable reports whether the class net's identity can be
+// compared with == (the plan key includes the rank→class mapping only
+// through the model's identity; non-comparable models opt out of the memo
+// rather than risk a false match).
+func cnetFingerprintable(c ClassNetworkModel) bool {
+	if c == nil {
+		return true
+	}
+	return reflect.TypeOf(c).Comparable()
+}
+
+func f64SliceEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// planScan prices the collective costs for fingerprinting and looks for a
+// plan matching this replay's exact inputs. Called from prepare once the
+// cycle path is known to be active.
+func (r *Replayer) planScan() {
+	t := r.t
+	net := r.opts.Net
+	r.planRed = resizeF(r.planRed, len(t.redSizes))
+	for i, b := range t.redSizes {
+		if net != nil {
+			r.planRed[i] = net.ReduceCost(t.n, b, nil)
+		} else {
+			r.planRed[i] = 0
+		}
+	}
+	r.planHit = -1
+	if !cnetFingerprintable(r.cnet) {
+		return
+	}
+	for i := range r.plans {
+		p := &r.plans[i]
+		if p.t != t || p.virt != r.cycVirt || p.hasNet != (net != nil) || p.cnet != r.cnet {
+			continue
+		}
+		if !f64SliceEqual(p.charges, r.charges) || !i32SliceEqual(p.bytes, r.bytes) ||
+			!f64SliceEqual(p.red, r.planRed) {
+			continue
+		}
+		if p.hasNet && (!f64SliceEqual(p.sendSec, r.sendSec) ||
+			!f64SliceEqual(p.availSec, r.availSec) || !f64SliceEqual(p.recvSec, r.recvSec)) {
+			continue
+		}
+		r.planHit = i
+		return
+	}
+}
+
+// planStore memoises the just-completed replay's last-cycle boundary
+// clock. Called only on successful completion of a cycle-tracked replay
+// that captured one (planGot) and did not itself run from a plan.
+func (r *Replayer) planStore() {
+	if !cnetFingerprintable(r.cnet) {
+		return
+	}
+	net := r.opts.Net
+	p := &r.plans[r.planNext]
+	r.planNext = (r.planNext + 1) % planSlots
+	p.t, p.virt, p.hasNet, p.cnet, p.dLast = r.t, r.cycVirt, net != nil, r.cnet, r.planD
+	p.charges = append(p.charges[:0], r.charges...)
+	p.bytes = append(p.bytes[:0], r.bytes...)
+	p.red = append(p.red[:0], r.planRed...)
+	if net != nil {
+		p.sendSec = append(p.sendSec[:0], r.sendSec...)
+		p.availSec = append(p.availSec[:0], r.availSec...)
+		p.recvSec = append(p.recvSec[:0], r.recvSec...)
+	} else {
+		p.sendSec, p.availSec, p.recvSec = p.sendSec[:0], p.availSec[:0], p.recvSec[:0]
+	}
+}
+
+// --- fused replay loop ---
+
+// runRankFused is the deterministic-cost unperturbed hot loop over the
+// fused program: macro steps execute as one dispatch with sub-step resume
+// (rrank.fsub counts consumed receives when parked mid-macro), sends use
+// pre-resolved unified size indices, and the collective-close arm drives
+// cycBoundary. Costs and schedule law are identical to runRankScalar, so
+// clocks stay bit-identical; only dispatch overhead differs.
+func (r *Replayer) runRankFused(id int) {
+	t := r.t
+	net := r.opts.Net
+	cnet, ns := r.cnet, r.ns
+	lits, charges := t.lits, r.charges
+	sendSec, availSec, recvSec := r.sendSec, r.availSec, r.recvSec
+	self := &r.rk[id]
+	clock := self.clock
+	sp, op := self.spos, self.opos
+	sub := self.fsub
+	self.fsub = 0
+	sEnd := t.sstart[id+1]
+	var chunk []fop
+	if sp < sEnd {
+		c := t.script[sp]
+		chunk = t.fops[t.fstart[c]:t.fstart[c+1]]
+	}
+	for {
+		if int(op) >= len(chunk) {
+			if sp >= sEnd {
+				break
+			}
+			sp++
+			op = 0
+			if sp >= sEnd {
+				break
+			}
+			c := t.script[sp]
+			chunk = t.fops[t.fstart[c]:t.fstart[c+1]]
+			continue
+		}
+		f := &chunk[op]
+		switch f.kind {
+		case fMacro:
+			if f.nr > 0 && sub == 0 {
+				k := qkey(id+int(f.arg0), int(f.arg1))
+				st := r.streamFast(id, self, k)
+				if st == nil {
+					st = r.streamSlow(id, k)
+				}
+				if st.head >= int32(len(st.msgs)) {
+					self.clock = clock
+					self.spos, self.opos = sp, op
+					self.status = evBlocked
+					self.wantKey = k
+					return // fsub already 0: resume re-executes recv 0
+				}
+				m := st.msgs[st.head]
+				st.head++
+				if st.head == int32(len(st.msgs)) {
+					st.head = 0
+					st.msgs = st.msgs[:0]
+				}
+				if m.avail > clock {
+					clock = m.avail
+				}
+				if net != nil {
+					clock += m.aux
+				}
+				sub = 1
+			}
+			if f.nr > 1 {
+				k := qkey(id+int(f.r1src), int(f.r1tag))
+				st := r.streamFast(id, self, k)
+				if st == nil {
+					st = r.streamSlow(id, k)
+				}
+				if st.head >= int32(len(st.msgs)) {
+					self.clock = clock
+					self.spos, self.opos = sp, op
+					self.status = evBlocked
+					self.wantKey = k
+					self.fsub = 1 // recv 0 consumed; resume at recv 1
+					return
+				}
+				m := st.msgs[st.head]
+				st.head++
+				if st.head == int32(len(st.msgs)) {
+					st.head = 0
+					st.msgs = st.msgs[:0]
+				}
+				if m.avail > clock {
+					clock = m.avail
+				}
+				if net != nil {
+					clock += m.aux
+				}
+			}
+			sub = 0
+			var s float64
+			if f.clit != 0 {
+				s = lits[f.arg2]
+			} else {
+				s = charges[f.arg2]
+			}
+			if s > 0 {
+				clock += s
+			}
+			if f.ns > 0 {
+				dst := id + int(f.s0dst)
+				start := clock
+				avail := start
+				var aux float64
+				if net != nil {
+					ui := int(f.s0u)
+					if cnet != nil {
+						ui += cnet.ClassOf(id, dst) * ns
+					}
+					clock = start + sendSec[ui]
+					avail = start + availSec[ui]
+					aux = recvSec[ui]
+				}
+				r.deliver(dst, qkey(id, int(f.s0tag)), avail, aux)
+			}
+			if f.ns > 1 {
+				dst := id + int(f.s1dst)
+				start := clock
+				avail := start
+				var aux float64
+				if net != nil {
+					ui := int(f.s1u)
+					if cnet != nil {
+						ui += cnet.ClassOf(id, dst) * ns
+					}
+					clock = start + sendSec[ui]
+					avail = start + availSec[ui]
+					aux = recvSec[ui]
+				}
+				r.deliver(dst, qkey(id, int(f.s1tag)), avail, aux)
+			}
+		case topChargeParam, topCkpt:
+			if s := charges[f.arg0]; s > 0 {
+				clock += s
+			}
+		case topChargeLit, topChargeNoisy:
+			// Noise is nil on this path (noise forces the perturbed loop),
+			// so a noisy charge replays at its recorded literal.
+			clock += lits[f.arg0]
+		case fSend:
+			dst := id + int(f.arg0)
+			start := clock
+			avail := start
+			var aux float64
+			if net != nil {
+				ui := int(f.arg2)
+				if cnet != nil {
+					ui += cnet.ClassOf(id, dst) * ns
+				}
+				clock = start + sendSec[ui]
+				avail = start + availSec[ui]
+				aux = recvSec[ui]
+			}
+			r.deliver(dst, qkey(id, int(f.arg1)), avail, aux)
+		case topRecv:
+			k := qkey(id+int(f.arg0), int(f.arg1))
+			st := r.streamFast(id, self, k)
+			if st == nil {
+				st = r.streamSlow(id, k)
+			}
+			if st.head >= int32(len(st.msgs)) {
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = evBlocked
+				self.wantKey = k
+				return
+			}
+			m := st.msgs[st.head]
+			st.head++
+			if st.head == int32(len(st.msgs)) {
+				st.head = 0
+				st.msgs = st.msgs[:0]
+			}
+			if m.avail > clock {
+				clock = m.avail
+			}
+			if net != nil {
+				clock += m.aux
+			}
+		case topReduce:
+			if self.collResolved {
+				self.collResolved = false
+				clock = self.collDone
+				break
+			}
+			if r.collArrived == 0 {
+				r.collMax = clock
+			} else if clock > r.collMax {
+				r.collMax = clock
+			}
+			r.collArrived++
+			if r.collArrived < t.n {
+				r.collWaiters = append(r.collWaiters, int32(id))
+				self.clock = clock
+				self.spos, self.opos = sp, op
+				self.status = rBlockedColl
+				return
+			}
+			done := r.collMax
+			if net != nil {
+				bytes := 8 * int(f.arg0)
+				if r.redMemo.bytes != bytes {
+					r.redMemo = sizeCost{bytes: bytes, sec: net.ReduceCost(t.n, bytes, nil)}
+				}
+				done += r.redMemo.sec
+			}
+			r.collArrived = 0
+			if r.cycOn && r.cycBoundary(done) {
+				// Repositioned: every rank (this one included) was reseeded
+				// at the target cycle; local cursors are stale, so return
+				// without waking or writing back.
+				return
+			}
+			for _, wid := range r.collWaiters {
+				wr := &r.rk[wid]
+				wr.collDone = done
+				wr.collResolved = true
+				r.wake(int(wid))
+			}
+			r.collWaiters = r.collWaiters[:0]
+			clock = done
+		case topMark:
+			r.marks[f.arg0] = clock
+		}
+		op++
+	}
+	self.clock = clock
+	self.spos, self.opos = sp, 0
+	self.status = evDone
+	r.doneCount++
+}

@@ -1,0 +1,386 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pacesweep/internal/artifact"
+)
+
+// markedWavefront is wavefrontProgram with the pace-template mark
+// convention: marks bracket iteration 0 only, so the first collective
+// generation differs from the steady body and lands in the cycle prefix.
+func markedWavefront(px, py, iters int) func(c *Comm) error {
+	return func(c *Comm) error {
+		ix, iy := c.Rank()%px, c.Rank()/px
+		for it := 0; it < iters; it++ {
+			if it == 0 {
+				c.Mark(0)
+			}
+			c.Charge(1e-4 * float64(1+c.Rank()%3))
+			for _, sx := range []int{+1, -1} {
+				for _, sy := range []int{+1, -1} {
+					upX, downX := ix-sx, ix+sx
+					upY, downY := iy-sy, iy+sy
+					if upX >= 0 && upX < px {
+						c.RecvN(iy*px+upX, 1)
+					}
+					if upY >= 0 && upY < py {
+						c.RecvN(upY*px+ix, 2)
+					}
+					c.ChargeExact(2e-4)
+					if downX >= 0 && downX < px {
+						c.SendN(iy*px+downX, 1, 1200, nil)
+					}
+					if downY >= 0 && downY < py {
+						c.SendN(downY*px+ix, 2, 960, nil)
+					}
+				}
+			}
+			if it == 0 {
+				c.Mark(1)
+			}
+			c.AllreduceMax(float64(c.Rank()))
+		}
+		c.AllreduceSum(1)
+		return nil
+	}
+}
+
+// recordMarkedWavefront records the marked wavefront on the event backend
+// and returns the compiled trace.
+func recordMarkedWavefront(t *testing.T, net NetworkModel, iters int) *Trace {
+	t.Helper()
+	w, err := NewWorld(12, Options{Net: net, Scheduler: SchedulerEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.RunRecorded(markedWavefront(4, 3, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// cycleTestNets is the deterministic platform matrix for the
+// extrapolation equivalence tests: flat alpha-beta plus the two- and
+// three-level hierarchical class models.
+func cycleTestNets() map[string]NetworkModel {
+	flat := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	nets := map[string]NetworkModel{"flat": flat}
+	for name, hn := range testHierNets() {
+		if hn.CostsDeterministic() {
+			nets[name] = hn
+		}
+	}
+	return nets
+}
+
+// TestTraceCycleDetected pins the detection result on the canonical
+// wavefront shape: period-1 steady cycle, non-trivial prefix, and the
+// fused-op accounting distinguishing macro steps from scalar ops.
+func TestTraceCycleDetected(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	if !tr.CycleDetected() {
+		t.Fatal("no steady-state cycle detected on the wavefront template")
+	}
+	if tr.CyclePeriod() != 1 {
+		t.Fatalf("period = %d, want 1", tr.CyclePeriod())
+	}
+	if tr.CycleCount() < cycMinCycles {
+		t.Fatalf("cycles = %d, want >= %d", tr.CycleCount(), cycMinCycles)
+	}
+	if tr.CyclePrefixGens() < 1 {
+		t.Fatalf("prefix = %d, want >= 1", tr.CyclePrefixGens())
+	}
+	// Fusion accounting: macro steps exist, fused dispatch count is
+	// strictly below the scalar op count, and the scalar counters are
+	// untouched by fusion.
+	if tr.MacroOps() == 0 || tr.MacroUniqueOps() == 0 {
+		t.Fatalf("no macro ops fused: total=%d unique=%d", tr.MacroOps(), tr.MacroUniqueOps())
+	}
+	if tr.FusedOps() >= tr.Ops() {
+		t.Fatalf("fusion did not shrink dispatch: fused=%d scalar=%d", tr.FusedOps(), tr.Ops())
+	}
+	if tr.FusedUniqueOps() >= tr.UniqueOps()+tr.MacroUniqueOps() {
+		t.Fatalf("fused unique ops %d not below scalar unique %d + macros %d",
+			tr.FusedUniqueOps(), tr.UniqueOps(), tr.MacroUniqueOps())
+	}
+	if tr.MacroOps() > tr.FusedOps() || tr.MacroUniqueOps() > tr.FusedUniqueOps() {
+		t.Fatal("macro counters exceed fused totals")
+	}
+}
+
+// TestTraceExtrapolationMatchesEvent is the equivalence matrix: a trace
+// recorded at a short horizon and replayed with ExtraCycles must produce
+// clocks and marks bit-identical to a full event-backend run of the long
+// horizon, on flat and hierarchical deterministic platforms.
+func TestTraceExtrapolationMatchesEvent(t *testing.T) {
+	const base = 8
+	for name, net := range cycleTestNets() {
+		t.Run(name, func(t *testing.T) {
+			tr := recordMarkedWavefront(t, net, base)
+			if !tr.CycleDetected() {
+				t.Fatal("cycle not detected")
+			}
+			r := NewReplayer()
+			for _, iters := range []int{base, 11, 40, 400, 4000} {
+				ref, err := NewWorld(12, Options{Net: net, Scheduler: SchedulerEvent})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Run(markedWavefront(4, 3, iters)); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Replay(tr, Options{Net: net}, ReplayParams{ExtraCycles: iters - base}); err != nil {
+					t.Fatalf("iters=%d: %v", iters, err)
+				}
+				for i := 0; i < 12; i++ {
+					if r.Clock(i) != ref.Clock(i) {
+						t.Fatalf("iters=%d: clock[%d] = %v, want %v", iters, i, r.Clock(i), ref.Clock(i))
+					}
+				}
+				for m := 0; m < 2; m++ {
+					if r.Marks()[m] != ref.Marks()[m] {
+						t.Fatalf("iters=%d: mark[%d] = %v, want %v", iters, m, r.Marks()[m], ref.Marks()[m])
+					}
+				}
+				if iters >= 400 && r.Stats().ExtrapolatedCycles == 0 {
+					t.Fatalf("iters=%d: no cycles extrapolated (stats %+v)", iters, r.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestTraceExtrapolationLongHorizonFlat drives the extrapolation far past
+// the recorded horizon on one platform and checks the work stays bounded:
+// virtually all steady cycles must be skipped, not replayed.
+func TestTraceExtrapolationLongHorizonFlat(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	r := NewReplayer()
+	const iters = 100000
+	if err := r.Replay(tr, Options{Net: net}, ReplayParams{ExtraCycles: iters - 8}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	total := st.ReplayedCycles + st.ExtrapolatedCycles
+	if total != iters-1 {
+		t.Fatalf("cycle total = %d, want %d (stats %+v)", total, iters-1, st)
+	}
+	// Binade crossings replay a handful of cycles each; everything else
+	// must be analytic. 1% is a generous ceiling.
+	if st.ReplayedCycles*100 > total {
+		t.Fatalf("replayed %d of %d steady cycles — extrapolation not engaged", st.ReplayedCycles, total)
+	}
+}
+
+// TestTraceExtrapolationPerturbedFallsBack pins the fallback contract:
+// every perturbation option forces the full-replay path (zero
+// extrapolated cycles, bit-identical to the event backend), and asking
+// for ExtraCycles under perturbation is an explicit error.
+func TestTraceExtrapolationPerturbedFallsBack(t *testing.T) {
+	det := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	rows := map[string]Options{
+		"noise":  {Net: det, Noise: jitterNoise{0.05}, Seed: 3},
+		"probe":  {Net: det, Probe: &RunProbe{}},
+		"delays": {Net: det, Delays: []Delay{{Rank: 1, Op: 5, Seconds: 1e-3}}},
+		"fails":  {Net: det, Fails: []FailStop{{Rank: 2, Op: 7, Restart: 1e-2}}},
+		"jitter-net": {Net: jitterNet{
+			alphaBeta: alphaBeta{alpha: 2e-5, beta: 1e-8}, frac: 0.05}, Seed: 3},
+	}
+	tr := recordMarkedWavefront(t, det, 8)
+	if !tr.CycleDetected() {
+		t.Fatal("cycle not detected")
+	}
+	for name, opts := range rows {
+		t.Run(name, func(t *testing.T) {
+			refOpts := opts
+			refOpts.Scheduler = SchedulerEvent
+			ref, err := NewWorld(12, refOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(markedWavefront(4, 3, 8)); err != nil {
+				t.Fatal(err)
+			}
+			row := tr
+			if opts.Noise != nil {
+				// Noisy charges must be recorded as re-drawable ops; a
+				// noise-free recording replays them exactly by design.
+				w, err := NewWorld(12, refOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if row, err = w.RunRecorded(markedWavefront(4, 3, 8)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r := NewReplayer()
+			if err := r.Replay(row, opts, ReplayParams{}); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Stats().ExtrapolatedCycles; got != 0 {
+				t.Fatalf("perturbed replay extrapolated %d cycles", got)
+			}
+			for i := 0; i < 12; i++ {
+				if r.Clock(i) != ref.Clock(i) {
+					t.Fatalf("clock[%d] = %v, want %v", i, r.Clock(i), ref.Clock(i))
+				}
+			}
+			if err := r.Replay(row, opts, ReplayParams{ExtraCycles: 5}); !errors.Is(err, ErrCannotExtrapolate) {
+				t.Fatalf("ExtraCycles under perturbation: err = %v, want ErrCannotExtrapolate", err)
+			}
+		})
+	}
+}
+
+// TestTraceExtrapolationParamValidation pins ReplayParams validation:
+// negative ExtraCycles is an argument error, and ExtraCycles on a trace
+// with no usable cycle is ErrCannotExtrapolate.
+func TestTraceExtrapolationParamValidation(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	r := NewReplayer()
+	if err := r.Replay(tr, Options{Net: net}, ReplayParams{ExtraCycles: -1}); err == nil {
+		t.Fatal("negative ExtraCycles accepted")
+	}
+	// Too short to contain cycMinCycles steady cycles: detection must
+	// decline and ExtraCycles must refuse.
+	short := recordMarkedWavefront(t, net, 3)
+	if short.CycleDetected() {
+		t.Fatal("cycle detected on a 3-iteration trace")
+	}
+	if err := r.Replay(short, Options{Net: net}, ReplayParams{ExtraCycles: 5}); !errors.Is(err, ErrCannotExtrapolate) {
+		t.Fatalf("err = %v, want ErrCannotExtrapolate", err)
+	}
+	if err := r.Replay(short, Options{Net: net}, ReplayParams{}); err != nil {
+		t.Fatalf("plain replay of short trace: %v", err)
+	}
+}
+
+// TestTraceReplayZeroAllocsExtrapolated extends the zero-alloc contract
+// to extrapolated replays: once a Replayer is warmed (tables sized, plan
+// memo populated), long-horizon replays must not allocate.
+func TestTraceReplayZeroAllocsExtrapolated(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	r := NewReplayer()
+	opts := Options{Net: net}
+	p := ReplayParams{ExtraCycles: 9992}
+	for i := 0; i < 3; i++ {
+		if err := r.Replay(tr, opts, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Stats().ExtrapolatedCycles == 0 {
+		t.Fatal("warmup replays did not extrapolate")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := r.Replay(tr, opts, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed extrapolated replay allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestTraceCodecCycleMetadataRoundTrip pins the v2 codec block: detection
+// results survive encode→decode structurally intact, and the decoded
+// trace extrapolates bit-identically to its source.
+func TestTraceCodecCycleMetadataRoundTrip(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	if !tr.CycleDetected() {
+		t.Fatal("cycle not detected")
+	}
+	data := tr.EncodeBinary()
+	dec, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Fatal("decoded trace (with cycle metadata) differs from source")
+	}
+	if !bytes.Equal(dec.EncodeBinary(), data) {
+		t.Fatal("encode→decode→encode is not byte-identical")
+	}
+	ref, got := NewReplayer(), NewReplayer()
+	p := ReplayParams{ExtraCycles: 492}
+	if err := ref.Replay(tr, Options{Net: net}, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Replay(dec, Options{Net: net}, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Ranks(); i++ {
+		if ref.Clock(i) != got.Clock(i) {
+			t.Fatalf("clock[%d] = %v, want %v", i, got.Clock(i), ref.Clock(i))
+		}
+	}
+}
+
+// TestTraceCodecV1LegacyDecodes pins backwards compatibility: a v1
+// payload (no cycle block) still decodes, the cycle is recomputed live,
+// and re-encoding yields a current-version artifact byte-identical to
+// encoding the source directly.
+func TestTraceCodecV1LegacyDecodes(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	legacy := tr.encodeBinary(traceCodecV1)
+	dec, err := DecodeTrace(legacy)
+	if err != nil {
+		t.Fatalf("v1 artifact refused: %v", err)
+	}
+	if !dec.CycleDetected() || dec.CyclePeriod() != tr.CyclePeriod() || dec.CycleCount() != tr.CycleCount() {
+		t.Fatalf("live redetection differs: %d/%d vs %d/%d",
+			dec.CyclePeriod(), dec.CycleCount(), tr.CyclePeriod(), tr.CycleCount())
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Fatal("trace decoded from v1 differs from source")
+	}
+	if !bytes.Equal(dec.EncodeBinary(), tr.EncodeBinary()) {
+		t.Fatal("re-encoding a v1 decode is not the canonical v2 artifact")
+	}
+	ref, got := NewReplayer(), NewReplayer()
+	p := ReplayParams{ExtraCycles: 92}
+	if err := ref.Replay(tr, Options{Net: net}, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Replay(dec, Options{Net: net}, p); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Makespan() != got.Makespan() {
+		t.Fatalf("makespan %v != %v", got.Makespan(), ref.Makespan())
+	}
+}
+
+// TestTraceCodecCorruptCycleMetadata pins the quarantine contract: cycle
+// metadata that passes the checksum but fails structural validation is
+// ErrFormat — the caller's .bad quarantine path, never a bad cursor in
+// the replayer.
+func TestTraceCodecCorruptCycleMetadata(t *testing.T) {
+	net := detAlphaBeta{alphaBeta{alpha: 2e-5, beta: 1e-8}}
+	tr := recordMarkedWavefront(t, net, 8)
+	corrupt := func(name string, mutate func(c *traceCycle)) {
+		t.Helper()
+		bad := *tr
+		bad.cyc.classOf = append([]int32(nil), tr.cyc.classOf...)
+		bad.cyc.first = append([]cycCursor(nil), tr.cyc.first...)
+		bad.cyc.last = append([]cycCursor(nil), tr.cyc.last...)
+		mutate(&bad.cyc)
+		if _, err := DecodeTrace(bad.encodeBinary(TraceCodecVersion)); !errors.Is(err, artifact.ErrFormat) {
+			t.Fatalf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+	corrupt("zero period", func(c *traceCycle) { c.period = 0 })
+	corrupt("geometry overflow", func(c *traceCycle) { c.cycles = c.gens + 7 })
+	corrupt("class out of range", func(c *traceCycle) { c.classOf[3] = int32(len(c.first)) + 9 })
+	corrupt("negative class", func(c *traceCycle) { c.classOf[0] = -2 })
+	corrupt("cursor off boundary", func(c *traceCycle) { c.last[0].sop = 1 << 28 })
+}

@@ -52,9 +52,18 @@ func (k traceKey) artifactKey() string {
 // loadOrCompileTrace is the trace tier's miss path: fault the shape in
 // from the artifact store if one is attached (persisting it on first
 // compile), else compile live. Runs inside the trace cache's GetOrBuild,
-// so concurrent misses of one shape already coalesce in-process; the
-// store's own singleflight coalesces the disk fill.
+// so concurrent misses of one shape already coalesce in-process (which
+// makes this the once-per-shape point where op-composition counters
+// accumulate); the store's own singleflight coalesces the disk fill.
 func loadOrCompileTrace(key traceKey, compile func() (*mp.Trace, error)) (*mp.Trace, error) {
+	t, err := loadOrCompileTraceRaw(key, compile)
+	if err == nil {
+		recordTraceOps(t)
+	}
+	return t, err
+}
+
+func loadOrCompileTraceRaw(key traceKey, compile func() (*mp.Trace, error)) (*mp.Trace, error) {
 	s := artifactStore.Load()
 	if s == nil {
 		return compile()

@@ -93,6 +93,11 @@ type Prediction struct {
 	BlockSeconds float64 // cost of one full work block (Tx_work)
 	FillStages   int     // pipeline fill length (closed form)
 	Method       string  // "template" or "closed-form"
+
+	// ExtrapolatedIterations counts the sweep iterations the trace tier
+	// skipped analytically via steady-state cycle extrapolation (0 when
+	// the prediction replayed or simulated every iteration).
+	ExtrapolatedIterations int
 }
 
 // Evaluator binds the application model to a fitted hardware model.

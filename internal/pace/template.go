@@ -104,9 +104,10 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 	}
 	d := cfg.Decomp
 	var total, sweepOnly float64
+	var extrapolated int
 	switch sched := e.Scheduler; sched {
 	case "", mp.SchedulerTrace:
-		total, sweepOnly, err = e.evalTrace(cfg, k)
+		total, sweepOnly, extrapolated, err = e.evalTrace(cfg, k)
 	case mp.SchedulerEvent, mp.SchedulerGoroutine:
 		total, sweepOnly, err = e.evalWorld(cfg, k, sched)
 	default:
@@ -118,15 +119,16 @@ func (e *Evaluator) Predict(cfg Config) (*Prediction, error) {
 
 	reduce := e.HW.Net().ReduceCost(d.Size(), 8+16, nil)
 	pred := &Prediction{
-		Total:          total,
-		SweepPerIter:   sweepOnly,
-		SourcePerIter:  k.src,
-		FluxErrPerIter: k.ferr,
-		ReducePerIter:  reduce,
-		Last:           reduce,
-		BlockSeconds:   k.fullBlock,
-		FillStages:     fillStages(d),
-		Method:         "template",
+		Total:                  total,
+		SweepPerIter:           sweepOnly,
+		SourcePerIter:          k.src,
+		FluxErrPerIter:         k.ferr,
+		ReducePerIter:          reduce,
+		Last:                   reduce,
+		BlockSeconds:           k.fullBlock,
+		FillStages:             fillStages(d),
+		Method:                 "template",
+		ExtrapolatedIterations: extrapolated,
 	}
 	if e.Memo != nil {
 		e.Memo.store(key, *pred)

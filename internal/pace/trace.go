@@ -18,6 +18,7 @@ package pace
 // state and are pooled per evaluator family beside the worlds.
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"pacesweep/internal/grid"
@@ -60,6 +61,16 @@ var traceCache = lru.New[traceKey, *mp.Trace](DefaultTraceCacheEntries, 8, trace
 // template evaluation that skipped the live backends entirely).
 var traceReplays atomic.Uint64
 
+// Steady-state extrapolation counters, process-wide like traceReplays:
+// cycle replays ran on a trace with a detected steady cycle; extrapolated
+// replays additionally skipped cycles analytically, and extrapolated
+// iterations totals the skipped sweep iterations across them.
+var (
+	traceCycleReplays          atomic.Uint64
+	traceExtrapolatedReplays   atomic.Uint64
+	traceExtrapolatedIterCount atomic.Uint64
+)
+
 // TraceCacheStats snapshots the global compiled-trace cache counters:
 // Entries is the number of resident compiled shapes, Hits the replays
 // served from an already-compiled shape, Misses the compilations.
@@ -69,30 +80,146 @@ func TraceCacheStats() lru.Stats { return traceCache.Stats() }
 // trace replay process-wide.
 func TraceReplays() uint64 { return traceReplays.Load() }
 
+// TraceExtrapolationStats reports the steady-state cycle counters of the
+// trace tier: how many replays ran with a detected cycle, how many of
+// those extrapolated past the recorded horizon, and the total iterations
+// skipped analytically instead of replayed.
+type TraceExtrapolationStats struct {
+	CycleReplays           uint64 `json:"cycle_replays"`
+	ExtrapolatedReplays    uint64 `json:"extrapolated_replays"`
+	ExtrapolatedIterations uint64 `json:"extrapolated_iterations"`
+}
+
+// TraceExtrapolation snapshots the process-wide extrapolation counters.
+func TraceExtrapolation() TraceExtrapolationStats {
+	return TraceExtrapolationStats{
+		CycleReplays:           traceCycleReplays.Load(),
+		ExtrapolatedReplays:    traceExtrapolatedReplays.Load(),
+		ExtrapolatedIterations: traceExtrapolatedIterCount.Load(),
+	}
+}
+
+// Fused-program composition, cumulative over compiled (or
+// artifact-loaded) shapes. Fusion changes what a replay dispatches — one
+// macro op stands in for the canonical multi-op wavefront step — so op
+// accounting distinguishes the scalar script from the fused program it
+// compiles to, and macro ops within that.
+var (
+	traceScalarUniqueOps atomic.Uint64
+	traceFusedUniqueOps  atomic.Uint64
+	traceMacroUniqueOps  atomic.Uint64
+)
+
+// TraceOpStats reports the op composition of every shape the trace tier
+// has compiled or loaded (cumulative, counted once per cache miss):
+// ScalarUniqueOps is the interned scalar script size, FusedUniqueOps the
+// interned fused-program size a deterministic replay dispatches, and
+// MacroUniqueOps how many of those fused ops are macro-fused wavefront
+// steps.
+type TraceOpStats struct {
+	ScalarUniqueOps uint64 `json:"scalar_unique_ops"`
+	FusedUniqueOps  uint64 `json:"fused_unique_ops"`
+	MacroUniqueOps  uint64 `json:"macro_unique_ops"`
+}
+
+// TraceOps snapshots the process-wide fused-program composition counters.
+func TraceOps() TraceOpStats {
+	return TraceOpStats{
+		ScalarUniqueOps: traceScalarUniqueOps.Load(),
+		FusedUniqueOps:  traceFusedUniqueOps.Load(),
+		MacroUniqueOps:  traceMacroUniqueOps.Load(),
+	}
+}
+
+// recordTraceOps accumulates a freshly compiled or loaded trace's op
+// composition into the process-wide counters.
+func recordTraceOps(t *mp.Trace) {
+	traceScalarUniqueOps.Add(uint64(t.UniqueOps()))
+	traceFusedUniqueOps.Add(uint64(t.FusedUniqueOps()))
+	traceMacroUniqueOps.Add(uint64(t.MacroUniqueOps()))
+}
+
+// steadyCanonIters is the canonical recorded horizon for steady-state
+// extrapolation: enough iterations for cycle detection (prefix + the
+// minimum validated cycle run + suffix) with margin, small enough that
+// one canonical trace replays quickly. Longer horizons replay this trace
+// with ExtraCycles instead of compiling their own script.
+const steadyCanonIters = 12
+
 // evalTrace is the trace-tier template evaluation: compile (or fetch) the
 // shape's script, then replay it under this evaluator's kernel tables and
 // fitted network model. Clocks are bit-identical to the event backend.
-func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float64, err error) {
+//
+// Long horizons on deterministic-cost platforms canonicalise to the
+// steadyCanonIters-iteration trace replayed with ExtraCycles — the
+// replayer extrapolates the steady cycles analytically, so prediction
+// cost is nearly independent of cfg.Iterations. The canonical path is a
+// replay-time decision (the full-length trace key is untouched) and falls
+// back to the full-length script whenever the cycle is unusable.
+func (e *Evaluator) evalTrace(cfg Config, k *costKernel) (total, sweepOnly float64, extrapolated int, err error) {
 	d := cfg.Decomp
-	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: cfg.Iterations}
+	if cfg.Iterations > steadyCanonIters && netDeterministic(e.HW.Net()) {
+		total, sweepOnly, extrapolated, err = e.replayTraceShape(
+			d, k, steadyCanonIters, cfg.Iterations-steadyCanonIters)
+		if err == nil {
+			return total, sweepOnly, extrapolated, nil
+		}
+		if !errors.Is(err, mp.ErrCannotExtrapolate) {
+			return 0, 0, 0, err
+		}
+		// No usable steady cycle in this shape's script: replay in full.
+	}
+	return e.replayTraceShape(d, k, cfg.Iterations, 0)
+}
+
+// replayTraceShape fetches (or compiles) the shape's trace at the given
+// recorded iteration count and replays it, extending the horizon by
+// extraCycles steady cycles when requested. With extraCycles > 0 the
+// trace must carry a period-1 steady cycle (one cycle per sweep
+// iteration); anything else is mp.ErrCannotExtrapolate.
+func (e *Evaluator) replayTraceShape(d grid.Decomp, k *costKernel, iterations, extraCycles int) (total, sweepOnly float64, extrapolated int, err error) {
+	key := traceKey{px: d.PX, py: d.PY, nab: k.nab, nkb: k.nkb, iterations: iterations}
 	t, err := traceCache.GetOrBuild(key, func() (*mp.Trace, error) {
 		return loadOrCompileTrace(key, func() (*mp.Trace, error) {
-			return e.compileTrace(d, k, cfg.Iterations, 0)
+			return e.compileTrace(d, k, iterations, 0)
 		})
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	if extraCycles > 0 && (!t.CycleDetected() || t.CyclePeriod() != 1) {
+		return 0, 0, 0, mp.ErrCannotExtrapolate
 	}
 	rp, release := e.acquireReplayer()
 	defer release()
 	err = rp.Replay(t, mp.Options{Net: e.HW.Net()},
-		mp.ReplayParams{Charges: k.charges, Sizes: k.sizes})
+		mp.ReplayParams{Charges: k.charges, Sizes: k.sizes, ExtraCycles: extraCycles})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	traceReplays.Add(1)
+	if rp.Stats().CycleDetected {
+		traceCycleReplays.Add(1)
+	}
+	if extraCycles > 0 {
+		traceExtrapolatedReplays.Add(1)
+		traceExtrapolatedIterCount.Add(uint64(extraCycles))
+	}
 	marks := rp.Marks()
-	return rp.Makespan(), marks[1] - marks[0], nil
+	// The reported extrapolation is the *requested* horizon extension —
+	// iterations beyond the canonical recorded script — which is a pure
+	// function of the configuration. (The replayer's internal
+	// replayed/extrapolated cycle split additionally depends on warm-up
+	// state such as the steady-state plan memo, so it would not be
+	// deterministic across repeat predictions.)
+	return rp.Makespan(), marks[1] - marks[0], extraCycles, nil
+}
+
+// netDeterministic reports whether the fitted network model opted into
+// deterministic costs — the precondition for replay-time extrapolation.
+func netDeterministic(net mp.NetworkModel) bool {
+	dc, ok := net.(mp.DeterministicCosts)
+	return ok && dc.CostsDeterministic()
 }
 
 // compileTrace records the shape's script by running the template body

@@ -189,7 +189,11 @@ type PredictResponse struct {
 	Iterations          int       `json:"iterations"`
 	PredictedSeconds    float64   `json:"predicted_seconds"`
 	Method              string    `json:"method"` // method actually used ("template" or "closed-form")
-	Breakdown           Breakdown `json:"breakdown"`
+	// ExtrapolatedIterations is the number of sweep iterations the trace
+	// tier skipped via steady-state cycle extrapolation (0 when every
+	// iteration was replayed or simulated).
+	ExtrapolatedIterations int       `json:"extrapolated_iterations"`
+	Breakdown              Breakdown `json:"breakdown"`
 }
 
 // buildPredictResponse assembles the response for a canonical request and
@@ -200,16 +204,17 @@ func buildPredictResponse(q *PredictRequest, p *pace.Prediction) PredictResponse
 		name, fp = s.Name, s.FingerprintHex()
 	}
 	return PredictResponse{
-		Platform:            name,
-		PlatformFingerprint: fp,
-		Grid:                q.Grid,
-		Array:               q.Array,
-		MK:                  q.MK,
-		MMI:                 q.MMI,
-		Angles:              q.Angles,
-		Iterations:          q.Iterations,
-		PredictedSeconds:    p.Total,
-		Method:              p.Method,
+		Platform:               name,
+		PlatformFingerprint:    fp,
+		Grid:                   q.Grid,
+		Array:                  q.Array,
+		MK:                     q.MK,
+		MMI:                    q.MMI,
+		Angles:                 q.Angles,
+		Iterations:             q.Iterations,
+		PredictedSeconds:       p.Total,
+		Method:                 p.Method,
+		ExtrapolatedIterations: p.ExtrapolatedIterations,
 		Breakdown: Breakdown{
 			SweepPerIter:   p.SweepPerIter,
 			SourcePerIter:  p.SourcePerIter,

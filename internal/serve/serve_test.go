@@ -556,6 +556,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`paceserve_pool_idle_replayers{platform="alpha"} 1`,
 		"paceserve_trace_cache_entries ",
 		"paceserve_trace_replays_total ",
+		"paceserve_trace_cycle_replays_total ",
+		"paceserve_trace_extrapolated_replays_total ",
+		"paceserve_trace_extrapolated_iterations_total ",
+		"paceserve_trace_scalar_unique_ops_total ",
+		"paceserve_trace_fused_unique_ops_total ",
+		"paceserve_trace_macro_unique_ops_total ",
 		"paceserve_response_cache_entries 1",
 		"paceserve_inflight_requests 0",
 	} {
@@ -569,6 +575,65 @@ func TestMetricsEndpoint(t *testing.T) {
 	s.ServeHTTP(hrec, hreq)
 	if hrec.Code != http.StatusOK || !strings.Contains(hrec.Body.String(), "ok") {
 		t.Errorf("healthz: %d %s", hrec.Code, hrec.Body.String())
+	}
+}
+
+// TestPredictExtrapolationReported pins the serving contract of the trace
+// tier's steady-state extrapolation: a long-horizon predict reports the
+// analytically skipped iterations in its response, a short-horizon one
+// reports zero, and the /v1/stats extrapolation counters advance.
+func TestPredictExtrapolationReported(t *testing.T) {
+	s := newTestServer(t, nil)
+
+	rec := postJSON(t, s, "/v1/predict",
+		`{"platform":"alpha","grid":{"nx":100,"ny":100,"nz":50},"array":{"px":2,"py":2},"iterations":5000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ExtrapolatedIterations <= 0 || resp.ExtrapolatedIterations >= 5000 {
+		t.Fatalf("extrapolated_iterations = %d, want in (0, 5000)", resp.ExtrapolatedIterations)
+	}
+
+	rec2 := postJSON(t, s, "/v1/predict",
+		`{"platform":"alpha","grid":{"nx":100,"ny":100,"nz":50},"array":{"px":2,"py":2},"iterations":5}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	var short PredictResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &short); err != nil {
+		t.Fatal(err)
+	}
+	if short.ExtrapolatedIterations != 0 {
+		t.Fatalf("short-horizon extrapolated_iterations = %d, want 0", short.ExtrapolatedIterations)
+	}
+
+	sreq := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	srec := httptest.NewRecorder()
+	s.ServeHTTP(srec, sreq)
+	if srec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", srec.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(srec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	// Counters are process-global, so assert floors, not exact values.
+	if st.TraceExtrapolation.ExtrapolatedReplays < 1 ||
+		st.TraceExtrapolation.ExtrapolatedIterations < uint64(resp.ExtrapolatedIterations) ||
+		st.TraceExtrapolation.CycleReplays < st.TraceExtrapolation.ExtrapolatedReplays {
+		t.Fatalf("stats extrapolation block = %+v", st.TraceExtrapolation)
+	}
+	// The compiled shapes behind these predicts fused macro ops, and the
+	// op-composition invariants hold: macro ⊆ fused, fused < scalar
+	// (fusion only ever shrinks the dispatched program).
+	ops := st.TraceOps
+	if ops.MacroUniqueOps < 1 || ops.MacroUniqueOps > ops.FusedUniqueOps ||
+		ops.FusedUniqueOps >= ops.ScalarUniqueOps {
+		t.Fatalf("stats trace_ops block = %+v", ops)
 	}
 }
 

@@ -219,10 +219,18 @@ type StatsResponse struct {
 	// CustomEvaluators is the inline platform_spec evaluator cache: hits
 	// are requests served by an already-fitted custom platform, misses are
 	// on-demand fitting pipeline runs (singleflighted per fingerprint).
-	CustomEvaluators *lru.Stats         `json:"custom_evaluators,omitempty"`
-	TraceCache       lru.Stats          `json:"trace_cache"`
-	TraceReplays     uint64             `json:"trace_replays"`
-	SweepBatching    SweepBatchSnapshot `json:"sweep_batching"`
+	CustomEvaluators *lru.Stats `json:"custom_evaluators,omitempty"`
+	TraceCache       lru.Stats  `json:"trace_cache"`
+	TraceReplays     uint64     `json:"trace_replays"`
+	// TraceExtrapolation is the trace tier's steady-state cycle block:
+	// replays that ran with a detected cycle, replays that extended the
+	// horizon analytically, and the total iterations skipped that way.
+	TraceExtrapolation pace.TraceExtrapolationStats `json:"trace_extrapolation"`
+	// TraceOps is the op composition of compiled shapes: scalar script
+	// ops, fused-program ops a deterministic replay dispatches, and the
+	// macro-fused wavefront steps within those.
+	TraceOps      pace.TraceOpStats  `json:"trace_ops"`
+	SweepBatching SweepBatchSnapshot `json:"sweep_batching"`
 	// Artifacts is the persistent artifact store's counter block (only
 	// with -artifact-dir): hits are cache fills served from disk instead
 	// of refitting/recompiling.
@@ -246,8 +254,10 @@ func (s *Server) statsResponse() StatsResponse {
 			"perturb":    s.st.perturb.snapshot(),
 			"resilience": s.st.resilience.snapshot(),
 		},
-		TraceCache:   pace.TraceCacheStats(),
-		TraceReplays: pace.TraceReplays(),
+		TraceCache:         pace.TraceCacheStats(),
+		TraceReplays:       pace.TraceReplays(),
+		TraceExtrapolation: pace.TraceExtrapolation(),
+		TraceOps:           pace.TraceOps(),
 		SweepBatching: SweepBatchSnapshot{
 			GroupsTotal:  s.st.sweepBatchGroups.Load(),
 			PointsTotal:  s.st.sweepBatchPoints.Load(),
@@ -368,6 +378,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// served off a compiled shape (hits), compilations (misses).
 	writeCacheMetrics(w, "paceserve_trace_cache", []string{""}, []lru.Stats{st.TraceCache})
 	fmt.Fprintf(w, "# TYPE paceserve_trace_replays_total counter\npaceserve_trace_replays_total %d\n", st.TraceReplays)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_cycle_replays_total counter\npaceserve_trace_cycle_replays_total %d\n", st.TraceExtrapolation.CycleReplays)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_extrapolated_replays_total counter\npaceserve_trace_extrapolated_replays_total %d\n", st.TraceExtrapolation.ExtrapolatedReplays)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_extrapolated_iterations_total counter\npaceserve_trace_extrapolated_iterations_total %d\n", st.TraceExtrapolation.ExtrapolatedIterations)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_scalar_unique_ops_total counter\npaceserve_trace_scalar_unique_ops_total %d\n", st.TraceOps.ScalarUniqueOps)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_fused_unique_ops_total counter\npaceserve_trace_fused_unique_ops_total %d\n", st.TraceOps.FusedUniqueOps)
+	fmt.Fprintf(w, "# TYPE paceserve_trace_macro_unique_ops_total counter\npaceserve_trace_macro_unique_ops_total %d\n", st.TraceOps.MacroUniqueOps)
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_groups_total counter\npaceserve_sweep_batch_groups_total %d\n", st.SweepBatching.GroupsTotal)
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_points_total counter\npaceserve_sweep_batch_points_total %d\n", st.SweepBatching.PointsTotal)
 	fmt.Fprintf(w, "# TYPE paceserve_sweep_batch_max_group_size gauge\npaceserve_sweep_batch_max_group_size %d\n", st.SweepBatching.MaxGroupSize)
